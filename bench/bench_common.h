@@ -1,0 +1,73 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every binary regenerates one table or figure of the paper's evaluation
+// (Section 5 / Appendix) and prints the same rows or series. Sizes default
+// to 1/4 of the paper's scale so the whole suite runs in minutes on one
+// core; set REPRO_FULL=1 for the paper's 16M-tuple scale.
+
+#ifndef APUJOIN_BENCH_BENCH_COMMON_H_
+#define APUJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/coupled_joiner.h"
+#include "util/env.h"
+#include "util/table_printer.h"
+
+namespace apujoin::bench {
+
+/// Paper-size scaled by REPRO_FULL (16M -> 4M by default).
+inline uint64_t Scaled(uint64_t paper_tuples) {
+  const uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(paper_tuples) * BenchScale());
+  return v < 1024 ? 1024 : v;
+}
+
+inline data::Workload MakeWorkload(
+    uint64_t build, uint64_t probe,
+    data::Distribution dist = data::Distribution::kUniform,
+    double selectivity = 1.0, uint64_t seed = 42) {
+  data::WorkloadSpec spec;
+  spec.build_tuples = build;
+  spec.probe_tuples = probe;
+  spec.distribution = dist;
+  spec.selectivity = selectivity;
+  spec.seed = seed;
+  auto w = data::GenerateWorkload(spec);
+  APU_CHECK_OK(w.status());
+  return std::move(w).value();
+}
+
+inline simcl::SimContext MakeContext(
+    simcl::ArchMode arch = simcl::ArchMode::kCoupled,
+    bool trace_cache = false) {
+  simcl::ContextOptions opts;
+  opts.arch = arch;
+  opts.trace_cache = trace_cache;
+  return simcl::SimContext(opts);
+}
+
+inline std::string Secs(double ns) { return TablePrinter::Fmt(ns * 1e-9, 3); }
+
+inline void PrintBanner(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment, description);
+  std::printf("scale: %s (REPRO_FULL=%d)\n",
+              TablePrinter::FmtCount(DefaultProbeTuples()).c_str(),
+              GetEnvFlag("REPRO_FULL") ? 1 : 0);
+  std::printf("==============================================================\n");
+}
+
+inline coproc::JoinReport MustJoin(simcl::SimContext* ctx,
+                                   const data::Workload& w,
+                                   const coproc::JoinSpec& spec) {
+  auto report = coproc::ExecuteJoin(ctx, w, spec);
+  APU_CHECK_OK(report.status());
+  APU_CHECK(report->matches == w.expected_matches);
+  return std::move(report).value();
+}
+
+}  // namespace apujoin::bench
+
+#endif  // APUJOIN_BENCH_BENCH_COMMON_H_

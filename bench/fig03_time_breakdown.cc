@@ -1,0 +1,59 @@
+// Figure 3: time breakdown of SHJ-DD / SHJ-OL / PHJ-DD / PHJ-OL on the
+// emulated discrete architecture vs the coupled architecture.
+//
+// Shape targets: PCI-e data transfer is 4-10% of total on discrete and zero
+// on coupled; the merge of separate hash tables costs more than the
+// transfer (14-18% for DD) and disappears on coupled (shared table).
+
+#include "bench_common.h"
+
+namespace apujoin::bench {
+namespace {
+
+using coproc::Algorithm;
+using coproc::JoinSpec;
+using coproc::Scheme;
+using simcl::ArchMode;
+using simcl::Phase;
+
+void Run() {
+  PrintBanner("Figure 3", "time breakdown: discrete vs coupled");
+  const uint64_t n = Scaled(16ull << 20);
+  const data::Workload w = MakeWorkload(n, n);
+
+  TablePrinter table({"variant", "arch", "transfer(s)", "merge(s)",
+                      "partition(s)", "build(s)", "probe(s)", "total(s)",
+                      "transfer%", "merge%"});
+  for (Algorithm algo : {Algorithm::kSHJ, Algorithm::kPHJ}) {
+    for (Scheme scheme : {Scheme::kDataDivide, Scheme::kOffload}) {
+      for (ArchMode arch : {ArchMode::kDiscreteEmulated, ArchMode::kCoupled}) {
+        simcl::SimContext ctx = MakeContext(arch);
+        JoinSpec spec;
+        spec.algorithm = algo;
+        spec.scheme = scheme;
+        const coproc::JoinReport rep = MustJoin(&ctx, w, spec);
+        const double total = rep.elapsed_ns;
+        const std::string variant = std::string(AlgorithmName(algo)) + "-" +
+                                    SchemeName(scheme);
+        table.AddRow(
+            {variant,
+             arch == ArchMode::kCoupled ? "coupled" : "discrete",
+             Secs(rep.breakdown.Get(Phase::kDataTransfer)),
+             Secs(rep.breakdown.Get(Phase::kMerge)),
+             Secs(rep.breakdown.Get(Phase::kPartition)),
+             Secs(rep.breakdown.Get(Phase::kBuild)),
+             Secs(rep.breakdown.Get(Phase::kProbe)), Secs(total),
+             TablePrinter::FmtPercent(
+                 rep.breakdown.Get(Phase::kDataTransfer) / total),
+             TablePrinter::FmtPercent(rep.breakdown.Get(Phase::kMerge) /
+                                      total)});
+      }
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace apujoin::bench
+
+int main() { apujoin::bench::Run(); }

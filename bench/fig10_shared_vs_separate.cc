@@ -1,0 +1,51 @@
+// Figure 10: elapsed time of the build phase in DD with separate vs shared
+// hash tables (SHJ and PHJ), on the coupled architecture.
+//
+// Shape targets: shared wins — ~16% for SHJ-DD and ~26% for PHJ-DD in the
+// paper — because it eliminates the merge and enjoys cross-device cache
+// reuse; the latch contention it adds is smaller than both.
+
+#include "bench_common.h"
+
+namespace apujoin::bench {
+namespace {
+
+using coproc::JoinSpec;
+using simcl::Phase;
+
+void Run() {
+  PrintBanner("Figure 10", "separate vs shared hash table (build phase, DD)");
+  const uint64_t n = Scaled(16ull << 20);
+  const data::Workload w = MakeWorkload(n, n);
+
+  TablePrinter table(
+      {"algorithm", "table mode", "build+merge(s)", "shared gain"});
+  for (coproc::Algorithm algo :
+       {coproc::Algorithm::kSHJ, coproc::Algorithm::kPHJ}) {
+    double separate_ns = 0.0;
+    for (bool shared : {false, true}) {
+      simcl::SimContext ctx = MakeContext();
+      JoinSpec spec;
+      spec.algorithm = algo;
+      spec.scheme = coproc::Scheme::kDataDivide;
+      spec.engine.shared_table = shared;
+      const coproc::JoinReport rep = MustJoin(&ctx, w, spec);
+      const double build_ns = rep.breakdown.Get(Phase::kBuild) +
+                              rep.breakdown.Get(Phase::kMerge);
+      std::string gain = "-";
+      if (shared && separate_ns > 0.0) {
+        gain = TablePrinter::FmtPercent(1.0 - build_ns / separate_ns);
+      } else {
+        separate_ns = build_ns;
+      }
+      table.AddRow({AlgorithmName(algo), shared ? "shared" : "separate",
+                    Secs(build_ns), gain});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace apujoin::bench
+
+int main() { apujoin::bench::Run(); }

@@ -1,0 +1,43 @@
+// Figure 11: elapsed time (left) and lock overhead (right) of PHJ-DD /
+// PHJ-OL / PHJ-PL as the optimized allocator's block size sweeps 8 B..32 KB.
+//
+// Shape targets: performance improves with larger blocks and flattens
+// around 2 KB (the paper's chosen default); lock overhead — estimated, as
+// in the paper, by measured-minus-modelled time — falls monotonically with
+// the block size.
+
+#include "bench_common.h"
+
+namespace apujoin::bench {
+namespace {
+
+using coproc::JoinSpec;
+
+void Run() {
+  PrintBanner("Figure 11", "allocation block size sweep (PHJ)");
+  const uint64_t n = Scaled(16ull << 20);
+  const data::Workload w = MakeWorkload(n, n);
+
+  TablePrinter table({"block", "scheme", "elapsed(s)", "lock overhead(s)"});
+  for (uint32_t block : {8u, 32u, 128u, 512u, 2048u, 8192u, 32768u}) {
+    for (coproc::Scheme scheme :
+         {coproc::Scheme::kDataDivide, coproc::Scheme::kOffload,
+          coproc::Scheme::kPipelined}) {
+      simcl::SimContext ctx = MakeContext();
+      JoinSpec spec;
+      spec.algorithm = coproc::Algorithm::kPHJ;
+      spec.scheme = scheme;
+      spec.engine.block_bytes = block;
+      const coproc::JoinReport rep = MustJoin(&ctx, w, spec);
+      table.AddRow({TablePrinter::FmtCount(block) + "B",
+                    std::string("PHJ-") + SchemeName(scheme),
+                    Secs(rep.elapsed_ns), Secs(rep.lock_ns)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace apujoin::bench
+
+int main() { apujoin::bench::Run(); }

@@ -1,0 +1,62 @@
+// Figure 13: elapsed time vs build-relation size on the uniform data set
+// (probe fixed at the default size) for SHJ and PHJ under CPU-only, DD,
+// OL (= GPU-only on the coupled architecture) and PL.
+//
+// Shape targets: PL is the fastest almost everywhere (up to 53% over
+// CPU-only, 35% over GPU-only, 28% over DD in the paper); a visible jump
+// when the build table outgrows the 4 MB shared L2.
+
+#include "bench_common.h"
+
+namespace apujoin::bench {
+namespace {
+
+using coproc::JoinSpec;
+
+void RunAlgo(coproc::Algorithm algo, const char* title,
+             data::Distribution dist) {
+  std::printf("\n-- %s --\n", title);
+  const uint64_t probe = Scaled(16ull << 20);
+  TablePrinter table(
+      {"|R|", "CPU-only(s)", "DD(s)", "OL(s)", "PL(s)", "PL gain vs best"});
+  for (uint64_t build_paper :
+       {64ull << 10, 256ull << 10, 1ull << 20, 2ull << 20, 4ull << 20,
+        8ull << 20, 16ull << 20}) {
+    const uint64_t build = Scaled(build_paper);
+    const data::Workload w = MakeWorkload(build, probe, dist);
+    std::vector<std::string> row = {TablePrinter::FmtCount(build)};
+    double best_single = 1e300;
+    double pl_time = 0.0;
+    for (coproc::Scheme scheme :
+         {coproc::Scheme::kCpuOnly, coproc::Scheme::kDataDivide,
+          coproc::Scheme::kGpuOnly, coproc::Scheme::kPipelined}) {
+      simcl::SimContext ctx = MakeContext();
+      JoinSpec spec;
+      spec.algorithm = algo;
+      spec.scheme = scheme;
+      const double t = MustJoin(&ctx, w, spec).elapsed_ns;
+      row.push_back(Secs(t));
+      if (scheme != coproc::Scheme::kPipelined) {
+        best_single = std::min(best_single, t);
+      } else {
+        pl_time = t;
+      }
+    }
+    row.push_back(TablePrinter::FmtPercent(1.0 - pl_time / best_single));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void Run() {
+  PrintBanner("Figure 13", "elapsed time vs build size, uniform data");
+  RunAlgo(coproc::Algorithm::kSHJ, "SHJ (uniform)",
+          data::Distribution::kUniform);
+  RunAlgo(coproc::Algorithm::kPHJ, "PHJ (uniform)",
+          data::Distribution::kUniform);
+}
+
+}  // namespace
+}  // namespace apujoin::bench
+
+int main() { apujoin::bench::Run(); }

@@ -1,0 +1,46 @@
+// Figure 15: PHJ time breakdown (partition / build / probe) with the join
+// selectivity varied over 12.5%, 50% and 100%, for DD, OL and PL.
+//
+// Shape targets: selectivity only grows the probe phase, and only mildly
+// (the implementation just emits matching rid pairs); partition and build
+// are unaffected for DD/OL.
+
+#include "bench_common.h"
+
+namespace apujoin::bench {
+namespace {
+
+using coproc::JoinSpec;
+using simcl::Phase;
+
+void Run() {
+  PrintBanner("Figure 15", "PHJ breakdown vs join selectivity");
+  const uint64_t n = Scaled(16ull << 20);
+
+  TablePrinter table({"selectivity", "scheme", "partition(s)", "build(s)",
+                      "probe(s)", "total(s)"});
+  for (double sel : {0.125, 0.5, 1.0}) {
+    const data::Workload w =
+        MakeWorkload(n, n, data::Distribution::kUniform, sel);
+    for (coproc::Scheme scheme :
+         {coproc::Scheme::kDataDivide, coproc::Scheme::kOffload,
+          coproc::Scheme::kPipelined}) {
+      simcl::SimContext ctx = MakeContext();
+      JoinSpec spec;
+      spec.algorithm = coproc::Algorithm::kPHJ;
+      spec.scheme = scheme;
+      const coproc::JoinReport rep = MustJoin(&ctx, w, spec);
+      table.AddRow({TablePrinter::FmtPercent(sel), SchemeName(scheme),
+                    Secs(rep.breakdown.Get(Phase::kPartition)),
+                    Secs(rep.breakdown.Get(Phase::kBuild)),
+                    Secs(rep.breakdown.Get(Phase::kProbe)),
+                    Secs(rep.elapsed_ns)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace apujoin::bench
+
+int main() { apujoin::bench::Run(); }

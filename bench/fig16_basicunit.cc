@@ -1,0 +1,67 @@
+// Figure 16 (+ Figures 17/18): the BasicUnit coarse-grained dynamic chunk
+// scheduler vs DD and fine-grained PL, with the per-phase effective
+// CPU/GPU ratios BasicUnit converges to.
+//
+// Shape targets: SHJ-PL ~31% and PHJ-PL ~25% faster than BasicUnit in the
+// paper; BasicUnit's ratio is one flat number per phase (Figures 17/18),
+// unlike PL's per-step schedule.
+
+#include "bench_common.h"
+
+namespace apujoin::bench {
+namespace {
+
+using coproc::JoinSpec;
+
+void Run() {
+  PrintBanner("Figure 16/17/18", "BasicUnit vs DD vs fine-grained PL");
+  const uint64_t n = Scaled(16ull << 20);
+  const data::Workload w = MakeWorkload(n, n);
+
+  TablePrinter table({"variant", "elapsed(s)", "PL gain"});
+  for (coproc::Algorithm algo :
+       {coproc::Algorithm::kSHJ, coproc::Algorithm::kPHJ}) {
+    double bu_time = 0.0;
+    coproc::JoinReport bu_report;
+    for (coproc::Scheme scheme :
+         {coproc::Scheme::kBasicUnit, coproc::Scheme::kDataDivide,
+          coproc::Scheme::kPipelined}) {
+      simcl::SimContext ctx = MakeContext();
+      JoinSpec spec;
+      spec.algorithm = algo;
+      spec.scheme = scheme;
+      const coproc::JoinReport rep = MustJoin(&ctx, w, spec);
+      std::string gain = "-";
+      if (scheme == coproc::Scheme::kBasicUnit) {
+        bu_time = rep.elapsed_ns;
+        bu_report = rep;
+      } else if (scheme == coproc::Scheme::kPipelined) {
+        gain = TablePrinter::FmtPercent(1.0 - rep.elapsed_ns / bu_time);
+      }
+      table.AddRow({std::string(AlgorithmName(algo)) + "-" +
+                        (scheme == coproc::Scheme::kBasicUnit
+                             ? "BasicUnit"
+                             : SchemeName(scheme)),
+                    Secs(rep.elapsed_ns), gain});
+    }
+    // Figures 17/18: BasicUnit's flat per-phase ratios.
+    std::printf("\n%s BasicUnit effective CPU ratios per phase:\n",
+                AlgorithmName(algo));
+    std::string last_phase;
+    for (const auto& s : bu_report.steps) {
+      if (s.phase != last_phase) {
+        std::printf("  %-14s CPU %s / GPU %s\n", s.phase.c_str(),
+                    TablePrinter::FmtPercent(s.ratio, 0).c_str(),
+                    TablePrinter::FmtPercent(1.0 - s.ratio, 0).c_str());
+        last_phase = s.phase;
+      }
+    }
+    std::printf("\n");
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace apujoin::bench
+
+int main() { apujoin::bench::Run(); }

@@ -1,0 +1,163 @@
+// google-benchmark micro suite: throughput sanity for the hot primitives
+// (MurmurHash, software allocators, hash-table ops, radix pass kernels,
+// cache simulator). These measure *host* wall-clock of the real code paths,
+// complementing the virtual-time figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/basic_allocator.h"
+#include "alloc/block_allocator.h"
+#include "coproc/step_series.h"
+#include "data/generator.h"
+#include "join/hash_table.h"
+#include "join/radix_partition.h"
+#include "join/reference_join.h"
+#include "simcl/cache_sim.h"
+#include "util/murmur_hash.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace apujoin;  // NOLINT: bench-local convenience
+
+void BM_MurmurHash2x4(benchmark::State& state) {
+  uint32_t k = 12345;
+  for (auto _ : state) {
+    k = MurmurHash2x4(k);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_MurmurHash2x4);
+
+void BM_BasicAllocator(benchmark::State& state) {
+  alloc::Arena arena(1ull << 24, 8);
+  alloc::BasicAllocator allocator(&arena);
+  uint32_t wg = 0;
+  for (auto _ : state) {
+    if (allocator.Allocate(1, simcl::DeviceId::kGpu, wg++ & 1023) < 0) {
+      arena.Reset();
+    }
+  }
+}
+BENCHMARK(BM_BasicAllocator);
+
+void BM_BlockAllocator(benchmark::State& state) {
+  alloc::Arena arena(1ull << 24, 8);
+  alloc::BlockAllocator allocator(&arena, 2048);
+  uint32_t wg = 0;
+  for (auto _ : state) {
+    if (allocator.Allocate(1, simcl::DeviceId::kGpu, wg++ & 1023) < 0) {
+      arena.Reset();
+      allocator.Reset();
+    }
+  }
+}
+BENCHMARK(BM_BlockAllocator);
+
+void BM_HashTableInsert(benchmark::State& state) {
+  const uint32_t n = 1 << 16;
+  auto pools = std::make_unique<join::NodePools>(
+      n * 2, n * 2, alloc::AllocatorKind::kOptimized, 2048);
+  auto table = std::make_unique<join::HashTable>(n, pools.get());
+  int32_t key = 1;
+  uint64_t inserted = 0;
+  for (auto _ : state) {
+    if (inserted >= n) {
+      // Recreate the table when full (outside the timed region).
+      state.PauseTiming();
+      pools = std::make_unique<join::NodePools>(
+          n * 2, n * 2, alloc::AllocatorKind::kOptimized, 2048);
+      table = std::make_unique<join::HashTable>(n, pools.get());
+      inserted = 0;
+      key = 1;
+      state.ResumeTiming();
+    }
+    uint32_t work = 0;
+    const uint32_t bucket =
+        table->BucketOf(MurmurHash2x4(static_cast<uint32_t>(key)));
+    const int32_t node =
+        table->FindOrAddKey(bucket, key, simcl::DeviceId::kCpu, 0, &work);
+    benchmark::DoNotOptimize(
+        table->InsertRid(node, key, simcl::DeviceId::kCpu, 0));
+    key += 2;
+    ++inserted;
+  }
+}
+BENCHMARK(BM_HashTableInsert);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  const uint32_t n = 1 << 14;
+  join::NodePools pools(n * 2, n * 2, alloc::AllocatorKind::kOptimized, 2048);
+  join::HashTable table(n, &pools);
+  for (uint32_t k = 0; k < n; ++k) {
+    uint32_t work = 0;
+    const uint32_t bucket = table.BucketOf(MurmurHash2x4(2 * k + 1));
+    const int32_t node = table.FindOrAddKey(
+        static_cast<int32_t>(bucket), 2 * k + 1, simcl::DeviceId::kCpu, 0,
+        &work);
+    table.InsertRid(node, k, simcl::DeviceId::kCpu, 0);
+  }
+  uint32_t k = 0;
+  for (auto _ : state) {
+    uint32_t work = 0;
+    const int32_t key = static_cast<int32_t>(2 * (k++ % n) + 1);
+    const uint32_t bucket =
+        table.BucketOf(MurmurHash2x4(static_cast<uint32_t>(key)));
+    benchmark::DoNotOptimize(table.FindKey(bucket, key, &work));
+  }
+}
+BENCHMARK(BM_HashTableProbe);
+
+void BM_RadixPartitionPass(benchmark::State& state) {
+  data::WorkloadSpec wspec;
+  wspec.build_tuples = 1 << 16;
+  wspec.probe_tuples = 1;
+  auto w = data::GenerateWorkload(wspec);
+  simcl::SimContext ctx;
+  join::EngineOptions opts;
+  opts.partitions = 64;
+  const join::RadixPlan plan =
+      join::RadixPlan::Make(1 << 16, 1 << 16, 4e6, opts);
+  for (auto _ : state) {
+    join::RadixPartitioner part(&ctx, &w->build, plan, opts);
+    APU_CHECK_OK(part.Prepare());
+    for (int pass = 0; pass < part.passes(); ++pass) {
+      part.BeginPass(pass);
+      auto steps = part.PassSteps(pass);
+      for (auto& step : steps) {
+        for (uint64_t i = 0; i < step.items; ++i) {
+          step.fn(i, simcl::DeviceId::kCpu);
+        }
+      }
+      part.EndPass(pass);
+    }
+    benchmark::DoNotOptimize(part.offsets().back());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_RadixPartitionPass);
+
+void BM_CacheSimAccess(benchmark::State& state) {
+  simcl::CacheSim cache;
+  Random rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(rng.Next() & ((16u << 20) - 1)));
+  }
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void BM_ReferenceJoin(benchmark::State& state) {
+  data::WorkloadSpec wspec;
+  wspec.build_tuples = 1 << 14;
+  wspec.probe_tuples = 1 << 16;
+  auto w = data::GenerateWorkload(wspec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(join::ReferenceMatchCount(w->build, w->probe));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_ReferenceJoin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

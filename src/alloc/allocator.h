@@ -1,0 +1,70 @@
+// Allocator interface shared by the Basic and Optimized (block) software
+// memory allocators of Section 3.3.
+//
+// Allocation requests originate from kernels running on a device, inside a
+// work group; the allocator both performs the real reservation (so data
+// structures are real) and accounts the *virtual* synchronisation cost of
+// the atomic operations involved. Drivers drain that accounting into the
+// step timing after each kernel (the cost model deliberately excludes the
+// contention part — Section 5.3/Figure 11b).
+
+#ifndef APUJOIN_ALLOC_ALLOCATOR_H_
+#define APUJOIN_ALLOC_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "simcl/device.h"
+
+namespace apujoin::alloc {
+
+/// Which allocator implementation to use (Figure 12 compares them).
+enum class AllocatorKind {
+  kBasic,      ///< one global atomic pointer, latched per request
+  kOptimized,  ///< per-work-group blocks; global atomic only on refill
+};
+
+inline const char* AllocatorKindName(AllocatorKind k) {
+  return k == AllocatorKind::kBasic ? "Basic" : "Ours";
+}
+
+/// Synchronisation-op counts accumulated by an allocator since the last
+/// TakeCounts() call, per device.
+struct AllocCounts {
+  uint64_t global_atomics[simcl::kNumDevices] = {0, 0};
+  uint64_t local_atomics[simcl::kNumDevices] = {0, 0};
+  uint64_t requests[simcl::kNumDevices] = {0, 0};
+  uint64_t failed = 0;  ///< exhausted-arena reservations
+
+  AllocCounts& operator+=(const AllocCounts& o) {
+    for (int d = 0; d < simcl::kNumDevices; ++d) {
+      global_atomics[d] += o.global_atomics[d];
+      local_atomics[d] += o.local_atomics[d];
+      requests[d] += o.requests[d];
+    }
+    failed += o.failed;
+    return *this;
+  }
+};
+
+/// Abstract index allocator over an Arena.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Reserves `count` consecutive elements for a kernel running on `dev`
+  /// in work group `workgroup`. Returns first index or -1 when exhausted.
+  virtual int64_t Allocate(uint32_t count, simcl::DeviceId dev,
+                           uint32_t workgroup) = 0;
+
+  /// Returns op counts since the last call and resets them.
+  virtual AllocCounts TakeCounts() = 0;
+
+  /// Forgets cached blocks (arena reset is the owner's job).
+  virtual void Reset() = 0;
+
+  virtual AllocatorKind kind() const = 0;
+};
+
+}  // namespace apujoin::alloc
+
+#endif  // APUJOIN_ALLOC_ALLOCATOR_H_

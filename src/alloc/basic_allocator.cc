@@ -1,0 +1,23 @@
+#include "alloc/basic_allocator.h"
+
+namespace apujoin::alloc {
+
+int64_t BasicAllocator::Allocate(uint32_t count, simcl::DeviceId dev,
+                                 uint32_t /*workgroup*/) {
+  const int di = static_cast<int>(dev);
+  counts_.requests[di]++;
+  counts_.global_atomics[di]++;  // the latched pointer bump
+  const int64_t idx = arena_->Reserve(count);
+  if (idx < 0) counts_.failed++;
+  return idx;
+}
+
+AllocCounts BasicAllocator::TakeCounts() {
+  AllocCounts out = counts_;
+  counts_ = AllocCounts{};
+  return out;
+}
+
+void BasicAllocator::Reset() { counts_ = AllocCounts{}; }
+
+}  // namespace apujoin::alloc

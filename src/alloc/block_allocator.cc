@@ -1,0 +1,52 @@
+#include "alloc/block_allocator.h"
+
+#include <algorithm>
+
+namespace apujoin::alloc {
+
+BlockAllocator::BlockAllocator(Arena* arena, uint32_t block_bytes)
+    : arena_(arena), block_bytes_(block_bytes) {
+  block_elems_ = std::max<uint32_t>(1, block_bytes_ / arena_->elem_bytes());
+  cache_.assign(simcl::kNumDevices * kWorkgroupSlots, Cache{});
+}
+
+int64_t BlockAllocator::Allocate(uint32_t count, simcl::DeviceId dev,
+                                 uint32_t workgroup) {
+  const int di = static_cast<int>(dev);
+  counts_.requests[di]++;
+  Cache& c = cache_[static_cast<size_t>(di) * kWorkgroupSlots +
+                    (workgroup % kWorkgroupSlots)];
+  // Local-pointer bump within the cached block (local-memory atomic).
+  if (c.cur + count <= c.end) {
+    counts_.local_atomics[di]++;
+    const int64_t idx = c.cur;
+    c.cur += count;
+    return idx;
+  }
+  // Refill: work item 0 advances the global pointer by one block (or by the
+  // request size for oversized requests). One global atomic either way.
+  counts_.global_atomics[di]++;
+  const uint32_t grab = std::max(block_elems_, count);
+  const int64_t start = arena_->Reserve(grab);
+  if (start < 0) {
+    counts_.failed++;
+    return -1;
+  }
+  c.cur = start + count;
+  c.end = start + grab;
+  counts_.local_atomics[di]++;
+  return start;
+}
+
+AllocCounts BlockAllocator::TakeCounts() {
+  AllocCounts out = counts_;
+  counts_ = AllocCounts{};
+  return out;
+}
+
+void BlockAllocator::Reset() {
+  counts_ = AllocCounts{};
+  cache_.assign(cache_.size(), Cache{});
+}
+
+}  // namespace apujoin::alloc

@@ -1,0 +1,64 @@
+#include "alloc/latch_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apujoin::alloc {
+
+double EffectiveConflictors(double threads, double addresses,
+                            double skew_fraction) {
+  addresses = std::max(1.0, addresses);
+  skew_fraction = std::clamp(skew_fraction, 0.0, 1.0);
+  // Collision index sum(p_a^2): probability two ops pick the same address.
+  // One hot address takes `skew_fraction` of ops; the rest spread uniformly.
+  double collision;
+  if (addresses <= 1.0) {
+    collision = 1.0;
+  } else {
+    const double uniform_part = (1.0 - skew_fraction);
+    collision = skew_fraction * skew_fraction +
+                uniform_part * uniform_part / (addresses - 1.0);
+  }
+  return threads * collision;
+}
+
+LatchMicroResult SimulateLatchMicro(const simcl::SimContext& ctx,
+                                    simcl::DeviceId dev,
+                                    const LatchMicroConfig& cfg) {
+  const simcl::DeviceSpec& spec = ctx.device(dev);
+  const double ops = static_cast<double>(cfg.total_ops);
+
+  LatchMicroResult r;
+  r.atomic_ns = ops * spec.atomic_base_ns;
+
+  const double conflictors = EffectiveConflictors(
+      spec.concurrent_threads, static_cast<double>(cfg.array_ints),
+      cfg.skew_fraction);
+  const double queued = conflictors / (1.0 + conflictors / 64.0);
+  if (queued > 1.0) {
+    r.conflict_ns = ops * spec.atomic_conflict_ns * (queued - 1.0);
+  }
+
+  // The latched line itself: random access into N*4 bytes. Skew keeps the
+  // hot line resident even when the array exceeds the cache.
+  const double working_set = static_cast<double>(cfg.array_ints) * 4.0;
+  r.memory_ns = ops * ctx.memory().RandomAccessNs(
+                          spec, working_set, /*dependent=*/false,
+                          /*locality_boost=*/cfg.skew_fraction);
+  return r;
+}
+
+void ChargeAllocCounts(const simcl::SimContext& ctx, const AllocCounts& counts,
+                       simcl::DeviceTime out[simcl::kNumDevices]) {
+  for (int d = 0; d < simcl::kNumDevices; ++d) {
+    const simcl::DeviceSpec& spec =
+        ctx.device(static_cast<simcl::DeviceId>(d));
+    const double g = static_cast<double>(counts.global_atomics[d]);
+    const double l = static_cast<double>(counts.local_atomics[d]);
+    out[d].atomic_ns += g * spec.atomic_base_ns + l * spec.local_atomic_ns;
+    // All global allocator atomics hit the one shared free pointer.
+    out[d].lock_ns += g * simcl::LatchConflictNs(spec, 1.0);
+  }
+}
+
+}  // namespace apujoin::alloc

@@ -1,0 +1,58 @@
+// Latch contention model + the Figure 20 micro-benchmark.
+//
+// The paper's latch is an atomic-add on a global integer. Its cost has three
+// components: the uncontended atomic, queueing behind concurrent updaters of
+// the same address, and the memory access to the latched line itself (which
+// leaves the 4 MB L2 once the latch array outgrows it). The appendix micro-
+// benchmark (Figure 20) sweeps the array size N for X total increments by K
+// threads under uniform/low-skew/high-skew address distributions.
+
+#ifndef APUJOIN_ALLOC_LATCH_MODEL_H_
+#define APUJOIN_ALLOC_LATCH_MODEL_H_
+
+#include <cstdint>
+
+#include "alloc/allocator.h"
+#include "simcl/context.h"
+#include "simcl/executor.h"
+
+namespace apujoin::alloc {
+
+/// Expected number of threads concurrently contending for the address one
+/// atomic op touches, given `threads` active threads spread over
+/// `addresses` distinct addresses where a `skew_fraction` of all ops hit a
+/// single hot address (collision index of the access distribution).
+double EffectiveConflictors(double threads, double addresses,
+                            double skew_fraction);
+
+/// Configuration of the Figure 20 micro-benchmark.
+struct LatchMicroConfig {
+  uint64_t array_ints = 1;       ///< N: number of latched integers
+  uint64_t total_ops = 16 << 20; ///< X: total increments (paper: 16M)
+  int threads = 256;             ///< K: 8192 on the GPU, 256 on the CPU
+  double skew_fraction = 0.0;    ///< s: 0 / 0.10 / 0.25
+};
+
+/// Cost breakdown of one micro-benchmark run.
+struct LatchMicroResult {
+  double atomic_ns = 0.0;   ///< uncontended atomic cost
+  double conflict_ns = 0.0; ///< queueing behind conflictors
+  double memory_ns = 0.0;   ///< latched-line memory traffic
+  double TotalNs() const { return atomic_ns + conflict_ns + memory_ns; }
+};
+
+/// Analytically evaluates the micro-benchmark on one device of `ctx`.
+LatchMicroResult SimulateLatchMicro(const simcl::SimContext& ctx,
+                                    simcl::DeviceId dev,
+                                    const LatchMicroConfig& cfg);
+
+/// Converts allocator op counts into virtual time on each device, using the
+/// same latch model (global atomics contend on one pointer address; local
+/// atomics are cheap work-group-memory ops). The contention part lands in
+/// DeviceTime::lock_ns so the cost model can exclude it.
+void ChargeAllocCounts(const simcl::SimContext& ctx, const AllocCounts& counts,
+                       simcl::DeviceTime out[simcl::kNumDevices]);
+
+}  // namespace apujoin::alloc
+
+#endif  // APUJOIN_ALLOC_LATCH_MODEL_H_

@@ -1,0 +1,273 @@
+#include "coproc/coarse_grained.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/calibration.h"
+#include "cost/optimizer.h"
+#include "alloc/latch_model.h"
+#include "join/partitioned_hash_join.h"
+#include "join/simple_hash_join.h"
+#include "join/result_writer.h"
+#include "util/murmur_hash.h"
+
+namespace apujoin::coproc {
+
+using apujoin::MurmurHash2x4;
+using apujoin::Status;
+using apujoin::StatusOr;
+using join::StepDef;
+using simcl::DeviceId;
+using simcl::Phase;
+
+namespace {
+
+/// Incremental per-pair SHJ: pairs advance in fixed tuple quanta so that a
+/// device's concurrently-running pair joins interleave their memory
+/// accesses — the concurrency pattern that thrashes the shared L2. One
+/// PairJoin instance is one coarse work item.
+class PairJoin {
+ public:
+  PairJoin(const data::Relation* r, const data::Relation* s, uint32_t r_begin,
+           uint32_t r_end, uint32_t s_begin, uint32_t s_end,
+           join::NodePools* pools, join::ResultWriter* out,
+           simcl::CacheSim* cache, uint32_t part_bits)
+      : r_(r), s_(s), r_cur_(r_begin), r_end_(r_end), s_cur_(s_begin),
+        s_end_(s_end), pools_(pools), out_(out), part_bits_(part_bits) {
+    const uint32_t n = std::max<uint32_t>(r_end - r_begin, 8);
+    table_ = std::make_unique<join::HashTable>(join::NextPow2(n), pools_);
+    table_->set_cache(cache);
+  }
+
+  bool done() const { return r_cur_ == r_end_ && s_cur_ == s_end_; }
+  uint64_t work() const { return work_; }
+  bool overflowed() const { return overflowed_; }
+  void set_id(uint32_t id) { id_ = id; }
+  uint32_t id() const { return id_; }
+
+  /// Advances up to `quantum` tuples (build first, then probe).
+  void Advance(uint32_t quantum, DeviceId dev, uint32_t wg) {
+    while (quantum > 0 && r_cur_ < r_end_) {
+      const int32_t key = r_->keys[r_cur_];
+      const uint32_t h = MurmurHash2x4(static_cast<uint32_t>(key));
+      const uint32_t bucket = table_->BucketOf(h >> part_bits_);
+      uint32_t w = 0;
+      const int32_t node = table_->FindOrAddKey(bucket, key, dev, wg, &w);
+      if (node == join::kNil ||
+          !table_->InsertRid(node, r_->rids[r_cur_], dev, wg)) {
+        overflowed_ = true;
+      }
+      work_ += w + 1;
+      ++r_cur_;
+      --quantum;
+    }
+    while (quantum > 0 && s_cur_ < s_end_) {
+      const int32_t key = s_->keys[s_cur_];
+      const uint32_t h = MurmurHash2x4(static_cast<uint32_t>(key));
+      const uint32_t bucket = table_->BucketOf(h >> part_bits_);
+      uint32_t w = 0;
+      const int32_t node = table_->FindKey(bucket, key, &w);
+      if (node != join::kNil) {
+        const int32_t srid = s_->rids[s_cur_];
+        w += table_->ForEachRid(node, [this, srid, dev, wg](int32_t brid) {
+          if (!out_->Emit(brid, srid, dev, wg)) overflowed_ = true;
+        });
+      }
+      work_ += w + 1;
+      ++s_cur_;
+      --quantum;
+    }
+  }
+
+ private:
+  const data::Relation* r_;
+  const data::Relation* s_;
+  uint32_t r_cur_, r_end_, s_cur_, s_end_;
+  join::NodePools* pools_;
+  join::ResultWriter* out_;
+  std::unique_ptr<join::HashTable> table_;
+  uint32_t part_bits_;
+  uint32_t id_ = 0;
+  uint64_t work_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace
+
+StatusOr<JoinReport> ExecuteCoarsePhj(simcl::SimContext* ctx,
+                                      const data::Workload& workload,
+                                      const JoinSpec& spec) {
+  const uint64_t nb = workload.build.size();
+  const uint64_t np = workload.probe.size();
+  ctx->log().Clear();
+  const uint64_t cache_acc0 = ctx->cache() ? ctx->cache()->accesses() : 0;
+  const uint64_t cache_miss0 = ctx->cache() ? ctx->cache()->misses() : 0;
+  JoinReport report;
+
+  cost::CommSpec comm;
+  comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
+
+  // ---- partition both relations (same machinery as fine-grained PHJ) ----
+  join::PhjEngine engine(ctx, &workload.build, &workload.probe, spec.engine);
+  APU_RETURN_IF_ERROR(engine.Prepare());
+  const uint32_t parts = engine.num_partitions();
+  cost::WorkloadStats stats;
+  stats.build_tuples = nb;
+  stats.probe_tuples = np;
+  stats.buckets = static_cast<double>(
+      join::NextPow2(std::max<uint64_t>(nb / parts, 8)));
+  stats.distinct_keys = static_cast<double>(nb) / parts;
+  stats.match_rate = static_cast<double>(workload.expected_matches) /
+                     static_cast<double>(np);
+
+  for (int side = 0; side < 2; ++side) {
+    join::RadixPartitioner* part = side == 0 ? engine.build_partitioner()
+                                             : engine.probe_partitioner();
+    const uint64_t n = side == 0 ? nb : np;
+    for (int pass = 0; pass < part->passes(); ++pass) {
+      part->BeginPass(pass);
+      std::vector<StepDef> steps = part->PassSteps(pass);
+      const cost::StepCosts costs = cost::CalibrateSeries(*ctx, steps, stats);
+      const cost::RatioPlan plan = cost::OptimizeDataDividing(costs, n, comm);
+      SeriesOptions opts;
+      opts.ratios = plan.ratios;
+      opts.drain_alloc = [part]() { return part->TakeCounts(); };
+      const SeriesResult res = RunSeries(ctx, steps, opts);
+      ctx->log().Add(Phase::kPartition, res.elapsed_ns);
+      report.lock_ns += res.lock_ns;
+      part->EndPass(pass);
+    }
+  }
+
+  // ---- coarse join phase: one work item per partition pair ----
+  const auto& off_r = engine.build_partitioner()->offsets();
+  const auto& off_s = engine.probe_partitioner()->offsets();
+  const data::Relation& rp = engine.build_partitioner()->output();
+  const data::Relation& sp = engine.probe_partitioner()->output();
+
+  const uint64_t key_cap = nb + nb / 8 +
+                           join::PoolSlack(nb, spec.engine.block_bytes, 12) +
+                           1024ull * spec.engine.block_bytes / 12;
+  const uint64_t rid_cap = nb + join::PoolSlack(nb, spec.engine.block_bytes, 8) +
+                           1024ull * spec.engine.block_bytes / 8;
+  join::NodePools pools(key_cap, rid_cap, spec.engine.allocator,
+                        spec.engine.block_bytes);
+  uint64_t result_cap = spec.result_capacity;
+  if (result_cap == 0) {
+    const uint64_t block_elems =
+        std::max<uint64_t>(1, spec.engine.block_bytes / 8);
+    result_cap = workload.expected_matches + 2048 * block_elems + 4096;
+  }
+  join::ResultWriter writer(result_cap, spec.engine.allocator,
+                            spec.engine.block_bytes);
+
+  std::vector<std::unique_ptr<PairJoin>> pairs;
+  pairs.reserve(parts);
+  for (uint32_t p = 0; p < parts; ++p) {
+    pairs.push_back(std::make_unique<PairJoin>(
+        &rp, &sp, off_r[p], off_r[p + 1], off_s[p], off_s[p + 1], &pools,
+        &writer, ctx->cache(), engine.radix_plan().partition_bits));
+    pairs.back()->set_id(p);
+  }
+
+  // Pair-level ratio: balance total tuple work by per-tuple unit cost of a
+  // whole SHJ on each device (sum of the calibrated fine-grained steps).
+  join::ShjEngine probe_shape(ctx, &workload.build, &workload.probe,
+                              spec.engine);
+  APU_RETURN_IF_ERROR(probe_shape.Prepare());
+  std::vector<StepDef> shape_steps = probe_shape.BuildSteps();
+  cost::WorkloadStats pair_stats = stats;
+  const cost::StepCosts shape_costs =
+      cost::CalibrateSeries(*ctx, shape_steps, pair_stats);
+  double unit_cpu = 0.0;
+  double unit_gpu = 0.0;
+  for (const auto& c : shape_costs) {
+    unit_cpu += c.cpu_ns_per_item;
+    unit_gpu += c.gpu_ns_per_item;
+  }
+  const double r_pairs = unit_gpu / std::max(1e-9, unit_cpu + unit_gpu);
+  const uint32_t cpu_pairs =
+      static_cast<uint32_t>(r_pairs * static_cast<double>(parts) + 0.5);
+
+  // Execute pair joins: each device interleaves kInflight pairs in small
+  // quanta (the concurrency that blows up the live working set).
+  constexpr uint32_t kInflightCpu = 4;
+  constexpr uint32_t kInflightGpu = 32;
+  constexpr uint32_t kQuantum = 256;
+  auto run_device = [&](DeviceId dev, uint32_t begin, uint32_t end,
+                        uint32_t inflight) {
+    uint32_t next = begin;
+    std::vector<PairJoin*> live;
+    while (next < end || !live.empty()) {
+      while (live.size() < inflight && next < end) {
+        live.push_back(pairs[next].get());
+        ++next;
+      }
+      for (PairJoin* pj : live) {
+        pj->Advance(kQuantum, dev, pj->id());
+      }
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [](PairJoin* pj) { return pj->done(); }),
+                 live.end());
+    }
+  };
+  run_device(DeviceId::kCpu, 0, cpu_pairs, kInflightCpu);
+  run_device(DeviceId::kGpu, cpu_pairs, parts, kInflightGpu);
+
+  // Charge timing: a coarse work item's work units were measured above; the
+  // executor re-walks pairs as charge-only items so SIMD divergence across
+  // unequal pair sizes is priced in. The live working set is inflight
+  // tables + tuple ranges, far beyond one partition (Table 3's point).
+  const double pair_bytes =
+      (28.0 * static_cast<double>(nb) + 8.0 * static_cast<double>(np)) /
+      static_cast<double>(parts);
+  simcl::StepProfile coarse;
+  coarse.instr_per_unit = 90.0;  // full SHJ per tuple (hash+visit+insert)
+  coarse.rand_accesses_per_unit = 2.2;
+  coarse.rand_working_set_bytes = pair_bytes * kInflightGpu;
+  coarse.dependent_accesses = true;
+  coarse.seq_bytes_per_unit = 8.0;
+  simcl::Executor exec(ctx);
+  simcl::StepStats pair_stats_run = exec.Run(
+      coarse, parts, r_pairs,
+      [&pairs](uint64_t i, DeviceId) -> uint32_t {
+        return static_cast<uint32_t>(
+            std::min<uint64_t>(pairs[i]->work(), 0xffffffffu));
+      });
+  {
+    alloc::AllocCounts counts = pools.TakeCounts();
+    counts += writer.TakeCounts();
+    simcl::DeviceTime extra[simcl::kNumDevices];
+    alloc::ChargeAllocCounts(*ctx, counts, extra);
+    for (int d = 0; d < simcl::kNumDevices; ++d) {
+      pair_stats_run.time[d] += extra[d];
+    }
+  }
+  ctx->log().Add(Phase::kOther, pair_stats_run.ElapsedNs());
+  report.lock_ns += pair_stats_run.LockNs();
+
+  StepReport sr;
+  sr.phase = "pair-join";
+  sr.name = "SHJ(pair)";
+  sr.ratio = r_pairs;
+  sr.cpu_ns = pair_stats_run.time[0].TotalNs();
+  sr.gpu_ns = pair_stats_run.time[1].TotalNs();
+  sr.lock_ns = pair_stats_run.LockNs();
+  sr.gpu_divergence = pair_stats_run.gpu_divergence;
+  report.steps.push_back(sr);
+
+  for (const auto& pj : pairs) {
+    if (pj->overflowed()) report.overflowed = true;
+  }
+  report.matches = writer.count();
+  report.breakdown = ctx->log();
+  report.elapsed_ns = ctx->log().TotalNs();
+  report.estimated_ns = report.elapsed_ns - report.lock_ns;
+  if (ctx->cache() != nullptr) {
+    report.l2_accesses = ctx->cache()->accesses() - cache_acc0;
+    report.l2_misses = ctx->cache()->misses() - cache_miss0;
+  }
+  return report;
+}
+
+}  // namespace apujoin::coproc

@@ -1,0 +1,422 @@
+#include "coproc/join_driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/calibration.h"
+#include "cost/optimizer.h"
+#include "join/partitioned_hash_join.h"
+#include "join/result_writer.h"
+#include "join/simple_hash_join.h"
+
+namespace apujoin::coproc {
+
+using apujoin::Status;
+using apujoin::StatusOr;
+using join::StepDef;
+using simcl::DeviceId;
+using simcl::Phase;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ratio resolution
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<double>> ResolveRatios(
+    Scheme scheme, const cost::StepCosts& costs, uint64_t n,
+    const cost::CommSpec& comm, const std::vector<double>& override_ratios) {
+  const size_t steps = costs.size();
+  if (!override_ratios.empty()) {
+    if (override_ratios.size() == 1) {
+      return std::vector<double>(steps, override_ratios[0]);
+    }
+    if (override_ratios.size() != steps) {
+      return Status::InvalidArgument("ratio override size mismatch");
+    }
+    return override_ratios;
+  }
+  switch (scheme) {
+    case Scheme::kCpuOnly:
+      return std::vector<double>(steps, 1.0);
+    case Scheme::kGpuOnly:
+      return std::vector<double>(steps, 0.0);
+    case Scheme::kOffload:
+      return cost::OptimizeOffloading(costs, n, comm).ratios;
+    case Scheme::kDataDivide:
+    case Scheme::kBasicUnit:  // BasicUnit schedules dynamically; no ratios
+      return cost::OptimizeDataDividing(costs, n, comm).ratios;
+    case Scheme::kPipelined:
+      return cost::OptimizePipelined(costs, n, comm).ratios;
+  }
+  return Status::Internal("unknown scheme");
+}
+
+// ---------------------------------------------------------------------------
+// Driver state shared by the SHJ and PHJ paths
+// ---------------------------------------------------------------------------
+
+struct Driver {
+  simcl::SimContext* ctx;
+  const data::Workload& workload;
+  const JoinSpec& spec;
+  JoinReport report;
+  cost::CommSpec comm;
+  double estimated_ns = 0.0;
+
+  Driver(simcl::SimContext* c, const data::Workload& w, const JoinSpec& s)
+      : ctx(c), workload(w), spec(s) {
+    comm.bytes_per_item = 8.0;
+    comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
+  }
+
+  /// Transfer of the GPU's input share over PCI-e in discrete mode; returns
+  /// the delay before the GPU can start this phase.
+  double PhaseInputTransfer(const std::vector<double>& ratios,
+                            uint64_t items, double bytes_per_item) {
+    if (!ctx->discrete() || ratios.empty()) return 0.0;
+    const double gpu_share = 1.0 - ratios.front();
+    if (gpu_share <= 0.0) return 0.0;
+    const double bytes = gpu_share * static_cast<double>(items) *
+                         bytes_per_item;
+    return ctx->TransferToDevice(bytes);
+  }
+
+  /// Runs one series under `scheme` with resolved `ratios`, logs phase time
+  /// and collects step reports. `gpu_start_delay` shifts the GPU (PCI-e
+  /// input transfer in discrete mode).
+  StatusOr<SeriesResult> RunPhase(
+      const std::string& phase_name, Phase phase,
+      std::vector<StepDef>& steps, const cost::StepCosts& costs,
+      const std::vector<double>& ratios,
+      const std::function<alloc::AllocCounts()>& drain,
+      double gpu_start_delay,
+      const std::vector<uint32_t>* pair_offsets = nullptr) {
+    SeriesResult res;
+    if (spec.scheme == Scheme::kBasicUnit) {
+      BasicUnitOptions bu;
+      const uint64_t n = steps.front().items;
+      bu.cpu_chunk = spec.bu_cpu_chunk != 0
+                         ? spec.bu_cpu_chunk
+                         : std::max<uint64_t>(8192, n / 256);
+      bu.gpu_chunk =
+          spec.bu_gpu_chunk != 0 ? spec.bu_gpu_chunk : bu.cpu_chunk * 4;
+      bu.drain_alloc = drain;
+      double eff_ratio = 0.0;
+      res = RunSeriesBasicUnit(ctx, steps, bu, &eff_ratio);
+      // Report the effective (scheduled) ratio on every step.
+      for (auto& s : res.steps) {
+        const double tot = static_cast<double>(s.stats.items[0]) +
+                           static_cast<double>(s.stats.items[1]);
+        s.ratio = tot > 0.0 ? static_cast<double>(s.stats.items[0]) / tot
+                            : eff_ratio;
+      }
+    } else {
+      SeriesOptions opts;
+      opts.ratios = ratios;
+      opts.drain_alloc = drain;
+      res = pair_offsets != nullptr
+                ? RunSeriesPairBlocked(ctx, steps, opts, *pair_offsets)
+                : RunSeries(ctx, steps, opts);
+    }
+    double elapsed = res.elapsed_ns;
+    if (gpu_start_delay > 0.0) {
+      elapsed = std::max(res.cpu_ns, gpu_start_delay + res.gpu_ns) +
+                res.comm_ns;
+    }
+    ctx->log().Add(phase, elapsed);
+    AbsorbStepReports(phase_name, res, costs);
+    return res;
+  }
+
+  /// Logs a series result that was executed outside RunPhase (the joined
+  /// pair-blocked PHJ join phase).
+  void AbsorbSeries(const std::string& phase_name, Phase phase,
+                    const SeriesResult& res, const cost::StepCosts& costs) {
+    ctx->log().Add(phase, res.elapsed_ns);
+    AbsorbStepReports(phase_name, res, costs);
+  }
+
+  void AbsorbStepReports(const std::string& phase_name,
+                         const SeriesResult& res,
+                         const cost::StepCosts& costs) {
+    report.lock_ns += res.lock_ns;
+    for (size_t i = 0; i < res.steps.size(); ++i) {
+      StepReport sr;
+      sr.phase = phase_name;
+      sr.name = res.steps[i].name;
+      sr.ratio = res.steps[i].ratio;
+      sr.cpu_ns = res.steps[i].stats.time[0].TotalNs();
+      sr.gpu_ns = res.steps[i].stats.time[1].TotalNs();
+      sr.lock_ns = res.steps[i].stats.LockNs();
+      sr.gpu_divergence = res.steps[i].stats.gpu_divergence;
+      if (i < costs.size()) {
+        sr.unit_cpu_ns = costs[i].cpu_ns_per_item;
+        sr.unit_gpu_ns = costs[i].gpu_ns_per_item;
+      }
+      report.steps.push_back(std::move(sr));
+    }
+  }
+};
+
+/// Per-node merge cost (separate tables): one dependent random access into
+/// the destination table plus the insertion atomic.
+double MergeCostNs(const simcl::SimContext& ctx, uint64_t nodes,
+                   double table_bytes) {
+  simcl::StepProfile p;
+  p.instr_per_unit = 20.0;
+  p.rand_accesses_per_unit = 1.0;
+  p.rand_working_set_bytes = table_bytes;
+  p.dependent_accesses = true;
+  p.global_atomics_per_unit = 1.0;
+  p.atomic_addresses = table_bytes / 8.0;
+  return simcl::ComputeDeviceTime(ctx.device(DeviceId::kCpu), ctx.memory(),
+                                  p, nodes, nodes,
+                                  static_cast<double>(nodes))
+      .ModeledNs();
+}
+
+}  // namespace
+
+StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
+                                 const data::Workload& workload,
+                                 const JoinSpec& spec_in) {
+  JoinSpec spec = spec_in;
+  if (ctx->discrete()) {
+    if (spec.scheme == Scheme::kPipelined) {
+      return Status::InvalidArgument(
+          "fine-grained PL is impractical on the discrete architecture "
+          "(Section 5.1); run it on the coupled context");
+    }
+    // Separate device memories: a shared hash table does not exist.
+    spec.engine.shared_table = false;
+  }
+  // Skewed probes concentrate on hot keys, which stay cache-resident.
+  if (spec.engine.locality_boost == 0.0) {
+    spec.engine.locality_boost =
+        data::SkewFraction(workload.spec.distribution);
+  }
+
+  const uint64_t nb = workload.build.size();
+  const uint64_t np = workload.probe.size();
+  Driver drv(ctx, workload, spec);
+  ctx->log().Clear();
+  const uint64_t cache_acc0 = ctx->cache() ? ctx->cache()->accesses() : 0;
+  const uint64_t cache_miss0 = ctx->cache() ? ctx->cache()->misses() : 0;
+
+  // Result buffer: expected matches + slack for stranded block remainders.
+  uint64_t result_cap = spec.result_capacity;
+  if (result_cap == 0) {
+    const uint64_t block_elems =
+        std::max<uint64_t>(1, spec.engine.block_bytes / 8);
+    result_cap = workload.expected_matches + 2048 * block_elems + 4096;
+  }
+  join::ResultWriter writer(result_cap, spec.engine.allocator,
+                            spec.engine.block_bytes);
+
+  cost::WorkloadStats stats;
+  stats.build_tuples = nb;
+  stats.probe_tuples = np;
+  stats.match_rate = static_cast<double>(workload.expected_matches) /
+                     static_cast<double>(np);
+  stats.skew_fraction = data::SkewFraction(workload.spec.distribution);
+
+  if (spec.algorithm == Algorithm::kSHJ) {
+    join::ShjEngine engine(ctx, &workload.build, &workload.probe,
+                           spec.engine);
+    APU_RETURN_IF_ERROR(engine.Prepare());
+    stats.buckets = engine.options().num_buckets;
+    stats.distinct_keys = static_cast<double>(nb);
+
+    auto drain = [&engine, &writer]() {
+      alloc::AllocCounts c = engine.pools().TakeCounts();
+      c += writer.TakeCounts();
+      return c;
+    };
+
+    // ---- build ----
+    std::vector<StepDef> bsteps = engine.BuildSteps();
+    const cost::StepCosts bcosts = cost::CalibrateSeries(*ctx, bsteps, stats);
+    auto bratios =
+        ResolveRatios(spec.scheme, bcosts, nb, drv.comm, spec.build_ratios);
+    if (!bratios.ok()) return bratios.status();
+    drv.report.build_ratios = *bratios;
+    const double btransfer = drv.PhaseInputTransfer(*bratios, nb, 8.0);
+    auto bres = drv.RunPhase("build", Phase::kBuild, bsteps, bcosts,
+                             *bratios, drain, btransfer);
+    if (!bres.ok()) return bres.status();
+    drv.estimated_ns +=
+        cost::EstimateSeries(bcosts, nb, *bratios, drv.comm).elapsed_ns +
+        btransfer;
+
+    // ---- merge (separate tables) ----
+    if (!spec.engine.shared_table) {
+      if (ctx->discrete()) {
+        // Partial table comes back over PCI-e before merging.
+        const double gpu_nodes =
+            (1.0 - (*bratios)[0]) * static_cast<double>(nb);
+        ctx->TransferToDevice(gpu_nodes * 20.0);
+        drv.estimated_ns += ctx->pcie().TransferNs(gpu_nodes * 20.0);
+      }
+      const auto [keys, rids] = engine.MergeSeparateTables();
+      const double merge_ns =
+          MergeCostNs(*ctx, keys + rids, engine.TableWorkingSetBytes());
+      ctx->log().Add(Phase::kMerge, merge_ns);
+      drv.estimated_ns += merge_ns;
+    }
+
+    // ---- probe ----
+    std::vector<StepDef> psteps = engine.ProbeSteps(&writer);
+    const cost::StepCosts pcosts = cost::CalibrateSeries(*ctx, psteps, stats);
+    auto pratios =
+        ResolveRatios(spec.scheme, pcosts, np, drv.comm, spec.probe_ratios);
+    if (!pratios.ok()) return pratios.status();
+    drv.report.probe_ratios = *pratios;
+    const double ptransfer = drv.PhaseInputTransfer(*pratios, np, 8.0);
+    auto pres = drv.RunPhase("probe", Phase::kProbe, psteps, pcosts,
+                             *pratios, drain, ptransfer);
+    if (!pres.ok()) return pres.status();
+    drv.estimated_ns +=
+        cost::EstimateSeries(pcosts, np, *pratios, drv.comm).elapsed_ns +
+        ptransfer;
+    if (ctx->discrete()) {
+      const double result_bytes =
+          (1.0 - (*pratios)[0]) * static_cast<double>(writer.count()) * 8.0;
+      const double back = ctx->TransferToDevice(result_bytes);
+      drv.estimated_ns += back;
+    }
+    drv.report.overflowed = engine.overflowed();
+  } else {
+    // ---- PHJ ----
+    join::PhjEngine engine(ctx, &workload.build, &workload.probe,
+                           spec.engine);
+    APU_RETURN_IF_ERROR(engine.Prepare());
+    const uint32_t parts = engine.num_partitions();
+    stats.buckets = static_cast<double>(
+        join::NextPow2(std::max<uint64_t>(nb / parts, 8)));
+    stats.distinct_keys =
+        static_cast<double>(nb) / static_cast<double>(parts);
+
+    // ---- partition passes (R then S) ----
+    for (int side = 0; side < 2; ++side) {
+      join::RadixPartitioner* part = side == 0 ? engine.build_partitioner()
+                                               : engine.probe_partitioner();
+      const uint64_t n = side == 0 ? nb : np;
+      auto drain_part = [part]() { return part->TakeCounts(); };
+      for (int pass = 0; pass < part->passes(); ++pass) {
+        part->BeginPass(pass);
+        std::vector<StepDef> nsteps = part->PassSteps(pass);
+        const cost::StepCosts ncosts =
+            cost::CalibrateSeries(*ctx, nsteps, stats);
+        auto nratios = ResolveRatios(spec.scheme, ncosts, n, drv.comm,
+                                     spec.partition_ratios);
+        if (!nratios.ok()) return nratios.status();
+        if (side == 0 && pass == 0) drv.report.partition_ratios = *nratios;
+        const double ntransfer =
+            pass == 0 ? drv.PhaseInputTransfer(*nratios, n, 8.0) : 0.0;
+        const std::string label = std::string("partition-") +
+                                  (side == 0 ? "R" : "S") + "." +
+                                  std::to_string(pass);
+        auto nres = drv.RunPhase(label, Phase::kPartition, nsteps, ncosts,
+                                 *nratios, drain_part, ntransfer);
+        if (!nres.ok()) return nres.status();
+        drv.estimated_ns +=
+            cost::EstimateSeries(ncosts, n, *nratios, drv.comm).elapsed_ns +
+            ntransfer;
+        part->EndPass(pass);
+      }
+    }
+    APU_RETURN_IF_ERROR(engine.PrepareJoinPhase());
+
+    auto drain = [&engine, &writer]() {
+      alloc::AllocCounts c = engine.pools().TakeCounts();
+      c += writer.TakeCounts();
+      return c;
+    };
+
+    // ---- join phase (build + probe) ----
+    std::vector<StepDef> bsteps = engine.BuildSteps();
+    const cost::StepCosts bcosts = cost::CalibrateSeries(*ctx, bsteps, stats);
+    auto bratios =
+        ResolveRatios(spec.scheme, bcosts, nb, drv.comm, spec.build_ratios);
+    if (!bratios.ok()) return bratios.status();
+    drv.report.build_ratios = *bratios;
+    std::vector<StepDef> psteps = engine.ProbeSteps(&writer);
+    const cost::StepCosts pcosts = cost::CalibrateSeries(*ctx, psteps, stats);
+    auto pratios =
+        ResolveRatios(spec.scheme, pcosts, np, drv.comm, spec.probe_ratios);
+    if (!pratios.ok()) return pratios.status();
+    drv.report.probe_ratios = *pratios;
+
+    if (spec.engine.shared_table && spec.scheme != Scheme::kBasicUnit) {
+      // Algorithm 2: apply the whole SHJ to each partition pair before the
+      // next one, so a pair's table stays L2-resident across build AND
+      // probe — the fine-grained cache reuse of Table 3.
+      std::vector<PairSeriesGroup> groups(2);
+      groups[0].steps = &bsteps;
+      groups[0].ratios = *bratios;
+      groups[0].offsets = &engine.build_partitioner()->offsets();
+      groups[1].steps = &psteps;
+      groups[1].ratios = *pratios;
+      groups[1].offsets = &engine.probe_partitioner()->offsets();
+      SeriesOptions jopts;
+      jopts.drain_alloc = drain;
+      RunSeriesPairBlockedGroups(ctx, groups, jopts);
+      drv.AbsorbSeries("build", Phase::kBuild, groups[0].result, bcosts);
+      drv.AbsorbSeries("probe", Phase::kProbe, groups[1].result, pcosts);
+    } else {
+      // Separate tables (and BasicUnit) keep distinct build/probe phases
+      // with an explicit merge in between.
+      const double btransfer = drv.PhaseInputTransfer(*bratios, nb, 8.0);
+      drv.estimated_ns += btransfer;
+      auto bres = drv.RunPhase("build", Phase::kBuild, bsteps, bcosts,
+                               *bratios, drain, btransfer,
+                               &engine.build_partitioner()->offsets());
+      if (!bres.ok()) return bres.status();
+
+      if (!spec.engine.shared_table) {
+        if (ctx->discrete()) {
+          const double gpu_nodes =
+              (1.0 - (*bratios)[0]) * static_cast<double>(nb);
+          ctx->TransferToDevice(gpu_nodes * 20.0);
+          drv.estimated_ns += ctx->pcie().TransferNs(gpu_nodes * 20.0);
+        }
+        const auto [keys, rids] = engine.MergeSeparateTables();
+        const double merge_ns = MergeCostNs(
+            *ctx, keys + rids, engine.PartitionWorkingSetBytes());
+        ctx->log().Add(Phase::kMerge, merge_ns);
+        drv.estimated_ns += merge_ns;
+      }
+
+      const double ptransfer = drv.PhaseInputTransfer(*pratios, np, 8.0);
+      drv.estimated_ns += ptransfer;
+      auto pres = drv.RunPhase("probe", Phase::kProbe, psteps, pcosts,
+                               *pratios, drain, ptransfer,
+                               &engine.probe_partitioner()->offsets());
+      if (!pres.ok()) return pres.status();
+      if (ctx->discrete()) {
+        const double result_bytes =
+            (1.0 - (*pratios)[0]) * static_cast<double>(writer.count()) *
+            8.0;
+        const double back = ctx->TransferToDevice(result_bytes);
+        drv.estimated_ns += back;
+      }
+    }
+    drv.estimated_ns +=
+        cost::EstimateSeries(bcosts, nb, *bratios, drv.comm).elapsed_ns +
+        cost::EstimateSeries(pcosts, np, *pratios, drv.comm).elapsed_ns;
+    drv.report.overflowed = engine.overflowed();
+  }
+
+  drv.report.matches = writer.count();
+  drv.report.breakdown = ctx->log();
+  drv.report.elapsed_ns = ctx->log().TotalNs();
+  drv.report.estimated_ns = drv.estimated_ns;
+  if (ctx->cache() != nullptr) {
+    drv.report.l2_accesses = ctx->cache()->accesses() - cache_acc0;
+    drv.report.l2_misses = ctx->cache()->misses() - cache_miss0;
+  }
+  return drv.report;
+}
+
+}  // namespace apujoin::coproc

@@ -1,0 +1,84 @@
+// End-to-end hash-join execution on the simulated coupled (or emulated
+// discrete) architecture: engine setup, cost-model calibration, ratio
+// optimization, phase-by-phase series execution, discrete-mode PCI-e
+// transfers, separate-table merging, and the final report with the paper's
+// reporting dimensions (time breakdown, per-step ratios, lock overhead,
+// model estimate, cache counters).
+
+#ifndef APUJOIN_COPROC_JOIN_DRIVER_H_
+#define APUJOIN_COPROC_JOIN_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "coproc/schemes.h"
+#include "coproc/step_series.h"
+#include "data/generator.h"
+#include "join/options.h"
+#include "simcl/context.h"
+#include "util/status.h"
+
+namespace apujoin::coproc {
+
+/// Everything needed to run one join.
+struct JoinSpec {
+  Algorithm algorithm = Algorithm::kPHJ;
+  Scheme scheme = Scheme::kPipelined;
+  join::EngineOptions engine;
+
+  /// Ratio overrides (empty = let the cost model decide). A single value
+  /// broadcasts to every step of the series; otherwise sizes must match
+  /// (3 for a partition pass, 4 for build/probe).
+  std::vector<double> partition_ratios;
+  std::vector<double> build_ratios;
+  std::vector<double> probe_ratios;
+
+  /// Result buffer capacity; 0 = auto from the workload's expected matches.
+  uint64_t result_capacity = 0;
+
+  /// BasicUnit chunk sizes; 0 = auto.
+  uint64_t bu_cpu_chunk = 0;
+  uint64_t bu_gpu_chunk = 0;
+};
+
+/// Per-step outcome + calibration, across all phases.
+struct StepReport {
+  std::string phase;  ///< "partition-R.0", "build", "probe", ...
+  std::string name;   ///< b1..b4 / p1..p4 / n1..n3
+  double ratio = 0.0;
+  double cpu_ns = 0.0;
+  double gpu_ns = 0.0;
+  double lock_ns = 0.0;
+  double unit_cpu_ns = 0.0;  ///< calibrated per-item cost
+  double unit_gpu_ns = 0.0;
+  double gpu_divergence = 1.0;
+};
+
+/// Result of one join execution.
+struct JoinReport {
+  uint64_t matches = 0;
+  double elapsed_ns = 0.0;    ///< total measured (virtual) time
+  double estimated_ns = 0.0;  ///< cost-model prediction at the same ratios
+  double lock_ns = 0.0;       ///< latch contention (excluded from estimate)
+  simcl::EventLog breakdown;  ///< per-phase elapsed time
+  std::vector<StepReport> steps;
+  std::vector<double> partition_ratios;
+  std::vector<double> build_ratios;
+  std::vector<double> probe_ratios;
+  uint64_t l2_accesses = 0;  ///< CacheSim counters (0 unless tracing)
+  uint64_t l2_misses = 0;
+  bool overflowed = false;
+
+  double elapsed_sec() const { return elapsed_ns * 1e-9; }
+};
+
+/// Runs build ⋈ probe under `spec` on `ctx`. Fails on invalid combinations
+/// (e.g. fine-grained PL on the emulated discrete architecture, which the
+/// paper shows is impractical there).
+apujoin::StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
+                                          const data::Workload& workload,
+                                          const JoinSpec& spec);
+
+}  // namespace apujoin::coproc
+
+#endif  // APUJOIN_COPROC_JOIN_DRIVER_H_

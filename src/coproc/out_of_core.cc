@@ -1,0 +1,141 @@
+#include "coproc/out_of_core.h"
+
+#include <algorithm>
+
+#include "cost/calibration.h"
+#include "cost/optimizer.h"
+#include "join/radix_partition.h"
+
+namespace apujoin::coproc {
+
+using apujoin::Status;
+using apujoin::StatusOr;
+using join::StepDef;
+using simcl::Phase;
+
+namespace {
+
+/// Radix-partitions `rel` chunk-by-chunk through the zero-copy buffer into
+/// `parts` buckets, appending each chunk's partitions into `out` and adding
+/// copy/partition time to `report`.
+Status PartitionChunked(simcl::SimContext* ctx, const data::Relation& rel,
+                        uint32_t parts, uint64_t chunk_tuples,
+                        const JoinSpec& inner,
+                        std::vector<data::Relation>* out,
+                        OutOfCoreReport* report) {
+  join::EngineOptions opts = inner.engine;
+  opts.partitions = parts;
+  cost::CommSpec comm;
+  comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
+
+  for (uint64_t base = 0; base < rel.size(); base += chunk_tuples) {
+    const uint64_t end = std::min(rel.size(), base + chunk_tuples);
+    data::Relation chunk;
+    chunk.keys.assign(rel.keys.begin() + base, rel.keys.begin() + end);
+    chunk.rids.assign(rel.rids.begin() + base, rel.rids.begin() + end);
+    // Copy the chunk into the zero-copy buffer.
+    const double in_ns = ctx->memory().BufferCopyNs(chunk.bytes());
+    report->copy_ns += in_ns;
+
+    join::RadixPlan plan = join::RadixPlan::Make(
+        chunk.size(), chunk.size(), ctx->memory().spec().l2_bytes, opts);
+    join::RadixPartitioner part(ctx, &chunk, plan, opts);
+    APU_RETURN_IF_ERROR(part.Prepare());
+    cost::WorkloadStats stats;
+    stats.build_tuples = chunk.size();
+    stats.probe_tuples = chunk.size();
+    stats.buckets = parts;
+    stats.distinct_keys = static_cast<double>(chunk.size());
+    for (int pass = 0; pass < part.passes(); ++pass) {
+      part.BeginPass(pass);
+      std::vector<StepDef> steps = part.PassSteps(pass);
+      const cost::StepCosts costs = cost::CalibrateSeries(*ctx, steps, stats);
+      const cost::RatioPlan rp =
+          cost::OptimizeDataDividing(costs, chunk.size(), comm);
+      SeriesOptions sopts;
+      sopts.ratios = rp.ratios;
+      sopts.drain_alloc = [&part]() { return part.TakeCounts(); };
+      const SeriesResult res = RunSeries(ctx, steps, sopts);
+      report->partition_ns += res.elapsed_ns;
+      part.EndPass(pass);
+    }
+    // Copy the intermediate partitions out to system memory.
+    report->copy_ns += ctx->memory().BufferCopyNs(chunk.bytes());
+    const auto& offsets = part.offsets();
+    const data::Relation& pt = part.output();
+    for (uint32_t p = 0; p < parts; ++p) {
+      data::Relation& dst = (*out)[p];
+      for (uint32_t i = offsets[p]; i < offsets[p + 1]; ++i) {
+        dst.Append(pt.keys[i], pt.rids[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<OutOfCoreReport> ExecuteOutOfCore(simcl::SimContext* ctx,
+                                           const data::Workload& workload,
+                                           const OutOfCoreSpec& spec) {
+  OutOfCoreReport report;
+  const double total_bytes = static_cast<double>(workload.build.bytes()) +
+                             static_cast<double>(workload.probe.bytes());
+  const double buffer = ctx->memory().spec().zero_copy_bytes;
+
+  if (total_bytes * 1.25 <= buffer) {
+    // Fits in the zero-copy buffer: plain in-core join.
+    auto rep = ExecuteJoin(ctx, workload, spec.inner);
+    if (!rep.ok()) return rep.status();
+    report.elapsed_ns = rep->elapsed_ns;
+    report.partition_ns = rep->breakdown.Get(Phase::kPartition);
+    report.join_ns = rep->elapsed_ns - report.partition_ns;
+    report.matches = rep->matches;
+    report.chunked = false;
+    return report;
+  }
+
+  report.chunked = true;
+  uint32_t parts = spec.partitions;
+  if (parts == 0) {
+    parts = 1;
+    // One partition pair (plus join state, ~3x) must fit the buffer.
+    while (parts < (1u << 16) &&
+           total_bytes * 3.0 / static_cast<double>(parts) > buffer) {
+      parts <<= 1;
+    }
+  }
+  report.partitions = parts;
+
+  std::vector<data::Relation> r_parts(parts);
+  std::vector<data::Relation> s_parts(parts);
+  APU_RETURN_IF_ERROR(PartitionChunked(ctx, workload.build, parts,
+                                       spec.chunk_tuples, spec.inner,
+                                       &r_parts, &report));
+  APU_RETURN_IF_ERROR(PartitionChunked(ctx, workload.probe, parts,
+                                       spec.chunk_tuples, spec.inner,
+                                       &s_parts, &report));
+
+  // Join each linked partition pair inside the buffer.
+  for (uint32_t p = 0; p < parts; ++p) {
+    if (r_parts[p].empty() || s_parts[p].empty()) continue;
+    data::Workload pair;
+    pair.build = std::move(r_parts[p]);
+    pair.probe = std::move(s_parts[p]);
+    pair.spec = workload.spec;
+    pair.expected_matches = pair.probe.size();  // FK-join upper bound
+    report.copy_ns += ctx->memory().BufferCopyNs(
+        static_cast<double>(pair.build.bytes() + pair.probe.bytes()));
+    JoinSpec inner = spec.inner;
+    inner.result_capacity = 0;  // auto from pair.expected_matches
+    auto rep = ExecuteJoin(ctx, pair, inner);
+    if (!rep.ok()) return rep.status();
+    report.join_ns += rep->elapsed_ns - rep->breakdown.Get(Phase::kPartition);
+    report.partition_ns += rep->breakdown.Get(Phase::kPartition);
+    report.matches += rep->matches;
+  }
+  report.elapsed_ns = report.partition_ns + report.join_ns + report.copy_ns;
+  return report;
+}
+
+}  // namespace apujoin::coproc

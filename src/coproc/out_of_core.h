@@ -1,0 +1,47 @@
+// Out-of-core hash join for data sets larger than the zero-copy buffer
+// (Appendix, Figure 19).
+//
+// The zero-copy buffer plays the role of "main memory" and the rest of
+// system memory is "external": both relations are radix-partitioned in
+// buffer-sized chunks (chunk = 16M tuples in the paper), intermediate
+// partitions are copied out to system memory, partition pairs are linked
+// across chunks, and each pair is joined in-buffer with SHJ-PL or PHJ-PL.
+
+#ifndef APUJOIN_COPROC_OUT_OF_CORE_H_
+#define APUJOIN_COPROC_OUT_OF_CORE_H_
+
+#include "coproc/join_driver.h"
+
+namespace apujoin::coproc {
+
+/// Out-of-core execution parameters.
+struct OutOfCoreSpec {
+  /// Join configuration for each partition pair (algorithm: SHJ or PHJ;
+  /// scheme: typically PL).
+  JoinSpec inner;
+  /// Tuples partitioned per chunk through the zero-copy buffer.
+  uint64_t chunk_tuples = 16ull << 20;
+  /// Override for the number of out-of-core partitions (0 = auto so one
+  /// pair fits comfortably in the buffer).
+  uint32_t partitions = 0;
+};
+
+/// Time breakdown of an out-of-core join (the three bars of Figure 19).
+struct OutOfCoreReport {
+  double elapsed_ns = 0.0;
+  double partition_ns = 0.0;
+  double join_ns = 0.0;
+  double copy_ns = 0.0;  ///< zero-copy buffer <-> system memory
+  uint64_t matches = 0;
+  uint32_t partitions = 1;
+  bool chunked = false;  ///< false when the input fit the buffer directly
+};
+
+/// Joins `workload` even when it exceeds the zero-copy buffer.
+apujoin::StatusOr<OutOfCoreReport> ExecuteOutOfCore(
+    simcl::SimContext* ctx, const data::Workload& workload,
+    const OutOfCoreSpec& spec);
+
+}  // namespace apujoin::coproc
+
+#endif  // APUJOIN_COPROC_OUT_OF_CORE_H_

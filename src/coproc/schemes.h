@@ -1,0 +1,44 @@
+// Co-processing scheme taxonomy (Section 3.2) and the join algorithm
+// selector. OL and DD are special cases of PL: OL = per-step ratios in
+// {0,1}; DD = one ratio for the whole series.
+
+#ifndef APUJOIN_COPROC_SCHEMES_H_
+#define APUJOIN_COPROC_SCHEMES_H_
+
+namespace apujoin::coproc {
+
+/// How work is scheduled across the CPU and the GPU.
+enum class Scheme {
+  kCpuOnly,
+  kGpuOnly,
+  kOffload,     ///< OL: each step entirely on one device
+  kDataDivide,  ///< DD: one workload ratio per step series
+  kPipelined,   ///< PL: per-step workload ratios (fine-grained)
+  kBasicUnit,   ///< appendix baseline: dynamic chunk dispatch per phase
+};
+
+inline const char* SchemeName(Scheme s) {
+  switch (s) {
+    case Scheme::kCpuOnly:    return "CPU-only";
+    case Scheme::kGpuOnly:    return "GPU-only";
+    case Scheme::kOffload:    return "OL";
+    case Scheme::kDataDivide: return "DD";
+    case Scheme::kPipelined:  return "PL";
+    case Scheme::kBasicUnit:  return "BasicUnit";
+  }
+  return "?";
+}
+
+/// Hash join algorithm (Section 3.1).
+enum class Algorithm {
+  kSHJ,  ///< simple hash join (no partitioning)
+  kPHJ,  ///< radix-partitioned hash join
+};
+
+inline const char* AlgorithmName(Algorithm a) {
+  return a == Algorithm::kSHJ ? "SHJ" : "PHJ";
+}
+
+}  // namespace apujoin::coproc
+
+#endif  // APUJOIN_COPROC_SCHEMES_H_

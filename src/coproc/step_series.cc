@@ -1,0 +1,266 @@
+#include "coproc/step_series.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "alloc/latch_model.h"
+
+namespace apujoin::coproc {
+
+using simcl::DeviceId;
+using simcl::StepStats;
+
+namespace {
+
+/// Drains allocator counts into the step's device times.
+void ChargeAllocations(simcl::SimContext* ctx,
+                       const std::function<alloc::AllocCounts()>& drain,
+                       StepStats* stats) {
+  if (!drain) return;
+  const alloc::AllocCounts counts = drain();
+  simcl::DeviceTime extra[simcl::kNumDevices];
+  alloc::ChargeAllocCounts(*ctx, counts, extra);
+  for (int d = 0; d < simcl::kNumDevices; ++d) stats->time[d] += extra[d];
+}
+
+}  // namespace
+
+SeriesResult RunSeries(simcl::SimContext* ctx,
+                       std::vector<join::StepDef>& steps,
+                       const SeriesOptions& opts) {
+  assert(opts.ratios.size() == steps.size());
+  simcl::Executor exec(ctx);
+  SeriesResult result;
+  result.steps.reserve(steps.size());
+
+  std::vector<double> t_cpu;
+  std::vector<double> t_gpu;
+  std::vector<double> m_cpu;  // contention-free times for modeled elapsed
+  std::vector<double> m_gpu;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    join::StepDef& step = steps[i];
+    const double r = std::clamp(opts.ratios[i], 0.0, 1.0);
+    StepStats stats = exec.Run(step.profile, step.items, r, step.fn);
+    ChargeAllocations(ctx, opts.drain_alloc, &stats);
+    if (step.after) {
+      // GPU range of the next step, for grouping.
+      uint64_t next_split = step.items;
+      if (i + 1 < steps.size()) {
+        next_split = static_cast<uint64_t>(
+            std::clamp(opts.ratios[i + 1], 0.0, 1.0) *
+                static_cast<double>(steps[i + 1].items) +
+            0.5);
+      }
+      step.after(next_split, step.items);
+    }
+    StepRun run;
+    run.name = step.name;
+    run.ratio = r;
+    run.stats = stats;
+    result.steps.push_back(run);
+    t_cpu.push_back(stats.time[0].TotalNs());
+    t_gpu.push_back(stats.time[1].TotalNs());
+    m_cpu.push_back(stats.time[0].ModeledNs());
+    m_gpu.push_back(stats.time[1].ModeledNs());
+    result.lock_ns += stats.LockNs();
+  }
+
+  cost::CommSpec comm;
+  comm.bytes_per_item = opts.comm_bytes_per_item;
+  comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
+  const uint64_t n = steps.empty() ? 0 : steps.front().items;
+  const cost::SeriesEstimate measured =
+      cost::ComposePipelinedTiming(t_cpu, t_gpu, opts.ratios, n, comm);
+  const cost::SeriesEstimate modeled =
+      cost::ComposePipelinedTiming(m_cpu, m_gpu, opts.ratios, n, comm);
+
+  for (size_t i = 0; i < result.steps.size(); ++i) {
+    result.steps[i].delay_cpu_ns = measured.delay_cpu_ns[i];
+    result.steps[i].delay_gpu_ns = measured.delay_gpu_ns[i];
+  }
+  result.cpu_ns = measured.cpu_ns;
+  result.gpu_ns = measured.gpu_ns;
+  result.comm_ns = measured.comm_ns;
+  result.elapsed_ns = measured.elapsed_ns;
+  result.modeled_elapsed_ns = modeled.elapsed_ns;
+  return result;
+}
+
+namespace {
+
+/// Runs one step series on one partition pair's item range [begin, end) and
+/// accumulates timing into `result`.
+void RunOnePairSeries(simcl::SimContext* ctx,
+                      std::vector<join::StepDef>& steps,
+                      const std::vector<double>& ratios,
+                      const std::function<alloc::AllocCounts()>& drain,
+                      double comm_bytes_per_item, uint64_t begin,
+                      uint64_t end, SeriesResult* result) {
+  simcl::Executor exec(ctx);
+  const uint64_t len = end - begin;
+  std::vector<double> t_cpu(steps.size(), 0.0);
+  std::vector<double> t_gpu(steps.size(), 0.0);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const double r = std::clamp(ratios[i], 0.0, 1.0);
+    const uint64_t split =
+        begin + static_cast<uint64_t>(r * static_cast<double>(len) + 0.5);
+    StepStats stats;
+    StepStats cpu_part = exec.RunSpan(simcl::DeviceId::kCpu,
+                                      steps[i].profile, begin, split,
+                                      steps[i].fn);
+    StepStats gpu_part = exec.RunSpan(simcl::DeviceId::kGpu,
+                                      steps[i].profile, split, end,
+                                      steps[i].fn);
+    for (int d = 0; d < simcl::kNumDevices; ++d) {
+      stats.items[d] = cpu_part.items[d] + gpu_part.items[d];
+      stats.work[d] = cpu_part.work[d] + gpu_part.work[d];
+      stats.time[d] += cpu_part.time[d];
+      stats.time[d] += gpu_part.time[d];
+    }
+    stats.gpu_divergence = gpu_part.gpu_divergence;
+    ChargeAllocations(ctx, drain, &stats);
+    if (steps[i].after) {
+      uint64_t next_split = end;
+      if (i + 1 < steps.size()) {
+        next_split = begin + static_cast<uint64_t>(
+                                 std::clamp(ratios[i + 1], 0.0, 1.0) *
+                                     static_cast<double>(len) +
+                                 0.5);
+      }
+      steps[i].after(next_split, end);
+    }
+    t_cpu[i] = stats.time[0].TotalNs();
+    t_gpu[i] = stats.time[1].TotalNs();
+    result->lock_ns += stats.LockNs();
+    // Aggregate per-step report across pairs.
+    StepRun& run = result->steps[i];
+    for (int d = 0; d < simcl::kNumDevices; ++d) {
+      run.stats.items[d] += stats.items[d];
+      run.stats.work[d] += stats.work[d];
+      run.stats.time[d] += stats.time[d];
+    }
+    run.stats.gpu_divergence = stats.gpu_divergence;
+  }
+  cost::CommSpec comm;
+  comm.bytes_per_item = comm_bytes_per_item;
+  comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
+  const cost::SeriesEstimate pair =
+      cost::ComposePipelinedTiming(t_cpu, t_gpu, ratios, len, comm);
+  result->cpu_ns += pair.cpu_ns;
+  result->gpu_ns += pair.gpu_ns;
+  result->comm_ns += pair.comm_ns;
+  result->elapsed_ns += pair.elapsed_ns;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    result->steps[i].delay_cpu_ns += pair.delay_cpu_ns[i];
+    result->steps[i].delay_gpu_ns += pair.delay_gpu_ns[i];
+  }
+}
+
+void InitSeriesResult(const std::vector<join::StepDef>& steps,
+                      const std::vector<double>& ratios,
+                      SeriesResult* result) {
+  result->steps.resize(steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    result->steps[i].name = steps[i].name;
+    result->steps[i].ratio = i < ratios.size() ? ratios[i] : 0.0;
+  }
+}
+
+}  // namespace
+
+SeriesResult RunSeriesPairBlocked(simcl::SimContext* ctx,
+                                  std::vector<join::StepDef>& steps,
+                                  const SeriesOptions& opts,
+                                  const std::vector<uint32_t>& offsets) {
+  assert(opts.ratios.size() == steps.size());
+  SeriesResult result;
+  InitSeriesResult(steps, opts.ratios, &result);
+  for (size_t p = 0; p + 1 < offsets.size(); ++p) {
+    if (offsets[p + 1] <= offsets[p]) continue;
+    RunOnePairSeries(ctx, steps, opts.ratios, opts.drain_alloc,
+                     opts.comm_bytes_per_item, offsets[p], offsets[p + 1],
+                     &result);
+  }
+  result.modeled_elapsed_ns = result.elapsed_ns - result.lock_ns;
+  return result;
+}
+
+void RunSeriesPairBlockedGroups(simcl::SimContext* ctx,
+                                std::vector<PairSeriesGroup>& groups,
+                                const SeriesOptions& shared_opts) {
+  if (groups.empty()) return;
+  const size_t pairs = groups.front().offsets->size() - 1;
+  for (auto& g : groups) {
+    assert(g.offsets->size() == pairs + 1);
+    InitSeriesResult(*g.steps, g.ratios, &g.result);
+  }
+  for (size_t p = 0; p < pairs; ++p) {
+    for (auto& g : groups) {
+      const uint64_t begin = (*g.offsets)[p];
+      const uint64_t end = (*g.offsets)[p + 1];
+      if (end <= begin) continue;
+      RunOnePairSeries(ctx, *g.steps, g.ratios, shared_opts.drain_alloc,
+                       shared_opts.comm_bytes_per_item, begin, end,
+                       &g.result);
+    }
+  }
+  for (auto& g : groups) {
+    g.result.modeled_elapsed_ns = g.result.elapsed_ns - g.result.lock_ns;
+  }
+}
+
+SeriesResult RunSeriesBasicUnit(simcl::SimContext* ctx,
+                                std::vector<join::StepDef>& steps,
+                                const BasicUnitOptions& opts,
+                                double* cpu_ratio_out) {
+  simcl::Executor exec(ctx);
+  SeriesResult result;
+  result.steps.resize(steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    result.steps[i].name = steps[i].name;
+  }
+  const uint64_t n = steps.empty() ? 0 : steps.front().items;
+  double clock[simcl::kNumDevices] = {0.0, 0.0};
+  double modeled[simcl::kNumDevices] = {0.0, 0.0};
+  uint64_t items[simcl::kNumDevices] = {0, 0};
+  uint64_t next = 0;
+  while (next < n) {
+    const DeviceId dev =
+        clock[0] <= clock[1] ? DeviceId::kCpu : DeviceId::kGpu;
+    const int di = static_cast<int>(dev);
+    const uint64_t chunk =
+        dev == DeviceId::kCpu ? opts.cpu_chunk : opts.gpu_chunk;
+    const uint64_t end = std::min(n, next + chunk);
+    double chunk_ns = 0.0;
+    double chunk_modeled = 0.0;
+    for (size_t i = 0; i < steps.size(); ++i) {
+      StepStats stats =
+          exec.RunSpan(dev, steps[i].profile, next, end, steps[i].fn);
+      ChargeAllocations(ctx, opts.drain_alloc, &stats);
+      chunk_ns += stats.time[di].TotalNs();
+      chunk_modeled += stats.time[di].ModeledNs();
+      result.lock_ns += stats.LockNs();
+      // Aggregate into the per-step report.
+      result.steps[i].stats.items[di] += stats.items[di];
+      result.steps[i].stats.work[di] += stats.work[di];
+      result.steps[i].stats.time[di] += stats.time[di];
+    }
+    clock[di] += chunk_ns + opts.dispatch_overhead_ns;
+    modeled[di] += chunk_modeled;
+    items[di] += end - next;
+    ctx->log().Add(simcl::Phase::kSchedule, opts.dispatch_overhead_ns);
+    next = end;
+  }
+  result.cpu_ns = clock[0];
+  result.gpu_ns = clock[1];
+  result.elapsed_ns = std::max(clock[0], clock[1]);
+  result.modeled_elapsed_ns = std::max(modeled[0], modeled[1]);
+  if (cpu_ratio_out != nullptr) {
+    *cpu_ratio_out =
+        n == 0 ? 0.0
+               : static_cast<double>(items[0]) / static_cast<double>(n);
+  }
+  return result;
+}
+
+}  // namespace apujoin::coproc

@@ -1,0 +1,106 @@
+// Series runner: executes one step series (build, probe, or one partition
+// pass) across the two devices with given per-step workload ratios, and
+// composes the measured per-step device times with the paper's
+// pipelined-delay equations. This is the *measured* counterpart of
+// cost::EstimateSeries — same composition, real data-dependent inputs
+// (divergence, skew, latch contention, allocator traffic).
+
+#ifndef APUJOIN_COPROC_STEP_SERIES_H_
+#define APUJOIN_COPROC_STEP_SERIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "cost/abstract_model.h"
+#include "join/steps.h"
+#include "simcl/context.h"
+#include "simcl/executor.h"
+
+namespace apujoin::coproc {
+
+/// Options for one series execution.
+struct SeriesOptions {
+  /// Per-step CPU ratios; size must equal the step count.
+  std::vector<double> ratios;
+  /// Drained after each step; allocator op counts are charged into the
+  /// step's device times (lock part separated).
+  std::function<alloc::AllocCounts()> drain_alloc;
+  /// Intermediate-result bytes per crossing item between unlike ratios.
+  double comm_bytes_per_item = 8.0;
+};
+
+/// Per-step outcome.
+struct StepRun {
+  std::string name;
+  double ratio = 0.0;
+  simcl::StepStats stats;
+  double delay_cpu_ns = 0.0;
+  double delay_gpu_ns = 0.0;
+};
+
+/// Whole-series outcome.
+struct SeriesResult {
+  std::vector<StepRun> steps;
+  double cpu_ns = 0.0;
+  double gpu_ns = 0.0;
+  double elapsed_ns = 0.0;
+  double lock_ns = 0.0;
+  double comm_ns = 0.0;
+  /// Series time with contention excluded — the "modelled" share, used for
+  /// lock-overhead estimation (measured minus estimated, Fig. 11b).
+  double modeled_elapsed_ns = 0.0;
+};
+
+/// Executes `steps` with `opts.ratios` on the context's devices.
+SeriesResult RunSeries(simcl::SimContext* ctx,
+                       std::vector<join::StepDef>& steps,
+                       const SeriesOptions& opts);
+
+/// Pair-blocked execution of a step series (the fine-grained PHJ join
+/// phase): the whole series runs to completion on partition pair p before
+/// pair p+1 starts, so a pair's hash table stays L2-resident across all its
+/// steps — the cache-reuse effect Table 3 quantifies. `offsets` are the
+/// P+1 partition boundaries; within each pair the CPU takes the first
+/// ratio_i share of that pair's items.
+SeriesResult RunSeriesPairBlocked(simcl::SimContext* ctx,
+                                  std::vector<join::StepDef>& steps,
+                                  const SeriesOptions& opts,
+                                  const std::vector<uint32_t>& offsets);
+
+/// One series of a pair-blocked group (e.g. build or probe of the PHJ join
+/// phase). `offsets` has P+1 boundaries into this series' item space.
+struct PairSeriesGroup {
+  std::vector<join::StepDef>* steps = nullptr;
+  std::vector<double> ratios;
+  const std::vector<uint32_t>* offsets = nullptr;
+  SeriesResult result;  ///< filled by RunSeriesPairBlockedGroups
+};
+
+/// Executes several series pair-by-pair: partition pair p runs *all* groups
+/// (build then probe, per Algorithm 2 "apply SHJ on each partition pair")
+/// before pair p+1 starts. All groups must agree on the partition count.
+void RunSeriesPairBlockedGroups(simcl::SimContext* ctx,
+                                std::vector<PairSeriesGroup>& groups,
+                                const SeriesOptions& shared_opts);
+
+/// BasicUnit (appendix): dynamically dispatches chunks of tuples to
+/// whichever device is free; each chunk runs the whole series pipeline on
+/// its device. Returns the same SeriesResult shape; the effective CPU ratio
+/// of the phase is reported through `cpu_items_out` (Figures 17/18).
+struct BasicUnitOptions {
+  uint64_t cpu_chunk = 1 << 16;
+  uint64_t gpu_chunk = 1 << 18;
+  double dispatch_overhead_ns = 3000.0;
+  std::function<alloc::AllocCounts()> drain_alloc;
+};
+
+SeriesResult RunSeriesBasicUnit(simcl::SimContext* ctx,
+                                std::vector<join::StepDef>& steps,
+                                const BasicUnitOptions& opts,
+                                double* cpu_ratio_out);
+
+}  // namespace apujoin::coproc
+
+#endif  // APUJOIN_COPROC_STEP_SERIES_H_

@@ -1,0 +1,39 @@
+#include "core/coupled_joiner.h"
+
+namespace apujoin::core {
+
+CoupledJoiner::CoupledJoiner(JoinConfig config) : config_(std::move(config)) {
+  ctx_ = std::make_unique<simcl::SimContext>(config_.context);
+}
+
+apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::Join(
+    const data::Workload& workload) {
+  return coproc::ExecuteJoin(ctx_.get(), workload, config_.spec);
+}
+
+apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::Join(
+    const data::Relation& build, const data::Relation& probe) {
+  data::Workload workload;
+  workload.build = build;
+  workload.probe = probe;
+  workload.spec.build_tuples = build.size();
+  workload.spec.probe_tuples = probe.size();
+  // Unknown selectivity: assume every probe tuple may match once (the FK
+  // upper bound); the result buffer grows from this estimate.
+  workload.expected_matches = probe.size();
+  return coproc::ExecuteJoin(ctx_.get(), workload, config_.spec);
+}
+
+apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::JoinCoarse(
+    const data::Workload& workload) {
+  return coproc::ExecuteCoarsePhj(ctx_.get(), workload, config_.spec);
+}
+
+apujoin::StatusOr<coproc::OutOfCoreReport> CoupledJoiner::JoinOutOfCore(
+    const data::Workload& workload) {
+  coproc::OutOfCoreSpec spec;
+  spec.inner = config_.spec;
+  return coproc::ExecuteOutOfCore(ctx_.get(), workload, spec);
+}
+
+}  // namespace apujoin::core

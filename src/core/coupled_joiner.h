@@ -1,0 +1,71 @@
+// CoupledJoiner — the library's public facade.
+//
+// Wraps platform construction (SimContext), workload handling and the join
+// driver behind one object, so applications can run co-processed hash joins
+// in a few lines:
+//
+//   apujoin::core::CoupledJoiner joiner;                  // default APU
+//   auto workload = apujoin::data::GenerateWorkload({...});
+//   auto report = joiner.Join(*workload);                 // PHJ-PL
+//   std::printf("%.3f s\n", report->elapsed_sec());
+//
+// Everything the paper evaluates is reachable through JoinConfig: SHJ/PHJ,
+// CPU-only/GPU-only/OL/DD/PL/BasicUnit, coupled vs emulated-discrete,
+// shared vs separate hash tables, allocator kind and block size, divergence
+// grouping, explicit workload ratios, cache tracing, out-of-core execution.
+
+#ifndef APUJOIN_CORE_COUPLED_JOINER_H_
+#define APUJOIN_CORE_COUPLED_JOINER_H_
+
+#include <memory>
+
+#include "coproc/coarse_grained.h"
+#include "coproc/join_driver.h"
+#include "coproc/out_of_core.h"
+#include "data/generator.h"
+#include "simcl/context.h"
+#include "util/status.h"
+
+namespace apujoin::core {
+
+/// Full configuration of a CoupledJoiner.
+struct JoinConfig {
+  simcl::ContextOptions context;  ///< platform (devices, memory, arch mode)
+  coproc::JoinSpec spec;          ///< algorithm, scheme, engine knobs
+};
+
+/// High-level join runner. Not thread-safe; one instance per stream of
+/// joins (the simulated platform carries state such as the cache).
+class CoupledJoiner {
+ public:
+  CoupledJoiner() : CoupledJoiner(JoinConfig()) {}
+  explicit CoupledJoiner(JoinConfig config);
+
+  /// Runs the configured join on a generated workload.
+  apujoin::StatusOr<coproc::JoinReport> Join(const data::Workload& workload);
+
+  /// Runs the configured join on raw relations (match count unknown up
+  /// front; the result buffer is sized from the probe cardinality).
+  apujoin::StatusOr<coproc::JoinReport> Join(const data::Relation& build,
+                                             const data::Relation& probe);
+
+  /// Runs the coarse-grained PHJ-PL' variant (Section 3.3 / Table 3).
+  apujoin::StatusOr<coproc::JoinReport> JoinCoarse(
+      const data::Workload& workload);
+
+  /// Runs the out-of-core path for inputs larger than the zero-copy buffer.
+  apujoin::StatusOr<coproc::OutOfCoreReport> JoinOutOfCore(
+      const data::Workload& workload);
+
+  simcl::SimContext& context() { return *ctx_; }
+  const JoinConfig& config() const { return config_; }
+  coproc::JoinSpec& spec() { return config_.spec; }
+
+ private:
+  JoinConfig config_;
+  std::unique_ptr<simcl::SimContext> ctx_;
+};
+
+}  // namespace apujoin::core
+
+#endif  // APUJOIN_CORE_COUPLED_JOINER_H_

@@ -1,0 +1,74 @@
+#include "cost/abstract_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apujoin::cost {
+
+SeriesEstimate ComposePipelinedTiming(const std::vector<double>& t_cpu,
+                                      const std::vector<double>& t_gpu,
+                                      const std::vector<double>& ratios,
+                                      uint64_t n, const CommSpec& comm) {
+  assert(t_cpu.size() == ratios.size() && t_gpu.size() == ratios.size());
+  const size_t steps = ratios.size();
+  const double items = static_cast<double>(n);
+  SeriesEstimate est;
+  est.delay_cpu_ns.assign(steps, 0.0);
+  est.delay_gpu_ns.assign(steps, 0.0);
+
+  // Cumulative sums include earlier delays: a stalled device starts its
+  // later steps later (Eq. 2 folds D^i into T^i).
+  double cum_cpu = 0.0;
+  double cum_gpu = 0.0;
+  for (size_t i = 0; i < steps; ++i) {
+    const double r = std::clamp(ratios[i], 0.0, 1.0);
+    if (i > 0) {
+      const double rp = std::clamp(ratios[i - 1], 0.0, 1.0);
+      if (r > rp && t_cpu[i] > 0.0) {
+        // Case 1 (Eq. 4): the CPU gained items whose step-(i-1) output the
+        // GPU is still producing. The share of the GPU's step-(i-1) time
+        // that overlaps the CPU's step i is 1 - (1-r_i)/(1-r_{i-1}).
+        const double frac = (1.0 - rp) > 0.0 ? (1.0 - r) / (1.0 - rp) : 0.0;
+        const double gpu_pipelined = cum_gpu - t_gpu[i - 1] * frac;
+        const double d = gpu_pipelined - (cum_cpu + t_cpu[i]);
+        if (d > 0.0) est.delay_cpu_ns[i] = d;
+      } else if (r < rp && t_gpu[i] > 0.0) {
+        // Case 2 (Eq. 5): symmetric — the GPU waits on the CPU.
+        const double frac = (1.0 - r) > 0.0 ? (1.0 - rp) / (1.0 - r) : 0.0;
+        const double d = cum_cpu - (cum_gpu + t_gpu[i] - t_gpu[i] * frac);
+        if (d > 0.0) est.delay_gpu_ns[i] = d;
+      }
+      const double crossing = std::abs(r - rp) * items;
+      if (crossing > 0.0) {
+        est.comm_ns += comm.per_transfer_latency_ns +
+                       crossing * comm.bytes_per_item / comm.bandwidth_gbps;
+      }
+    }
+    cum_cpu += t_cpu[i] + est.delay_cpu_ns[i];
+    cum_gpu += t_gpu[i] + est.delay_gpu_ns[i];
+  }
+
+  est.cpu_ns = cum_cpu;
+  est.gpu_ns = cum_gpu;
+  est.elapsed_ns = std::max(cum_cpu, cum_gpu) + est.comm_ns;
+  return est;
+}
+
+SeriesEstimate EstimateSeries(const StepCosts& costs, uint64_t n,
+                              const std::vector<double>& ratios,
+                              const CommSpec& comm) {
+  assert(costs.size() == ratios.size());
+  const size_t steps = costs.size();
+  const double items = static_cast<double>(n);
+  std::vector<double> t_cpu(steps, 0.0);
+  std::vector<double> t_gpu(steps, 0.0);
+  for (size_t i = 0; i < steps; ++i) {
+    const double r = std::clamp(ratios[i], 0.0, 1.0);
+    t_cpu[i] = costs[i].cpu_ns_per_item * r * items;
+    t_gpu[i] = costs[i].gpu_ns_per_item * (1.0 - r) * items;
+  }
+  return ComposePipelinedTiming(t_cpu, t_gpu, ratios, n, comm);
+}
+
+}  // namespace apujoin::cost

@@ -1,0 +1,58 @@
+// Model instantiation (Section 4.2): turning step profiles + workload
+// statistics into per-step unit costs.
+//
+// The paper profiles instruction counts with AMD CodeXL and calibrates
+// memory unit costs with the Manegold/He method; workload-dependent steps
+// (b3/p3 depend on key-list length, p4 on match count) use the average work
+// per tuple. We do the same against the simulator: the per-item unit cost
+// of a step is ComputeDeviceTime(profile, avg work, divergence-inflated
+// work) — i.e. exactly the machine model, evaluated at the workload's
+// expected statistics rather than the measured per-tuple data. Contention
+// (lock) costs are excluded by construction.
+
+#ifndef APUJOIN_COST_CALIBRATION_H_
+#define APUJOIN_COST_CALIBRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/abstract_model.h"
+#include "join/steps.h"
+#include "simcl/context.h"
+
+namespace apujoin::cost {
+
+/// Workload statistics a calibration is evaluated at.
+struct WorkloadStats {
+  uint64_t build_tuples = 0;
+  uint64_t probe_tuples = 0;
+  /// Buckets of the table the series addresses (per partition for PHJ).
+  double buckets = 1.0;
+  /// Distinct build keys per table (per partition for PHJ).
+  double distinct_keys = 1.0;
+  /// Expected matches per probe tuple (selectivity x avg rid-list length).
+  double match_rate = 1.0;
+  /// Fraction of probe tuples hitting one hot key (0 / 0.10 / 0.25).
+  double skew_fraction = 0.0;
+};
+
+/// Expected work units per item and GPU divergence factor for one step.
+struct StepObservation {
+  double avg_work = 1.0;
+  double gpu_divergence = 1.0;
+};
+
+/// Estimates the per-step observation from workload statistics. `name` is
+/// the step name ("b1".."b4", "p1".."p4", "n1".."n3").
+StepObservation ObserveStep(const std::string& name, const WorkloadStats& ws,
+                            uint64_t seed = 7);
+
+/// Calibrates unit costs for a step series: for each step, evaluates the
+/// device model at the expected work statistics.
+StepCosts CalibrateSeries(const simcl::SimContext& ctx,
+                          const std::vector<join::StepDef>& steps,
+                          const WorkloadStats& ws);
+
+}  // namespace apujoin::cost
+
+#endif  // APUJOIN_COST_CALIBRATION_H_

@@ -1,0 +1,28 @@
+#include "cost/monte_carlo.h"
+
+#include "util/random.h"
+
+namespace apujoin::cost {
+
+std::vector<MonteCarloRun> RunMonteCarlo(
+    int runs, int steps, uint64_t seed, const StepCosts& costs, uint64_t n,
+    const CommSpec& comm,
+    const std::function<double(const std::vector<double>&)>& measure) {
+  apujoin::Random rng(seed);
+  std::vector<MonteCarloRun> out;
+  out.reserve(runs);
+  for (int r = 0; r < runs; ++r) {
+    MonteCarloRun run;
+    run.ratios.resize(steps);
+    for (auto& ratio : run.ratios) {
+      // Ratios at the paper's delta granularity, uniformly random.
+      ratio = static_cast<double>(rng.Uniform(51)) * 0.02;
+    }
+    run.estimated_ns = EstimateSeries(costs, n, run.ratios, comm).elapsed_ns;
+    if (measure) run.measured_ns = measure(run.ratios);
+    out.push_back(std::move(run));
+  }
+  return out;
+}
+
+}  // namespace apujoin::cost

@@ -1,0 +1,43 @@
+// Monte Carlo evaluation of the PL ratio space (Section 5.3, Figure 9):
+// random ratio settings, each estimated by the model and measured by the
+// caller-provided evaluator (which executes the join phase for real). The
+// CDF of measured times shows where the model-picked setting lands; the
+// per-run estimate/measure gap validates model accuracy (<15% for most
+// runs in the paper).
+
+#ifndef APUJOIN_COST_MONTE_CARLO_H_
+#define APUJOIN_COST_MONTE_CARLO_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cost/abstract_model.h"
+
+namespace apujoin::cost {
+
+/// One Monte Carlo sample point.
+struct MonteCarloRun {
+  std::vector<double> ratios;
+  double estimated_ns = 0.0;
+  double measured_ns = 0.0;
+  /// |measured - estimated| / measured.
+  double RelativeError() const {
+    return measured_ns > 0.0
+               ? std::abs(measured_ns - estimated_ns) / measured_ns
+               : 0.0;
+  }
+};
+
+/// Runs `runs` random ratio settings for a `steps`-step series of `n` items.
+/// `measure` executes the series for real and returns elapsed virtual ns;
+/// pass nullptr to fill estimates only.
+std::vector<MonteCarloRun> RunMonteCarlo(
+    int runs, int steps, uint64_t seed, const StepCosts& costs, uint64_t n,
+    const CommSpec& comm,
+    const std::function<double(const std::vector<double>&)>& measure);
+
+}  // namespace apujoin::cost
+
+#endif  // APUJOIN_COST_MONTE_CARLO_H_

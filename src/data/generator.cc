@@ -1,0 +1,72 @@
+#include "data/generator.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace apujoin::data {
+
+double SkewFraction(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:  return 0.0;
+    case Distribution::kLowSkew:  return 0.10;
+    case Distribution::kHighSkew: return 0.25;
+  }
+  return 0.0;
+}
+
+apujoin::StatusOr<Workload> GenerateWorkload(const WorkloadSpec& spec) {
+  if (spec.build_tuples == 0 || spec.probe_tuples == 0) {
+    return apujoin::Status::InvalidArgument("relation sizes must be > 0");
+  }
+  if (spec.selectivity < 0.0 || spec.selectivity > 1.0) {
+    return apujoin::Status::InvalidArgument("selectivity must be in [0,1]");
+  }
+  if (spec.build_tuples > (1ull << 30)) {
+    return apujoin::Status::InvalidArgument(
+        "build relation too large for 32-bit odd-key encoding");
+  }
+
+  Workload w;
+  w.spec = spec;
+  apujoin::Random rng(spec.seed);
+
+  // Build side: unique odd keys 1, 3, 5, ... shuffled (Fisher-Yates).
+  const uint64_t nb = spec.build_tuples;
+  w.build.keys.resize(nb);
+  w.build.rids.resize(nb);
+  for (uint64_t i = 0; i < nb; ++i) {
+    w.build.keys[i] = static_cast<int32_t>(2 * i + 1);
+    w.build.rids[i] = static_cast<int32_t>(i);
+  }
+  for (uint64_t i = nb - 1; i > 0; --i) {
+    const uint64_t j = rng.Uniform(i + 1);
+    std::swap(w.build.keys[i], w.build.keys[j]);
+  }
+
+  // Probe side. Hot key = some existing build key; hot tuples always match.
+  const double hot_fraction = SkewFraction(spec.distribution);
+  const int32_t hot_key = w.build.keys[0];
+  const uint64_t np = spec.probe_tuples;
+  w.probe.keys.resize(np);
+  w.probe.rids.resize(np);
+  uint64_t matches = 0;
+  for (uint64_t i = 0; i < np; ++i) {
+    w.probe.rids[i] = static_cast<int32_t>(i);
+    int32_t key;
+    if (hot_fraction > 0.0 && rng.NextDouble() < hot_fraction) {
+      key = hot_key;
+      ++matches;
+    } else if (rng.NextDouble() < spec.selectivity) {
+      key = static_cast<int32_t>(2 * rng.Uniform(nb) + 1);  // matching (odd)
+      ++matches;
+    } else {
+      key = static_cast<int32_t>(2 * rng.Uniform(1ull << 30));  // even: no match
+    }
+    w.probe.keys[i] = key;
+  }
+  w.expected_matches = matches;
+  return w;
+}
+
+}  // namespace apujoin::data

@@ -1,0 +1,71 @@
+// Synthetic workload generation matching the paper's data sets (Section 5.1
+// and the Blanas et al. SIGMOD'11 setup they reuse):
+//
+//  * default: 16M uniform tuples in both R (build) and S (probe);
+//  * skewed: "s% of tuples with one duplicate key value" — low-skew s=10,
+//    high-skew s=25. We interpret this as the probe relation carrying one
+//    hot key on s% of its tuples (the build side keeps unique keys, as in a
+//    foreign-key join), which keeps the join output linear and concentrates
+//    workload divergence in the probe steps (b3/p3 in the paper);
+//  * selectivity: fraction of probe tuples that find a match (12.5%, 50%,
+//    100% in Figure 15).
+//
+// Build keys are odd integers; non-matching probe keys are even — so tests
+// can verify match counts exactly.
+
+#ifndef APUJOIN_DATA_GENERATOR_H_
+#define APUJOIN_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/relation.h"
+#include "util/status.h"
+
+namespace apujoin::data {
+
+/// Key-value distribution of the probe relation.
+enum class Distribution {
+  kUniform,
+  kLowSkew,   ///< s = 10% of probe tuples share one hot key
+  kHighSkew,  ///< s = 25% of probe tuples share one hot key
+};
+
+inline const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:  return "uniform";
+    case Distribution::kLowSkew:  return "low-skew";
+    case Distribution::kHighSkew: return "high-skew";
+  }
+  return "?";
+}
+
+/// Fraction of probe tuples carrying the hot key.
+double SkewFraction(Distribution d);
+
+/// Workload description.
+struct WorkloadSpec {
+  uint64_t build_tuples = 16ull << 20;
+  uint64_t probe_tuples = 16ull << 20;
+  Distribution distribution = Distribution::kUniform;
+  /// Fraction of probe tuples that match some build tuple, in [0,1].
+  double selectivity = 1.0;
+  uint64_t seed = 42;
+};
+
+/// A generated build/probe relation pair.
+struct Workload {
+  Relation build;  ///< R: unique odd keys, shuffled
+  Relation probe;  ///< S: matching keys drawn from R, non-matching even keys
+  WorkloadSpec spec;
+
+  /// Exact number of join result tuples this workload must produce
+  /// (computable because build keys are unique).
+  uint64_t expected_matches = 0;
+};
+
+/// Generates a workload; validates the spec.
+apujoin::StatusOr<Workload> GenerateWorkload(const WorkloadSpec& spec);
+
+}  // namespace apujoin::data
+
+#endif  // APUJOIN_DATA_GENERATOR_H_

@@ -1,0 +1,42 @@
+// Column-oriented relation storage.
+//
+// Following the paper (Section 5.1): both join relations consist of two
+// four-byte integer attributes, record ID and key — either base relations in
+// a column store, or <key, rid> extracts from wider row-store relations.
+
+#ifndef APUJOIN_DATA_RELATION_H_
+#define APUJOIN_DATA_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace apujoin::data {
+
+/// A two-column (rid, key) relation stored column-wise.
+struct Relation {
+  std::vector<int32_t> keys;
+  std::vector<int32_t> rids;
+
+  uint64_t size() const { return keys.size(); }
+  bool empty() const { return keys.empty(); }
+
+  /// Bytes occupied by the tuple data (both columns).
+  uint64_t bytes() const { return size() * sizeof(int32_t) * 2; }
+
+  void Reserve(uint64_t n) {
+    keys.reserve(n);
+    rids.reserve(n);
+  }
+  void Append(int32_t key, int32_t rid) {
+    keys.push_back(key);
+    rids.push_back(rid);
+  }
+  void Clear() {
+    keys.clear();
+    rids.clear();
+  }
+};
+
+}  // namespace apujoin::data
+
+#endif  // APUJOIN_DATA_RELATION_H_

@@ -1,0 +1,38 @@
+#include "join/grouping.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace apujoin::join {
+
+double WavefrontInflation(const std::vector<uint32_t>& work, int width) {
+  if (work.empty() || width <= 1) return 1.0;
+  uint64_t total = 0;
+  double eff = 0.0;
+  for (size_t base = 0; base < work.size();
+       base += static_cast<size_t>(width)) {
+    const size_t lim = std::min(work.size(), base + width);
+    uint32_t mx = 0;
+    for (size_t i = base; i < lim; ++i) {
+      total += work[i];
+      mx = std::max(mx, work[i]);
+    }
+    eff += static_cast<double>(mx) * static_cast<double>(width);
+  }
+  return total == 0 ? 1.0 : eff / static_cast<double>(total);
+}
+
+std::vector<uint32_t> GroupByWorkload(const std::vector<int32_t>& workload,
+                                      uint64_t from) {
+  std::vector<uint32_t> perm(workload.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  if (from < perm.size()) {
+    std::stable_sort(perm.begin() + static_cast<int64_t>(from), perm.end(),
+                     [&workload](uint32_t a, uint32_t b) {
+                       return workload[a] < workload[b];
+                     });
+  }
+  return perm;
+}
+
+}  // namespace apujoin::join

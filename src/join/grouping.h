@@ -1,0 +1,28 @@
+// Workload-divergence helpers (Section 3.3 "Workload divergence").
+//
+// All work items of a wavefront run in lock step, so a wavefront costs its
+// slowest lane. Grouping inputs by estimated workload before a divergent
+// step (p3/p4 under skew) makes wavefronts internally uniform. These
+// helpers quantify that effect; the engines apply the permutation.
+
+#ifndef APUJOIN_JOIN_GROUPING_H_
+#define APUJOIN_JOIN_GROUPING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace apujoin::join {
+
+/// Divergence inflation of a work sequence under lock-step execution:
+/// sum over wavefronts of (width · max lane work) divided by total work.
+/// 1.0 = perfectly uniform; larger = more wasted lanes.
+double WavefrontInflation(const std::vector<uint32_t>& work, int width);
+
+/// Returns a permutation of [0, n) that is identity on [0, from) and sorts
+/// [from, n) ascending by `workload` (ties keep original order).
+std::vector<uint32_t> GroupByWorkload(const std::vector<int32_t>& workload,
+                                      uint64_t from);
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_GROUPING_H_

@@ -1,0 +1,193 @@
+#include "join/hash_table.h"
+
+#include "alloc/basic_allocator.h"
+#include "alloc/block_allocator.h"
+#include "util/murmur_hash.h"
+
+namespace apujoin::join {
+
+using apujoin::MurmurHash2x4;
+
+uint32_t NextPow2(uint64_t n) {
+  uint32_t p = 1;
+  while (p < n && p < (1u << 30)) p <<= 1;
+  return p;
+}
+
+namespace {
+std::unique_ptr<alloc::Allocator> MakeAllocator(alloc::Arena* arena,
+                                                alloc::AllocatorKind kind,
+                                                uint32_t block_bytes) {
+  if (kind == alloc::AllocatorKind::kBasic) {
+    return std::make_unique<alloc::BasicAllocator>(arena);
+  }
+  return std::make_unique<alloc::BlockAllocator>(arena, block_bytes);
+}
+}  // namespace
+
+NodePools::NodePools(uint64_t key_capacity, uint64_t rid_capacity,
+                     alloc::AllocatorKind kind, uint32_t block_bytes)
+    : key_value(key_capacity),
+      key_next(key_capacity),
+      rid_head(key_capacity),
+      rid_value(rid_capacity),
+      rid_next(rid_capacity),
+      key_arena_(key_capacity, /*elem_bytes=*/12),
+      rid_arena_(rid_capacity, /*elem_bytes=*/8) {
+  key_alloc_ = MakeAllocator(&key_arena_, kind, block_bytes);
+  rid_alloc_ = MakeAllocator(&rid_arena_, kind, block_bytes);
+}
+
+int32_t NodePools::AllocKey(simcl::DeviceId dev, uint32_t workgroup) {
+  const int64_t idx = key_alloc_->Allocate(1, dev, workgroup);
+  return idx < 0 ? kNil : static_cast<int32_t>(idx);
+}
+
+int32_t NodePools::AllocRid(simcl::DeviceId dev, uint32_t workgroup) {
+  const int64_t idx = rid_alloc_->Allocate(1, dev, workgroup);
+  return idx < 0 ? kNil : static_cast<int32_t>(idx);
+}
+
+alloc::AllocCounts NodePools::TakeCounts() {
+  alloc::AllocCounts c = key_alloc_->TakeCounts();
+  c += rid_alloc_->TakeCounts();
+  return c;
+}
+
+HashTable::HashTable(uint32_t num_buckets, NodePools* pools)
+    : num_buckets_(num_buckets),
+      pools_(pools),
+      head_(num_buckets),
+      count_(num_buckets) {
+  for (auto& h : head_) h.store(kNil, std::memory_order_relaxed);
+  for (auto& c : count_) c.store(0, std::memory_order_relaxed);
+}
+
+int32_t HashTable::VisitHeader(uint32_t bucket, int32_t* count) const {
+  Touch(&head_[bucket]);
+  if (count != nullptr) {
+    *count = count_[bucket].load(std::memory_order_relaxed);
+  }
+  return head_[bucket].load(std::memory_order_acquire);
+}
+
+int32_t HashTable::FindOrAddKey(uint32_t bucket, int32_t key,
+                                simcl::DeviceId dev, uint32_t workgroup,
+                                uint32_t* work) {
+  Touch(&head_[bucket]);  // the list head load below
+  uint32_t traversed = 1;
+  while (true) {
+    int32_t node = head_[bucket].load(std::memory_order_acquire);
+    const int32_t first = node;
+    while (node != kNil) {
+      Touch(&pools_->key_value[node]);
+      if (pools_->key_value[node] == key) {
+        *work += traversed;
+        return node;
+      }
+      ++traversed;
+      node = pools_->key_next[node].load(std::memory_order_acquire);
+    }
+    // Not found: allocate a node and push it at the head.
+    const int32_t ni = pools_->AllocKey(dev, workgroup);
+    if (ni == kNil) {
+      *work += traversed;
+      return kNil;
+    }
+    pools_->key_value[ni] = key;
+    pools_->rid_head[ni].store(kNil, std::memory_order_relaxed);
+    pools_->key_next[ni].store(first, std::memory_order_relaxed);
+    Touch(&pools_->key_value[ni]);
+    int32_t expected = first;
+    if (head_[bucket].compare_exchange_strong(expected, ni,
+                                              std::memory_order_acq_rel)) {
+      ++keys_inserted_;
+      *work += traversed;
+      return ni;
+    }
+    // Lost the race: another thread pushed a node (possibly our key).
+    // Re-scan; the allocated node leaks into the arena — exactly what the
+    // lock-free OpenCL kernel does.
+  }
+}
+
+bool HashTable::InsertRid(int32_t key_node, int32_t rid, simcl::DeviceId dev,
+                          uint32_t workgroup) {
+  const int32_t ni = pools_->AllocRid(dev, workgroup);
+  if (ni == kNil) return false;
+  pools_->rid_value[ni] = rid;
+  Touch(&pools_->rid_value[ni]);
+  int32_t old = pools_->rid_head[key_node].load(std::memory_order_relaxed);
+  do {
+    pools_->rid_next[ni] = old;
+  } while (!pools_->rid_head[key_node].compare_exchange_weak(
+      old, ni, std::memory_order_acq_rel));
+  ++rids_inserted_;
+  return true;
+}
+
+int32_t HashTable::FindKey(uint32_t bucket, int32_t key,
+                           uint32_t* work) const {
+  Touch(&head_[bucket]);  // the list head load below
+  uint32_t traversed = 1;
+  int32_t node = head_[bucket].load(std::memory_order_acquire);
+  while (node != kNil) {
+    Touch(&pools_->key_value[node]);
+    if (pools_->key_value[node] == key) break;
+    ++traversed;
+    node = pools_->key_next[node].load(std::memory_order_acquire);
+  }
+  *work += traversed;
+  return node;
+}
+
+std::pair<uint64_t, uint64_t> HashTable::MergeFrom(const HashTable& other,
+                                                   simcl::DeviceId dev) {
+  uint64_t keys_moved = 0;
+  uint64_t rids_moved = 0;
+  for (uint32_t b = 0; b < other.num_buckets_; ++b) {
+    for (int32_t kn = other.head_[b].load(std::memory_order_relaxed);
+         kn != kNil;
+         kn = other.pools_->key_next[kn].load(std::memory_order_relaxed)) {
+      const int32_t key = other.pools_->key_value[kn];
+      // Both tables hash the same way; with equal bucket counts the bucket
+      // index carries over, otherwise recompute from the key.
+      const uint32_t bucket =
+          other.num_buckets_ == num_buckets_
+              ? b
+              : BucketOf(MurmurHash2x4(static_cast<uint32_t>(key)));
+      uint32_t work = 0;
+      const int32_t dst = FindOrAddKey(bucket, key, dev, /*workgroup=*/0,
+                                       &work);
+      if (dst == kNil) return {keys_moved, rids_moved};
+      ++keys_moved;
+      for (int32_t rn =
+               other.pools_->rid_head[kn].load(std::memory_order_relaxed);
+           rn != kNil; rn = other.pools_->rid_next[rn]) {
+        if (!InsertRid(dst, other.pools_->rid_value[rn], dev, 0)) {
+          return {keys_moved, rids_moved};
+        }
+        ++rids_moved;
+        BumpCount(bucket);
+      }
+    }
+  }
+  return {keys_moved, rids_moved};
+}
+
+double HashTable::WorkingSetBytes() const {
+  const double headers = static_cast<double>(num_buckets_) * 8.0;
+  const double keys = static_cast<double>(keys_inserted_) * 12.0;
+  const double rids = static_cast<double>(rids_inserted_) * 8.0;
+  return headers + keys + rids;
+}
+
+uint64_t HashTable::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& c : count_) {
+    total += static_cast<uint64_t>(c.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+}  // namespace apujoin::join

@@ -1,0 +1,174 @@
+// The paper's hash table (Section 3.1):
+//
+//   bucket header = { tuple count, pointer to key list }
+//   key list      = unique keys with this hash value, each pointing to a
+//   rid list      = record IDs of all build tuples with that key.
+//
+// Layout is OpenCL-style: no raw pointers, only int32 indices into
+// pre-allocated node pools (an in-kernel malloc does not exist — nodes come
+// from the software allocators of Section 3.3). Node pools are shared
+// between tables so PHJ's thousands of per-partition tables carve from the
+// same arenas. All mutation goes through atomics, so the shared-table mode
+// is safe under concurrent build and the latch accounting mirrors what the
+// real kernel would pay.
+//
+// `shared` vs `separate` tables (Section 3.3 tradeoff, Figure 10): a shared
+// table is built by both devices and enjoys the coupled architecture's
+// shared L2; separate tables avoid cross-device latch contention but must
+// be merged after the build (a dominant overhead on the discrete
+// architecture, Figure 3).
+
+#ifndef APUJOIN_JOIN_HASH_TABLE_H_
+#define APUJOIN_JOIN_HASH_TABLE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/arena.h"
+#include "simcl/cache_sim.h"
+#include "util/status.h"
+
+namespace apujoin::join {
+
+inline constexpr int32_t kNil = -1;
+
+/// Shared key/rid node storage carved from pre-allocated arenas. One pool
+/// set serves any number of HashTable instances (SHJ: one; PHJ: one per
+/// partition).
+class NodePools {
+ public:
+  NodePools(uint64_t key_capacity, uint64_t rid_capacity,
+            alloc::AllocatorKind kind, uint32_t block_bytes);
+
+  /// Allocates one key node; kNil when exhausted.
+  int32_t AllocKey(simcl::DeviceId dev, uint32_t workgroup);
+  /// Allocates one rid node; kNil when exhausted.
+  int32_t AllocRid(simcl::DeviceId dev, uint32_t workgroup);
+
+  /// Drains allocator op counts (key + rid allocators combined).
+  alloc::AllocCounts TakeCounts();
+
+  uint64_t key_capacity() const { return key_arena_.capacity(); }
+  uint64_t rid_capacity() const { return rid_arena_.capacity(); }
+  uint64_t keys_used() const { return key_arena_.used(); }
+  uint64_t rids_used() const { return rid_arena_.used(); }
+
+  // Flat node storage (public: the HashTable is the only intended user,
+  // and kernels index these arrays directly like OpenCL global memory).
+  std::vector<int32_t> key_value;
+  std::vector<std::atomic<int32_t>> key_next;
+  std::vector<std::atomic<int32_t>> rid_head;  // per key node
+  std::vector<int32_t> rid_value;
+  std::vector<int32_t> rid_next;
+
+ private:
+  alloc::Arena key_arena_;
+  alloc::Arena rid_arena_;
+  std::unique_ptr<alloc::Allocator> key_alloc_;
+  std::unique_ptr<alloc::Allocator> rid_alloc_;
+};
+
+/// Chained hash table with bucket headers, key lists and rid lists.
+class HashTable {
+ public:
+  /// `num_buckets` must be a power of two.
+  HashTable(uint32_t num_buckets, NodePools* pools);
+
+  uint32_t num_buckets() const { return num_buckets_; }
+  uint32_t BucketOf(uint32_t hash) const { return hash & (num_buckets_ - 1); }
+
+  /// Step b2/p2: visit the bucket header. Returns the key-list head;
+  /// `count` (optional) receives the bucket's tuple count — the probe-side
+  /// workload estimate used by divergence grouping.
+  int32_t VisitHeader(uint32_t bucket, int32_t* count = nullptr) const;
+
+  /// Step b3: find key in the bucket's key list, appending a new key node
+  /// if absent. Returns the key node index (or kNil if the arena is
+  /// exhausted). `*work` is incremented by the number of list nodes
+  /// traversed (>= 1) — the step's data-dependent work units.
+  int32_t FindOrAddKey(uint32_t bucket, int32_t key, simcl::DeviceId dev,
+                       uint32_t workgroup, uint32_t* work);
+
+  /// Step b4: insert `rid` into the key node's rid list. Returns false if
+  /// the rid arena is exhausted.
+  bool InsertRid(int32_t key_node, int32_t rid, simcl::DeviceId dev,
+                 uint32_t workgroup);
+
+  /// Increments the bucket's tuple count (done by the b4 step, which knows
+  /// the tuple's bucket from the b2 intermediate state).
+  void BumpCount(uint32_t bucket) {
+    count_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Step p3: find key without inserting. Returns key node or kNil;
+  /// `*work` += nodes traversed (>= 1).
+  int32_t FindKey(uint32_t bucket, int32_t key, uint32_t* work) const;
+
+  /// Step p4: walk the rid list of `key_node`, calling `emit(build_rid)`
+  /// for each match. Returns the number of matches.
+  template <typename EmitFn>
+  uint32_t ForEachRid(int32_t key_node, EmitFn&& emit) const {
+    uint32_t n = 0;
+    for (int32_t r = pools_->rid_head[key_node].load(std::memory_order_relaxed);
+         r != kNil; r = pools_->rid_next[r]) {
+      emit(pools_->rid_value[r]);
+      ++n;
+    }
+    return n;
+  }
+
+  /// Merges all entries of `other` into this table (the post-build merge
+  /// required by separate tables). Returns {keys moved, rids moved}.
+  std::pair<uint64_t, uint64_t> MergeFrom(const HashTable& other,
+                                          simcl::DeviceId dev);
+
+  /// Key/rid nodes inserted through this table.
+  uint64_t keys_inserted() const { return keys_inserted_; }
+  uint64_t rids_inserted() const { return rids_inserted_; }
+
+  /// Bytes of the table's working set (headers + inserted nodes) — feeds
+  /// the memory model's resident-fraction estimate.
+  double WorkingSetBytes() const;
+
+  /// Enables cache-line tracing into `cache` (nullptr disables).
+  void set_cache(simcl::CacheSim* cache) { cache_ = cache; }
+
+  /// Sums the per-bucket counts — test/debug invariant helper.
+  uint64_t TotalCount() const;
+
+ private:
+  void Touch(const void* p) const {
+    if (cache_ != nullptr) cache_->Access(reinterpret_cast<uint64_t>(p));
+  }
+
+  uint32_t num_buckets_;
+  NodePools* pools_;
+  std::vector<std::atomic<int32_t>> head_;
+  std::vector<std::atomic<int32_t>> count_;
+  uint64_t keys_inserted_ = 0;
+  uint64_t rids_inserted_ = 0;
+  simcl::CacheSim* cache_ = nullptr;
+};
+
+/// Returns the smallest power of two >= n (min 1, capped at 2^30).
+uint32_t NextPow2(uint64_t n);
+
+/// Extra arena capacity needed on top of the exact node count when the
+/// optimized allocator is in play: every (device, work group) pair may
+/// strand one partially-used block.
+inline uint64_t PoolSlack(uint64_t items, uint32_t block_bytes,
+                          uint32_t elem_bytes) {
+  const uint64_t wgs = std::min<uint64_t>(1024, items / 256 + 2);
+  const uint64_t block_elems =
+      std::max<uint64_t>(1, block_bytes / std::max<uint32_t>(1, elem_bytes));
+  return 2 * wgs * block_elems + 64;
+}
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_HASH_TABLE_H_

@@ -1,0 +1,41 @@
+// Tuning knobs shared by the SHJ/PHJ engines — the design-tradeoff surface
+// of Section 3.3 (allocator + block size, shared vs separate hash tables,
+// divergence grouping) plus partitioning parameters for PHJ.
+
+#ifndef APUJOIN_JOIN_OPTIONS_H_
+#define APUJOIN_JOIN_OPTIONS_H_
+
+#include <cstdint>
+
+#include "alloc/allocator.h"
+
+namespace apujoin::join {
+
+/// Engine configuration. Defaults are the tuned values the paper converges
+/// to (optimized allocator, 2 KB blocks, shared hash table).
+struct EngineOptions {
+  /// Hash-table buckets; 0 = auto (next power of two >= build tuples).
+  uint32_t num_buckets = 0;
+  /// Shared table (both devices build into one) vs separate per-device
+  /// tables merged after the build (Figure 10).
+  bool shared_table = true;
+  alloc::AllocatorKind allocator = alloc::AllocatorKind::kOptimized;
+  /// Block size of the optimized allocator (Figure 11 sweeps 8 B..32 KB).
+  uint32_t block_bytes = 2048;
+  /// Grouping-based workload-divergence reduction in the probe phase
+  /// (Section 3.3 "Workload divergence").
+  bool grouping = false;
+  /// Extra cache-hit rate from skewed key popularity, in [0,1]; engines
+  /// derive it from the workload's skew fraction.
+  double locality_boost = 0.0;
+
+  // --- PHJ only ---
+  /// Total partitions; 0 = auto (partition pair sized to fit the L2).
+  uint32_t partitions = 0;
+  /// Max radix fanout per pass (the paper tunes passes to TLB/cache; 64).
+  uint32_t fanout_per_pass = 64;
+};
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_OPTIONS_H_

@@ -1,0 +1,259 @@
+#include "join/partitioned_hash_join.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/murmur_hash.h"
+
+namespace apujoin::join {
+
+using simcl::DeviceId;
+using simcl::Phase;
+
+PhjEngine::PhjEngine(simcl::SimContext* ctx, const data::Relation* build,
+                     const data::Relation* probe, EngineOptions opts)
+    : ctx_(ctx), build_(build), probe_(probe), opts_(opts) {}
+
+apujoin::Status PhjEngine::Prepare() {
+  if (build_->empty() || probe_->empty()) {
+    return apujoin::Status::InvalidArgument("empty relation");
+  }
+  plan_ = RadixPlan::Make(build_->size(), probe_->size(),
+                          ctx_->memory().spec().l2_bytes, opts_);
+  part_r_ = std::make_unique<RadixPartitioner>(ctx_, build_, plan_, opts_);
+  part_s_ = std::make_unique<RadixPartitioner>(ctx_, probe_, plan_, opts_);
+  APU_RETURN_IF_ERROR(part_r_->Prepare());
+  APU_RETURN_IF_ERROR(part_s_->Prepare());
+
+  const uint64_t nb = build_->size();
+  const uint64_t np = probe_->size();
+  // Separate tables re-allocate every merged node (see ShjEngine::Prepare).
+  const uint64_t merge_headroom = opts_.shared_table ? 0 : nb;
+  const uint64_t key_cap = nb + nb / 8 + merge_headroom +
+                           PoolSlack(nb, opts_.block_bytes, 12);
+  const uint64_t rid_cap =
+      nb + merge_headroom + PoolSlack(nb, opts_.block_bytes, 8);
+  pools_ = std::make_unique<NodePools>(key_cap, rid_cap, opts_.allocator,
+                                       opts_.block_bytes);
+
+  r_hash_.resize(nb);
+  r_bucket_.resize(nb);
+  r_keynode_.resize(nb);
+  s_hash_.resize(np);
+  s_bucket_.resize(np);
+  s_keynode_.resize(np);
+  s_count_.resize(np);
+  perm_.clear();
+  return apujoin::Status::OK();
+}
+
+apujoin::Status PhjEngine::PrepareJoinPhase() {
+  const auto& off_r = part_r_->offsets();
+  const auto& off_s = part_s_->offsets();
+  if (off_r.empty() || off_s.empty()) {
+    return apujoin::Status::FailedPrecondition(
+        "partitioning must complete before the join phase");
+  }
+  const uint32_t p = plan_.total_partitions;
+  tables_.clear();
+  tables_gpu_.clear();
+  tables_.reserve(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    const uint32_t count = off_r[i + 1] - off_r[i];
+    const uint32_t buckets = NextPow2(std::max<uint32_t>(count, 8));
+    tables_.push_back(std::make_unique<HashTable>(buckets, pools_.get()));
+    if (ctx_->cache() != nullptr) tables_.back()->set_cache(ctx_->cache());
+    if (!opts_.shared_table) {
+      tables_gpu_.push_back(
+          std::make_unique<HashTable>(buckets, pools_.get()));
+      if (ctx_->cache() != nullptr) {
+        tables_gpu_.back()->set_cache(ctx_->cache());
+      }
+    }
+  }
+  // Tuple -> partition maps (tuples are contiguous per partition).
+  part_of_r_.resize(build_->size());
+  for (uint32_t i = 0; i < p; ++i) {
+    for (uint32_t j = off_r[i]; j < off_r[i + 1]; ++j) part_of_r_[j] = i;
+  }
+  part_of_s_.resize(probe_->size());
+  for (uint32_t i = 0; i < p; ++i) {
+    for (uint32_t j = off_s[i]; j < off_s[i + 1]; ++j) part_of_s_[j] = i;
+  }
+  return apujoin::Status::OK();
+}
+
+double PhjEngine::PartitionWorkingSetBytes() const {
+  const double nb = static_cast<double>(build_->size());
+  const double total = nb * (8.0 + 12.0 + 8.0) +
+                       static_cast<double>(plan_.total_partitions) * 64.0;
+  return total / static_cast<double>(plan_.total_partitions);
+}
+
+HashTable* PhjEngine::TableFor(uint64_t item, simcl::DeviceId dev) const {
+  const uint32_t part = part_of_r_[item];
+  if (!opts_.shared_table && dev == simcl::DeviceId::kGpu) {
+    return tables_gpu_[part].get();
+  }
+  return tables_[part].get();
+}
+
+std::vector<StepDef> PhjEngine::BuildSteps() {
+  const uint64_t n = build_->size();
+  const data::Relation& rp = part_r_->output();
+  const double ws = PartitionWorkingSetBytes();
+  const uint32_t shift = plan_.partition_bits;
+  std::vector<StepDef> steps;
+
+  StepDef b1;
+  b1.name = "b1";
+  b1.profile = HashStepProfile();
+  b1.items = n;
+  b1.fn = [this, &rp](uint64_t i, DeviceId) -> uint32_t {
+    r_hash_[i] = MurmurHash2x4(static_cast<uint32_t>(rp.keys[i]));
+    return 1;
+  };
+  steps.push_back(std::move(b1));
+
+  StepDef b2;
+  b2.name = "b2";
+  b2.profile = HeaderVisitProfile(ws);
+  b2.items = n;
+  b2.fn = [this, shift](uint64_t i, DeviceId dev) -> uint32_t {
+    HashTable* t = TableFor(i, dev);
+    r_bucket_[i] = t->BucketOf(r_hash_[i] >> shift);
+    t->VisitHeader(r_bucket_[i]);
+    return 1;
+  };
+  steps.push_back(std::move(b2));
+
+  StepDef b3;
+  b3.name = "b3";
+  b3.profile = KeyInsertProfile(ws, opts_.locality_boost);
+  b3.items = n;
+  b3.fn = [this, &rp](uint64_t i, DeviceId dev) -> uint32_t {
+    HashTable* t = TableFor(i, dev);
+    uint32_t work = 0;
+    r_keynode_[i] =
+        t->FindOrAddKey(r_bucket_[i], rp.keys[i], dev, WorkgroupOf(i), &work);
+    if (r_keynode_[i] == kNil) overflowed_ = true;
+    return work;
+  };
+  steps.push_back(std::move(b3));
+
+  StepDef b4;
+  b4.name = "b4";
+  b4.profile = RidInsertProfile(ws);
+  b4.items = n;
+  b4.fn = [this, &rp](uint64_t i, DeviceId dev) -> uint32_t {
+    if (r_keynode_[i] == kNil) return 1;
+    HashTable* t = TableFor(i, dev);
+    if (!t->InsertRid(r_keynode_[i], rp.rids[i], dev, WorkgroupOf(i))) {
+      overflowed_ = true;
+      return 1;
+    }
+    t->BumpCount(r_bucket_[i]);
+    return 1;
+  };
+  steps.push_back(std::move(b4));
+  return steps;
+}
+
+std::vector<StepDef> PhjEngine::ProbeSteps(ResultWriter* out) {
+  const uint64_t n = probe_->size();
+  const data::Relation& sp = part_s_->output();
+  const double ws = PartitionWorkingSetBytes();
+  const uint32_t shift = plan_.partition_bits;
+  std::vector<StepDef> steps;
+
+  StepDef p1;
+  p1.name = "p1";
+  p1.profile = HashStepProfile();
+  p1.items = n;
+  p1.fn = [this, &sp](uint64_t i, DeviceId) -> uint32_t {
+    s_hash_[i] = MurmurHash2x4(static_cast<uint32_t>(sp.keys[i]));
+    return 1;
+  };
+  steps.push_back(std::move(p1));
+
+  StepDef p2;
+  p2.name = "p2";
+  p2.profile = HeaderVisitProfile(ws);
+  p2.items = n;
+  p2.fn = [this, shift](uint64_t i, DeviceId) -> uint32_t {
+    HashTable* t = tables_[part_of_s_[i]].get();
+    s_bucket_[i] = t->BucketOf(s_hash_[i] >> shift);
+    int32_t count = 0;
+    t->VisitHeader(s_bucket_[i], &count);
+    s_count_[i] = count;
+    return 1;
+  };
+  p2.after = [this](uint64_t begin, uint64_t end) {
+    if (opts_.grouping) BuildProbePermutation(begin, end);
+  };
+  steps.push_back(std::move(p2));
+
+  StepDef p3;
+  p3.name = "p3";
+  p3.profile = KeySearchProfile(ws, opts_.locality_boost);
+  p3.items = n;
+  p3.fn = [this, &sp](uint64_t i, DeviceId) -> uint32_t {
+    const uint64_t j = perm_.empty() ? i : perm_[i];
+    uint32_t work = 0;
+    s_keynode_[j] =
+        tables_[part_of_s_[j]]->FindKey(s_bucket_[j], sp.keys[j], &work);
+    return work;
+  };
+  steps.push_back(std::move(p3));
+
+  StepDef p4;
+  p4.name = "p4";
+  p4.profile = EmitProfile(ws, opts_.locality_boost);
+  p4.items = n;
+  p4.fn = [this, out, &sp](uint64_t i, DeviceId dev) -> uint32_t {
+    const uint64_t j = perm_.empty() ? i : perm_[i];
+    if (s_keynode_[j] == kNil) return 1;
+    const int32_t srid = sp.rids[j];
+    const uint32_t wg = WorkgroupOf(i);
+    uint32_t matches = tables_[part_of_s_[j]]->ForEachRid(
+        s_keynode_[j], [this, out, srid, dev, wg](int32_t brid) {
+          if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
+        });
+    return matches + 1;
+  };
+  steps.push_back(std::move(p4));
+  return steps;
+}
+
+void PhjEngine::BuildProbePermutation(uint64_t begin, uint64_t end) {
+  const uint64_t n = probe_->size();
+  if (perm_.size() != n) {
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), 0u);
+  }
+  end = std::min(end, n);
+  if (begin >= end) return;
+  std::stable_sort(perm_.begin() + static_cast<int64_t>(begin),
+                   perm_.begin() + static_cast<int64_t>(end),
+                   [this](uint32_t a, uint32_t b) {
+                     return s_count_[a] < s_count_[b];
+                   });
+  const double bytes = static_cast<double>(end - begin) * 8.0 * 2.0;
+  ctx_->log().Add(Phase::kGrouping,
+                  ctx_->memory().SequentialNs(
+                      ctx_->device(DeviceId::kGpu), bytes));
+}
+
+std::pair<uint64_t, uint64_t> PhjEngine::MergeSeparateTables() {
+  if (opts_.shared_table) return {0, 0};
+  uint64_t keys = 0;
+  uint64_t rids = 0;
+  for (uint32_t p = 0; p < plan_.total_partitions; ++p) {
+    const auto [k, r] = tables_[p]->MergeFrom(*tables_gpu_[p], DeviceId::kCpu);
+    keys += k;
+    rids += r;
+  }
+  return {keys, rids};
+}
+
+}  // namespace apujoin::join

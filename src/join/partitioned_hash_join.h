@@ -1,0 +1,95 @@
+// Partitioned (radix) hash join — PHJ, Algorithm 2.
+//
+// Phase 1: multi-pass radix partitioning of both relations (RadixPartitioner,
+// one n1..n3 step series per pass). Phase 2: SHJ on each partition pair.
+// In the fine-grained formulation the join phase is still two global step
+// series (b1..b4 over all partitioned R tuples, p1..p4 over all partitioned
+// S tuples); tuples simply address their own partition's hash table, which
+// is small enough to live in the shared L2 — the whole point of PHJ.
+//
+// Bucket indices use the hash bits *above* the partition bits, so the radix
+// partitioning does not degenerate the in-partition bucket distribution.
+
+#ifndef APUJOIN_JOIN_PARTITIONED_HASH_JOIN_H_
+#define APUJOIN_JOIN_PARTITIONED_HASH_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/relation.h"
+#include "join/hash_table.h"
+#include "join/options.h"
+#include "join/radix_partition.h"
+#include "join/result_writer.h"
+#include "join/steps.h"
+#include "simcl/context.h"
+#include "util/status.h"
+
+namespace apujoin::join {
+
+/// PHJ engine: partitioners + per-partition tables + join-phase kernels.
+class PhjEngine {
+ public:
+  PhjEngine(simcl::SimContext* ctx, const data::Relation* build,
+            const data::Relation* probe, EngineOptions opts);
+
+  /// Plans the radix partitioning and allocates state.
+  apujoin::Status Prepare();
+
+  RadixPartitioner* build_partitioner() { return part_r_.get(); }
+  RadixPartitioner* probe_partitioner() { return part_s_.get(); }
+  const RadixPlan& radix_plan() const { return plan_; }
+
+  /// Creates the per-partition hash tables. Must be called after both
+  /// partitioners finished all passes.
+  apujoin::Status PrepareJoinPhase();
+
+  std::vector<StepDef> BuildSteps();
+  std::vector<StepDef> ProbeSteps(ResultWriter* out);
+
+  /// Separate-table mode: merge per-partition GPU tables into CPU tables.
+  std::pair<uint64_t, uint64_t> MergeSeparateTables();
+
+  NodePools& pools() { return *pools_; }
+  const EngineOptions& options() const { return opts_; }
+  bool overflowed() const { return overflowed_; }
+  uint32_t num_partitions() const { return plan_.total_partitions; }
+  HashTable* table(uint32_t partition) { return tables_[partition].get(); }
+
+  /// Average per-partition working set (bytes) — the join phase's random
+  /// accesses hit this, not the full table (PHJ's cache advantage).
+  double PartitionWorkingSetBytes() const;
+
+  const std::vector<uint32_t>& probe_permutation() const { return perm_; }
+
+ private:
+  void BuildProbePermutation(uint64_t begin, uint64_t end);
+
+  /// Table the build kernel for item `item` on `dev` addresses: the item's
+  /// partition table, or the GPU's private copy in separate mode.
+  HashTable* TableFor(uint64_t item, simcl::DeviceId dev) const;
+
+  simcl::SimContext* ctx_;
+  const data::Relation* build_;
+  const data::Relation* probe_;
+  EngineOptions opts_;
+  RadixPlan plan_;
+
+  std::unique_ptr<RadixPartitioner> part_r_;
+  std::unique_ptr<RadixPartitioner> part_s_;
+  std::unique_ptr<NodePools> pools_;
+  std::vector<std::unique_ptr<HashTable>> tables_;
+  std::vector<std::unique_ptr<HashTable>> tables_gpu_;  // separate mode
+  bool overflowed_ = false;
+
+  std::vector<uint32_t> part_of_r_, part_of_s_;  // tuple -> partition
+  std::vector<uint32_t> r_hash_, s_hash_;
+  std::vector<uint32_t> r_bucket_, s_bucket_;
+  std::vector<int32_t> r_keynode_, s_keynode_;
+  std::vector<int32_t> s_count_;
+  std::vector<uint32_t> perm_;
+};
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_PARTITIONED_HASH_JOIN_H_

@@ -1,0 +1,173 @@
+#include "join/radix_partition.h"
+
+#include <algorithm>
+
+#include "util/murmur_hash.h"
+
+namespace apujoin::join {
+
+using simcl::DeviceId;
+
+RadixPlan RadixPlan::Make(uint64_t build_tuples, uint64_t probe_tuples,
+                          double l2_bytes, const EngineOptions& opts) {
+  RadixPlan plan;
+  plan.fanout_per_pass = opts.fanout_per_pass;
+  if (opts.partitions != 0) {
+    plan.total_partitions = opts.partitions;
+  } else {
+    // Pair working set: tuples of both sides (8 B) + hash table (~20 B per
+    // build tuple). Target: fits in half the L2.
+    const double pair_bytes = 28.0 * static_cast<double>(build_tuples) +
+                              8.0 * static_cast<double>(probe_tuples);
+    const double target = l2_bytes / 2.0;
+    uint32_t p = 1;
+    while (p < 4096 &&
+           pair_bytes / static_cast<double>(p) > target) {
+      p <<= 1;
+    }
+    plan.total_partitions = p;
+  }
+  plan.partition_bits = 0;
+  while ((1u << plan.partition_bits) < plan.total_partitions) {
+    ++plan.partition_bits;
+  }
+  uint32_t fanout_bits = 0;
+  while ((1u << fanout_bits) < plan.fanout_per_pass) ++fanout_bits;
+  plan.passes = 1;
+  if (fanout_bits > 0) {
+    plan.passes = static_cast<int>(
+        (plan.partition_bits + fanout_bits - 1) / fanout_bits);
+  }
+  plan.passes = std::max(plan.passes, 1);
+  return plan;
+}
+
+RadixPartitioner::RadixPartitioner(simcl::SimContext* ctx,
+                                   const data::Relation* input,
+                                   const RadixPlan& plan,
+                                   const EngineOptions& opts)
+    : ctx_(ctx), input_(input), plan_(plan), opts_(opts) {
+  chunk_elems_ = std::max<uint32_t>(1, opts_.block_bytes / 8);
+}
+
+apujoin::Status RadixPartitioner::Prepare() {
+  const uint64_t n = input_->size();
+  if (n == 0) return apujoin::Status::InvalidArgument("empty input");
+  buf_a_ = *input_;  // working copy: pass 0 reads the original order
+  buf_b_.keys.assign(n, 0);
+  buf_b_.rids.assign(n, 0);
+  cur_ = &buf_a_;
+  nxt_ = &buf_b_;
+  pid_.assign(n, 0);
+  dest_.assign(n, 0);
+  offsets_.clear();
+  return apujoin::Status::OK();
+}
+
+uint32_t RadixPartitioner::MaskForPass(int pass) const {
+  // Cumulative-bit masks: pass p groups by the low (p+1)*fanout_bits bits,
+  // capped at the total partition mask. Grouping by *all* bits seen so far
+  // makes every pass correct independent of scatter stability, while the
+  // previous pass's grouping keeps the active output regions of this pass
+  // bounded by the fanout (the TLB/cache rationale for multi-pass radix).
+  uint32_t fanout_bits = 0;
+  while ((1u << fanout_bits) < plan_.fanout_per_pass) ++fanout_bits;
+  const uint32_t bits = std::min(plan_.partition_bits,
+                                 fanout_bits * static_cast<uint32_t>(pass + 1));
+  return bits >= 31 ? ~0u : ((1u << bits) - 1u);
+}
+
+void RadixPartitioner::BeginPass(int pass) {
+  const uint64_t n = cur_->size();
+  const uint32_t mask = MaskForPass(pass);
+  const uint32_t nparts = mask + 1;
+
+  // Exact per-(workgroup, partition) sub-histogram so destination regions
+  // are tight (bookkeeping; the charged work happens in the n1..n3 kernels).
+  std::vector<uint32_t> counts(static_cast<size_t>(kWgSlots) * nparts, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t p =
+        MurmurHash2x4(static_cast<uint32_t>(cur_->keys[i])) & mask;
+    counts[static_cast<size_t>(WgOf(i)) * nparts + p]++;
+  }
+  // Partition-major prefix sum: partition regions are contiguous, each
+  // ordered by claiming work group.
+  cursor_.assign(static_cast<size_t>(kWgSlots) * nparts, 0);
+  std::vector<uint32_t> part_base(nparts + 1, 0);
+  uint32_t running = 0;
+  for (uint32_t p = 0; p < nparts; ++p) {
+    part_base[p] = running;
+    for (uint32_t w = 0; w < kWgSlots; ++w) {
+      cursor_[static_cast<size_t>(w) * nparts + p] = running;
+      running += counts[static_cast<size_t>(w) * nparts + p];
+    }
+  }
+  part_base[nparts] = running;
+  claims_.assign(static_cast<size_t>(kWgSlots) * nparts, 0);
+
+  if (pass + 1 == plan_.passes) {
+    offsets_ = std::move(part_base);
+  }
+}
+
+std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
+  const uint64_t n = cur_->size();
+  const uint32_t mask = MaskForPass(pass);
+  const uint32_t nparts = mask + 1;
+  std::vector<StepDef> steps;
+
+  StepDef n1;
+  n1.name = "n1";
+  n1.profile = HashStepProfile();
+  n1.items = n;
+  n1.fn = [this, mask](uint64_t i, DeviceId) -> uint32_t {
+    pid_[i] = MurmurHash2x4(static_cast<uint32_t>(cur_->keys[i])) & mask;
+    return 1;
+  };
+  steps.push_back(std::move(n1));
+
+  StepDef n2;
+  n2.name = "n2";
+  n2.profile = PartitionHeaderProfile(static_cast<double>(nparts) * 8.0);
+  n2.items = n;
+  n2.fn = [this, nparts](uint64_t i, DeviceId dev) -> uint32_t {
+    const size_t slot =
+        static_cast<size_t>(WgOf(i)) * nparts + pid_[i];
+    dest_[i] = cursor_[slot]++;
+    // Block-allocation discipline: one global atomic per chunk of claims
+    // from this (work group, partition) sub-region, local bumps otherwise.
+    const int di = static_cast<int>(dev);
+    counts_.requests[di]++;
+    if (claims_[slot]++ % chunk_elems_ == 0) {
+      counts_.global_atomics[di]++;
+    } else {
+      counts_.local_atomics[di]++;
+    }
+    return 1;
+  };
+  steps.push_back(std::move(n2));
+
+  StepDef n3;
+  n3.name = "n3";
+  n3.profile = ScatterProfile(static_cast<double>(plan_.fanout_per_pass) *
+                              ctx_->memory().spec().cache_line_bytes);
+  n3.items = n;
+  n3.fn = [this](uint64_t i, DeviceId) -> uint32_t {
+    const uint32_t d = dest_[i];
+    nxt_->keys[d] = cur_->keys[i];
+    nxt_->rids[d] = cur_->rids[i];
+    return 1;
+  };
+  steps.push_back(std::move(n3));
+  return steps;
+}
+
+void RadixPartitioner::EndPass(int /*pass*/) { std::swap(cur_, nxt_); }
+
+alloc::AllocCounts RadixPartitioner::TakeCounts() {
+  alloc::AllocCounts out = counts_;
+  counts_ = alloc::AllocCounts{};
+  return out;
+}
+
+}  // namespace apujoin::join

@@ -1,0 +1,99 @@
+// Radix partitioning (the partition phase of PHJ, Algorithm 2).
+//
+// The paper adopts the multi-pass radix partitioning of Boncz et al.: each
+// pass splits by `fanout_per_pass` (tuned to TLB/cache; 64 here) based on
+// the lower bits of the MurmurHash of the key, so that a pass never scatters
+// into more open regions than the memory system tolerates. Each pass is one
+// step series n1..n3 (compute partition number, visit partition header,
+// insert <key, rid>), schedulable across CPU and GPU like any other series.
+//
+// Storage: one contiguous output array per pass. Destination slots are
+// claimed per (work group, partition) sub-region; a claim charges a global
+// atomic once per allocator block (block_bytes) and a local-memory atomic
+// otherwise — the same block-allocation discipline as Section 3.3, which is
+// what Figure 11's block-size sweep exercises in the partition phase.
+
+#ifndef APUJOIN_JOIN_RADIX_PARTITION_H_
+#define APUJOIN_JOIN_RADIX_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "data/relation.h"
+#include "join/options.h"
+#include "join/steps.h"
+#include "simcl/context.h"
+#include "util/status.h"
+
+namespace apujoin::join {
+
+/// Partitioning plan: total partitions and pass structure.
+struct RadixPlan {
+  uint32_t total_partitions = 1;  ///< power of two
+  uint32_t fanout_per_pass = 64;  ///< power of two
+  int passes = 0;
+  uint32_t partition_bits = 0;  ///< log2(total_partitions)
+
+  /// Sizes partitions so one partition *pair* (plus its hash table) fits in
+  /// half the L2, capped at 4096 partitions.
+  static RadixPlan Make(uint64_t build_tuples, uint64_t probe_tuples,
+                        double l2_bytes, const EngineOptions& opts);
+};
+
+/// Multi-pass radix partitioner for one relation.
+class RadixPartitioner {
+ public:
+  RadixPartitioner(simcl::SimContext* ctx, const data::Relation* input,
+                   const RadixPlan& plan, const EngineOptions& opts);
+
+  apujoin::Status Prepare();
+
+  int passes() const { return plan_.passes; }
+  const RadixPlan& plan() const { return plan_; }
+
+  /// Pass protocol: BeginPass(p) -> run PassSteps(p) via a scheme ->
+  /// EndPass(p). Passes must run in order.
+  void BeginPass(int pass);
+  std::vector<StepDef> PassSteps(int pass);
+  void EndPass(int pass);
+
+  /// Partitioned tuples (valid after the last EndPass).
+  const data::Relation& output() const { return *cur_; }
+  /// P+1 exclusive-prefix partition boundaries (valid after last EndPass).
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+
+  /// Allocator-style op counts accumulated by slot claiming.
+  alloc::AllocCounts TakeCounts();
+
+ private:
+  uint32_t MaskForPass(int pass) const;
+
+  static constexpr uint32_t kWgSlots = 64;
+  static uint32_t WgOf(uint64_t i) {
+    return static_cast<uint32_t>((i >> 8) & (kWgSlots - 1));
+  }
+
+  simcl::SimContext* ctx_;
+  const data::Relation* input_;
+  RadixPlan plan_;
+  EngineOptions opts_;
+  uint32_t chunk_elems_;
+
+  data::Relation buf_a_, buf_b_;
+  data::Relation* cur_ = nullptr;  // input of the current pass
+  data::Relation* nxt_ = nullptr;  // output of the current pass
+
+  std::vector<uint32_t> pid_;   // per-item partition id (current pass)
+  std::vector<uint32_t> dest_;  // per-item destination slot
+  // Per (wg, partition) cursors and claim counters for the current pass.
+  std::vector<uint32_t> cursor_;
+  std::vector<uint32_t> claims_;
+  std::vector<uint32_t> offsets_;
+  alloc::AllocCounts counts_;
+};
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_RADIX_PARTITION_H_

@@ -1,0 +1,39 @@
+#include "join/reference_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace apujoin::join {
+
+uint64_t ReferenceMatchCount(const data::Relation& build,
+                             const data::Relation& probe) {
+  std::unordered_map<int32_t, uint32_t> freq;
+  freq.reserve(build.size() * 2);
+  for (int32_t k : build.keys) freq[k]++;
+  uint64_t matches = 0;
+  for (int32_t k : probe.keys) {
+    auto it = freq.find(k);
+    if (it != freq.end()) matches += it->second;
+  }
+  return matches;
+}
+
+std::vector<std::pair<int32_t, int32_t>> ReferenceJoinPairs(
+    const data::Relation& build, const data::Relation& probe) {
+  std::unordered_multimap<int32_t, int32_t> ht;
+  ht.reserve(build.size() * 2);
+  for (uint64_t i = 0; i < build.size(); ++i) {
+    ht.emplace(build.keys[i], build.rids[i]);
+  }
+  std::vector<std::pair<int32_t, int32_t>> out;
+  for (uint64_t i = 0; i < probe.size(); ++i) {
+    auto [lo, hi] = ht.equal_range(probe.keys[i]);
+    for (auto it = lo; it != hi; ++it) {
+      out.emplace_back(it->second, probe.rids[i]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace apujoin::join

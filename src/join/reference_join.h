@@ -1,0 +1,25 @@
+// Reference join implementations — oracles for correctness testing only.
+// No simulation, no fine-grained steps: plain std::unordered_multimap.
+
+#ifndef APUJOIN_JOIN_REFERENCE_JOIN_H_
+#define APUJOIN_JOIN_REFERENCE_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace apujoin::join {
+
+/// Exact number of result tuples of build ⋈ probe on key equality.
+uint64_t ReferenceMatchCount(const data::Relation& build,
+                             const data::Relation& probe);
+
+/// Full result pairs <build rid, probe rid>, sorted — for small inputs.
+std::vector<std::pair<int32_t, int32_t>> ReferenceJoinPairs(
+    const data::Relation& build, const data::Relation& probe);
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_REFERENCE_JOIN_H_

@@ -1,0 +1,48 @@
+#include "join/result_writer.h"
+
+#include "alloc/basic_allocator.h"
+#include "alloc/block_allocator.h"
+
+namespace apujoin::join {
+
+ResultWriter::ResultWriter(uint64_t capacity, alloc::AllocatorKind kind,
+                           uint32_t block_bytes)
+    : arena_(capacity, /*elem_bytes=*/8),
+      build_rids_(capacity, -1),
+      probe_rids_(capacity, -1) {
+  if (kind == alloc::AllocatorKind::kBasic) {
+    alloc_ = std::make_unique<alloc::BasicAllocator>(&arena_);
+  } else {
+    alloc_ = std::make_unique<alloc::BlockAllocator>(&arena_, block_bytes);
+  }
+}
+
+bool ResultWriter::Emit(int32_t build_rid, int32_t probe_rid,
+                        simcl::DeviceId dev, uint32_t workgroup) {
+  const int64_t idx = alloc_->Allocate(1, dev, workgroup);
+  if (idx < 0) return false;
+  build_rids_[idx] = build_rid;
+  probe_rids_[idx] = probe_rid;
+  ++emitted_;
+  return true;
+}
+
+std::vector<std::pair<int32_t, int32_t>> ResultWriter::CollectPairs() const {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  out.reserve(emitted_);
+  const uint64_t used = arena_.used();
+  for (uint64_t i = 0; i < used; ++i) {
+    if (build_rids_[i] >= 0) out.emplace_back(build_rids_[i], probe_rids_[i]);
+  }
+  return out;
+}
+
+void ResultWriter::Reset() {
+  arena_.Reset();
+  alloc_->Reset();
+  std::fill(build_rids_.begin(), build_rids_.end(), -1);
+  std::fill(probe_rids_.begin(), probe_rids_.end(), -1);
+  emitted_ = 0;
+}
+
+}  // namespace apujoin::join

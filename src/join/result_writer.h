@@ -1,0 +1,51 @@
+// Join-result output buffer (the third dynamic-allocation site of Section
+// 3.3). Result pairs <build rid, probe rid> are appended through the
+// software allocator, so output traffic participates in the latch/block-size
+// experiments exactly like key/rid node allocation.
+
+#ifndef APUJOIN_JOIN_RESULT_WRITER_H_
+#define APUJOIN_JOIN_RESULT_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/arena.h"
+
+namespace apujoin::join {
+
+/// Pre-allocated result buffer with allocator-mediated appends.
+class ResultWriter {
+ public:
+  ResultWriter(uint64_t capacity, alloc::AllocatorKind kind,
+               uint32_t block_bytes);
+
+  /// Appends one result pair; false when the buffer is exhausted.
+  bool Emit(int32_t build_rid, int32_t probe_rid, simcl::DeviceId dev,
+            uint32_t workgroup);
+
+  /// Number of result pairs emitted (block over-reservation excluded).
+  uint64_t count() const { return emitted_; }
+  uint64_t capacity() const { return arena_.capacity(); }
+
+  /// Gathers the emitted pairs (slot order is not deterministic across
+  /// allocator kinds; unclaimed block-remainder slots are skipped).
+  std::vector<std::pair<int32_t, int32_t>> CollectPairs() const;
+
+  alloc::AllocCounts TakeCounts() { return alloc_->TakeCounts(); }
+
+  void Reset();
+
+ private:
+  alloc::Arena arena_;
+  std::unique_ptr<alloc::Allocator> alloc_;
+  std::vector<int32_t> build_rids_;  // -1 marks an unwritten slot
+  std::vector<int32_t> probe_rids_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_RESULT_WRITER_H_

@@ -1,0 +1,213 @@
+#include "join/simple_hash_join.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/murmur_hash.h"
+
+namespace apujoin::join {
+
+using simcl::DeviceId;
+using simcl::Phase;
+
+ShjEngine::ShjEngine(simcl::SimContext* ctx, const data::Relation* build,
+                     const data::Relation* probe, EngineOptions opts)
+    : ctx_(ctx), build_(build), probe_(probe), opts_(opts) {}
+
+apujoin::Status ShjEngine::Prepare() {
+  const uint64_t nb = build_->size();
+  const uint64_t np = probe_->size();
+  if (nb == 0 || np == 0) {
+    return apujoin::Status::InvalidArgument("empty relation");
+  }
+  if (opts_.num_buckets == 0) opts_.num_buckets = NextPow2(nb);
+
+  // Key nodes: one per distinct build key, plus slack for lost CAS races
+  // and stranded allocator blocks. Rid nodes: one per build tuple + slack.
+  // Separate tables need double headroom: the post-build merge re-allocates
+  // a fresh node for every entry it moves (exactly like the real kernel —
+  // nodes are never freed back into the pre-allocated array).
+  const uint64_t merge_headroom = opts_.shared_table ? 0 : nb;
+  const uint64_t key_cap = nb + nb / 8 + merge_headroom +
+                           PoolSlack(nb, opts_.block_bytes, 12);
+  const uint64_t rid_cap =
+      nb + merge_headroom + PoolSlack(nb, opts_.block_bytes, 8);
+  pools_ = std::make_unique<NodePools>(key_cap, rid_cap, opts_.allocator,
+                                       opts_.block_bytes);
+  tables_.clear();
+  tables_.push_back(std::make_unique<HashTable>(opts_.num_buckets, pools_.get()));
+  if (!opts_.shared_table) {
+    tables_.push_back(
+        std::make_unique<HashTable>(opts_.num_buckets, pools_.get()));
+  }
+  if (ctx_->cache() != nullptr) {
+    for (auto& t : tables_) t->set_cache(ctx_->cache());
+  }
+
+  r_hash_.resize(nb);
+  r_bucket_.resize(nb);
+  r_keynode_.resize(nb);
+  s_hash_.resize(np);
+  s_bucket_.resize(np);
+  s_keynode_.resize(np);
+  s_count_.resize(np);
+  perm_.clear();
+  return apujoin::Status::OK();
+}
+
+double ShjEngine::TableWorkingSetBytes() const {
+  const double nb = static_cast<double>(build_->size());
+  return static_cast<double>(opts_.num_buckets) * 8.0 + nb * 12.0 + nb * 8.0;
+}
+
+std::vector<StepDef> ShjEngine::BuildSteps() {
+  const uint64_t n = build_->size();
+  const double ws = TableWorkingSetBytes();
+  std::vector<StepDef> steps;
+
+  StepDef b1;
+  b1.name = "b1";
+  b1.profile = HashStepProfile();
+  b1.items = n;
+  b1.fn = [this](uint64_t i, DeviceId) -> uint32_t {
+    r_hash_[i] = MurmurHash2x4(static_cast<uint32_t>(build_->keys[i]));
+    return 1;
+  };
+  steps.push_back(std::move(b1));
+
+  StepDef b2;
+  b2.name = "b2";
+  b2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 8.0);
+  b2.items = n;
+  b2.fn = [this](uint64_t i, DeviceId dev) -> uint32_t {
+    HashTable* t = BuildTableFor(dev);
+    r_bucket_[i] = t->BucketOf(r_hash_[i]);
+    t->VisitHeader(r_bucket_[i]);
+    return 1;
+  };
+  steps.push_back(std::move(b2));
+
+  StepDef b3;
+  b3.name = "b3";
+  b3.profile = KeyInsertProfile(ws, opts_.locality_boost);
+  b3.items = n;
+  b3.fn = [this](uint64_t i, DeviceId dev) -> uint32_t {
+    HashTable* t = BuildTableFor(dev);
+    uint32_t work = 0;
+    r_keynode_[i] = t->FindOrAddKey(r_bucket_[i], build_->keys[i], dev,
+                                    WorkgroupOf(i), &work);
+    if (r_keynode_[i] == kNil) overflowed_ = true;
+    return work;
+  };
+  steps.push_back(std::move(b3));
+
+  StepDef b4;
+  b4.name = "b4";
+  b4.profile = RidInsertProfile(ws);
+  b4.items = n;
+  b4.fn = [this](uint64_t i, DeviceId dev) -> uint32_t {
+    if (r_keynode_[i] == kNil) return 1;
+    HashTable* t = BuildTableFor(dev);
+    if (!t->InsertRid(r_keynode_[i], build_->rids[i], dev, WorkgroupOf(i))) {
+      overflowed_ = true;
+      return 1;
+    }
+    t->BumpCount(r_bucket_[i]);
+    return 1;
+  };
+  steps.push_back(std::move(b4));
+  return steps;
+}
+
+std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
+  const uint64_t n = probe_->size();
+  const double ws = TableWorkingSetBytes();
+  std::vector<StepDef> steps;
+
+  StepDef p1;
+  p1.name = "p1";
+  p1.profile = HashStepProfile();
+  p1.items = n;
+  p1.fn = [this](uint64_t i, DeviceId) -> uint32_t {
+    s_hash_[i] = MurmurHash2x4(static_cast<uint32_t>(probe_->keys[i]));
+    return 1;
+  };
+  steps.push_back(std::move(p1));
+
+  StepDef p2;
+  p2.name = "p2";
+  p2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 8.0);
+  p2.items = n;
+  p2.fn = [this](uint64_t i, DeviceId) -> uint32_t {
+    HashTable* t = tables_[0].get();
+    s_bucket_[i] = t->BucketOf(s_hash_[i]);
+    int32_t count = 0;
+    t->VisitHeader(s_bucket_[i], &count);
+    s_count_[i] = count;
+    return 1;
+  };
+  p2.after = [this](uint64_t begin, uint64_t end) {
+    if (opts_.grouping) BuildProbePermutation(begin, end);
+  };
+  steps.push_back(std::move(p2));
+
+  StepDef p3;
+  p3.name = "p3";
+  p3.profile = KeySearchProfile(ws, opts_.locality_boost);
+  p3.items = n;
+  p3.fn = [this](uint64_t i, DeviceId) -> uint32_t {
+    const uint64_t j = perm_.empty() ? i : perm_[i];
+    uint32_t work = 0;
+    s_keynode_[j] =
+        tables_[0]->FindKey(s_bucket_[j], probe_->keys[j], &work);
+    return work;
+  };
+  steps.push_back(std::move(p3));
+
+  StepDef p4;
+  p4.name = "p4";
+  p4.profile = EmitProfile(ws, opts_.locality_boost);
+  p4.items = n;
+  p4.fn = [this, out](uint64_t i, DeviceId dev) -> uint32_t {
+    const uint64_t j = perm_.empty() ? i : perm_[i];
+    if (s_keynode_[j] == kNil) return 1;
+    const int32_t srid = probe_->rids[j];
+    const uint32_t wg = WorkgroupOf(i);
+    uint32_t matches = tables_[0]->ForEachRid(
+        s_keynode_[j], [this, out, srid, dev, wg](int32_t brid) {
+          if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
+        });
+    return matches + 1;
+  };
+  steps.push_back(std::move(p4));
+  return steps;
+}
+
+void ShjEngine::BuildProbePermutation(uint64_t begin, uint64_t end) {
+  const uint64_t n = probe_->size();
+  if (perm_.size() != n) {
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), 0u);
+  }
+  end = std::min(end, n);
+  if (begin >= end) return;
+  // Sort the GPU range [begin, end) by the p2 workload estimate so each
+  // wavefront sees near-uniform work.
+  std::stable_sort(perm_.begin() + static_cast<int64_t>(begin),
+                   perm_.begin() + static_cast<int64_t>(end),
+                   [this](uint32_t a, uint32_t b) {
+                     return s_count_[a] < s_count_[b];
+                   });
+  // Two streaming passes (estimate + permute) charged to the GPU.
+  const double bytes = static_cast<double>(end - begin) * 8.0 * 2.0;
+  ctx_->log().Add(Phase::kGrouping,
+                  ctx_->memory().SequentialNs(
+                      ctx_->device(DeviceId::kGpu), bytes));
+}
+
+std::pair<uint64_t, uint64_t> ShjEngine::MergeSeparateTables() {
+  if (opts_.shared_table || tables_.size() < 2) return {0, 0};
+  return tables_[0]->MergeFrom(*tables_[1], DeviceId::kCpu);
+}
+
+}  // namespace apujoin::join

@@ -1,0 +1,90 @@
+// Simple hash join (SHJ, Algorithm 1): build + probe step series over the
+// paper's bucket/key-list/rid-list hash table, with no partitioning phase.
+//
+// The engine owns all per-tuple intermediate state (hash values, bucket
+// ids, key-node ids) so each fine-grained step is a pure data-parallel
+// kernel over tuple indices — exactly the shape the co-processing schemes
+// (OL/DD/PL) schedule across the CPU and the GPU.
+
+#ifndef APUJOIN_JOIN_SIMPLE_HASH_JOIN_H_
+#define APUJOIN_JOIN_SIMPLE_HASH_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/relation.h"
+#include "join/hash_table.h"
+#include "join/options.h"
+#include "join/result_writer.h"
+#include "join/steps.h"
+#include "simcl/context.h"
+#include "util/status.h"
+
+namespace apujoin::join {
+
+/// SHJ build/probe kernels + state. One engine instance per join execution.
+class ShjEngine {
+ public:
+  /// `build`/`probe` must outlive the engine.
+  ShjEngine(simcl::SimContext* ctx, const data::Relation* build,
+            const data::Relation* probe, EngineOptions opts);
+
+  /// Allocates pools, tables and intermediate arrays.
+  apujoin::Status Prepare();
+
+  /// The build step series b1..b4 over |R| items.
+  std::vector<StepDef> BuildSteps();
+
+  /// The probe step series p1..p4 over |S| items, emitting into `out`.
+  std::vector<StepDef> ProbeSteps(ResultWriter* out);
+
+  /// Separate-table mode: merge the GPU table into the CPU table after the
+  /// build (the paper's merge overhead). Returns {keys, rids} moved.
+  std::pair<uint64_t, uint64_t> MergeSeparateTables();
+
+  HashTable* table(int i = 0) { return tables_[i].get(); }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  NodePools& pools() { return *pools_; }
+  const EngineOptions& options() const { return opts_; }
+
+  /// True if any kernel hit arena exhaustion.
+  bool overflowed() const { return overflowed_; }
+
+  /// Estimated hash-table working set (bytes), used in step profiles.
+  double TableWorkingSetBytes() const;
+
+  /// The workload-divergence grouping permutation used in p3/p4 (empty =
+  /// identity); exposed for tests.
+  const std::vector<uint32_t>& probe_permutation() const { return perm_; }
+
+ private:
+  void BuildProbePermutation(uint64_t begin, uint64_t end);
+
+  /// Table a build kernel on `dev` inserts into: the shared table, or the
+  /// device's private table in separate mode.
+  HashTable* BuildTableFor(simcl::DeviceId dev) {
+    return (opts_.shared_table || dev == simcl::DeviceId::kCpu)
+               ? tables_[0].get()
+               : tables_.back().get();
+  }
+
+  simcl::SimContext* ctx_;
+  const data::Relation* build_;
+  const data::Relation* probe_;
+  EngineOptions opts_;
+
+  std::unique_ptr<NodePools> pools_;
+  std::vector<std::unique_ptr<HashTable>> tables_;
+  bool overflowed_ = false;
+
+  // Per-tuple intermediate state (the "pipeline registers" between steps).
+  std::vector<uint32_t> r_hash_, s_hash_;
+  std::vector<uint32_t> r_bucket_, s_bucket_;
+  std::vector<int32_t> r_keynode_, s_keynode_;
+  std::vector<int32_t> s_count_;  // p2 workload estimate (grouping input)
+  std::vector<uint32_t> perm_;    // probe grouping permutation
+};
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_SIMPLE_HASH_JOIN_H_

@@ -1,0 +1,93 @@
+#include "join/steps.h"
+
+#include "util/murmur_hash.h"
+
+namespace apujoin::join {
+
+using simcl::StepProfile;
+
+StepProfile HashStepProfile() {
+  StepProfile p;
+  // Murmur (~14 ALU ops) + key load + hash/bucket store; heavily
+  // compute-bound, which is why the GPU wins it by >15x (Figure 4).
+  p.instr_per_unit = 46.0;
+  p.seq_bytes_per_item = 12.0;  // read key (4B), write hash+bucket (8B)
+  return p;
+}
+
+StepProfile HeaderVisitProfile(double header_bytes) {
+  StepProfile p;
+  p.instr_per_unit = 10.0;
+  p.rand_accesses_per_unit = 1.0;
+  p.rand_working_set_bytes = header_bytes;
+  p.dependent_accesses = false;
+  p.seq_bytes_per_item = 8.0;  // read hash, write head/count snapshot
+  return p;
+}
+
+StepProfile KeyInsertProfile(double table_bytes, double locality_boost) {
+  StepProfile p;
+  p.instr_per_unit = 18.0;
+  p.rand_accesses_per_unit = 1.0;  // one node visit per traversed node
+  p.rand_working_set_bytes = table_bytes;
+  p.dependent_accesses = true;  // next pointer known only after the load
+  p.locality_boost = locality_boost;
+  p.global_atomics_per_unit = 0.9;  // CAS on head + count bookkeeping
+  p.atomic_addresses = table_bytes / 8.0;  // spread over the buckets
+  return p;
+}
+
+StepProfile KeySearchProfile(double table_bytes, double locality_boost) {
+  StepProfile p;
+  p.instr_per_unit = 14.0;
+  p.rand_accesses_per_unit = 1.0;
+  p.rand_working_set_bytes = table_bytes;
+  p.dependent_accesses = true;
+  p.locality_boost = locality_boost;
+  return p;
+}
+
+StepProfile RidInsertProfile(double table_bytes) {
+  StepProfile p;
+  p.instr_per_unit = 12.0;
+  p.rand_accesses_per_unit = 1.0;  // rid node write + head CAS line
+  p.rand_working_set_bytes = table_bytes;
+  p.dependent_accesses = false;
+  p.global_atomics_per_unit = 1.0;  // rid-list head CAS
+  p.atomic_addresses = table_bytes / 16.0;
+  return p;
+}
+
+StepProfile EmitProfile(double table_bytes, double locality_boost) {
+  StepProfile p;
+  p.instr_per_unit = 12.0;
+  p.rand_accesses_per_unit = 1.0;  // rid-node chase / build-tuple visit
+  p.rand_working_set_bytes = table_bytes;
+  p.dependent_accesses = true;
+  p.locality_boost = locality_boost;
+  p.seq_bytes_per_unit = 8.0;  // result pair written via the block writer
+  return p;
+}
+
+StepProfile PartitionHeaderProfile(double header_bytes) {
+  StepProfile p;
+  p.instr_per_unit = 10.0;
+  p.rand_accesses_per_unit = 1.0;
+  p.rand_working_set_bytes = header_bytes;
+  p.dependent_accesses = false;
+  return p;
+}
+
+StepProfile ScatterProfile(double open_region_bytes) {
+  StepProfile p;
+  p.instr_per_unit = 12.0;
+  // Scattered store: random within the set of open partition regions
+  // (one cache line per partition stays hot).
+  p.rand_accesses_per_unit = 1.0;
+  p.rand_working_set_bytes = open_region_bytes;
+  p.dependent_accesses = false;
+  p.seq_bytes_per_item = 8.0;  // the <key, rid> pair itself
+  return p;
+}
+
+}  // namespace apujoin::join

@@ -1,0 +1,74 @@
+// Fine-grained step definitions (Algorithms 1 and 2 of the paper).
+//
+// A StepDef packages one data-parallel step: its name (b1..b4, p1..p4,
+// n1..n3), its cost profile for the device model, the item count, and the
+// per-item kernel. Step *series* (build = b1..b4, probe = p1..p4, one
+// partitioning pass = n1..n3) are vectors of StepDefs executed by the
+// co-processing schemes in coproc/.
+
+#ifndef APUJOIN_JOIN_STEPS_H_
+#define APUJOIN_JOIN_STEPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcl/executor.h"
+
+namespace apujoin::join {
+
+/// Kernel signature: (item index, executing device) -> work units.
+using ItemKernel = std::function<uint32_t(uint64_t, simcl::DeviceId)>;
+
+/// One fine-grained step of a step series.
+struct StepDef {
+  std::string name;
+  simcl::StepProfile profile;
+  uint64_t items = 0;
+  ItemKernel fn;
+  /// Optional hook run after the step completes; receives the *next* step's
+  /// GPU item range [begin, end) within the current execution block (used
+  /// by divergence grouping to permute only the GPU share).
+  std::function<void(uint64_t, uint64_t)> after;
+};
+
+/// Work-group of a work item, for allocator block caching. 256 items per
+/// group, bounded slot table (matches BlockAllocator::kWorkgroupSlots).
+inline uint32_t WorkgroupOf(uint64_t item) {
+  return static_cast<uint32_t>((item >> 8) & 1023u);
+}
+
+// ---------------------------------------------------------------------------
+// Step cost profiles. Instruction counts approximate the OpenCL kernels the
+// paper profiles with CodeXL; working-set sizes are supplied by the engines
+// (hash-table bytes, partition-header bytes, ...). These constants, together
+// with DeviceSpec, are the calibration surface for Figure 4's shape.
+// ---------------------------------------------------------------------------
+
+/// b1 / p1 / n1: hash-value computation (MurmurHash over the key column).
+simcl::StepProfile HashStepProfile();
+
+/// b2 / p2: visit the hash bucket header (one random header load).
+simcl::StepProfile HeaderVisitProfile(double header_bytes);
+
+/// b3: traverse the key list, inserting a key node if absent.
+simcl::StepProfile KeyInsertProfile(double table_bytes, double locality_boost);
+
+/// p3: traverse the key list (read-only).
+simcl::StepProfile KeySearchProfile(double table_bytes, double locality_boost);
+
+/// b4: insert the rid into the rid list (+ bucket count bump).
+simcl::StepProfile RidInsertProfile(double table_bytes);
+
+/// p4: visit matching build tuples and emit result tuples.
+simcl::StepProfile EmitProfile(double table_bytes, double locality_boost);
+
+/// n2: visit the partition header (cursor claim bookkeeping).
+simcl::StepProfile PartitionHeaderProfile(double header_bytes);
+
+/// n3: scatter the <key, rid> pair into its partition.
+simcl::StepProfile ScatterProfile(double open_region_bytes);
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_STEPS_H_

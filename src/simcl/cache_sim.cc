@@ -1,0 +1,52 @@
+#include "simcl/cache_sim.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace apujoin::simcl {
+
+namespace {
+[[maybe_unused]] bool IsPowerOfTwo(uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+}  // namespace
+
+CacheSim::CacheSim(uint64_t capacity_bytes, uint32_t line_bytes, uint32_t ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  assert(IsPowerOfTwo(line_bytes_));
+  const uint64_t lines = capacity_bytes / line_bytes_;
+  num_sets_ = static_cast<uint32_t>(lines / ways_);
+  assert(num_sets_ > 0 && IsPowerOfTwo(num_sets_));
+  sets_.assign(static_cast<size_t>(num_sets_) * ways_, Way{});
+}
+
+void CacheSim::Reset() {
+  tick_ = 0;
+  accesses_ = 0;
+  hits_ = 0;
+  sets_.assign(sets_.size(), Way{});
+}
+
+bool CacheSim::Access(uint64_t addr) {
+  ++accesses_;
+  ++tick_;
+  const uint64_t line = addr / line_bytes_;
+  const uint32_t set = static_cast<uint32_t>(line & (num_sets_ - 1));
+  const uint64_t tag = line;  // full line id: no aliasing across set groups
+  Way* base = &sets_[static_cast<size_t>(set) * ways_];
+  Way* victim = base;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.tag == tag) {
+      way.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+}  // namespace apujoin::simcl

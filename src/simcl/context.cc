@@ -1,0 +1,23 @@
+#include "simcl/context.h"
+
+namespace apujoin::simcl {
+
+SimContext::SimContext(ContextOptions opts)
+    : opts_(std::move(opts)),
+      memory_(opts_.memory),
+      pcie_(opts_.pcie_latency_ns, opts_.pcie_bandwidth_gbps) {
+  if (opts_.trace_cache) {
+    cache_ = std::make_unique<CacheSim>(
+        static_cast<uint64_t>(opts_.memory.l2_bytes),
+        static_cast<uint32_t>(opts_.memory.cache_line_bytes), 16);
+  }
+}
+
+double SimContext::TransferToDevice(double bytes) {
+  if (!discrete() || bytes <= 0.0) return 0.0;
+  const double ns = pcie_.TransferNs(bytes);
+  log_.Add(Phase::kDataTransfer, ns);
+  return ns;
+}
+
+}  // namespace apujoin::simcl

@@ -1,0 +1,121 @@
+// SimContext — the simulated coupled (or emulated-discrete) platform.
+//
+// Owns the two device specs, the shared memory model, the PCI-e model (used
+// only in discrete emulation), the optional shared-L2 cache simulator, and
+// the per-run phase breakdown log. One SimContext corresponds to one
+// "machine" in an experiment.
+
+#ifndef APUJOIN_SIMCL_CONTEXT_H_
+#define APUJOIN_SIMCL_CONTEXT_H_
+
+#include <array>
+#include <memory>
+
+#include "simcl/cache_sim.h"
+#include "simcl/device.h"
+#include "simcl/memory_model.h"
+#include "simcl/pcie.h"
+
+namespace apujoin::simcl {
+
+/// Which architecture the context emulates (Section 5.1 of the paper).
+enum class ArchMode {
+  kCoupled,           ///< CPU+GPU on one chip: shared cache, no PCI-e
+  kDiscreteEmulated,  ///< same devices, but transfers pay the PCI-e delay
+};
+
+/// Phases of a join execution, for time-breakdown reporting (Figure 3, 15,
+/// 19 stack these).
+enum class Phase {
+  kDataTransfer = 0,  ///< PCI-e transfers (discrete emulation only)
+  kMerge,             ///< merging separate per-device partial results
+  kPartition,
+  kBuild,
+  kProbe,
+  kDataCopy,  ///< zero-copy buffer <-> system memory (out-of-core)
+  kSchedule,  ///< dynamic chunk-dispatch overhead (BasicUnit)
+  kGrouping,  ///< divergence-reduction grouping passes
+  kOther,
+};
+
+inline constexpr int kNumPhases = 9;
+
+inline const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kDataTransfer: return "data-transfer";
+    case Phase::kMerge:        return "merge";
+    case Phase::kPartition:    return "partition";
+    case Phase::kBuild:        return "build";
+    case Phase::kProbe:        return "probe";
+    case Phase::kDataCopy:     return "data-copy";
+    case Phase::kSchedule:     return "schedule";
+    case Phase::kGrouping:     return "grouping";
+    case Phase::kOther:        return "other";
+  }
+  return "?";
+}
+
+/// Accumulates virtual elapsed time per phase.
+class EventLog {
+ public:
+  void Add(Phase p, double ns) { ns_[static_cast<int>(p)] += ns; }
+  double Get(Phase p) const { return ns_[static_cast<int>(p)]; }
+  double TotalNs() const {
+    double t = 0;
+    for (double v : ns_) t += v;
+    return t;
+  }
+  void Clear() { ns_.fill(0.0); }
+
+ private:
+  std::array<double, kNumPhases> ns_{};
+};
+
+/// Construction options for a SimContext.
+struct ContextOptions {
+  ArchMode arch = ArchMode::kCoupled;
+  bool trace_cache = false;  ///< enable the set-associative CacheSim
+  DeviceSpec cpu = DeviceSpec::ApuCpu();
+  DeviceSpec gpu = DeviceSpec::ApuGpu();
+  MemorySpec memory;
+  double pcie_latency_ns = 15000.0;  ///< paper's emulated bus
+  double pcie_bandwidth_gbps = 3.0;
+};
+
+/// One simulated machine. Not thread-safe; one context per experiment run.
+class SimContext {
+ public:
+  explicit SimContext(ContextOptions opts = ContextOptions());
+
+  const ContextOptions& options() const { return opts_; }
+  ArchMode arch() const { return opts_.arch; }
+  bool discrete() const { return opts_.arch == ArchMode::kDiscreteEmulated; }
+
+  const DeviceSpec& device(DeviceId id) const {
+    return id == DeviceId::kCpu ? opts_.cpu : opts_.gpu;
+  }
+  const MemoryModel& memory() const { return memory_; }
+  const PcieModel& pcie() const { return pcie_; }
+
+  /// Non-null only when options().trace_cache is set.
+  CacheSim* cache() { return cache_.get(); }
+  const CacheSim* cache() const { return cache_.get(); }
+
+  EventLog& log() { return log_; }
+  const EventLog& log() const { return log_; }
+
+  /// Records a PCI-e transfer in discrete mode and returns its delay;
+  /// returns 0 on the coupled architecture (and logs nothing).
+  double TransferToDevice(double bytes);
+
+ private:
+  ContextOptions opts_;
+  MemoryModel memory_;
+  PcieModel pcie_;
+  std::unique_ptr<CacheSim> cache_;
+  EventLog log_;
+};
+
+}  // namespace apujoin::simcl
+
+#endif  // APUJOIN_SIMCL_CONTEXT_H_

@@ -1,0 +1,86 @@
+// Device model for the simulated coupled CPU-GPU (APU) architecture.
+//
+// The paper's platform is an AMD APU A8-3870K (Table 1): a 4-core CPU at
+// 3.0 GHz and a 400-PE GPU at 0.6 GHz sharing one 4 MB L2 cache, one memory
+// controller and a 512 MB zero-copy buffer. We model each processor as an
+// OpenCL "compute device": work is dispatched in work groups; on the GPU a
+// wavefront of 64 work items executes in lock step (so a wavefront costs as
+// much as its slowest lane); the CPU executes work items independently.
+//
+// All timing parameters live here so the whole calibration surface is a
+// single file. Times produced from these specs are *virtual nanoseconds*;
+// the reproduction target is the relative shape of the paper's figures, not
+// absolute wall-clock on the original silicon.
+
+#ifndef APUJOIN_SIMCL_DEVICE_H_
+#define APUJOIN_SIMCL_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace apujoin::simcl {
+
+enum class DeviceKind { kCpu, kGpu };
+
+/// Identifier for the two devices of the coupled architecture.
+enum class DeviceId : int { kCpu = 0, kGpu = 1 };
+
+inline constexpr int kNumDevices = 2;
+
+inline const char* DeviceName(DeviceId id) {
+  return id == DeviceId::kCpu ? "CPU" : "GPU";
+}
+
+/// Static description + timing parameters of one compute device.
+struct DeviceSpec {
+  DeviceKind kind = DeviceKind::kCpu;
+  std::string name;
+
+  // --- compute ---
+  int cores = 1;            ///< processing elements (CPU cores / GPU PEs)
+  double freq_ghz = 1.0;    ///< core clock
+  double ipc = 1.0;         ///< sustained instructions per cycle per core
+  /// Fixed per-work-item dispatch overhead in instructions. OpenCL-on-CPU
+  /// pays a large per-item runtime cost (work-item loop, no vectorisation);
+  /// the GPU amortises dispatch across a wavefront.
+  double item_overhead_instr = 0.0;
+
+  // --- SIMD execution ---
+  int wavefront = 1;        ///< lock-step width (64 on AMD GPUs, 1 on CPU)
+  int workgroup_size = 1;   ///< work items per work group
+
+  // --- memory behaviour ---
+  /// Memory-level parallelism: how many outstanding misses effectively
+  /// overlap. Out-of-order CPU cores overlap a few; the GPU hides latency
+  /// across many wavefronts.
+  double mlp = 1.0;
+  /// Penalty factor for dependent (pointer-chasing) random accesses, where
+  /// the next address is known only after the previous load returns.
+  double dependent_access_penalty = 1.0;
+  /// Extra factor for uncoalesced gathers on SIMD hardware: a wavefront
+  /// touching 64 distinct cache lines serialises its memory transactions.
+  double gather_penalty = 1.0;
+  double seq_bandwidth_gbps = 10.0;  ///< streaming share of the controller
+
+  // --- synchronisation ---
+  /// Threads concurrently contending for latches (used by the latch model).
+  int concurrent_threads = 1;
+  double atomic_base_ns = 5.0;      ///< uncontended global atomic
+  double atomic_conflict_ns = 10.0; ///< added cost per expected conflictor
+  double local_atomic_ns = 1.0;     ///< atomic on local (work-group) memory
+
+  /// Aggregate instruction throughput in instructions per nanosecond.
+  double InstrPerNs() const { return cores * freq_ghz * ipc; }
+
+  /// The A8-3870K CPU device (Table 1 of the paper).
+  static DeviceSpec ApuCpu();
+  /// The A8-3870K integrated GPU device (Table 1 of the paper).
+  static DeviceSpec ApuGpu();
+  /// A discrete-class GPU (Radeon HD 7970 column of Table 1); only used by
+  /// tests/docs to contrast device classes, not by the main experiments.
+  static DeviceSpec DiscreteHd7970();
+};
+
+}  // namespace apujoin::simcl
+
+#endif  // APUJOIN_SIMCL_DEVICE_H_

@@ -1,0 +1,57 @@
+#include "simcl/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apujoin::simcl {
+
+double LatchConflictNs(const DeviceSpec& dev, double distinct_addresses) {
+  distinct_addresses = std::max(1.0, distinct_addresses);
+  const double expected_conflictors =
+      static_cast<double>(dev.concurrent_threads) / distinct_addresses;
+  // Smooth saturation towards ~64 queued conflictors: beyond that the latch
+  // is fully serialised and additional waiters overlap each other's
+  // retries. (Smooth rather than a hard cap, so the Figure 20 sweep stays
+  // strictly monotone in the array size.)
+  const double effective =
+      expected_conflictors / (1.0 + expected_conflictors / 64.0);
+  if (effective <= 1.0) return 0.0;
+  return dev.atomic_conflict_ns * (effective - 1.0);
+}
+
+DeviceTime ComputeDeviceTime(const DeviceSpec& dev, const MemoryModel& mem,
+                             const StepProfile& p, uint64_t items,
+                             uint64_t work, double work_eff) {
+  DeviceTime t;
+  const double n_items = static_cast<double>(items);
+  const double w = static_cast<double>(work);
+
+  t.compute_ns = (dev.item_overhead_instr * n_items + p.instr_per_unit * work_eff) /
+                 dev.InstrPerNs();
+
+  double mem_ns = 0.0;
+  if (p.rand_accesses_per_unit > 0.0) {
+    mem_ns += p.rand_accesses_per_unit * work_eff *
+              mem.RandomAccessNs(dev, p.rand_working_set_bytes,
+                                 p.dependent_accesses, p.locality_boost);
+  }
+  if (p.seq_bytes_per_item > 0.0) {
+    mem_ns += mem.SequentialNs(dev, p.seq_bytes_per_item * n_items);
+  }
+  if (p.seq_bytes_per_unit > 0.0) {
+    mem_ns += mem.SequentialNs(dev, p.seq_bytes_per_unit * w);
+  }
+  t.memory_ns = mem_ns;
+
+  if (p.global_atomics_per_unit > 0.0) {
+    const double ops = p.global_atomics_per_unit * w;
+    t.atomic_ns += ops * dev.atomic_base_ns;
+    t.lock_ns += ops * LatchConflictNs(dev, p.atomic_addresses);
+  }
+  if (p.local_atomics_per_unit > 0.0) {
+    t.atomic_ns += p.local_atomics_per_unit * w * dev.local_atomic_ns;
+  }
+  return t;
+}
+
+}  // namespace apujoin::simcl

@@ -1,0 +1,182 @@
+// Executor — runs a fine-grained step for real while accruing virtual time.
+//
+// A step (Section 3.1 of the paper) is a data-parallel kernel over N items.
+// `Run` splits the items between CPU and GPU by the step's workload ratio
+// (the paper's r_i: the fraction assigned to the CPU), executes the per-item
+// functor on the host (so join results are real), and computes each device's
+// virtual elapsed time from the step's cost profile:
+//
+//   compute = (overhead·items + instr·W_eff) / (ipc·cores·freq)     (Eq. 3)
+//   memory  = rand_accesses·W_eff·RandomAccessNs + seq_bytes/bw
+//   atomics = atomics·W·base_cost          (inherent, modelled)
+//   lock    = atomics·W·conflict_cost      (contention, NOT in cost model)
+//
+// W is the total measured work units; on the GPU, W_eff inflates W by SIMD
+// divergence: a wavefront of 64 lock-step lanes costs 64·max(lane work).
+// Because work units are measured from the real execution, skew and
+// divergence effects are data-dependent exactly as on hardware.
+
+#ifndef APUJOIN_SIMCL_EXECUTOR_H_
+#define APUJOIN_SIMCL_EXECUTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "simcl/context.h"
+
+namespace apujoin::simcl {
+
+/// Cost profile of one fine-grained step (per work unit unless noted).
+struct StepProfile {
+  /// Kernel instructions per work unit (same OpenCL code on both devices).
+  double instr_per_unit = 10.0;
+  /// Random global-memory accesses per work unit.
+  double rand_accesses_per_unit = 0.0;
+  /// Size of the structure those random accesses hit (bytes).
+  double rand_working_set_bytes = 0.0;
+  /// Pointer-chasing chains (address depends on previous load)?
+  bool dependent_accesses = false;
+  /// Extra effective hit rate in [0,1] (e.g. skewed key popularity).
+  double locality_boost = 0.0;
+  /// Streamed bytes per *item* (coalesced; not divergence-inflated).
+  double seq_bytes_per_item = 0.0;
+  /// Streamed bytes per *work unit* (e.g. result-tuple output in p4).
+  double seq_bytes_per_unit = 0.0;
+  /// Latched global atomics per work unit.
+  double global_atomics_per_unit = 0.0;
+  /// Distinct latch addresses those atomics spread over (contention model).
+  double atomic_addresses = 1.0;
+  /// Local-memory (work-group) atomics per work unit.
+  double local_atomics_per_unit = 0.0;
+};
+
+/// Per-device virtual time of one step execution.
+struct DeviceTime {
+  double compute_ns = 0.0;
+  double memory_ns = 0.0;
+  double atomic_ns = 0.0;
+  double lock_ns = 0.0;  ///< contention overhead (excluded from cost model)
+  double TotalNs() const { return compute_ns + memory_ns + atomic_ns + lock_ns; }
+  /// Time without the contention term — what the cost model predicts.
+  double ModeledNs() const { return compute_ns + memory_ns + atomic_ns; }
+
+  DeviceTime& operator+=(const DeviceTime& o) {
+    compute_ns += o.compute_ns;
+    memory_ns += o.memory_ns;
+    atomic_ns += o.atomic_ns;
+    lock_ns += o.lock_ns;
+    return *this;
+  }
+};
+
+/// Result of running one step.
+struct StepStats {
+  uint64_t items[kNumDevices] = {0, 0};
+  uint64_t work[kNumDevices] = {0, 0};
+  DeviceTime time[kNumDevices];
+  /// W_eff / W on the GPU share (1.0 = no divergence).
+  double gpu_divergence = 1.0;
+
+  double TotalNs(DeviceId d) const { return time[static_cast<int>(d)].TotalNs(); }
+  double LockNs() const {
+    return time[0].lock_ns + time[1].lock_ns;
+  }
+  /// Elapsed time if both devices ran concurrently (barrier semantics).
+  double ElapsedNs() const {
+    return std::max(time[0].TotalNs(), time[1].TotalNs());
+  }
+};
+
+/// Expected latch-conflict overhead per atomic op on `dev` when atomics
+/// spread over `distinct_addresses` addresses.
+double LatchConflictNs(const DeviceSpec& dev, double distinct_addresses);
+
+/// Computes the virtual time of `items` items performing `work` total work
+/// units (`work_eff` after divergence inflation) under `profile` on `dev`.
+DeviceTime ComputeDeviceTime(const DeviceSpec& dev, const MemoryModel& mem,
+                             const StepProfile& profile, uint64_t items,
+                             uint64_t work, double work_eff);
+
+/// Runs fine-grained steps, splitting items between the two devices.
+class Executor {
+ public:
+  explicit Executor(SimContext* ctx) : ctx_(ctx) {}
+
+  /// Runs items [0, n): the first ceil(cpu_ratio·n) on the CPU, the rest on
+  /// the GPU. `fn(i, dev)` executes item i on device `dev` and returns its
+  /// work units (>= 0). cpu_ratio follows the paper's r_i convention:
+  /// 1.0 = CPU-only, 0.0 = GPU-only.
+  template <typename ItemFn>
+  StepStats Run(const StepProfile& profile, uint64_t n, double cpu_ratio,
+                ItemFn&& fn) const {
+    StepStats stats;
+    cpu_ratio = std::clamp(cpu_ratio, 0.0, 1.0);
+    const uint64_t n_cpu =
+        static_cast<uint64_t>(cpu_ratio * static_cast<double>(n) + 0.5);
+    RunRange(DeviceId::kCpu, profile, 0, n_cpu, fn, &stats);
+    RunRange(DeviceId::kGpu, profile, n_cpu, n, fn, &stats);
+    return stats;
+  }
+
+  /// Runs all items on one device.
+  template <typename ItemFn>
+  StepStats RunOn(DeviceId d, const StepProfile& profile, uint64_t n,
+                  ItemFn&& fn) const {
+    StepStats stats;
+    RunRange(d, profile, 0, n, fn, &stats);
+    return stats;
+  }
+
+  /// Runs items [begin, end) on one device (chunk dispatch, BasicUnit).
+  template <typename ItemFn>
+  StepStats RunSpan(DeviceId d, const StepProfile& profile, uint64_t begin,
+                    uint64_t end, ItemFn&& fn) const {
+    StepStats stats;
+    RunRange(d, profile, begin, end, fn, &stats);
+    return stats;
+  }
+
+  SimContext* context() const { return ctx_; }
+
+ private:
+  template <typename ItemFn>
+  void RunRange(DeviceId d, const StepProfile& profile, uint64_t begin,
+                uint64_t end, ItemFn& fn, StepStats* stats) const {
+    if (end <= begin) return;
+    const DeviceSpec& dev = ctx_->device(d);
+    const uint64_t items = end - begin;
+    uint64_t work = 0;
+    double work_eff = 0.0;
+    if (dev.wavefront > 1) {
+      // Lock-step SIMD: each wavefront costs width × its slowest lane.
+      const uint64_t wf = static_cast<uint64_t>(dev.wavefront);
+      for (uint64_t base = begin; base < end; base += wf) {
+        const uint64_t lim = std::min(end, base + wf);
+        uint32_t max_work = 0;
+        for (uint64_t i = base; i < lim; ++i) {
+          const uint32_t w = fn(i, d);
+          work += w;
+          max_work = std::max(max_work, w);
+        }
+        work_eff += static_cast<double>(max_work) * static_cast<double>(wf);
+      }
+    } else {
+      for (uint64_t i = begin; i < end; ++i) work += fn(i, d);
+      work_eff = static_cast<double>(work);
+    }
+    const int di = static_cast<int>(d);
+    stats->items[di] += items;
+    stats->work[di] += work;
+    stats->time[di] +=
+        ComputeDeviceTime(dev, ctx_->memory(), profile, items, work, work_eff);
+    if (d == DeviceId::kGpu && work > 0) {
+      stats->gpu_divergence = work_eff / static_cast<double>(work);
+    }
+  }
+
+  SimContext* ctx_;
+};
+
+}  // namespace apujoin::simcl
+
+#endif  // APUJOIN_SIMCL_EXECUTOR_H_

@@ -1,0 +1,46 @@
+#include "simcl/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apujoin::simcl {
+
+double MemoryModel::ResidentFraction(double working_set_bytes) const {
+  if (working_set_bytes <= 0.0) return 1.0;
+  if (working_set_bytes <= spec_.l2_bytes) return 1.0;
+  // Beyond capacity, the resident fraction decays with the ratio; a floor
+  // keeps hot lines (bucket headers revisited by collisions) resident.
+  const double f = spec_.l2_bytes / working_set_bytes;
+  return std::max(0.02, f);
+}
+
+double MemoryModel::RandomAccessNs(const DeviceSpec& dev,
+                                   double working_set_bytes, bool dependent,
+                                   double locality_boost) const {
+  double hit = ResidentFraction(working_set_bytes);
+  hit = hit + (1.0 - hit) * std::clamp(locality_boost, 0.0, 1.0);
+  const double raw =
+      hit * spec_.l2_latency_ns + (1.0 - hit) * spec_.dram_latency_ns;
+  // Latency hiding: overlapped across the device's effective MLP.
+  double cost = raw / std::max(1.0, dev.mlp);
+  if (dependent) cost *= dev.dependent_access_penalty;
+  // SIMD gathers serialise per-lane transactions.
+  if (dev.wavefront > 1) cost *= dev.gather_penalty;
+  // Bandwidth floor: each miss moves one cache line through the shared
+  // controller; massive parallelism cannot beat that.
+  const double line_ns =
+      (1.0 - hit) * spec_.cache_line_bytes / spec_.total_bandwidth_gbps;
+  return std::max(cost, line_ns);
+}
+
+double MemoryModel::SequentialNs(const DeviceSpec& dev, double bytes) const {
+  const double bw = std::min(dev.seq_bandwidth_gbps, spec_.total_bandwidth_gbps);
+  return bytes / bw;  // GB/s == bytes/ns
+}
+
+double MemoryModel::BufferCopyNs(double bytes) const {
+  // memcpy reads + writes through the shared controller.
+  return 2.0 * bytes / spec_.total_bandwidth_gbps;
+}
+
+}  // namespace apujoin::simcl

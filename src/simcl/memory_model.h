@@ -1,0 +1,62 @@
+// Analytic model of the APU's shared memory hierarchy.
+//
+// Both devices share one 4 MB L2 and one memory controller (Figure 1b of the
+// paper), so a random access costs the same DRAM latency on either device;
+// what differs is how well each device *hides* that latency (MLP), how badly
+// SIMD gathers serialise (gather penalty), and each device's share of
+// streaming bandwidth. Cache residency is modelled analytically from the
+// working-set size; when exact counts are needed (Table 3) the set-
+// associative CacheSim is used instead.
+
+#ifndef APUJOIN_SIMCL_MEMORY_MODEL_H_
+#define APUJOIN_SIMCL_MEMORY_MODEL_H_
+
+#include <cstdint>
+
+#include "simcl/device.h"
+
+namespace apujoin::simcl {
+
+/// Parameters of the shared memory hierarchy (defaults: A8-3870K, Table 1).
+struct MemorySpec {
+  double l2_bytes = 4.0 * 1024 * 1024;   ///< shared L2 capacity
+  double l2_latency_ns = 6.0;            ///< L2 hit latency
+  double dram_latency_ns = 70.0;         ///< row-buffer-miss DRAM latency
+  double cache_line_bytes = 64.0;
+  double zero_copy_bytes = 512.0 * 1024 * 1024;  ///< zero-copy buffer size
+  /// Aggregate controller bandwidth cap shared by both devices (GB/s).
+  double total_bandwidth_gbps = 21.0;
+};
+
+/// Cost calculator for memory operations on a given device.
+class MemoryModel {
+ public:
+  explicit MemoryModel(MemorySpec spec = MemorySpec()) : spec_(spec) {}
+
+  const MemorySpec& spec() const { return spec_; }
+
+  /// Fraction of a working set expected to be L2-resident. A small "warm
+  /// fraction" survives even for huge working sets (hot buckets).
+  double ResidentFraction(double working_set_bytes) const;
+
+  /// Average cost in ns of one random access into a structure of
+  /// `working_set_bytes`, issued by `dev`. `dependent` marks pointer-chasing
+  /// chains (next address known only after the load). `locality_boost`
+  /// in [0,1] raises the effective hit rate (e.g. skewed key popularity).
+  double RandomAccessNs(const DeviceSpec& dev, double working_set_bytes,
+                        bool dependent, double locality_boost = 0.0) const;
+
+  /// Cost in ns of streaming `bytes` through `dev` (sequential access).
+  double SequentialNs(const DeviceSpec& dev, double bytes) const;
+
+  /// Cost of copying `bytes` between the zero-copy buffer and system
+  /// memory (used by the out-of-core join; CPU-driven memcpy).
+  double BufferCopyNs(double bytes) const;
+
+ private:
+  MemorySpec spec_;
+};
+
+}  // namespace apujoin::simcl
+
+#endif  // APUJOIN_SIMCL_MEMORY_MODEL_H_

@@ -1,0 +1,40 @@
+// PCI-e bus model for the *emulated discrete* architecture.
+//
+// Section 5.1 of the paper: "we emulate a PCI-e bus with latency = 0.015 ms
+// and bandwidth = 3 GB/sec", delay of one transfer = latency + size /
+// bandwidth. On the coupled architecture this model is never invoked —
+// eliminating it is the coupled architecture's headline advantage.
+
+#ifndef APUJOIN_SIMCL_PCIE_H_
+#define APUJOIN_SIMCL_PCIE_H_
+
+#include <cstdint>
+
+namespace apujoin::simcl {
+
+/// Delay model of one PCI-e transfer.
+class PcieModel {
+ public:
+  PcieModel(double latency_ns, double bandwidth_gbps)
+      : latency_ns_(latency_ns), bandwidth_gbps_(bandwidth_gbps) {}
+
+  /// Paper's emulation parameters: 0.015 ms latency, 3 GB/s bandwidth.
+  static PcieModel PaperEmulation() { return PcieModel(15000.0, 3.0); }
+
+  /// Virtual ns to move `bytes` across the bus (one transfer).
+  double TransferNs(double bytes) const {
+    if (bytes <= 0.0) return 0.0;
+    return latency_ns_ + bytes / bandwidth_gbps_;
+  }
+
+  double latency_ns() const { return latency_ns_; }
+  double bandwidth_gbps() const { return bandwidth_gbps_; }
+
+ private:
+  double latency_ns_;
+  double bandwidth_gbps_;
+};
+
+}  // namespace apujoin::simcl
+
+#endif  // APUJOIN_SIMCL_PCIE_H_

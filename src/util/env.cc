@@ -1,0 +1,29 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace apujoin {
+
+int64_t GetEnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return parsed;
+}
+
+bool GetEnvFlag(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  return !(v[0] == '\0' || (v[0] == '0' && v[1] == '\0'));
+}
+
+double BenchScale() { return GetEnvFlag("REPRO_FULL") ? 1.0 : 0.25; }
+
+uint64_t DefaultProbeTuples() {
+  const uint64_t paper = 16ull * 1024 * 1024;
+  return static_cast<uint64_t>(paper * BenchScale());
+}
+
+}  // namespace apujoin

@@ -1,0 +1,29 @@
+// Environment knobs shared by the bench harness: REPRO_FULL switches between
+// the paper's full data scale (16M-tuple probe relation) and the reduced
+// default scale that keeps the whole suite runnable in minutes on one core.
+
+#ifndef APUJOIN_UTIL_ENV_H_
+#define APUJOIN_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace apujoin {
+
+/// Returns the integer value of env var `name`, or `def` if unset/invalid.
+int64_t GetEnvInt(const char* name, int64_t def);
+
+/// True if env var `name` is set to a non-zero / non-empty value.
+bool GetEnvFlag(const char* name);
+
+/// Bench scale factor: 1.0 when REPRO_FULL is set, else the reduced default
+/// (0.25). Sizes quoted from the paper are multiplied by this.
+double BenchScale();
+
+/// The probe-relation cardinality used by "default data set" benches
+/// (paper default: 16M tuples; reduced default: 4M).
+uint64_t DefaultProbeTuples();
+
+}  // namespace apujoin
+
+#endif  // APUJOIN_UTIL_ENV_H_

@@ -1,0 +1,47 @@
+#include "util/murmur_hash.h"
+
+#include <cstring>
+
+namespace apujoin {
+
+uint32_t MurmurHash2(const void* key, int len, uint32_t seed) {
+  constexpr uint32_t kM = 0x5bd1e995u;
+  constexpr int kR = 24;
+
+  uint32_t h = seed ^ static_cast<uint32_t>(len);
+  const unsigned char* data = static_cast<const unsigned char*>(key);
+
+  while (len >= 4) {
+    uint32_t k;
+    std::memcpy(&k, data, sizeof(k));
+    k *= kM;
+    k ^= k >> kR;
+    k *= kM;
+    h *= kM;
+    h ^= k;
+    data += 4;
+    len -= 4;
+  }
+
+  switch (len) {
+    case 3:
+      h ^= static_cast<uint32_t>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h ^= static_cast<uint32_t>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h ^= data[0];
+      h *= kM;
+      break;
+    default:
+      break;
+  }
+
+  h ^= h >> 13;
+  h *= kM;
+  h ^= h >> 15;
+  return h;
+}
+
+}  // namespace apujoin

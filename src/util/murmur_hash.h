@@ -1,0 +1,40 @@
+// MurmurHash 2.0 — the hash function used by the paper (Section 5.1), chosen
+// for its good collision rate and low computational overhead. Implemented
+// from Austin Appleby's public-domain reference algorithm.
+
+#ifndef APUJOIN_UTIL_MURMUR_HASH_H_
+#define APUJOIN_UTIL_MURMUR_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apujoin {
+
+/// MurmurHash2 over an arbitrary byte buffer.
+uint32_t MurmurHash2(const void* key, int len, uint32_t seed);
+
+/// Specialized 4-byte-key MurmurHash2 (the hot path: join keys are int32).
+/// Equivalent to MurmurHash2(&key, 4, seed) but fully inlined.
+inline uint32_t MurmurHash2x4(uint32_t key, uint32_t seed = 0x9747b28cu) {
+  constexpr uint32_t kM = 0x5bd1e995u;
+  constexpr int kR = 24;
+  uint32_t h = seed ^ 4u;
+  uint32_t k = key;
+  k *= kM;
+  k ^= k >> kR;
+  k *= kM;
+  h *= kM;
+  h ^= k;
+  h ^= h >> 13;
+  h *= kM;
+  h ^= h >> 15;
+  return h;
+}
+
+/// Approximate instruction count of MurmurHash2x4 — used by the step cost
+/// profiles to charge hash computation to the device model.
+constexpr double kMurmurInstructions = 14.0;
+
+}  // namespace apujoin
+
+#endif  // APUJOIN_UTIL_MURMUR_HASH_H_

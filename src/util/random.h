@@ -1,0 +1,60 @@
+// Deterministic, fast PRNG used across workload generation and Monte Carlo
+// simulation. xorshift128+ — far cheaper than std::mt19937 and reproducible
+// across platforms (we never rely on libstdc++ distribution internals).
+
+#ifndef APUJOIN_UTIL_RANDOM_H_
+#define APUJOIN_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace apujoin {
+
+/// Small deterministic PRNG (xorshift128+).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x853c49e6748fea9bULL) {
+    // SplitMix64 seeding to avoid correlated low-entropy states.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t Next32() { return static_cast<uint32_t>(Next() >> 32); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool OneIn(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace apujoin
+
+#endif  // APUJOIN_UTIL_RANDOM_H_

@@ -1,0 +1,53 @@
+// Summary statistics + CDF helpers (Figure 9 reports the CDF of Monte Carlo
+// runs; several benches report mean/min/max over repetitions).
+
+#ifndef APUJOIN_UTIL_STATS_H_
+#define APUJOIN_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace apujoin {
+
+/// Online mean/variance/min/max accumulator (Welford).
+class SummaryStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over a sample set.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  double Cdf(double x) const;
+
+  /// The q-quantile of the samples, q in [0,1].
+  double Quantile(double q) const;
+
+  /// Evenly spaced (value, cdf) points suitable for plotting/printing.
+  std::vector<std::pair<double, double>> Points(int buckets) const;
+
+  const std::vector<double>& sorted_samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;  // sorted ascending
+};
+
+}  // namespace apujoin
+
+#endif  // APUJOIN_UTIL_STATS_H_

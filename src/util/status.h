@@ -1,0 +1,136 @@
+// Status / StatusOr: exception-free error handling for the library core,
+// modelled on the idiom used by RocksDB / Arrow / absl.
+//
+// Library code returns Status (or StatusOr<T>) instead of throwing; benches
+// and examples may CHECK-fail on errors at the top level.
+
+#ifndef APUJOIN_UTIL_STATUS_H_
+#define APUJOIN_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace apujoin {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Lightweight success-or-error result of an operation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+  }
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl::StatusOr
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define APU_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::apujoin::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Abort (with message) if `expr` yields a non-OK status. For tools/benches.
+#define APU_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    ::apujoin::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                        \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,         \
+                   _st.ToString().c_str());                                 \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Abort if a boolean invariant does not hold. For tools/benches.
+#define APU_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FATAL %s:%d: check failed: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+}  // namespace apujoin
+
+#endif  // APUJOIN_UTIL_STATUS_H_

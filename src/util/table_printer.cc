@@ -1,0 +1,71 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+namespace apujoin {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, "%-*s%s", static_cast<int>(widths[c]), cell.c_str(),
+                   c + 1 == widths.size() ? "" : "  ");
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::string sep(total > 2 ? total - 2 : total, '-');
+  std::fprintf(out, "%s\n", sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FmtPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::FmtCount(uint64_t v) {
+  if (v >= 1024ull * 1024ull && v % (1024ull * 1024ull) == 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "M", v / (1024ull * 1024ull));
+    return buf;
+  }
+  if (v >= 1024 && v % 1024 == 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "K", v / 1024);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+void PrintSection(const std::string& title) {
+  std::printf("\n### %s\n\n", title.c_str());
+}
+
+}  // namespace apujoin

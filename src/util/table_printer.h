@@ -1,0 +1,40 @@
+// Console table formatting for the benchmark harness. Every bench binary
+// prints the same rows/series as the corresponding paper table or figure;
+// TablePrinter keeps that output aligned and diff-friendly.
+
+#ifndef APUJOIN_UTIL_TABLE_PRINTER_H_
+#define APUJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace apujoin {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append one row; the cell count should match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Render to `out` (default stdout) with a separator under the header.
+  void Print(std::FILE* out = stdout) const;
+
+  /// Format helpers used by bench binaries.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string FmtPercent(double fraction, int precision = 1);
+  static std::string FmtCount(uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "### <title>" section banner for bench output.
+void PrintSection(const std::string& title);
+
+}  // namespace apujoin
+
+#endif  // APUJOIN_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "simcl/cache_sim.h"
+
+namespace apujoin::simcl {
+namespace {
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheSim cache(1 << 16, 64, 4);
+  EXPECT_FALSE(cache.Access(0x1000));
+  EXPECT_TRUE(cache.Access(0x1000));
+  EXPECT_TRUE(cache.Access(0x1008));  // same line
+  EXPECT_EQ(cache.accesses(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheSimTest, CapacityEviction) {
+  CacheSim cache(1 << 14, 64, 4);  // 16 KB
+  // Touch 64 KB (4x capacity), then re-touch: everything was evicted.
+  for (uint64_t a = 0; a < (1 << 16); a += 64) cache.Access(a);
+  const uint64_t misses_before = cache.misses();
+  uint64_t hits = 0;
+  for (uint64_t a = 0; a < (1 << 14); a += 64) hits += cache.Access(a);
+  EXPECT_EQ(hits, 0u);
+  EXPECT_GT(cache.misses(), misses_before);
+}
+
+TEST(CacheSimTest, LruWithinSet) {
+  CacheSim cache(64 * 4, 64, 4);  // 1 set, 4 ways
+  ASSERT_EQ(cache.num_sets(), 1u);
+  cache.Access(0 * 64);
+  cache.Access(1 * 64);
+  cache.Access(2 * 64);
+  cache.Access(3 * 64);
+  cache.Access(0 * 64);   // refresh line 0
+  cache.Access(4 * 64);   // evicts line 1 (LRU)
+  EXPECT_TRUE(cache.Access(0 * 64));
+  EXPECT_FALSE(cache.Access(1 * 64));
+}
+
+TEST(CacheSimTest, WorkingSetWithinCapacityAllHitsAfterWarmup) {
+  CacheSim cache(4ull << 20, 64, 16);
+  for (int round = 0; round < 2; ++round) {
+    for (uint64_t a = 0; a < (2ull << 20); a += 64) cache.Access(a);
+  }
+  // Second round is all hits: miss ratio == half the accesses missing once.
+  EXPECT_NEAR(cache.miss_ratio(), 0.5, 0.01);
+}
+
+TEST(CacheSimTest, ResetClearsCountersAndContents) {
+  CacheSim cache(1 << 14, 64, 4);
+  cache.Access(0);
+  cache.Reset();
+  EXPECT_EQ(cache.accesses(), 0u);
+  EXPECT_FALSE(cache.Access(0));  // cold again
+}
+
+TEST(CacheSimTest, MissRatioZeroWhenEmpty) {
+  CacheSim cache;
+  EXPECT_DOUBLE_EQ(cache.miss_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace apujoin::simcl

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "cost/abstract_model.h"
+#include "cost/calibration.h"
+#include "cost/optimizer.h"
+#include "data/generator.h"
+#include "join/simple_hash_join.h"
+
+namespace apujoin::cost {
+namespace {
+
+StepCosts ToyCosts() {
+  // Step 0: GPU 10x faster (hash-like). Step 1: CPU 2x faster (list-like).
+  return {{"s1", 10.0, 1.0}, {"s2", 5.0, 10.0}};
+}
+
+TEST(AbstractModelTest, UniformRatiosHaveNoDelaysOrComm) {
+  const auto est = EstimateSeries(ToyCosts(), 1000, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(est.comm_ns, 0.0);
+  for (double d : est.delay_cpu_ns) EXPECT_DOUBLE_EQ(d, 0.0);
+  for (double d : est.delay_gpu_ns) EXPECT_DOUBLE_EQ(d, 0.0);
+  EXPECT_DOUBLE_EQ(est.cpu_ns, 0.5 * 1000 * (10.0 + 5.0));
+  EXPECT_DOUBLE_EQ(est.gpu_ns, 0.5 * 1000 * (1.0 + 10.0));
+  EXPECT_DOUBLE_EQ(est.elapsed_ns, est.cpu_ns);
+}
+
+TEST(AbstractModelTest, CpuOnlyAndGpuOnly) {
+  const auto cpu = EstimateSeries(ToyCosts(), 100, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(cpu.elapsed_ns, 100 * 15.0);
+  const auto gpu = EstimateSeries(ToyCosts(), 100, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(gpu.elapsed_ns, 100 * 11.0);
+}
+
+TEST(AbstractModelTest, OffloadHandoffSerialises) {
+  // Step 0 on GPU, step 1 on CPU: the CPU's step 1 cannot start before the
+  // GPU finishes step 0 (Eq. 4 with r=1 > rp=0).
+  const auto est = EstimateSeries(ToyCosts(), 1000, {0.0, 1.0});
+  const double t0_gpu = 1000 * 1.0;
+  const double t1_cpu = 1000 * 5.0;
+  EXPECT_DOUBLE_EQ(est.delay_cpu_ns[1], t0_gpu - t1_cpu > 0 ? t0_gpu : 0.0);
+  // elapsed >= serial sum when the GPU step dominates; here t1 > t0, so the
+  // pipeline hides the GPU time entirely except the crossing comm.
+  EXPECT_GE(est.elapsed_ns, t1_cpu);
+}
+
+TEST(AbstractModelTest, CrossingItemsPayCommunication) {
+  CommSpec comm;
+  comm.bytes_per_item = 8.0;
+  comm.bandwidth_gbps = 8.0;
+  const auto est = EstimateSeries(ToyCosts(), 1000, {0.0, 0.5}, comm);
+  EXPECT_DOUBLE_EQ(est.comm_ns, 0.5 * 1000 * 8.0 / 8.0);
+}
+
+TEST(AbstractModelTest, PcieLatencyAddsPerTransfer) {
+  CommSpec pcie;
+  pcie.bytes_per_item = 8.0;
+  pcie.bandwidth_gbps = 3.0;
+  pcie.per_transfer_latency_ns = 15000.0;
+  const auto est = EstimateSeries(ToyCosts(), 1000, {0.0, 1.0}, pcie);
+  EXPECT_GT(est.comm_ns, 15000.0);
+}
+
+TEST(AbstractModelTest, ComposeAgreesWithEstimate) {
+  const StepCosts costs = ToyCosts();
+  const std::vector<double> ratios = {0.2, 0.8};
+  const uint64_t n = 5000;
+  std::vector<double> t_cpu = {costs[0].cpu_ns_per_item * 0.2 * n,
+                               costs[1].cpu_ns_per_item * 0.8 * n};
+  std::vector<double> t_gpu = {costs[0].gpu_ns_per_item * 0.8 * n,
+                               costs[1].gpu_ns_per_item * 0.2 * n};
+  const auto a = EstimateSeries(costs, n, ratios);
+  const auto b = ComposePipelinedTiming(t_cpu, t_gpu, ratios, n, CommSpec());
+  EXPECT_DOUBLE_EQ(a.elapsed_ns, b.elapsed_ns);
+  EXPECT_DOUBLE_EQ(a.cpu_ns, b.cpu_ns);
+}
+
+TEST(OptimizerTest, DataDividingBalancesThroughput) {
+  // Single step, CPU 10 ns, GPU 30 ns per item: optimum r = 0.75.
+  StepCosts costs = {{"s", 10.0, 30.0}};
+  const RatioPlan plan = OptimizeDataDividing(costs, 10000);
+  EXPECT_NEAR(plan.ratios[0], 0.75, 0.021);
+  EXPECT_LE(plan.predicted_ns,
+            EstimateSeries(costs, 10000, {1.0}).elapsed_ns);
+}
+
+TEST(OptimizerTest, OffloadPicksCheaperDevicePerStep) {
+  const RatioPlan plan = OptimizeOffloading(ToyCosts(), 10000);
+  // A serial handoff costs more than leaving both steps on one device when
+  // per-device sums are close; whatever it picks must beat single-device.
+  const double cpu_only = EstimateSeries(ToyCosts(), 10000, {1.0, 1.0}).elapsed_ns;
+  const double gpu_only = EstimateSeries(ToyCosts(), 10000, {0.0, 0.0}).elapsed_ns;
+  EXPECT_LE(plan.predicted_ns, std::min(cpu_only, gpu_only));
+  for (double r : plan.ratios) {
+    EXPECT_TRUE(r == 0.0 || r == 1.0);
+  }
+}
+
+TEST(OptimizerTest, PipelinedAtLeastAsGoodAsDDAndOL) {
+  const StepCosts costs = ToyCosts();
+  const uint64_t n = 10000;
+  const double pl = OptimizePipelined(costs, n).predicted_ns;
+  EXPECT_LE(pl, OptimizeDataDividing(costs, n).predicted_ns + 1e-6);
+  EXPECT_LE(pl, OptimizeOffloading(costs, n).predicted_ns + 1e-6);
+}
+
+TEST(OptimizerTest, PipelinedFourStepsViaCoordinateDescent) {
+  StepCosts costs = {{"a", 10.0, 1.0},
+                     {"b", 4.0, 4.0},
+                     {"c", 3.0, 9.0},
+                     {"d", 6.0, 2.0}};
+  const RatioPlan plan = OptimizePipelined(costs, 100000);
+  EXPECT_EQ(plan.ratios.size(), 4u);
+  EXPECT_LE(plan.predicted_ns,
+            OptimizeDataDividing(costs, 100000).predicted_ns + 1e-6);
+}
+
+TEST(ObserveStepTest, HashStepsAreUniform) {
+  WorkloadStats ws;
+  ws.buckets = 1024;
+  ws.distinct_keys = 1024;
+  const StepObservation obs = ObserveStep("b1", ws);
+  EXPECT_DOUBLE_EQ(obs.avg_work, 1.0);
+  EXPECT_DOUBLE_EQ(obs.gpu_divergence, 1.0);
+}
+
+TEST(ObserveStepTest, KeyListStepsSeeLoadFactor) {
+  WorkloadStats ws;
+  ws.buckets = 512;
+  ws.distinct_keys = 1024;  // load factor 2 -> avg extra traversal 1
+  const StepObservation obs = ObserveStep("p3", ws);
+  EXPECT_NEAR(obs.avg_work, 2.0, 1e-9);
+  EXPECT_GT(obs.gpu_divergence, 1.0);
+}
+
+TEST(ObserveStepTest, EmitStepSeesMatchRate) {
+  WorkloadStats ws;
+  ws.buckets = 1024;
+  ws.distinct_keys = 1024;
+  ws.match_rate = 0.5;
+  const StepObservation obs = ObserveStep("p4", ws);
+  EXPECT_NEAR(obs.avg_work, 1.5, 1e-9);
+}
+
+TEST(CalibrateTest, HashStepGpuWinsBig) {
+  simcl::SimContext ctx;
+  data::WorkloadSpec spec;
+  // Paper scale matters: the b3/p3 parity holds for tables beyond the L2.
+  spec.build_tuples = 1 << 20;
+  spec.probe_tuples = 1 << 20;
+  auto w = data::GenerateWorkload(spec);
+  join::ShjEngine engine(&ctx, &w->build, &w->probe, join::EngineOptions());
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto steps = engine.BuildSteps();
+  WorkloadStats ws;
+  ws.build_tuples = spec.build_tuples;
+  ws.probe_tuples = spec.probe_tuples;
+  ws.buckets = engine.options().num_buckets;
+  ws.distinct_keys = spec.build_tuples;
+  const StepCosts costs = CalibrateSeries(ctx, steps, ws);
+  ASSERT_EQ(costs.size(), 4u);
+  EXPECT_EQ(costs[0].name, "b1");
+  // Figure 4's headline: hash computation >= 15x faster on the GPU.
+  EXPECT_GT(costs[0].cpu_ns_per_item / costs[0].gpu_ns_per_item, 10.0);
+  // Key-list traversal: near parity (within 3x either way).
+  const double p3_ratio = costs[2].cpu_ns_per_item / costs[2].gpu_ns_per_item;
+  EXPECT_GT(p3_ratio, 1.0 / 3.0);
+  EXPECT_LT(p3_ratio, 3.0);
+}
+
+}  // namespace
+}  // namespace apujoin::cost

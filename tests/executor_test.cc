@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcl/context.h"
+#include "simcl/executor.h"
+
+namespace apujoin::simcl {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  SimContext ctx_;
+  Executor exec_{&ctx_};
+};
+
+TEST_F(ExecutorTest, RatioSplitsItems) {
+  StepProfile p;
+  StepStats s = exec_.Run(p, 1000, 0.3,
+                          [](uint64_t, DeviceId) -> uint32_t { return 1; });
+  EXPECT_EQ(s.items[0], 300u);
+  EXPECT_EQ(s.items[1], 700u);
+  EXPECT_EQ(s.work[0], 300u);
+  EXPECT_EQ(s.work[1], 700u);
+}
+
+TEST_F(ExecutorTest, RatioOneIsCpuOnly) {
+  StepProfile p;
+  StepStats s = exec_.Run(p, 100, 1.0,
+                          [](uint64_t, DeviceId) -> uint32_t { return 1; });
+  EXPECT_EQ(s.items[0], 100u);
+  EXPECT_EQ(s.items[1], 0u);
+  EXPECT_EQ(s.time[1].TotalNs(), 0.0);
+}
+
+TEST_F(ExecutorTest, EveryItemExecutedExactlyOnce) {
+  std::vector<int> hits(5000, 0);
+  StepProfile p;
+  exec_.Run(p, hits.size(), 0.41, [&hits](uint64_t i, DeviceId) -> uint32_t {
+    hits[i]++;
+    return 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(ExecutorTest, KernelSeesCorrectDevice) {
+  StepProfile p;
+  exec_.Run(p, 100, 0.5, [](uint64_t i, DeviceId d) -> uint32_t {
+    EXPECT_EQ(d, i < 50 ? DeviceId::kCpu : DeviceId::kGpu);
+    return 1;
+  });
+}
+
+TEST_F(ExecutorTest, DivergenceInflatesGpuWork) {
+  StepProfile p;
+  // One heavy lane (64 units) per wavefront of otherwise 1-unit lanes.
+  StepStats s = exec_.RunOn(DeviceId::kGpu, p, 6400,
+                            [](uint64_t i, DeviceId) -> uint32_t {
+                              return i % 64 == 0 ? 64 : 1;
+                            });
+  // Each wavefront: max=64 -> W_eff/wavefront = 64*64; W = 64+63.
+  EXPECT_NEAR(s.gpu_divergence, 64.0 * 64.0 / 127.0, 0.01);
+}
+
+TEST_F(ExecutorTest, UniformWorkHasNoDivergence) {
+  StepProfile p;
+  StepStats s = exec_.RunOn(DeviceId::kGpu, p, 6400,
+                            [](uint64_t, DeviceId) -> uint32_t { return 3; });
+  EXPECT_DOUBLE_EQ(s.gpu_divergence, 1.0);
+}
+
+TEST_F(ExecutorTest, CpuNeverDiverges) {
+  StepProfile p;
+  StepStats s = exec_.RunOn(DeviceId::kCpu, p, 1000,
+                            [](uint64_t i, DeviceId) -> uint32_t {
+                              return i % 10 == 0 ? 50 : 1;
+                            });
+  // CPU time scales with total work only; divergence factor untouched.
+  EXPECT_DOUBLE_EQ(s.gpu_divergence, 1.0);
+  EXPECT_EQ(s.work[0], 1000u - 100u + 100u * 50u);
+}
+
+TEST_F(ExecutorTest, MoreInstructionsCostMore) {
+  StepProfile cheap;
+  cheap.instr_per_unit = 5;
+  StepProfile pricey;
+  pricey.instr_per_unit = 500;
+  auto one = [](uint64_t, DeviceId) -> uint32_t { return 1; };
+  EXPECT_GT(exec_.RunOn(DeviceId::kCpu, pricey, 1000, one).time[0].TotalNs(),
+            exec_.RunOn(DeviceId::kCpu, cheap, 1000, one).time[0].TotalNs());
+}
+
+TEST_F(ExecutorTest, AtomicsSplitIntoBaseAndLock) {
+  StepProfile p;
+  p.global_atomics_per_unit = 1.0;
+  p.atomic_addresses = 1.0;  // worst-case contention
+  auto one = [](uint64_t, DeviceId) -> uint32_t { return 1; };
+  const StepStats s = exec_.RunOn(DeviceId::kGpu, p, 1000, one);
+  EXPECT_GT(s.time[1].atomic_ns, 0.0);
+  EXPECT_GT(s.time[1].lock_ns, 0.0);
+  // The cost model ignores the lock share.
+  EXPECT_NEAR(s.time[1].ModeledNs(), s.time[1].TotalNs() - s.time[1].lock_ns,
+              1e-6);
+}
+
+TEST_F(ExecutorTest, SeqBytesPerUnitScalesWithWork) {
+  StepProfile p;
+  p.seq_bytes_per_unit = 8.0;
+  auto heavy = [](uint64_t, DeviceId) -> uint32_t { return 10; };
+  auto light = [](uint64_t, DeviceId) -> uint32_t { return 1; };
+  EXPECT_GT(exec_.RunOn(DeviceId::kCpu, p, 1000, heavy).time[0].memory_ns,
+            exec_.RunOn(DeviceId::kCpu, p, 1000, light).time[0].memory_ns);
+}
+
+TEST_F(ExecutorTest, GpuWinsComputeBoundKernels) {
+  // The premise of Figure 4: hash-style compute-heavy steps run much
+  // faster on the 400-core GPU.
+  StepProfile hash;
+  hash.instr_per_unit = 46;
+  hash.seq_bytes_per_item = 12;
+  auto one = [](uint64_t, DeviceId) -> uint32_t { return 1; };
+  const double cpu =
+      exec_.RunOn(DeviceId::kCpu, hash, 1 << 16, one).time[0].TotalNs();
+  const double gpu =
+      exec_.RunOn(DeviceId::kGpu, hash, 1 << 16, one).time[1].TotalNs();
+  EXPECT_GT(cpu / gpu, 5.0);
+}
+
+TEST_F(ExecutorTest, RunSpanCoversSubrange) {
+  std::vector<int> hits(100, 0);
+  StepProfile p;
+  exec_.RunSpan(DeviceId::kCpu, p, 20, 60,
+                [&hits](uint64_t i, DeviceId) -> uint32_t {
+                  hits[i]++;
+                  return 1;
+                });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 20 && i < 60) ? 1 : 0);
+  }
+}
+
+TEST_F(ExecutorTest, ZeroItemsIsFree) {
+  StepProfile p;
+  StepStats s = exec_.Run(p, 0, 0.5,
+                          [](uint64_t, DeviceId) -> uint32_t { return 1; });
+  EXPECT_EQ(s.ElapsedNs(), 0.0);
+}
+
+}  // namespace
+}  // namespace apujoin::simcl

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "data/generator.h"
+#include "join/reference_join.h"
+
+namespace apujoin::data {
+namespace {
+
+TEST(GeneratorTest, RejectsBadSpecs) {
+  WorkloadSpec spec;
+  spec.build_tuples = 0;
+  EXPECT_FALSE(GenerateWorkload(spec).ok());
+  spec.build_tuples = 10;
+  spec.selectivity = 1.5;
+  EXPECT_FALSE(GenerateWorkload(spec).ok());
+}
+
+TEST(GeneratorTest, SizesMatchSpec) {
+  WorkloadSpec spec;
+  spec.build_tuples = 1000;
+  spec.probe_tuples = 3000;
+  auto w = GenerateWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->build.size(), 1000u);
+  EXPECT_EQ(w->probe.size(), 3000u);
+}
+
+TEST(GeneratorTest, BuildKeysUniqueAndOdd) {
+  WorkloadSpec spec;
+  spec.build_tuples = 4096;
+  spec.probe_tuples = 64;
+  auto w = GenerateWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  std::unordered_set<int32_t> seen;
+  for (int32_t k : w->build.keys) {
+    EXPECT_EQ(k % 2, 1);
+    EXPECT_TRUE(seen.insert(k).second);
+  }
+}
+
+TEST(GeneratorTest, ExpectedMatchesIsExact) {
+  for (double sel : {0.0, 0.125, 0.5, 1.0}) {
+    WorkloadSpec spec;
+    spec.build_tuples = 2048;
+    spec.probe_tuples = 8192;
+    spec.selectivity = sel;
+    auto w = GenerateWorkload(spec);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(w->expected_matches,
+              join::ReferenceMatchCount(w->build, w->probe))
+        << "selectivity " << sel;
+  }
+}
+
+TEST(GeneratorTest, SelectivityControlsMatchFraction) {
+  WorkloadSpec spec;
+  spec.build_tuples = 4096;
+  spec.probe_tuples = 1 << 16;
+  spec.selectivity = 0.125;
+  auto w = GenerateWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  const double rate = static_cast<double>(w->expected_matches) /
+                      static_cast<double>(spec.probe_tuples);
+  EXPECT_NEAR(rate, 0.125, 0.01);
+}
+
+TEST(GeneratorTest, SkewConcentratesOnHotKey) {
+  WorkloadSpec spec;
+  spec.build_tuples = 4096;
+  spec.probe_tuples = 1 << 16;
+  spec.distribution = Distribution::kHighSkew;
+  spec.selectivity = 0.0;  // only hot-key matches remain
+  auto w = GenerateWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  // ~25% of probe tuples must carry one single key.
+  std::unordered_map<int32_t, int> freq;
+  for (int32_t k : w->probe.keys) freq[k]++;
+  int hot = 0;
+  for (const auto& [k, f] : freq) hot = std::max(hot, f);
+  EXPECT_NEAR(static_cast<double>(hot) / spec.probe_tuples, 0.25, 0.02);
+}
+
+TEST(GeneratorTest, SkewFractions) {
+  EXPECT_DOUBLE_EQ(SkewFraction(Distribution::kUniform), 0.0);
+  EXPECT_DOUBLE_EQ(SkewFraction(Distribution::kLowSkew), 0.10);
+  EXPECT_DOUBLE_EQ(SkewFraction(Distribution::kHighSkew), 0.25);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  WorkloadSpec spec;
+  spec.build_tuples = 512;
+  spec.probe_tuples = 512;
+  spec.seed = 99;
+  auto a = GenerateWorkload(spec);
+  auto b = GenerateWorkload(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->build.keys, b->build.keys);
+  EXPECT_EQ(a->probe.keys, b->probe.keys);
+}
+
+TEST(GeneratorTest, SeedsChangeData) {
+  WorkloadSpec spec;
+  spec.build_tuples = 512;
+  spec.probe_tuples = 512;
+  spec.seed = 1;
+  auto a = GenerateWorkload(spec);
+  spec.seed = 2;
+  auto b = GenerateWorkload(spec);
+  EXPECT_NE(a->probe.keys, b->probe.keys);
+}
+
+TEST(GeneratorTest, NonMatchingKeysAreEven) {
+  WorkloadSpec spec;
+  spec.build_tuples = 128;
+  spec.probe_tuples = 4096;
+  spec.selectivity = 0.0;
+  auto w = GenerateWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->expected_matches, 0u);
+  for (int32_t k : w->probe.keys) EXPECT_EQ(k % 2, 0);
+}
+
+TEST(ReferenceJoinTest, PairsMatchCount) {
+  WorkloadSpec spec;
+  spec.build_tuples = 256;
+  spec.probe_tuples = 1024;
+  spec.selectivity = 0.5;
+  auto w = GenerateWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  const auto pairs = join::ReferenceJoinPairs(w->build, w->probe);
+  EXPECT_EQ(pairs.size(), w->expected_matches);
+}
+
+}  // namespace
+}  // namespace apujoin::data

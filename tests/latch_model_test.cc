@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "alloc/latch_model.h"
+
+namespace apujoin::alloc {
+namespace {
+
+using simcl::DeviceId;
+using simcl::SimContext;
+
+TEST(EffectiveConflictorsTest, SingleAddressFullContention) {
+  EXPECT_DOUBLE_EQ(EffectiveConflictors(256, 1, 0.0), 256.0);
+}
+
+TEST(EffectiveConflictorsTest, UniformSpreadDilutesContention) {
+  EXPECT_NEAR(EffectiveConflictors(256, 257, 0.0), 1.0, 0.01);
+}
+
+TEST(EffectiveConflictorsTest, DecreasingInAddresses) {
+  double prev = EffectiveConflictors(8192, 1, 0.0);
+  for (double n : {4.0, 16.0, 256.0, 65536.0}) {
+    const double cur = EffectiveConflictors(8192, n, 0.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(EffectiveConflictorsTest, SkewKeepsContentionHigh) {
+  // 25% of ops hitting one hot integer contend regardless of array size.
+  const double uniform = EffectiveConflictors(8192, 1 << 20, 0.0);
+  const double skewed = EffectiveConflictors(8192, 1 << 20, 0.25);
+  EXPECT_GT(skewed, uniform * 10);
+}
+
+class LatchMicroTest : public ::testing::Test {
+ protected:
+  SimContext ctx_;
+};
+
+TEST_F(LatchMicroTest, OverheadDecreasesWithArraySize) {
+  // Figure 20: locking time falls as N grows (while the array is cached);
+  // the curve flattens once contention vanishes.
+  LatchMicroConfig cfg;
+  cfg.total_ops = 1 << 20;
+  cfg.threads = 8192;
+  double first = 0.0;
+  double prev = 1e300;
+  for (uint64_t n : {1u, 16u, 256u, 4096u, 65536u}) {
+    cfg.array_ints = n;
+    const double t = SimulateLatchMicro(ctx_, DeviceId::kGpu, cfg).TotalNs();
+    if (first == 0.0) first = t;
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+  EXPECT_LT(prev, first / 2.0);
+}
+
+TEST_F(LatchMicroTest, MemoryTermRisesPastCacheCapacity) {
+  // Figure 20: once N*4B exceeds the 4MB L2, misses push the time back up.
+  LatchMicroConfig cfg;
+  cfg.total_ops = 1 << 20;
+  cfg.array_ints = 1 << 20;  // 4 MB: exactly at capacity
+  const double at_cache =
+      SimulateLatchMicro(ctx_, DeviceId::kGpu, cfg).memory_ns;
+  cfg.array_ints = 16u << 20;  // 64 MB
+  const double beyond =
+      SimulateLatchMicro(ctx_, DeviceId::kGpu, cfg).memory_ns;
+  EXPECT_GT(beyond, at_cache);
+}
+
+TEST_F(LatchMicroTest, SkewCheaperThanUniformBeyondCache) {
+  // Figure 20: high-skew runs slightly faster than uniform once the array
+  // no longer fits — hot-line locality beats the latch penalty.
+  LatchMicroConfig uniform;
+  uniform.array_ints = 16u << 20;
+  uniform.total_ops = 1 << 20;
+  LatchMicroConfig skewed = uniform;
+  skewed.skew_fraction = 0.25;
+  const double tu =
+      SimulateLatchMicro(ctx_, DeviceId::kGpu, uniform).memory_ns;
+  const double ts =
+      SimulateLatchMicro(ctx_, DeviceId::kGpu, skewed).memory_ns;
+  EXPECT_LT(ts, tu);
+}
+
+TEST_F(LatchMicroTest, CpuLessContendedThanGpu) {
+  LatchMicroConfig cfg;
+  cfg.array_ints = 1;
+  cfg.total_ops = 1 << 20;
+  EXPECT_LT(SimulateLatchMicro(ctx_, DeviceId::kCpu, cfg).conflict_ns,
+            SimulateLatchMicro(ctx_, DeviceId::kGpu, cfg).conflict_ns);
+}
+
+TEST_F(LatchMicroTest, ChargeAllocCountsSeparatesLockShare) {
+  AllocCounts counts;
+  counts.global_atomics[1] = 1000;
+  counts.local_atomics[1] = 5000;
+  simcl::DeviceTime t[simcl::kNumDevices];
+  ChargeAllocCounts(ctx_, counts, t);
+  EXPECT_GT(t[1].atomic_ns, 0.0);
+  EXPECT_GT(t[1].lock_ns, 0.0);
+  EXPECT_EQ(t[0].atomic_ns, 0.0);
+}
+
+TEST_F(LatchMicroTest, LocalAtomicsCheaperThanGlobal) {
+  AllocCounts global_heavy, local_heavy;
+  global_heavy.global_atomics[1] = 1000;
+  local_heavy.local_atomics[1] = 1000;
+  simcl::DeviceTime tg[simcl::kNumDevices], tl[simcl::kNumDevices];
+  ChargeAllocCounts(ctx_, global_heavy, tg);
+  ChargeAllocCounts(ctx_, local_heavy, tl);
+  EXPECT_GT(tg[1].atomic_ns + tg[1].lock_ns, tl[1].atomic_ns + tl[1].lock_ns);
+}
+
+}  // namespace
+}  // namespace apujoin::alloc

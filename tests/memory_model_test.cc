@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "simcl/memory_model.h"
+#include "simcl/pcie.h"
+
+namespace apujoin::simcl {
+namespace {
+
+class MemoryModelTest : public ::testing::Test {
+ protected:
+  MemoryModel mem_;
+  DeviceSpec cpu_ = DeviceSpec::ApuCpu();
+  DeviceSpec gpu_ = DeviceSpec::ApuGpu();
+};
+
+TEST_F(MemoryModelTest, FullyResidentSmallWorkingSet) {
+  EXPECT_DOUBLE_EQ(mem_.ResidentFraction(1024), 1.0);
+  EXPECT_DOUBLE_EQ(mem_.ResidentFraction(mem_.spec().l2_bytes), 1.0);
+}
+
+TEST_F(MemoryModelTest, ResidencyDecaysBeyondCapacity) {
+  const double l2 = mem_.spec().l2_bytes;
+  EXPECT_LT(mem_.ResidentFraction(2 * l2), 1.0);
+  EXPECT_GT(mem_.ResidentFraction(2 * l2), mem_.ResidentFraction(16 * l2));
+  EXPECT_GE(mem_.ResidentFraction(1e12), 0.02);  // hot-line floor
+}
+
+TEST_F(MemoryModelTest, RandomCostGrowsWithWorkingSet) {
+  const double small = mem_.RandomAccessNs(cpu_, 64 * 1024, false);
+  const double large = mem_.RandomAccessNs(cpu_, 256 * 1024 * 1024, false);
+  EXPECT_GT(large, small);
+}
+
+TEST_F(MemoryModelTest, DependentAccessesCostMore) {
+  const double ws = 64.0 * 1024 * 1024;
+  EXPECT_GT(mem_.RandomAccessNs(cpu_, ws, true),
+            mem_.RandomAccessNs(cpu_, ws, false));
+}
+
+TEST_F(MemoryModelTest, LocalityBoostReducesCost) {
+  const double ws = 64.0 * 1024 * 1024;
+  EXPECT_LT(mem_.RandomAccessNs(cpu_, ws, false, 0.5),
+            mem_.RandomAccessNs(cpu_, ws, false, 0.0));
+}
+
+TEST_F(MemoryModelTest, SequentialCostLinearInBytes) {
+  const double one = mem_.SequentialNs(cpu_, 1 << 20);
+  const double two = mem_.SequentialNs(cpu_, 2 << 20);
+  EXPECT_NEAR(two, 2.0 * one, 1e-9);
+}
+
+TEST_F(MemoryModelTest, SequentialCappedByControllerBandwidth) {
+  DeviceSpec turbo = cpu_;
+  turbo.seq_bandwidth_gbps = 10000.0;
+  EXPECT_DOUBLE_EQ(mem_.SequentialNs(turbo, 1e9),
+                   1e9 / mem_.spec().total_bandwidth_gbps);
+}
+
+TEST_F(MemoryModelTest, BufferCopyPaysReadAndWrite) {
+  EXPECT_DOUBLE_EQ(mem_.BufferCopyNs(1e6),
+                   2.0 * 1e6 / mem_.spec().total_bandwidth_gbps);
+}
+
+TEST(PcieModelTest, PaperEmulationParameters) {
+  const PcieModel pcie = PcieModel::PaperEmulation();
+  EXPECT_DOUBLE_EQ(pcie.latency_ns(), 15000.0);   // 0.015 ms
+  EXPECT_DOUBLE_EQ(pcie.bandwidth_gbps(), 3.0);   // 3 GB/s
+}
+
+TEST(PcieModelTest, DelayIsLatencyPlusSizeOverBandwidth) {
+  const PcieModel pcie = PcieModel::PaperEmulation();
+  EXPECT_DOUBLE_EQ(pcie.TransferNs(3e9), 15000.0 + 1e9);
+  EXPECT_DOUBLE_EQ(pcie.TransferNs(0), 0.0);
+}
+
+TEST(PcieModelTest, TransferDwarfsSharedMemoryForLargeData) {
+  // The coupled architecture's raison d'etre: moving 128 MB over PCI-e
+  // costs far more than streaming it through the shared controller.
+  const PcieModel pcie = PcieModel::PaperEmulation();
+  const MemoryModel mem;
+  const double bytes = 128.0 * 1024 * 1024;
+  EXPECT_GT(pcie.TransferNs(bytes),
+            3.0 * mem.SequentialNs(DeviceSpec::ApuCpu(), bytes));
+}
+
+}  // namespace
+}  // namespace apujoin::simcl

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "cost/monte_carlo.h"
+#include "cost/optimizer.h"
+
+namespace apujoin::cost {
+namespace {
+
+StepCosts ToyCosts() {
+  return {{"s1", 10.0, 1.0}, {"s2", 5.0, 10.0}, {"s3", 2.0, 2.0}};
+}
+
+TEST(MonteCarloTest, ProducesRequestedRuns) {
+  const auto runs = RunMonteCarlo(50, 3, 1, ToyCosts(), 1000, CommSpec(),
+                                  nullptr);
+  EXPECT_EQ(runs.size(), 50u);
+  for (const auto& r : runs) {
+    EXPECT_EQ(r.ratios.size(), 3u);
+    EXPECT_GT(r.estimated_ns, 0.0);
+    EXPECT_DOUBLE_EQ(r.measured_ns, 0.0);  // no evaluator supplied
+  }
+}
+
+TEST(MonteCarloTest, RatiosAtDeltaGranularityInRange) {
+  const auto runs = RunMonteCarlo(200, 4, 2, ToyCosts(), 1000, CommSpec(),
+                                  nullptr);
+  for (const auto& r : runs) {
+    for (double ratio : r.ratios) {
+      EXPECT_GE(ratio, 0.0);
+      EXPECT_LE(ratio, 1.0);
+      const double steps = ratio / 0.02;
+      EXPECT_NEAR(steps, std::round(steps), 1e-9);
+    }
+  }
+}
+
+TEST(MonteCarloTest, DeterministicForSeed) {
+  const auto a = RunMonteCarlo(20, 3, 7, ToyCosts(), 1000, CommSpec(),
+                               nullptr);
+  const auto b = RunMonteCarlo(20, 3, 7, ToyCosts(), 1000, CommSpec(),
+                               nullptr);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ratios, b[i].ratios);
+  }
+}
+
+TEST(MonteCarloTest, EvaluatorInvokedPerRun) {
+  int calls = 0;
+  const auto runs = RunMonteCarlo(
+      10, 2, 3, ToyCosts(), 1000, CommSpec(),
+      [&calls](const std::vector<double>&) -> double {
+        ++calls;
+        return 42.0;
+      });
+  EXPECT_EQ(calls, 10);
+  for (const auto& r : runs) EXPECT_DOUBLE_EQ(r.measured_ns, 42.0);
+}
+
+TEST(MonteCarloTest, OptimizerBeatsMostRandomSettings) {
+  // Figure 9's property: the model-picked setting lands in the best tail
+  // of the Monte Carlo CDF.
+  const StepCosts costs = ToyCosts();
+  const uint64_t n = 100000;
+  const double picked = OptimizePipelined(costs, n).predicted_ns;
+  const auto runs = RunMonteCarlo(500, 3, 11, costs, n, CommSpec(), nullptr);
+  int better = 0;
+  for (const auto& r : runs) {
+    if (r.estimated_ns < picked - 1e-6) ++better;
+  }
+  EXPECT_LE(better, 5);  // <=1% of random settings beat the optimizer
+}
+
+TEST(MonteCarloRunTest, RelativeError) {
+  MonteCarloRun run;
+  run.estimated_ns = 90;
+  run.measured_ns = 100;
+  EXPECT_NEAR(run.RelativeError(), 0.1, 1e-12);
+  run.measured_ns = 0;
+  EXPECT_DOUBLE_EQ(run.RelativeError(), 0.0);
+}
+
+}  // namespace
+}  // namespace apujoin::cost

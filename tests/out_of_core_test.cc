@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "coproc/out_of_core.h"
+
+namespace apujoin::coproc {
+namespace {
+
+data::Workload MakeWorkload(uint64_t n) {
+  data::WorkloadSpec spec;
+  spec.build_tuples = n;
+  spec.probe_tuples = n;
+  auto w = data::GenerateWorkload(spec);
+  EXPECT_TRUE(w.ok());
+  return std::move(w).value();
+}
+
+TEST(OutOfCoreTest, SmallInputRunsInCore) {
+  const data::Workload w = MakeWorkload(1 << 12);
+  simcl::SimContext ctx;  // default 512 MB buffer
+  OutOfCoreSpec spec;
+  auto report = ExecuteOutOfCore(&ctx, w, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->chunked);
+  EXPECT_EQ(report->matches, w.expected_matches);
+  EXPECT_DOUBLE_EQ(report->copy_ns, 0.0);
+}
+
+TEST(OutOfCoreTest, LargeInputChunksThroughBuffer) {
+  const data::Workload w = MakeWorkload(1 << 14);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 64.0 * 1024;  // tiny buffer forces chunking
+  simcl::SimContext ctx(copts);
+  OutOfCoreSpec spec;
+  spec.chunk_tuples = 1 << 12;
+  auto report = ExecuteOutOfCore(&ctx, w, spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->chunked);
+  EXPECT_GT(report->partitions, 1u);
+  EXPECT_EQ(report->matches, w.expected_matches);
+  EXPECT_GT(report->copy_ns, 0.0);
+  EXPECT_GT(report->partition_ns, 0.0);
+  EXPECT_GT(report->join_ns, 0.0);
+  EXPECT_NEAR(report->elapsed_ns,
+              report->partition_ns + report->join_ns + report->copy_ns,
+              1e-6);
+}
+
+TEST(OutOfCoreTest, ShjAndPhjInnerJoinsAgree) {
+  const data::Workload w = MakeWorkload(1 << 14);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 64.0 * 1024;
+  OutOfCoreSpec shj_spec;
+  shj_spec.inner.algorithm = Algorithm::kSHJ;
+  shj_spec.chunk_tuples = 1 << 12;
+  OutOfCoreSpec phj_spec = shj_spec;
+  phj_spec.inner.algorithm = Algorithm::kPHJ;
+  simcl::SimContext ctx1(copts), ctx2(copts);
+  auto a = ExecuteOutOfCore(&ctx1, w, shj_spec);
+  auto b = ExecuteOutOfCore(&ctx2, w, phj_spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->matches, w.expected_matches);
+  EXPECT_EQ(b->matches, w.expected_matches);
+}
+
+TEST(OutOfCoreTest, ExplicitPartitionOverride) {
+  const data::Workload w = MakeWorkload(1 << 13);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 32.0 * 1024;
+  simcl::SimContext ctx(copts);
+  OutOfCoreSpec spec;
+  spec.partitions = 64;
+  spec.chunk_tuples = 1 << 11;
+  auto report = ExecuteOutOfCore(&ctx, w, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->partitions, 64u);
+  EXPECT_EQ(report->matches, w.expected_matches);
+}
+
+}  // namespace
+}  // namespace apujoin::coproc

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "simcl/device.h"
+#include "simcl/executor.h"
+
+namespace apujoin::simcl {
+namespace {
+
+TEST(DeviceSpecTest, ApuCpuMatchesTable1) {
+  const DeviceSpec cpu = DeviceSpec::ApuCpu();
+  EXPECT_EQ(cpu.cores, 4);
+  EXPECT_DOUBLE_EQ(cpu.freq_ghz, 3.0);
+  EXPECT_EQ(cpu.wavefront, 1);
+  EXPECT_EQ(cpu.kind, DeviceKind::kCpu);
+}
+
+TEST(DeviceSpecTest, ApuGpuMatchesTable1) {
+  const DeviceSpec gpu = DeviceSpec::ApuGpu();
+  EXPECT_EQ(gpu.cores, 400);
+  EXPECT_DOUBLE_EQ(gpu.freq_ghz, 0.6);
+  EXPECT_EQ(gpu.wavefront, 64);
+  EXPECT_EQ(gpu.kind, DeviceKind::kGpu);
+}
+
+TEST(DeviceSpecTest, DiscreteGpuOutclassesApuGpu) {
+  const DeviceSpec apu = DeviceSpec::ApuGpu();
+  const DeviceSpec hd = DeviceSpec::DiscreteHd7970();
+  EXPECT_GT(hd.cores, apu.cores);
+  EXPECT_GT(hd.freq_ghz, apu.freq_ghz);
+  EXPECT_GT(hd.InstrPerNs(), apu.InstrPerNs());
+}
+
+TEST(DeviceSpecTest, GpuHasMoreRawComputeThanCpu) {
+  // The coupled GPU's aggregate instruction throughput beats the CPU's —
+  // the premise behind the >=15x hash-step speedup.
+  EXPECT_GT(DeviceSpec::ApuGpu().InstrPerNs(),
+            DeviceSpec::ApuCpu().InstrPerNs() * 5.0);
+}
+
+TEST(LatchConflictTest, NoConflictWhenSpread) {
+  const DeviceSpec gpu = DeviceSpec::ApuGpu();
+  EXPECT_EQ(LatchConflictNs(gpu, 1e9), 0.0);
+}
+
+TEST(LatchConflictTest, MonotoneInContention) {
+  const DeviceSpec gpu = DeviceSpec::ApuGpu();
+  double prev = LatchConflictNs(gpu, 1.0);
+  for (double addrs : {2.0, 8.0, 64.0, 1024.0}) {
+    const double cur = LatchConflictNs(gpu, addrs);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(LatchConflictTest, GpuContendsHarderThanCpu) {
+  // 2048 GPU threads on one latch queue far deeper than 4 CPU cores.
+  EXPECT_GT(LatchConflictNs(DeviceSpec::ApuGpu(), 1.0),
+            LatchConflictNs(DeviceSpec::ApuCpu(), 1.0));
+}
+
+TEST(LatchConflictTest, SaturatesUnderMassiveContention) {
+  const DeviceSpec gpu = DeviceSpec::ApuGpu();
+  // One vs two addresses at massive thread count: both near saturation.
+  const double one = LatchConflictNs(gpu, 1.0);
+  const double two = LatchConflictNs(gpu, 2.0);
+  EXPECT_GT(one, two);
+  EXPECT_LT(one / two, 1.05);
+  // Saturation asymptote: never beyond ~64 queued conflictors.
+  EXPECT_LE(one, gpu.atomic_conflict_ns * 64.0);
+}
+
+}  // namespace
+}  // namespace apujoin::simcl
