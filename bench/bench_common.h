@@ -3,12 +3,20 @@
 // Every binary regenerates one table or figure of the paper's evaluation
 // (Section 5 / Appendix) and prints the same rows or series. Sizes default
 // to 1/4 of the paper's scale so the whole suite runs in minutes on one
-// core; set REPRO_FULL=1 for the paper's 16M-tuple scale.
+// core; set REPRO_FULL=1 for the paper's 16M-tuple scale, or REPRO_SCALE
+// for an arbitrary factor (CI smoke runs use REPRO_SCALE=0.01).
+//
+// Every binary accepts --backend=sim|threads (and --threads=N) to select
+// the execution backend: the analytic simulator reproduces the paper's
+// virtual-time figures; the thread-pool backend runs the same joins for
+// real and reports wall-clock times.
 
 #ifndef APUJOIN_BENCH_BENCH_COMMON_H_
 #define APUJOIN_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/coupled_joiner.h"
@@ -16,6 +24,52 @@
 #include "util/table_printer.h"
 
 namespace apujoin::bench {
+
+/// Backend selection shared by all harness helpers (set by InitBench).
+inline exec::BackendKind g_backend = exec::BackendKind::kSim;
+inline int g_backend_threads = 0;
+
+/// Parses harness flags; call first thing in main.
+inline void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    switch (exec::ParseBackendFlag(argv[i], &g_backend,
+                                   &g_backend_threads)) {
+      case exec::FlagParse::kOk:
+        break;
+      case exec::FlagParse::kInvalid:
+        std::fprintf(stderr,
+                     "invalid value in '%s' (want --backend=sim|threads, "
+                     "--threads=N)\n",
+                     argv[i]);
+        std::exit(2);
+      case exec::FlagParse::kNotMatched:
+        std::fprintf(stderr,
+                     "usage: %s [--backend=sim|threads] [--threads=N]\n",
+                     argv[0]);
+        std::exit(2);
+    }
+  }
+}
+
+inline exec::BackendKind BenchBackend() { return g_backend; }
+
+/// Stamps the selected backend into a join spec.
+inline void ApplyBackend(coproc::JoinSpec* spec) {
+  spec->engine.backend = g_backend;
+  spec->engine.backend_threads = g_backend_threads;
+}
+
+/// One backend for the whole bench run, rebound to each experiment's
+/// context — so --backend=threads spawns one pool instead of one per join.
+inline exec::Backend* CachedBackend(simcl::SimContext* ctx) {
+  static std::unique_ptr<exec::Backend> backend;
+  if (backend == nullptr || backend->kind() != g_backend) {
+    backend = exec::MakeBackend(g_backend, ctx, g_backend_threads);
+  } else {
+    backend->Rebind(ctx);
+  }
+  return backend.get();
+}
 
 /// Paper-size scaled by REPRO_FULL (16M -> 4M by default).
 inline uint64_t Scaled(uint64_t paper_tuples) {
@@ -53,16 +107,18 @@ inline std::string Secs(double ns) { return TablePrinter::Fmt(ns * 1e-9, 3); }
 inline void PrintBanner(const char* experiment, const char* description) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", experiment, description);
-  std::printf("scale: %s (REPRO_FULL=%d)\n",
+  std::printf("scale: %s (REPRO_FULL=%d) backend: %s\n",
               TablePrinter::FmtCount(DefaultProbeTuples()).c_str(),
-              GetEnvFlag("REPRO_FULL") ? 1 : 0);
+              GetEnvFlag("REPRO_FULL") ? 1 : 0, BackendKindName(g_backend));
   std::printf("==============================================================\n");
 }
 
 inline coproc::JoinReport MustJoin(simcl::SimContext* ctx,
                                    const data::Workload& w,
                                    const coproc::JoinSpec& spec) {
-  auto report = coproc::ExecuteJoin(ctx, w, spec);
+  coproc::JoinSpec run_spec = spec;
+  ApplyBackend(&run_spec);
+  auto report = coproc::ExecuteJoin(CachedBackend(ctx), w, run_spec);
   APU_CHECK_OK(report.status());
   APU_CHECK(report->matches == w.expected_matches);
   return std::move(report).value();

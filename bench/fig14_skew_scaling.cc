@@ -51,4 +51,7 @@ void Run() {
 }  // namespace
 }  // namespace apujoin::bench
 
-int main() { apujoin::bench::Run(); }
+int main(int argc, char** argv) {
+  apujoin::bench::InitBench(argc, argv);
+  apujoin::bench::Run();
+}

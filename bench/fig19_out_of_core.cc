@@ -35,8 +35,9 @@ void Run() {
       coproc::OutOfCoreSpec spec;
       spec.inner.algorithm = algo;
       spec.inner.scheme = coproc::Scheme::kPipelined;
+      ApplyBackend(&spec.inner);
       spec.chunk_tuples = Scaled(16ull << 20);
-      auto rep = coproc::ExecuteOutOfCore(&ctx, w, spec);
+      auto rep = coproc::ExecuteOutOfCore(CachedBackend(&ctx), w, spec);
       APU_CHECK_OK(rep.status());
       APU_CHECK(rep->matches == w.expected_matches);
       table.AddRow({TablePrinter::FmtCount(n),
@@ -53,4 +54,7 @@ void Run() {
 }  // namespace
 }  // namespace apujoin::bench
 
-int main() { apujoin::bench::Run(); }
+int main(int argc, char** argv) {
+  apujoin::bench::InitBench(argc, argv);
+  apujoin::bench::Run();
+}

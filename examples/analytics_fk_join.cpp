@@ -7,10 +7,14 @@
 #include <cstdio>
 
 #include "core/coupled_joiner.h"
+#include "example_common.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apujoin;
+
+  join::EngineOptions engine;
+  examples::ApplyBackendFlags(argc, argv, &engine);
 
   // customers(custkey, ...) with 2M rows; orders(custkey, orderkey) with 8M
   // rows — modelled as <key, rid> column extracts, as in the paper.
@@ -33,6 +37,7 @@ int main() {
       core::JoinConfig config;
       config.spec.algorithm = algo;
       config.spec.scheme = scheme;
+      config.spec.engine = engine;
       core::CoupledJoiner joiner(config);
       auto report = joiner.Join(*workload);
       APU_CHECK_OK(report.status());

@@ -1,0 +1,46 @@
+// Shared flag parsing for the examples: every example accepts
+// --backend=sim|threads (analytic simulator vs real thread-pool execution)
+// and --threads=N, mirroring the bench harness.
+
+#ifndef APUJOIN_EXAMPLES_EXAMPLE_COMMON_H_
+#define APUJOIN_EXAMPLES_EXAMPLE_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "join/options.h"
+
+namespace apujoin::examples {
+
+/// Applies --backend/--threads flags to `engine`; leaves positional
+/// arguments for the example to consume. Exits on an unknown --flag.
+inline void ApplyBackendFlags(int argc, char** argv,
+                              join::EngineOptions* engine) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    switch (exec::ParseBackendFlag(arg, &engine->backend,
+                                   &engine->backend_threads)) {
+      case exec::FlagParse::kOk:
+        break;
+      case exec::FlagParse::kInvalid:
+        std::fprintf(stderr,
+                     "invalid value in '%s' (want --backend=sim|threads, "
+                     "--threads=N)\n",
+                     arg);
+        std::exit(2);
+      case exec::FlagParse::kNotMatched:
+        if (std::strncmp(arg, "--", 2) == 0) {
+          std::fprintf(stderr,
+                       "usage: %s [--backend=sim|threads] [--threads=N]\n",
+                       argv[0]);
+          std::exit(2);
+        }
+        break;  // positional; the example consumes it
+    }
+  }
+}
+
+}  // namespace apujoin::examples
+
+#endif  // APUJOIN_EXAMPLES_EXAMPLE_COMMON_H_

@@ -6,10 +6,14 @@
 #include <cstdio>
 
 #include "core/coupled_joiner.h"
+#include "example_common.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace apujoin;
+
+  join::EngineOptions engine;
+  examples::ApplyBackendFlags(argc, argv, &engine);
 
   std::printf("PHJ-PL across distributions and selectivities (2M ⋈ 4M)\n\n");
   TablePrinter table({"distribution", "selectivity", "grouping",
@@ -29,6 +33,7 @@ int main() {
         core::JoinConfig config;
         config.spec.algorithm = coproc::Algorithm::kPHJ;
         config.spec.scheme = coproc::Scheme::kPipelined;
+        config.spec.engine = engine;
         config.spec.engine.grouping = grouping;
         core::CoupledJoiner joiner(config);
         auto report = joiner.Join(*workload);

@@ -8,15 +8,24 @@
 #include <cstdlib>
 
 #include "core/coupled_joiner.h"
+#include "example_common.h"
 #include "util/table_printer.h"
 
 int main(int argc, char** argv) {
   using namespace apujoin;
 
-  const uint64_t build = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                  : (1ull << 20);
-  const uint64_t probe = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                  : (4ull << 20);
+  join::EngineOptions engine;
+  examples::ApplyBackendFlags(argc, argv, &engine);
+  // Positional sizes (flags are consumed above): tuning_advisor [R] [S].
+  uint64_t sizes[2] = {1ull << 20, 4ull << 20};
+  int pos = 0;
+  for (int i = 1; i < argc && pos < 2; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      sizes[pos++] = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  const uint64_t build = sizes[0];
+  const uint64_t probe = sizes[1];
   std::printf("planning |R|=%llu ⋈ |S|=%llu ...\n\n",
               static_cast<unsigned long long>(build),
               static_cast<unsigned long long>(probe));
@@ -44,6 +53,7 @@ int main(int argc, char** argv) {
       core::JoinConfig config;
       config.spec.algorithm = algo;
       config.spec.scheme = scheme;
+      config.spec.engine = engine;
       core::CoupledJoiner joiner(config);
       auto report = joiner.Join(*workload);
       APU_CHECK_OK(report.status());

@@ -11,6 +11,7 @@
 #ifndef APUJOIN_ALLOC_ALLOCATOR_H_
 #define APUJOIN_ALLOC_ALLOCATOR_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "simcl/device.h"
@@ -43,6 +44,30 @@ struct AllocCounts {
     }
     failed += o.failed;
     return *this;
+  }
+};
+
+/// Thread-safe AllocCounts accumulator. Kernels may allocate concurrently
+/// under the thread-pool execution backend, so allocators keep their live
+/// tallies in atomics and materialize a plain AllocCounts on drain.
+struct AtomicAllocCounts {
+  std::atomic<uint64_t> global_atomics[simcl::kNumDevices] = {};
+  std::atomic<uint64_t> local_atomics[simcl::kNumDevices] = {};
+  std::atomic<uint64_t> requests[simcl::kNumDevices] = {};
+  std::atomic<uint64_t> failed{0};
+
+  /// Returns the counts accumulated since the last Take and resets them.
+  AllocCounts Take() {
+    AllocCounts out;
+    for (int d = 0; d < simcl::kNumDevices; ++d) {
+      out.global_atomics[d] =
+          global_atomics[d].exchange(0, std::memory_order_relaxed);
+      out.local_atomics[d] =
+          local_atomics[d].exchange(0, std::memory_order_relaxed);
+      out.requests[d] = requests[d].exchange(0, std::memory_order_relaxed);
+    }
+    out.failed = failed.exchange(0, std::memory_order_relaxed);
+    return out;
   }
 };
 

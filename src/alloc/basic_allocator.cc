@@ -5,19 +5,16 @@ namespace apujoin::alloc {
 int64_t BasicAllocator::Allocate(uint32_t count, simcl::DeviceId dev,
                                  uint32_t /*workgroup*/) {
   const int di = static_cast<int>(dev);
-  counts_.requests[di]++;
-  counts_.global_atomics[di]++;  // the latched pointer bump
+  counts_.requests[di].fetch_add(1, std::memory_order_relaxed);
+  // The latched pointer bump.
+  counts_.global_atomics[di].fetch_add(1, std::memory_order_relaxed);
   const int64_t idx = arena_->Reserve(count);
-  if (idx < 0) counts_.failed++;
+  if (idx < 0) counts_.failed.fetch_add(1, std::memory_order_relaxed);
   return idx;
 }
 
-AllocCounts BasicAllocator::TakeCounts() {
-  AllocCounts out = counts_;
-  counts_ = AllocCounts{};
-  return out;
-}
+AllocCounts BasicAllocator::TakeCounts() { return counts_.Take(); }
 
-void BasicAllocator::Reset() { counts_ = AllocCounts{}; }
+void BasicAllocator::Reset() { counts_.Take(); }
 
 }  // namespace apujoin::alloc

@@ -26,7 +26,7 @@ class BasicAllocator : public Allocator {
 
  private:
   Arena* arena_;
-  AllocCounts counts_;
+  AtomicAllocCounts counts_;
 };
 
 }  // namespace apujoin::alloc

@@ -10,6 +10,7 @@
 #ifndef APUJOIN_ALLOC_BLOCK_ALLOCATOR_H_
 #define APUJOIN_ALLOC_BLOCK_ALLOCATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -39,7 +40,12 @@ class BlockAllocator : public Allocator {
   static constexpr uint32_t kWorkgroupSlots = 1024;
 
  private:
+  /// One (device, work group) block cache. Distinct work groups may share a
+  /// slot (workgroup ids wrap at kWorkgroupSlots), so under the thread-pool
+  /// backend two workers can hit one slot concurrently; the spinlock is the
+  /// work group's "local memory" serialisation made explicit.
   struct Cache {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
     int64_t cur = 0;
     int64_t end = 0;  // cur == end => empty
   };
@@ -48,7 +54,7 @@ class BlockAllocator : public Allocator {
   uint32_t block_bytes_;
   uint32_t block_elems_;
   std::vector<Cache> cache_;  // kNumDevices * kWorkgroupSlots
-  AllocCounts counts_;
+  AtomicAllocCounts counts_;
 };
 
 }  // namespace apujoin::alloc

@@ -18,6 +18,14 @@ namespace apujoin::coproc {
 /// Executes PHJ with the coarse-grained (partition-pair) step definition.
 /// `spec.engine` supplies partitioning/allocator knobs; `spec.scheme` is
 /// ignored (the coarse definition admits only pair-level data dividing).
+/// Under a real-execution backend the pair-join phase is wall-clocked per
+/// device lane instead of priced by the charge-only simulator walk.
+apujoin::StatusOr<JoinReport> ExecuteCoarsePhj(exec::Backend* backend,
+                                               const data::Workload& workload,
+                                               const JoinSpec& spec);
+
+/// Convenience: builds the backend selected by `spec.engine.backend` over
+/// `ctx` for the duration of the call.
 apujoin::StatusOr<JoinReport> ExecuteCoarsePhj(simcl::SimContext* ctx,
                                                const data::Workload& workload,
                                                const JoinSpec& spec);

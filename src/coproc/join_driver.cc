@@ -1,6 +1,7 @@
 #include "coproc/join_driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "cost/calibration.h"
@@ -57,6 +58,7 @@ StatusOr<std::vector<double>> ResolveRatios(
 // ---------------------------------------------------------------------------
 
 struct Driver {
+  exec::Backend* backend;
   simcl::SimContext* ctx;
   const data::Workload& workload;
   const JoinSpec& spec;
@@ -64,10 +66,14 @@ struct Driver {
   cost::CommSpec comm;
   double estimated_ns = 0.0;
 
-  Driver(simcl::SimContext* c, const data::Workload& w, const JoinSpec& s)
-      : ctx(c), workload(w), spec(s) {
+  Driver(exec::Backend* b, const data::Workload& w, const JoinSpec& s)
+      : backend(b), ctx(b->context()), workload(w), spec(s) {
     comm.bytes_per_item = 8.0;
     comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
+  }
+
+  bool real_execution() const {
+    return backend->kind() != exec::BackendKind::kSim;
   }
 
   /// Transfer of the GPU's input share over PCI-e in discrete mode; returns
@@ -103,7 +109,7 @@ struct Driver {
           spec.bu_gpu_chunk != 0 ? spec.bu_gpu_chunk : bu.cpu_chunk * 4;
       bu.drain_alloc = drain;
       double eff_ratio = 0.0;
-      res = RunSeriesBasicUnit(ctx, steps, bu, &eff_ratio);
+      res = RunSeriesBasicUnit(backend, steps, bu, &eff_ratio);
       // Report the effective (scheduled) ratio on every step.
       for (auto& s : res.steps) {
         const double tot = static_cast<double>(s.stats.items[0]) +
@@ -116,13 +122,18 @@ struct Driver {
       opts.ratios = ratios;
       opts.drain_alloc = drain;
       res = pair_offsets != nullptr
-                ? RunSeriesPairBlocked(ctx, steps, opts, *pair_offsets)
-                : RunSeries(ctx, steps, opts);
+                ? RunSeriesPairBlocked(backend, steps, opts, *pair_offsets)
+                : RunSeries(backend, steps, opts);
     }
     double elapsed = res.elapsed_ns;
     if (gpu_start_delay > 0.0) {
-      elapsed = std::max(res.cpu_ns, gpu_start_delay + res.gpu_ns) +
-                res.comm_ns;
+      // The modeled PCI-e transfer overlaps the CPU lane on the simulated
+      // machine; under real execution the lanes ran sequentially, so the
+      // (still modeled) transfer simply serializes in front.
+      elapsed = real_execution()
+                    ? res.elapsed_ns + gpu_start_delay
+                    : std::max(res.cpu_ns, gpu_start_delay + res.gpu_ns) +
+                          res.comm_ns;
     }
     ctx->log().Add(phase, elapsed);
     AbsorbStepReports(phase_name, res, costs);
@@ -157,30 +168,47 @@ struct Driver {
       report.steps.push_back(std::move(sr));
     }
   }
-};
 
-/// Per-node merge cost (separate tables): one dependent random access into
-/// the destination table plus the insertion atomic.
-double MergeCostNs(const simcl::SimContext& ctx, uint64_t nodes,
-                   double table_bytes) {
-  simcl::StepProfile p;
-  p.instr_per_unit = 20.0;
-  p.rand_accesses_per_unit = 1.0;
-  p.rand_working_set_bytes = table_bytes;
-  p.dependent_accesses = true;
-  p.global_atomics_per_unit = 1.0;
-  p.atomic_addresses = table_bytes / 8.0;
-  return simcl::ComputeDeviceTime(ctx.device(DeviceId::kCpu), ctx.memory(),
-                                  p, nodes, nodes,
-                                  static_cast<double>(nodes))
-      .ModeledNs();
-}
+  /// Merges separate per-device tables and returns the merge time: wall
+  /// clock under real execution, the analytic per-node cost otherwise.
+  template <typename Engine>
+  double TimeMerge(Engine* engine, double table_bytes) {
+    if (real_execution()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      engine->MergeSeparateTables();
+      return static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    const auto [keys, rids] = engine->MergeSeparateTables();
+    return MergeCostNs(*ctx, keys + rids, table_bytes);
+  }
+
+  /// Per-node merge cost (separate tables): one dependent random access
+  /// into the destination table plus the insertion atomic.
+  static double MergeCostNs(const simcl::SimContext& ctx, uint64_t nodes,
+                            double table_bytes) {
+    simcl::StepProfile p;
+    p.instr_per_unit = 20.0;
+    p.rand_accesses_per_unit = 1.0;
+    p.rand_working_set_bytes = table_bytes;
+    p.dependent_accesses = true;
+    p.global_atomics_per_unit = 1.0;
+    p.atomic_addresses = table_bytes / 8.0;
+    return simcl::ComputeDeviceTime(ctx.device(DeviceId::kCpu), ctx.memory(),
+                                    p, nodes, nodes,
+                                    static_cast<double>(nodes))
+        .ModeledNs();
+  }
+};
 
 }  // namespace
 
-StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
+StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
                                  const data::Workload& workload,
                                  const JoinSpec& spec_in) {
+  simcl::SimContext* ctx = backend->context();
   JoinSpec spec = spec_in;
   if (ctx->discrete()) {
     if (spec.scheme == Scheme::kPipelined) {
@@ -191,6 +219,11 @@ StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
     // Separate device memories: a shared hash table does not exist.
     spec.engine.shared_table = false;
   }
+  if (backend->kind() != exec::BackendKind::kSim && ctx->cache() != nullptr) {
+    return Status::InvalidArgument(
+        "cache tracing (trace_cache) requires the sim backend: the "
+        "CacheSim is not thread-safe under concurrent kernels");
+  }
   // Skewed probes concentrate on hot keys, which stay cache-resident.
   if (spec.engine.locality_boost == 0.0) {
     spec.engine.locality_boost =
@@ -199,8 +232,9 @@ StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
 
   const uint64_t nb = workload.build.size();
   const uint64_t np = workload.probe.size();
-  Driver drv(ctx, workload, spec);
+  Driver drv(backend, workload, spec);
   ctx->log().Clear();
+  backend->DrainEvents();  // discard records of previous joins
   const uint64_t cache_acc0 = ctx->cache() ? ctx->cache()->accesses() : 0;
   const uint64_t cache_miss0 = ctx->cache() ? ctx->cache()->misses() : 0;
 
@@ -258,9 +292,8 @@ StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
         ctx->TransferToDevice(gpu_nodes * 20.0);
         drv.estimated_ns += ctx->pcie().TransferNs(gpu_nodes * 20.0);
       }
-      const auto [keys, rids] = engine.MergeSeparateTables();
       const double merge_ns =
-          MergeCostNs(*ctx, keys + rids, engine.TableWorkingSetBytes());
+          drv.TimeMerge(&engine, engine.TableWorkingSetBytes());
       ctx->log().Add(Phase::kMerge, merge_ns);
       drv.estimated_ns += merge_ns;
     }
@@ -361,7 +394,7 @@ StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
       groups[1].offsets = &engine.probe_partitioner()->offsets();
       SeriesOptions jopts;
       jopts.drain_alloc = drain;
-      RunSeriesPairBlockedGroups(ctx, groups, jopts);
+      RunSeriesPairBlockedGroups(backend, groups, jopts);
       drv.AbsorbSeries("build", Phase::kBuild, groups[0].result, bcosts);
       drv.AbsorbSeries("probe", Phase::kProbe, groups[1].result, pcosts);
     } else {
@@ -381,9 +414,8 @@ StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
           ctx->TransferToDevice(gpu_nodes * 20.0);
           drv.estimated_ns += ctx->pcie().TransferNs(gpu_nodes * 20.0);
         }
-        const auto [keys, rids] = engine.MergeSeparateTables();
-        const double merge_ns = MergeCostNs(
-            *ctx, keys + rids, engine.PartitionWorkingSetBytes());
+        const double merge_ns =
+            drv.TimeMerge(&engine, engine.PartitionWorkingSetBytes());
         ctx->log().Add(Phase::kMerge, merge_ns);
         drv.estimated_ns += merge_ns;
       }
@@ -417,6 +449,14 @@ StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
     drv.report.l2_misses = ctx->cache()->misses() - cache_miss0;
   }
   return drv.report;
+}
+
+StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
+                                 const data::Workload& workload,
+                                 const JoinSpec& spec) {
+  const std::unique_ptr<exec::Backend> backend = exec::MakeBackend(
+      spec.engine.backend, ctx, spec.engine.backend_threads);
+  return ExecuteJoin(backend.get(), workload, spec);
 }
 
 }  // namespace apujoin::coproc

@@ -1,9 +1,15 @@
-// End-to-end hash-join execution on the simulated coupled (or emulated
-// discrete) architecture: engine setup, cost-model calibration, ratio
-// optimization, phase-by-phase series execution, discrete-mode PCI-e
-// transfers, separate-table merging, and the final report with the paper's
-// reporting dimensions (time breakdown, per-step ratios, lock overhead,
-// model estimate, cache counters).
+// End-to-end hash-join execution on an execution backend over the simulated
+// coupled (or emulated discrete) platform: engine setup, cost-model
+// calibration, ratio optimization, phase-by-phase series execution,
+// discrete-mode PCI-e transfers, separate-table merging, and the final
+// report with the paper's reporting dimensions (time breakdown, per-step
+// ratios, lock overhead, model estimate, cache counters).
+//
+// The backend decides what a step's execution *costs*: the sim backend
+// prices it with the analytic device model (virtual ns, bit-identical to
+// the pre-backend driver), the thread-pool backend runs it on host threads
+// and reports wall-clock ns. Calibration and ratio optimization always run
+// against the analytic model.
 
 #ifndef APUJOIN_COPROC_JOIN_DRIVER_H_
 #define APUJOIN_COPROC_JOIN_DRIVER_H_
@@ -14,6 +20,7 @@
 #include "coproc/schemes.h"
 #include "coproc/step_series.h"
 #include "data/generator.h"
+#include "exec/backend.h"
 #include "join/options.h"
 #include "simcl/context.h"
 #include "util/status.h"
@@ -57,7 +64,7 @@ struct StepReport {
 /// Result of one join execution.
 struct JoinReport {
   uint64_t matches = 0;
-  double elapsed_ns = 0.0;    ///< total measured (virtual) time
+  double elapsed_ns = 0.0;    ///< total measured time (virtual or wall)
   double estimated_ns = 0.0;  ///< cost-model prediction at the same ratios
   double lock_ns = 0.0;       ///< latch contention (excluded from estimate)
   simcl::EventLog breakdown;  ///< per-phase elapsed time
@@ -72,9 +79,15 @@ struct JoinReport {
   double elapsed_sec() const { return elapsed_ns * 1e-9; }
 };
 
-/// Runs build ⋈ probe under `spec` on `ctx`. Fails on invalid combinations
-/// (e.g. fine-grained PL on the emulated discrete architecture, which the
-/// paper shows is impractical there).
+/// Runs build ⋈ probe under `spec` on `backend`. Fails on invalid
+/// combinations (e.g. fine-grained PL on the emulated discrete
+/// architecture, which the paper shows is impractical there).
+apujoin::StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
+                                          const data::Workload& workload,
+                                          const JoinSpec& spec);
+
+/// Convenience: builds the backend selected by `spec.engine.backend` over
+/// `ctx` for the duration of the call.
 apujoin::StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
                                           const data::Workload& workload,
                                           const JoinSpec& spec);

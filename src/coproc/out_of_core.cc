@@ -18,11 +18,12 @@ namespace {
 /// Radix-partitions `rel` chunk-by-chunk through the zero-copy buffer into
 /// `parts` buckets, appending each chunk's partitions into `out` and adding
 /// copy/partition time to `report`.
-Status PartitionChunked(simcl::SimContext* ctx, const data::Relation& rel,
+Status PartitionChunked(exec::Backend* backend, const data::Relation& rel,
                         uint32_t parts, uint64_t chunk_tuples,
                         const JoinSpec& inner,
                         std::vector<data::Relation>* out,
                         OutOfCoreReport* report) {
+  simcl::SimContext* ctx = backend->context();
   join::EngineOptions opts = inner.engine;
   opts.partitions = parts;
   cost::CommSpec comm;
@@ -55,7 +56,7 @@ Status PartitionChunked(simcl::SimContext* ctx, const data::Relation& rel,
       SeriesOptions sopts;
       sopts.ratios = rp.ratios;
       sopts.drain_alloc = [&part]() { return part.TakeCounts(); };
-      const SeriesResult res = RunSeries(ctx, steps, sopts);
+      const SeriesResult res = RunSeries(backend, steps, sopts);
       report->partition_ns += res.elapsed_ns;
       part.EndPass(pass);
     }
@@ -75,9 +76,10 @@ Status PartitionChunked(simcl::SimContext* ctx, const data::Relation& rel,
 
 }  // namespace
 
-StatusOr<OutOfCoreReport> ExecuteOutOfCore(simcl::SimContext* ctx,
+StatusOr<OutOfCoreReport> ExecuteOutOfCore(exec::Backend* backend,
                                            const data::Workload& workload,
                                            const OutOfCoreSpec& spec) {
+  simcl::SimContext* ctx = backend->context();
   OutOfCoreReport report;
   const double total_bytes = static_cast<double>(workload.build.bytes()) +
                              static_cast<double>(workload.probe.bytes());
@@ -85,7 +87,7 @@ StatusOr<OutOfCoreReport> ExecuteOutOfCore(simcl::SimContext* ctx,
 
   if (total_bytes * 1.25 <= buffer) {
     // Fits in the zero-copy buffer: plain in-core join.
-    auto rep = ExecuteJoin(ctx, workload, spec.inner);
+    auto rep = ExecuteJoin(backend, workload, spec.inner);
     if (!rep.ok()) return rep.status();
     report.elapsed_ns = rep->elapsed_ns;
     report.partition_ns = rep->breakdown.Get(Phase::kPartition);
@@ -109,10 +111,10 @@ StatusOr<OutOfCoreReport> ExecuteOutOfCore(simcl::SimContext* ctx,
 
   std::vector<data::Relation> r_parts(parts);
   std::vector<data::Relation> s_parts(parts);
-  APU_RETURN_IF_ERROR(PartitionChunked(ctx, workload.build, parts,
+  APU_RETURN_IF_ERROR(PartitionChunked(backend, workload.build, parts,
                                        spec.chunk_tuples, spec.inner,
                                        &r_parts, &report));
-  APU_RETURN_IF_ERROR(PartitionChunked(ctx, workload.probe, parts,
+  APU_RETURN_IF_ERROR(PartitionChunked(backend, workload.probe, parts,
                                        spec.chunk_tuples, spec.inner,
                                        &s_parts, &report));
 
@@ -128,7 +130,7 @@ StatusOr<OutOfCoreReport> ExecuteOutOfCore(simcl::SimContext* ctx,
         static_cast<double>(pair.build.bytes() + pair.probe.bytes()));
     JoinSpec inner = spec.inner;
     inner.result_capacity = 0;  // auto from pair.expected_matches
-    auto rep = ExecuteJoin(ctx, pair, inner);
+    auto rep = ExecuteJoin(backend, pair, inner);
     if (!rep.ok()) return rep.status();
     report.join_ns += rep->elapsed_ns - rep->breakdown.Get(Phase::kPartition);
     report.partition_ns += rep->breakdown.Get(Phase::kPartition);
@@ -136,6 +138,15 @@ StatusOr<OutOfCoreReport> ExecuteOutOfCore(simcl::SimContext* ctx,
   }
   report.elapsed_ns = report.partition_ns + report.join_ns + report.copy_ns;
   return report;
+}
+
+StatusOr<OutOfCoreReport> ExecuteOutOfCore(simcl::SimContext* ctx,
+                                           const data::Workload& workload,
+                                           const OutOfCoreSpec& spec) {
+  const std::unique_ptr<exec::Backend> backend =
+      exec::MakeBackend(spec.inner.engine.backend, ctx,
+                        spec.inner.engine.backend_threads);
+  return ExecuteOutOfCore(backend.get(), workload, spec);
 }
 
 }  // namespace apujoin::coproc

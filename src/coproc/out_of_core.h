@@ -37,7 +37,14 @@ struct OutOfCoreReport {
   bool chunked = false;  ///< false when the input fit the buffer directly
 };
 
-/// Joins `workload` even when it exceeds the zero-copy buffer.
+/// Joins `workload` even when it exceeds the zero-copy buffer. Every chunk
+/// partition pass and per-pair join is scheduled through `backend`.
+apujoin::StatusOr<OutOfCoreReport> ExecuteOutOfCore(
+    exec::Backend* backend, const data::Workload& workload,
+    const OutOfCoreSpec& spec);
+
+/// Convenience: builds the backend selected by `spec.inner.engine.backend`
+/// over `ctx` for the duration of the call.
 apujoin::StatusOr<OutOfCoreReport> ExecuteOutOfCore(
     simcl::SimContext* ctx, const data::Workload& workload,
     const OutOfCoreSpec& spec);

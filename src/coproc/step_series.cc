@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "alloc/latch_model.h"
+#include "exec/sim_backend.h"
 
 namespace apujoin::coproc {
 
@@ -12,24 +13,28 @@ using simcl::StepStats;
 
 namespace {
 
-/// Drains allocator counts into the step's device times.
-void ChargeAllocations(simcl::SimContext* ctx,
+/// Drains allocator counts; under the sim backend they are priced by the
+/// latch model and added to the step's device times. Real-execution
+/// backends already paid these costs inside the measured wall time, so the
+/// drained counts are discarded (the drain still happens, keeping the
+/// counters scoped to one step).
+void ChargeAllocations(exec::Backend* backend,
                        const std::function<alloc::AllocCounts()>& drain,
                        StepStats* stats) {
   if (!drain) return;
   const alloc::AllocCounts counts = drain();
+  if (backend->kind() != exec::BackendKind::kSim) return;
   simcl::DeviceTime extra[simcl::kNumDevices];
-  alloc::ChargeAllocCounts(*ctx, counts, extra);
+  alloc::ChargeAllocCounts(*backend->context(), counts, extra);
   for (int d = 0; d < simcl::kNumDevices; ++d) stats->time[d] += extra[d];
 }
 
 }  // namespace
 
-SeriesResult RunSeries(simcl::SimContext* ctx,
+SeriesResult RunSeries(exec::Backend* backend,
                        std::vector<join::StepDef>& steps,
                        const SeriesOptions& opts) {
   assert(opts.ratios.size() == steps.size());
-  simcl::Executor exec(ctx);
   SeriesResult result;
   result.steps.reserve(steps.size());
 
@@ -40,8 +45,8 @@ SeriesResult RunSeries(simcl::SimContext* ctx,
   for (size_t i = 0; i < steps.size(); ++i) {
     join::StepDef& step = steps[i];
     const double r = std::clamp(opts.ratios[i], 0.0, 1.0);
-    StepStats stats = exec.Run(step.profile, step.items, r, step.fn);
-    ChargeAllocations(ctx, opts.drain_alloc, &stats);
+    StepStats stats = backend->Run(step, r);
+    ChargeAllocations(backend, opts.drain_alloc, &stats);
     if (step.after) {
       // GPU range of the next step, for grouping.
       uint64_t next_split = step.items;
@@ -65,9 +70,24 @@ SeriesResult RunSeries(simcl::SimContext* ctx,
     result.lock_ns += stats.LockNs();
   }
 
+  if (backend->kind() != exec::BackendKind::kSim) {
+    // Real execution runs the two logical-device lanes back-to-back on the
+    // host pool, so series wall time is the sum of all lane times; the
+    // concurrent-overlap/pipelined-delay composition only describes the
+    // simulated machine.
+    for (size_t i = 0; i < result.steps.size(); ++i) {
+      result.cpu_ns += t_cpu[i];
+      result.gpu_ns += t_gpu[i];
+    }
+    result.elapsed_ns = result.cpu_ns + result.gpu_ns;
+    result.modeled_elapsed_ns = result.elapsed_ns;
+    return result;
+  }
+
   cost::CommSpec comm;
   comm.bytes_per_item = opts.comm_bytes_per_item;
-  comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
+  comm.bandwidth_gbps =
+      backend->context()->memory().spec().total_bandwidth_gbps;
   const uint64_t n = steps.empty() ? 0 : steps.front().items;
   const cost::SeriesEstimate measured =
       cost::ComposePipelinedTiming(t_cpu, t_gpu, opts.ratios, n, comm);
@@ -90,13 +110,12 @@ namespace {
 
 /// Runs one step series on one partition pair's item range [begin, end) and
 /// accumulates timing into `result`.
-void RunOnePairSeries(simcl::SimContext* ctx,
+void RunOnePairSeries(exec::Backend* backend,
                       std::vector<join::StepDef>& steps,
                       const std::vector<double>& ratios,
                       const std::function<alloc::AllocCounts()>& drain,
                       double comm_bytes_per_item, uint64_t begin,
                       uint64_t end, SeriesResult* result) {
-  simcl::Executor exec(ctx);
   const uint64_t len = end - begin;
   std::vector<double> t_cpu(steps.size(), 0.0);
   std::vector<double> t_gpu(steps.size(), 0.0);
@@ -105,12 +124,10 @@ void RunOnePairSeries(simcl::SimContext* ctx,
     const uint64_t split =
         begin + static_cast<uint64_t>(r * static_cast<double>(len) + 0.5);
     StepStats stats;
-    StepStats cpu_part = exec.RunSpan(simcl::DeviceId::kCpu,
-                                      steps[i].profile, begin, split,
-                                      steps[i].fn);
-    StepStats gpu_part = exec.RunSpan(simcl::DeviceId::kGpu,
-                                      steps[i].profile, split, end,
-                                      steps[i].fn);
+    StepStats cpu_part =
+        backend->RunSpan(steps[i], simcl::DeviceId::kCpu, begin, split);
+    StepStats gpu_part =
+        backend->RunSpan(steps[i], simcl::DeviceId::kGpu, split, end);
     for (int d = 0; d < simcl::kNumDevices; ++d) {
       stats.items[d] = cpu_part.items[d] + gpu_part.items[d];
       stats.work[d] = cpu_part.work[d] + gpu_part.work[d];
@@ -118,7 +135,7 @@ void RunOnePairSeries(simcl::SimContext* ctx,
       stats.time[d] += gpu_part.time[d];
     }
     stats.gpu_divergence = gpu_part.gpu_divergence;
-    ChargeAllocations(ctx, drain, &stats);
+    ChargeAllocations(backend, drain, &stats);
     if (steps[i].after) {
       uint64_t next_split = end;
       if (i + 1 < steps.size()) {
@@ -141,9 +158,19 @@ void RunOnePairSeries(simcl::SimContext* ctx,
     }
     run.stats.gpu_divergence = stats.gpu_divergence;
   }
+  if (backend->kind() != exec::BackendKind::kSim) {
+    // Sequential lanes on the host pool: this pair's wall time is the sum.
+    for (size_t i = 0; i < steps.size(); ++i) {
+      result->cpu_ns += t_cpu[i];
+      result->gpu_ns += t_gpu[i];
+      result->elapsed_ns += t_cpu[i] + t_gpu[i];
+    }
+    return;
+  }
   cost::CommSpec comm;
   comm.bytes_per_item = comm_bytes_per_item;
-  comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
+  comm.bandwidth_gbps =
+      backend->context()->memory().spec().total_bandwidth_gbps;
   const cost::SeriesEstimate pair =
       cost::ComposePipelinedTiming(t_cpu, t_gpu, ratios, len, comm);
   result->cpu_ns += pair.cpu_ns;
@@ -168,7 +195,7 @@ void InitSeriesResult(const std::vector<join::StepDef>& steps,
 
 }  // namespace
 
-SeriesResult RunSeriesPairBlocked(simcl::SimContext* ctx,
+SeriesResult RunSeriesPairBlocked(exec::Backend* backend,
                                   std::vector<join::StepDef>& steps,
                                   const SeriesOptions& opts,
                                   const std::vector<uint32_t>& offsets) {
@@ -177,7 +204,7 @@ SeriesResult RunSeriesPairBlocked(simcl::SimContext* ctx,
   InitSeriesResult(steps, opts.ratios, &result);
   for (size_t p = 0; p + 1 < offsets.size(); ++p) {
     if (offsets[p + 1] <= offsets[p]) continue;
-    RunOnePairSeries(ctx, steps, opts.ratios, opts.drain_alloc,
+    RunOnePairSeries(backend, steps, opts.ratios, opts.drain_alloc,
                      opts.comm_bytes_per_item, offsets[p], offsets[p + 1],
                      &result);
   }
@@ -185,7 +212,7 @@ SeriesResult RunSeriesPairBlocked(simcl::SimContext* ctx,
   return result;
 }
 
-void RunSeriesPairBlockedGroups(simcl::SimContext* ctx,
+void RunSeriesPairBlockedGroups(exec::Backend* backend,
                                 std::vector<PairSeriesGroup>& groups,
                                 const SeriesOptions& shared_opts) {
   if (groups.empty()) return;
@@ -199,7 +226,7 @@ void RunSeriesPairBlockedGroups(simcl::SimContext* ctx,
       const uint64_t begin = (*g.offsets)[p];
       const uint64_t end = (*g.offsets)[p + 1];
       if (end <= begin) continue;
-      RunOnePairSeries(ctx, *g.steps, g.ratios, shared_opts.drain_alloc,
+      RunOnePairSeries(backend, *g.steps, g.ratios, shared_opts.drain_alloc,
                        shared_opts.comm_bytes_per_item, begin, end,
                        &g.result);
     }
@@ -209,11 +236,10 @@ void RunSeriesPairBlockedGroups(simcl::SimContext* ctx,
   }
 }
 
-SeriesResult RunSeriesBasicUnit(simcl::SimContext* ctx,
+SeriesResult RunSeriesBasicUnit(exec::Backend* backend,
                                 std::vector<join::StepDef>& steps,
                                 const BasicUnitOptions& opts,
                                 double* cpu_ratio_out) {
-  simcl::Executor exec(ctx);
   SeriesResult result;
   result.steps.resize(steps.size());
   for (size_t i = 0; i < steps.size(); ++i) {
@@ -234,9 +260,8 @@ SeriesResult RunSeriesBasicUnit(simcl::SimContext* ctx,
     double chunk_ns = 0.0;
     double chunk_modeled = 0.0;
     for (size_t i = 0; i < steps.size(); ++i) {
-      StepStats stats =
-          exec.RunSpan(dev, steps[i].profile, next, end, steps[i].fn);
-      ChargeAllocations(ctx, opts.drain_alloc, &stats);
+      StepStats stats = backend->RunSpan(steps[i], dev, next, end);
+      ChargeAllocations(backend, opts.drain_alloc, &stats);
       chunk_ns += stats.time[di].TotalNs();
       chunk_modeled += stats.time[di].ModeledNs();
       result.lock_ns += stats.LockNs();
@@ -248,19 +273,61 @@ SeriesResult RunSeriesBasicUnit(simcl::SimContext* ctx,
     clock[di] += chunk_ns + opts.dispatch_overhead_ns;
     modeled[di] += chunk_modeled;
     items[di] += end - next;
-    ctx->log().Add(simcl::Phase::kSchedule, opts.dispatch_overhead_ns);
+    backend->context()->log().Add(simcl::Phase::kSchedule,
+                                  opts.dispatch_overhead_ns);
     next = end;
   }
   result.cpu_ns = clock[0];
   result.gpu_ns = clock[1];
-  result.elapsed_ns = std::max(clock[0], clock[1]);
-  result.modeled_elapsed_ns = std::max(modeled[0], modeled[1]);
+  if (backend->kind() != exec::BackendKind::kSim) {
+    // The per-device clocks drive chunk scheduling either way, but real
+    // chunks executed one after another — wall time is the sum.
+    result.elapsed_ns = clock[0] + clock[1];
+    result.modeled_elapsed_ns = modeled[0] + modeled[1];
+  } else {
+    result.elapsed_ns = std::max(clock[0], clock[1]);
+    result.modeled_elapsed_ns = std::max(modeled[0], modeled[1]);
+  }
   if (cpu_ratio_out != nullptr) {
     *cpu_ratio_out =
         n == 0 ? 0.0
                : static_cast<double>(items[0]) / static_cast<double>(n);
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// SimContext conveniences: wrap the context in a SimBackend on the spot.
+// ---------------------------------------------------------------------------
+
+SeriesResult RunSeries(simcl::SimContext* ctx,
+                       std::vector<join::StepDef>& steps,
+                       const SeriesOptions& opts) {
+  exec::SimBackend backend(ctx);
+  return RunSeries(&backend, steps, opts);
+}
+
+SeriesResult RunSeriesPairBlocked(simcl::SimContext* ctx,
+                                  std::vector<join::StepDef>& steps,
+                                  const SeriesOptions& opts,
+                                  const std::vector<uint32_t>& offsets) {
+  exec::SimBackend backend(ctx);
+  return RunSeriesPairBlocked(&backend, steps, opts, offsets);
+}
+
+void RunSeriesPairBlockedGroups(simcl::SimContext* ctx,
+                                std::vector<PairSeriesGroup>& groups,
+                                const SeriesOptions& shared_opts) {
+  exec::SimBackend backend(ctx);
+  RunSeriesPairBlockedGroups(&backend, groups, shared_opts);
+}
+
+SeriesResult RunSeriesBasicUnit(simcl::SimContext* ctx,
+                                std::vector<join::StepDef>& steps,
+                                const BasicUnitOptions& opts,
+                                double* cpu_ratio_out) {
+  exec::SimBackend backend(ctx);
+  return RunSeriesBasicUnit(&backend, steps, opts, cpu_ratio_out);
 }
 
 }  // namespace apujoin::coproc

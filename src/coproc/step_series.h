@@ -1,9 +1,15 @@
 // Series runner: executes one step series (build, probe, or one partition
-// pass) across the two devices with given per-step workload ratios, and
-// composes the measured per-step device times with the paper's
-// pipelined-delay equations. This is the *measured* counterpart of
-// cost::EstimateSeries — same composition, real data-dependent inputs
-// (divergence, skew, latch contention, allocator traffic).
+// pass) across the two logical devices of an execution backend with given
+// per-step workload ratios, and composes the per-step device times with the
+// paper's pipelined-delay equations. Under the sim backend this is the
+// *measured* counterpart of cost::EstimateSeries — same composition, real
+// data-dependent inputs (divergence, skew, latch contention, allocator
+// traffic). Under the thread-pool backend the per-step device times are
+// wall-clock measurements of real parallel execution.
+//
+// Every runner takes an exec::Backend*; the simcl::SimContext* overloads
+// are conveniences for sim-only callers (tests, calibration harnesses) that
+// wrap the context in a SimBackend on the spot.
 
 #ifndef APUJOIN_COPROC_STEP_SERIES_H_
 #define APUJOIN_COPROC_STEP_SERIES_H_
@@ -14,6 +20,7 @@
 
 #include "alloc/allocator.h"
 #include "cost/abstract_model.h"
+#include "exec/backend.h"
 #include "join/steps.h"
 #include "simcl/context.h"
 #include "simcl/executor.h"
@@ -24,8 +31,10 @@ namespace apujoin::coproc {
 struct SeriesOptions {
   /// Per-step CPU ratios; size must equal the step count.
   std::vector<double> ratios;
-  /// Drained after each step; allocator op counts are charged into the
-  /// step's device times (lock part separated).
+  /// Drained after each step. Under the sim backend the allocator op counts
+  /// are charged into the step's device times (lock part separated); under
+  /// real-execution backends the costs are already inside the wall-clock
+  /// measurement, so the drained counts are discarded.
   std::function<alloc::AllocCounts()> drain_alloc;
   /// Intermediate-result bytes per crossing item between unlike ratios.
   double comm_bytes_per_item = 8.0;
@@ -53,7 +62,10 @@ struct SeriesResult {
   double modeled_elapsed_ns = 0.0;
 };
 
-/// Executes `steps` with `opts.ratios` on the context's devices.
+/// Executes `steps` with `opts.ratios` on the backend's devices.
+SeriesResult RunSeries(exec::Backend* backend,
+                       std::vector<join::StepDef>& steps,
+                       const SeriesOptions& opts);
 SeriesResult RunSeries(simcl::SimContext* ctx,
                        std::vector<join::StepDef>& steps,
                        const SeriesOptions& opts);
@@ -64,6 +76,10 @@ SeriesResult RunSeries(simcl::SimContext* ctx,
 /// steps — the cache-reuse effect Table 3 quantifies. `offsets` are the
 /// P+1 partition boundaries; within each pair the CPU takes the first
 /// ratio_i share of that pair's items.
+SeriesResult RunSeriesPairBlocked(exec::Backend* backend,
+                                  std::vector<join::StepDef>& steps,
+                                  const SeriesOptions& opts,
+                                  const std::vector<uint32_t>& offsets);
 SeriesResult RunSeriesPairBlocked(simcl::SimContext* ctx,
                                   std::vector<join::StepDef>& steps,
                                   const SeriesOptions& opts,
@@ -81,6 +97,9 @@ struct PairSeriesGroup {
 /// Executes several series pair-by-pair: partition pair p runs *all* groups
 /// (build then probe, per Algorithm 2 "apply SHJ on each partition pair")
 /// before pair p+1 starts. All groups must agree on the partition count.
+void RunSeriesPairBlockedGroups(exec::Backend* backend,
+                                std::vector<PairSeriesGroup>& groups,
+                                const SeriesOptions& shared_opts);
 void RunSeriesPairBlockedGroups(simcl::SimContext* ctx,
                                 std::vector<PairSeriesGroup>& groups,
                                 const SeriesOptions& shared_opts);
@@ -96,6 +115,10 @@ struct BasicUnitOptions {
   std::function<alloc::AllocCounts()> drain_alloc;
 };
 
+SeriesResult RunSeriesBasicUnit(exec::Backend* backend,
+                                std::vector<join::StepDef>& steps,
+                                const BasicUnitOptions& opts,
+                                double* cpu_ratio_out);
 SeriesResult RunSeriesBasicUnit(simcl::SimContext* ctx,
                                 std::vector<join::StepDef>& steps,
                                 const BasicUnitOptions& opts,

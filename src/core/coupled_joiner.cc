@@ -4,11 +4,14 @@ namespace apujoin::core {
 
 CoupledJoiner::CoupledJoiner(JoinConfig config) : config_(std::move(config)) {
   ctx_ = std::make_unique<simcl::SimContext>(config_.context);
+  backend_ =
+      exec::MakeBackend(config_.spec.engine.backend, ctx_.get(),
+                        config_.spec.engine.backend_threads);
 }
 
 apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::Join(
     const data::Workload& workload) {
-  return coproc::ExecuteJoin(ctx_.get(), workload, config_.spec);
+  return coproc::ExecuteJoin(backend_.get(), workload, config_.spec);
 }
 
 apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::Join(
@@ -21,19 +24,19 @@ apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::Join(
   // Unknown selectivity: assume every probe tuple may match once (the FK
   // upper bound); the result buffer grows from this estimate.
   workload.expected_matches = probe.size();
-  return coproc::ExecuteJoin(ctx_.get(), workload, config_.spec);
+  return coproc::ExecuteJoin(backend_.get(), workload, config_.spec);
 }
 
 apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::JoinCoarse(
     const data::Workload& workload) {
-  return coproc::ExecuteCoarsePhj(ctx_.get(), workload, config_.spec);
+  return coproc::ExecuteCoarsePhj(backend_.get(), workload, config_.spec);
 }
 
 apujoin::StatusOr<coproc::OutOfCoreReport> CoupledJoiner::JoinOutOfCore(
     const data::Workload& workload) {
   coproc::OutOfCoreSpec spec;
   spec.inner = config_.spec;
-  return coproc::ExecuteOutOfCore(ctx_.get(), workload, spec);
+  return coproc::ExecuteOutOfCore(backend_.get(), workload, spec);
 }
 
 }  // namespace apujoin::core

@@ -23,15 +23,17 @@
 #include "coproc/join_driver.h"
 #include "coproc/out_of_core.h"
 #include "data/generator.h"
+#include "exec/backend.h"
 #include "simcl/context.h"
 #include "util/status.h"
 
 namespace apujoin::core {
 
-/// Full configuration of a CoupledJoiner.
+/// Full configuration of a CoupledJoiner. The execution backend (analytic
+/// simulator vs real thread pool) is selected by `spec.engine.backend`.
 struct JoinConfig {
   simcl::ContextOptions context;  ///< platform (devices, memory, arch mode)
-  coproc::JoinSpec spec;          ///< algorithm, scheme, engine knobs
+  coproc::JoinSpec spec;          ///< algorithm, scheme, engine, backend
 };
 
 /// High-level join runner. Not thread-safe; one instance per stream of
@@ -58,12 +60,16 @@ class CoupledJoiner {
       const data::Workload& workload);
 
   simcl::SimContext& context() { return *ctx_; }
+  /// The execution backend all joins of this instance schedule through
+  /// (owned; one thread pool is reused across joins under kThreadPool).
+  exec::Backend& backend() { return *backend_; }
   const JoinConfig& config() const { return config_; }
   coproc::JoinSpec& spec() { return config_.spec; }
 
  private:
   JoinConfig config_;
   std::unique_ptr<simcl::SimContext> ctx_;
+  std::unique_ptr<exec::Backend> backend_;
 };
 
 }  // namespace apujoin::core

@@ -1,0 +1,90 @@
+#include "exec/backend.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "exec/sim_backend.h"
+#include "exec/thread_pool_backend.h"
+
+namespace apujoin::exec {
+
+bool ParseBackendKind(const char* text, BackendKind* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "sim") == 0) {
+    *out = BackendKind::kSim;
+    return true;
+  }
+  if (std::strcmp(text, "threads") == 0) {
+    *out = BackendKind::kThreadPool;
+    return true;
+  }
+  return false;
+}
+
+FlagParse ParseBackendFlag(const char* arg, BackendKind* kind,
+                           int* threads) {
+  if (std::strncmp(arg, "--backend=", 10) == 0) {
+    return ParseBackendKind(arg + 10, kind) ? FlagParse::kOk
+                                            : FlagParse::kInvalid;
+  }
+  if (std::strncmp(arg, "--threads=", 10) == 0) {
+    char* end = nullptr;
+    const long parsed = std::strtol(arg + 10, &end, 10);
+    if (end == arg + 10 || *end != '\0' || parsed < 0 || parsed > 4096) {
+      return FlagParse::kInvalid;
+    }
+    *threads = static_cast<int>(parsed);
+    return FlagParse::kOk;
+  }
+  return FlagParse::kNotMatched;
+}
+
+simcl::StepStats Backend::Run(const join::StepDef& step, double cpu_ratio) {
+  cpu_ratio = std::clamp(cpu_ratio, 0.0, 1.0);
+  const uint64_t n = step.items;
+  const uint64_t n_cpu =
+      static_cast<uint64_t>(cpu_ratio * static_cast<double>(n) + 0.5);
+  const simcl::StepStats cpu =
+      RunSpan(step, simcl::DeviceId::kCpu, 0, n_cpu);
+  const simcl::StepStats gpu = RunSpan(step, simcl::DeviceId::kGpu, n_cpu, n);
+  simcl::StepStats out;
+  for (int d = 0; d < simcl::kNumDevices; ++d) {
+    out.items[d] = cpu.items[d] + gpu.items[d];
+    out.work[d] = cpu.work[d] + gpu.work[d];
+    out.time[d] += cpu.time[d];
+    out.time[d] += gpu.time[d];
+  }
+  out.gpu_divergence = gpu.gpu_divergence;
+  return out;
+}
+
+std::vector<LaunchEvent> Backend::DrainEvents() {
+  std::vector<LaunchEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+void Backend::Record(const join::StepDef& step, simcl::DeviceId dev,
+                     uint64_t begin, uint64_t end, double elapsed_ns) {
+  if (!trace_ || end <= begin) return;
+  LaunchEvent e;
+  e.step = step.name;
+  e.device = dev;
+  e.begin = begin;
+  e.end = end;
+  e.elapsed_ns = elapsed_ns;
+  events_.push_back(std::move(e));
+}
+
+std::unique_ptr<Backend> MakeBackend(BackendKind kind, simcl::SimContext* ctx,
+                                     int threads) {
+  if (kind == BackendKind::kThreadPool) {
+    ThreadPoolOptions opts;
+    opts.threads = threads;
+    return std::make_unique<ThreadPoolBackend>(ctx, opts);
+  }
+  return std::make_unique<SimBackend>(ctx);
+}
+
+}  // namespace apujoin::exec

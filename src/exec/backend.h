@@ -1,0 +1,110 @@
+// Backend — the seam between join/scheduling logic and the execution
+// substrate.
+//
+// Everything above this interface (step series, co-processing schemes, the
+// join driver) decides *what* to run where: it slices a step's item range
+// between the two logical devices and composes per-step device times with
+// the paper's pipelined-delay equations. Everything below it decides *how*
+// a slice runs and what its execution costs: the analytic simulator prices
+// a slice in virtual nanoseconds (SimBackend), the thread-pool backend
+// executes it on host threads and reports wall-clock (ThreadPoolBackend).
+// Future substrates (OpenCL devices, NUMA pools, remote shards) slot in
+// behind the same three capabilities: launch a StepDef slice on a logical
+// device, query device specs, drain launch events.
+//
+// The analytic SimContext stays present under every backend: cost-model
+// calibration, ratio optimization and the phase-breakdown log all run
+// against the machine *model* even when execution timing is real.
+
+#ifndef APUJOIN_EXEC_BACKEND_H_
+#define APUJOIN_EXEC_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/backend_kind.h"
+#include "join/steps.h"
+#include "simcl/context.h"
+#include "simcl/executor.h"
+
+namespace apujoin::exec {
+
+/// One step launch, recorded when tracing is enabled (set_trace). Drained
+/// between phases by whoever wants a trace (tests, debugging, future
+/// profiling hooks); recording is off by default to keep span launches
+/// allocation-free on the hot path.
+struct LaunchEvent {
+  std::string step;                             ///< StepDef name
+  simcl::DeviceId device = simcl::DeviceId::kCpu;
+  uint64_t begin = 0;                           ///< item range [begin, end)
+  uint64_t end = 0;
+  double elapsed_ns = 0.0;  ///< virtual ns (sim) or wall-clock ns (threads)
+};
+
+/// Abstract execution backend over the two logical devices.
+class Backend {
+ public:
+  explicit Backend(simcl::SimContext* ctx) : ctx_(ctx) {}
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual BackendKind kind() const = 0;
+  const char* name() const { return BackendKindName(kind()); }
+
+  /// Executes items [begin, end) of `step` on logical device `dev`. Only
+  /// `dev`'s slots of the returned stats are populated.
+  virtual simcl::StepStats RunSpan(const join::StepDef& step,
+                                   simcl::DeviceId dev, uint64_t begin,
+                                   uint64_t end) = 0;
+
+  /// Splits [0, step.items) by the paper's r_i convention — the first
+  /// ceil(cpu_ratio * items) items on the CPU device, the rest on the GPU
+  /// device — and executes both slices.
+  simcl::StepStats Run(const join::StepDef& step, double cpu_ratio);
+
+  /// Static spec of one logical device (the calibration surface).
+  const simcl::DeviceSpec& device_spec(simcl::DeviceId id) const {
+    return ctx_->device(id);
+  }
+
+  /// The analytic machine model this backend is attached to.
+  simcl::SimContext* context() const { return ctx_; }
+
+  /// Re-attaches the backend to a different machine model, so one backend
+  /// (in particular one thread pool) can serve a sequence of experiment
+  /// contexts. Must not be called while a span is executing.
+  virtual void Rebind(simcl::SimContext* ctx) { ctx_ = ctx; }
+
+  /// Enables/disables launch-event recording (off by default).
+  void set_trace(bool on) { trace_ = on; }
+  bool trace() const { return trace_; }
+
+  /// Moves out the launch log accumulated since the last drain.
+  std::vector<LaunchEvent> DrainEvents();
+
+ protected:
+  /// Appends a launch record when tracing is on (empty slices are not
+  /// recorded).
+  void Record(const join::StepDef& step, simcl::DeviceId dev, uint64_t begin,
+              uint64_t end, double elapsed_ns);
+
+  simcl::SimContext* ctx_;
+
+ private:
+  bool trace_ = false;
+  std::vector<LaunchEvent> events_;
+};
+
+/// Constructs the backend selected by `kind` over `ctx`. `threads` sizes the
+/// thread-pool backend's worker pool (0 = hardware concurrency); the sim
+/// backend ignores it.
+std::unique_ptr<Backend> MakeBackend(BackendKind kind, simcl::SimContext* ctx,
+                                     int threads = 0);
+
+}  // namespace apujoin::exec
+
+#endif  // APUJOIN_EXEC_BACKEND_H_

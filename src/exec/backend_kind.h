@@ -1,0 +1,37 @@
+// Execution-backend selector. Lives in its own tiny header so low-level
+// option structs (join::EngineOptions) can name a backend without pulling in
+// the execution layer.
+
+#ifndef APUJOIN_EXEC_BACKEND_KIND_H_
+#define APUJOIN_EXEC_BACKEND_KIND_H_
+
+namespace apujoin::exec {
+
+/// Which substrate executes the fine-grained step kernels.
+enum class BackendKind {
+  kSim,         ///< analytic device simulator (virtual time, the paper's APU)
+  kThreadPool,  ///< host thread pool (real execution, wall-clock time)
+};
+
+inline const char* BackendKindName(BackendKind k) {
+  return k == BackendKind::kSim ? "sim" : "threads";
+}
+
+/// Parses "sim" / "threads" (the --backend flag values). Returns false and
+/// leaves `*out` untouched on anything else.
+bool ParseBackendKind(const char* text, BackendKind* out);
+
+/// Outcome of offering one command-line argument to ParseBackendFlag.
+enum class FlagParse {
+  kNotMatched,  ///< not a backend flag; caller handles the argument
+  kOk,          ///< consumed
+  kInvalid,     ///< recognized flag with an unusable value
+};
+
+/// Shared --backend=sim|threads / --threads=N parsing for harness mains
+/// (benches and examples). Updates `kind`/`threads` on a match.
+FlagParse ParseBackendFlag(const char* arg, BackendKind* kind, int* threads);
+
+}  // namespace apujoin::exec
+
+#endif  // APUJOIN_EXEC_BACKEND_KIND_H_

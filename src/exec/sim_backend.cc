@@ -1,0 +1,15 @@
+#include "exec/sim_backend.h"
+
+namespace apujoin::exec {
+
+simcl::StepStats SimBackend::RunSpan(const join::StepDef& step,
+                                     simcl::DeviceId dev, uint64_t begin,
+                                     uint64_t end) {
+  const simcl::StepStats stats =
+      exec_.RunSpan(dev, step.profile, begin, end, step.fn);
+  Record(step, dev, begin, end,
+         stats.time[static_cast<int>(dev)].TotalNs());
+  return stats;
+}
+
+}  // namespace apujoin::exec

@@ -1,0 +1,40 @@
+// SimBackend — the analytic device simulator behind the Backend interface.
+//
+// A thin adapter over simcl::Executor: step kernels still execute for real
+// on the host (so join results are data-dependent exactly as on hardware),
+// but timing is the device model's virtual nanoseconds, including SIMD
+// divergence inflation on the GPU device. Behavior is identical to calling
+// the executor directly — the pre-refactor drivers produce bit-identical
+// reports through this adapter.
+
+#ifndef APUJOIN_EXEC_SIM_BACKEND_H_
+#define APUJOIN_EXEC_SIM_BACKEND_H_
+
+#include "exec/backend.h"
+
+namespace apujoin::exec {
+
+/// Analytic backend: virtual time from the simcl device model.
+class SimBackend : public Backend {
+ public:
+  explicit SimBackend(simcl::SimContext* ctx) : Backend(ctx), exec_(ctx) {}
+
+  BackendKind kind() const override { return BackendKind::kSim; }
+
+  simcl::StepStats RunSpan(const join::StepDef& step, simcl::DeviceId dev,
+                           uint64_t begin, uint64_t end) override;
+
+  void Rebind(simcl::SimContext* ctx) override {
+    Backend::Rebind(ctx);
+    exec_ = simcl::Executor(ctx);
+  }
+
+  const simcl::Executor& executor() const { return exec_; }
+
+ private:
+  simcl::Executor exec_;
+};
+
+}  // namespace apujoin::exec
+
+#endif  // APUJOIN_EXEC_SIM_BACKEND_H_

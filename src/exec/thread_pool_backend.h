@@ -1,0 +1,102 @@
+// ThreadPoolBackend — real execution of step kernels on a work-stealing
+// host thread pool, timed with the wall clock.
+//
+// Each RunSpan splits its item range into one contiguous shard per worker;
+// a worker claims fixed-size chunks from the front of its own shard and,
+// when that runs dry, steals chunks from the fullest-looking victim's shard
+// (a shard is one 64-bit atomic packing <cur, end>, so claims and steals
+// are single-CAS and lock-free). The calling thread participates as worker
+// 0, so a pool of size 1 spawns no threads at all.
+//
+// Timing semantics: the span's wall-clock time lands in the device's
+// compute_ns; memory/atomic/lock components are zero because on real
+// hardware they are indistinguishable parts of the measured time. There is
+// no SIMD emulation — gpu_divergence is always 1.0 — which makes the
+// "GPU" logical device simply a second pool-backed lane the schedulers can
+// split work onto. Chunks default to 256 items, the work-group granularity
+// of the allocator slot scheme, so a chunk's allocator traffic mostly stays
+// in one work-group slot.
+
+#ifndef APUJOIN_EXEC_THREAD_POOL_BACKEND_H_
+#define APUJOIN_EXEC_THREAD_POOL_BACKEND_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/backend.h"
+
+namespace apujoin::exec {
+
+/// Pool construction knobs.
+struct ThreadPoolOptions {
+  /// Worker count, including the calling thread. 0 = hardware concurrency.
+  int threads = 0;
+  /// Items claimed per chunk; also the steal granularity.
+  uint32_t chunk_items = 256;
+};
+
+/// Cumulative per-worker execution counters (drainable via TakeCounters).
+struct WorkerCounters {
+  uint64_t items = 0;   ///< items executed by this worker
+  uint64_t work = 0;    ///< kernel-reported work units
+  uint64_t chunks = 0;  ///< chunks claimed from the worker's own shard
+  uint64_t steals = 0;  ///< chunks stolen from another worker's shard
+};
+
+/// Work-stealing thread-pool backend (wall-clock timing).
+class ThreadPoolBackend : public Backend {
+ public:
+  explicit ThreadPoolBackend(simcl::SimContext* ctx,
+                             ThreadPoolOptions opts = ThreadPoolOptions());
+  ~ThreadPoolBackend() override;
+
+  BackendKind kind() const override { return BackendKind::kThreadPool; }
+
+  simcl::StepStats RunSpan(const join::StepDef& step, simcl::DeviceId dev,
+                           uint64_t begin, uint64_t end) override;
+
+  int threads() const { return static_cast<int>(counters_.size()); }
+
+  /// Per-worker counters accumulated since the last call; resets them.
+  std::vector<WorkerCounters> TakeCounters();
+
+ private:
+  /// One worker's claimable item sub-range, packed <end:32 | cur:32>
+  /// relative to the span's begin. Cache-line-aligned to keep claims on
+  /// different shards from false-sharing.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> range{0};
+  };
+
+  void WorkerLoop(int id);
+  /// Drains shards (own first, then stealing) for the current job.
+  void ExecuteShards(int id);
+  /// Runs items [begin + lo, begin + hi) of the current job's step.
+  uint64_t RunChunk(uint64_t lo, uint64_t hi);
+
+  const uint32_t chunk_items_;
+  std::vector<WorkerCounters> counters_;  ///< one slot per worker
+  std::vector<Shard> shards_;             ///< one slot per worker
+
+  // Current job (valid while active_workers_ > 0 or worker 0 is running).
+  const join::StepDef* job_step_ = nullptr;
+  simcl::DeviceId job_dev_ = simcl::DeviceId::kCpu;
+  uint64_t job_begin_ = 0;
+  std::atomic<uint64_t> job_work_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t job_seq_ = 0;  ///< guarded by mu_
+  bool stop_ = false;     ///< guarded by mu_
+  std::atomic<int> active_workers_{0};
+
+  std::vector<std::thread> pool_;  ///< workers 1..threads-1
+};
+
+}  // namespace apujoin::exec
+
+#endif  // APUJOIN_EXEC_THREAD_POOL_BACKEND_H_

@@ -101,7 +101,7 @@ int32_t HashTable::FindOrAddKey(uint32_t bucket, int32_t key,
     int32_t expected = first;
     if (head_[bucket].compare_exchange_strong(expected, ni,
                                               std::memory_order_acq_rel)) {
-      ++keys_inserted_;
+      keys_inserted_.fetch_add(1, std::memory_order_relaxed);
       *work += traversed;
       return ni;
     }
@@ -122,7 +122,7 @@ bool HashTable::InsertRid(int32_t key_node, int32_t rid, simcl::DeviceId dev,
     pools_->rid_next[ni] = old;
   } while (!pools_->rid_head[key_node].compare_exchange_weak(
       old, ni, std::memory_order_acq_rel));
-  ++rids_inserted_;
+  rids_inserted_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -177,8 +177,8 @@ std::pair<uint64_t, uint64_t> HashTable::MergeFrom(const HashTable& other,
 
 double HashTable::WorkingSetBytes() const {
   const double headers = static_cast<double>(num_buckets_) * 8.0;
-  const double keys = static_cast<double>(keys_inserted_) * 12.0;
-  const double rids = static_cast<double>(rids_inserted_) * 8.0;
+  const double keys = static_cast<double>(keys_inserted()) * 12.0;
+  const double rids = static_cast<double>(rids_inserted()) * 8.0;
   return headers + keys + rids;
 }
 

@@ -128,8 +128,12 @@ class HashTable {
                                           simcl::DeviceId dev);
 
   /// Key/rid nodes inserted through this table.
-  uint64_t keys_inserted() const { return keys_inserted_; }
-  uint64_t rids_inserted() const { return rids_inserted_; }
+  uint64_t keys_inserted() const {
+    return keys_inserted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rids_inserted() const {
+    return rids_inserted_.load(std::memory_order_relaxed);
+  }
 
   /// Bytes of the table's working set (headers + inserted nodes) — feeds
   /// the memory model's resident-fraction estimate.
@@ -150,8 +154,8 @@ class HashTable {
   NodePools* pools_;
   std::vector<std::atomic<int32_t>> head_;
   std::vector<std::atomic<int32_t>> count_;
-  uint64_t keys_inserted_ = 0;
-  uint64_t rids_inserted_ = 0;
+  std::atomic<uint64_t> keys_inserted_{0};
+  std::atomic<uint64_t> rids_inserted_{0};
   simcl::CacheSim* cache_ = nullptr;
 };
 

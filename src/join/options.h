@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "alloc/allocator.h"
+#include "exec/backend_kind.h"
 
 namespace apujoin::join {
 
@@ -28,6 +29,13 @@ struct EngineOptions {
   /// Extra cache-hit rate from skewed key popularity, in [0,1]; engines
   /// derive it from the workload's skew fraction.
   double locality_boost = 0.0;
+
+  // --- execution backend ---
+  /// Substrate the driver schedules steps onto: the analytic simulator
+  /// (virtual time) or a real host thread pool (wall-clock time).
+  exec::BackendKind backend = exec::BackendKind::kSim;
+  /// Thread-pool backend worker count (0 = hardware concurrency).
+  int backend_threads = 0;
 
   // --- PHJ only ---
   /// Total partitions; 0 = auto (partition pair sized to fit the L2).

@@ -13,6 +13,7 @@
 #ifndef APUJOIN_JOIN_PARTITIONED_HASH_JOIN_H_
 #define APUJOIN_JOIN_PARTITIONED_HASH_JOIN_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -52,7 +53,9 @@ class PhjEngine {
 
   NodePools& pools() { return *pools_; }
   const EngineOptions& options() const { return opts_; }
-  bool overflowed() const { return overflowed_; }
+  bool overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
   uint32_t num_partitions() const { return plan_.total_partitions; }
   HashTable* table(uint32_t partition) { return tables_[partition].get(); }
 
@@ -80,7 +83,7 @@ class PhjEngine {
   std::unique_ptr<NodePools> pools_;
   std::vector<std::unique_ptr<HashTable>> tables_;
   std::vector<std::unique_ptr<HashTable>> tables_gpu_;  // separate mode
-  bool overflowed_ = false;
+  std::atomic<bool> overflowed_{false};  // kernels may set it concurrently
 
   std::vector<uint32_t> part_of_r_, part_of_s_;  // tuple -> partition
   std::vector<uint32_t> r_hash_, s_hash_;

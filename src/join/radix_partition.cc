@@ -92,18 +92,21 @@ void RadixPartitioner::BeginPass(int pass) {
   }
   // Partition-major prefix sum: partition regions are contiguous, each
   // ordered by claiming work group.
-  cursor_.assign(static_cast<size_t>(kWgSlots) * nparts, 0);
+  cursor_ = std::vector<std::atomic<uint32_t>>(
+      static_cast<size_t>(kWgSlots) * nparts);
   std::vector<uint32_t> part_base(nparts + 1, 0);
   uint32_t running = 0;
   for (uint32_t p = 0; p < nparts; ++p) {
     part_base[p] = running;
     for (uint32_t w = 0; w < kWgSlots; ++w) {
-      cursor_[static_cast<size_t>(w) * nparts + p] = running;
+      cursor_[static_cast<size_t>(w) * nparts + p].store(
+          running, std::memory_order_relaxed);
       running += counts[static_cast<size_t>(w) * nparts + p];
     }
   }
   part_base[nparts] = running;
-  claims_.assign(static_cast<size_t>(kWgSlots) * nparts, 0);
+  claims_ = std::vector<std::atomic<uint32_t>>(
+      static_cast<size_t>(kWgSlots) * nparts);
 
   if (pass + 1 == plan_.passes) {
     offsets_ = std::move(part_base);
@@ -133,15 +136,17 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   n2.fn = [this, nparts](uint64_t i, DeviceId dev) -> uint32_t {
     const size_t slot =
         static_cast<size_t>(WgOf(i)) * nparts + pid_[i];
-    dest_[i] = cursor_[slot]++;
+    dest_[i] = cursor_[slot].fetch_add(1, std::memory_order_relaxed);
     // Block-allocation discipline: one global atomic per chunk of claims
     // from this (work group, partition) sub-region, local bumps otherwise.
     const int di = static_cast<int>(dev);
-    counts_.requests[di]++;
-    if (claims_[slot]++ % chunk_elems_ == 0) {
-      counts_.global_atomics[di]++;
+    counts_.requests[di].fetch_add(1, std::memory_order_relaxed);
+    if (claims_[slot].fetch_add(1, std::memory_order_relaxed) %
+            chunk_elems_ ==
+        0) {
+      counts_.global_atomics[di].fetch_add(1, std::memory_order_relaxed);
     } else {
-      counts_.local_atomics[di]++;
+      counts_.local_atomics[di].fetch_add(1, std::memory_order_relaxed);
     }
     return 1;
   };
@@ -164,10 +169,6 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
 
 void RadixPartitioner::EndPass(int /*pass*/) { std::swap(cur_, nxt_); }
 
-alloc::AllocCounts RadixPartitioner::TakeCounts() {
-  alloc::AllocCounts out = counts_;
-  counts_ = alloc::AllocCounts{};
-  return out;
-}
+alloc::AllocCounts RadixPartitioner::TakeCounts() { return counts_.Take(); }
 
 }  // namespace apujoin::join

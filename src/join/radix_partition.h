@@ -16,6 +16,7 @@
 #ifndef APUJOIN_JOIN_RADIX_PARTITION_H_
 #define APUJOIN_JOIN_RADIX_PARTITION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -88,10 +89,12 @@ class RadixPartitioner {
   std::vector<uint32_t> pid_;   // per-item partition id (current pass)
   std::vector<uint32_t> dest_;  // per-item destination slot
   // Per (wg, partition) cursors and claim counters for the current pass.
-  std::vector<uint32_t> cursor_;
-  std::vector<uint32_t> claims_;
+  // Atomic: work groups sharing a slot may claim concurrently under the
+  // thread-pool backend.
+  std::vector<std::atomic<uint32_t>> cursor_;
+  std::vector<std::atomic<uint32_t>> claims_;
   std::vector<uint32_t> offsets_;
-  alloc::AllocCounts counts_;
+  alloc::AtomicAllocCounts counts_;
 };
 
 }  // namespace apujoin::join

@@ -23,13 +23,13 @@ bool ResultWriter::Emit(int32_t build_rid, int32_t probe_rid,
   if (idx < 0) return false;
   build_rids_[idx] = build_rid;
   probe_rids_[idx] = probe_rid;
-  ++emitted_;
+  emitted_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 std::vector<std::pair<int32_t, int32_t>> ResultWriter::CollectPairs() const {
   std::vector<std::pair<int32_t, int32_t>> out;
-  out.reserve(emitted_);
+  out.reserve(count());
   const uint64_t used = arena_.used();
   for (uint64_t i = 0; i < used; ++i) {
     if (build_rids_[i] >= 0) out.emplace_back(build_rids_[i], probe_rids_[i]);
@@ -42,7 +42,7 @@ void ResultWriter::Reset() {
   alloc_->Reset();
   std::fill(build_rids_.begin(), build_rids_.end(), -1);
   std::fill(probe_rids_.begin(), probe_rids_.end(), -1);
-  emitted_ = 0;
+  emitted_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace apujoin::join

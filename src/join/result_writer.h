@@ -6,6 +6,7 @@
 #ifndef APUJOIN_JOIN_RESULT_WRITER_H_
 #define APUJOIN_JOIN_RESULT_WRITER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -27,7 +28,7 @@ class ResultWriter {
             uint32_t workgroup);
 
   /// Number of result pairs emitted (block over-reservation excluded).
-  uint64_t count() const { return emitted_; }
+  uint64_t count() const { return emitted_.load(std::memory_order_relaxed); }
   uint64_t capacity() const { return arena_.capacity(); }
 
   /// Gathers the emitted pairs (slot order is not deterministic across
@@ -43,7 +44,7 @@ class ResultWriter {
   std::unique_ptr<alloc::Allocator> alloc_;
   std::vector<int32_t> build_rids_;  // -1 marks an unwritten slot
   std::vector<int32_t> probe_rids_;
-  uint64_t emitted_ = 0;
+  std::atomic<uint64_t> emitted_{0};
 };
 
 }  // namespace apujoin::join

@@ -9,6 +9,7 @@
 #ifndef APUJOIN_JOIN_SIMPLE_HASH_JOIN_H_
 #define APUJOIN_JOIN_SIMPLE_HASH_JOIN_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -48,7 +49,9 @@ class ShjEngine {
   const EngineOptions& options() const { return opts_; }
 
   /// True if any kernel hit arena exhaustion.
-  bool overflowed() const { return overflowed_; }
+  bool overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
 
   /// Estimated hash-table working set (bytes), used in step profiles.
   double TableWorkingSetBytes() const;
@@ -75,7 +78,7 @@ class ShjEngine {
 
   std::unique_ptr<NodePools> pools_;
   std::vector<std::unique_ptr<HashTable>> tables_;
-  bool overflowed_ = false;
+  std::atomic<bool> overflowed_{false};  // kernels may set it concurrently
 
   // Per-tuple intermediate state (the "pipeline registers" between steps).
   std::vector<uint32_t> r_hash_, s_hash_;

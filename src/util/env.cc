@@ -13,13 +13,26 @@ int64_t GetEnvInt(const char* name, int64_t def) {
   return parsed;
 }
 
+double GetEnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
 bool GetEnvFlag(const char* name) {
   const char* v = std::getenv(name);
   if (v == nullptr) return false;
   return !(v[0] == '\0' || (v[0] == '0' && v[1] == '\0'));
 }
 
-double BenchScale() { return GetEnvFlag("REPRO_FULL") ? 1.0 : 0.25; }
+double BenchScale() {
+  const double override_scale = GetEnvDouble("REPRO_SCALE", 0.0);
+  if (override_scale > 0.0) return override_scale;
+  return GetEnvFlag("REPRO_FULL") ? 1.0 : 0.25;
+}
 
 uint64_t DefaultProbeTuples() {
   const uint64_t paper = 16ull * 1024 * 1024;

@@ -1,6 +1,8 @@
 // Environment knobs shared by the bench harness: REPRO_FULL switches between
 // the paper's full data scale (16M-tuple probe relation) and the reduced
-// default scale that keeps the whole suite runnable in minutes on one core.
+// default scale that keeps the whole suite runnable in minutes on one core;
+// REPRO_SCALE overrides both with an arbitrary factor (e.g. REPRO_SCALE=0.01
+// for CI smoke runs).
 
 #ifndef APUJOIN_UTIL_ENV_H_
 #define APUJOIN_UTIL_ENV_H_
@@ -13,11 +15,15 @@ namespace apujoin {
 /// Returns the integer value of env var `name`, or `def` if unset/invalid.
 int64_t GetEnvInt(const char* name, int64_t def);
 
+/// Returns the double value of env var `name`, or `def` if unset/invalid.
+double GetEnvDouble(const char* name, double def);
+
 /// True if env var `name` is set to a non-zero / non-empty value.
 bool GetEnvFlag(const char* name);
 
-/// Bench scale factor: 1.0 when REPRO_FULL is set, else the reduced default
-/// (0.25). Sizes quoted from the paper are multiplied by this.
+/// Bench scale factor: REPRO_SCALE if set to a positive value, else 1.0
+/// when REPRO_FULL is set, else the reduced default (0.25). Sizes quoted
+/// from the paper are multiplied by this.
 double BenchScale();
 
 /// The probe-relation cardinality used by "default data set" benches

@@ -51,7 +51,8 @@ std::string TablePrinter::FmtPercent(double fraction, int precision) {
 std::string TablePrinter::FmtCount(uint64_t v) {
   if (v >= 1024ull * 1024ull && v % (1024ull * 1024ull) == 0) {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64 "M", v / (1024ull * 1024ull));
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "M",
+                  static_cast<uint64_t>(v / (1024ull * 1024ull)));
     return buf;
   }
   if (v >= 1024 && v % 1024 == 0) {

@@ -1,0 +1,221 @@
+// Unit tests for the exec layer: the SimBackend adapter must be
+// arithmetically identical to driving simcl::Executor directly, and the
+// ThreadPoolBackend must execute every item exactly once with real
+// wall-clock timing, balanced stealing, and per-worker counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "exec/backend.h"
+#include "exec/sim_backend.h"
+#include "exec/thread_pool_backend.h"
+
+namespace apujoin::exec {
+namespace {
+
+using simcl::DeviceId;
+
+join::StepDef MakeStep(uint64_t items, std::atomic<uint64_t>* counter,
+                       uint32_t work_per_item = 1) {
+  join::StepDef step;
+  step.name = "t1";
+  step.profile.instr_per_unit = 25.0;
+  step.profile.rand_accesses_per_unit = 0.5;
+  step.profile.rand_working_set_bytes = 1 << 20;
+  step.items = items;
+  step.fn = [counter, work_per_item](uint64_t, DeviceId) -> uint32_t {
+    counter->fetch_add(1, std::memory_order_relaxed);
+    return work_per_item;
+  };
+  return step;
+}
+
+TEST(BackendKindTest, ParsesFlagValues) {
+  BackendKind kind = BackendKind::kSim;
+  EXPECT_TRUE(ParseBackendKind("threads", &kind));
+  EXPECT_EQ(kind, BackendKind::kThreadPool);
+  EXPECT_TRUE(ParseBackendKind("sim", &kind));
+  EXPECT_EQ(kind, BackendKind::kSim);
+  EXPECT_FALSE(ParseBackendKind("opencl", &kind));
+  EXPECT_FALSE(ParseBackendKind(nullptr, &kind));
+  EXPECT_EQ(kind, BackendKind::kSim);  // untouched on failure
+}
+
+TEST(SimBackendTest, RunMatchesExecutorBitForBit) {
+  simcl::SimContext ctx;
+  std::atomic<uint64_t> c1{0};
+  std::atomic<uint64_t> c2{0};
+  join::StepDef step1 = MakeStep(10000, &c1, 3);
+  const join::StepDef step2 = MakeStep(10000, &c2, 3);
+
+  SimBackend backend(&ctx);
+  const simcl::StepStats via_backend = backend.Run(step1, 0.37);
+  simcl::Executor exec(&ctx);
+  const simcl::StepStats direct =
+      exec.Run(step2.profile, step2.items, 0.37, step2.fn);
+
+  for (int d = 0; d < simcl::kNumDevices; ++d) {
+    EXPECT_EQ(via_backend.items[d], direct.items[d]);
+    EXPECT_EQ(via_backend.work[d], direct.work[d]);
+    EXPECT_EQ(via_backend.time[d].compute_ns, direct.time[d].compute_ns);
+    EXPECT_EQ(via_backend.time[d].memory_ns, direct.time[d].memory_ns);
+    EXPECT_EQ(via_backend.time[d].atomic_ns, direct.time[d].atomic_ns);
+    EXPECT_EQ(via_backend.time[d].lock_ns, direct.time[d].lock_ns);
+  }
+  EXPECT_EQ(via_backend.gpu_divergence, direct.gpu_divergence);
+  EXPECT_EQ(c1.load(), 10000u);
+}
+
+TEST(SimBackendTest, TracingIsOffByDefault) {
+  simcl::SimContext ctx;
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(1000, &c);
+  SimBackend backend(&ctx);
+  backend.Run(step, 0.5);
+  EXPECT_TRUE(backend.DrainEvents().empty());
+}
+
+TEST(SimBackendTest, RecordsLaunchEvents) {
+  simcl::SimContext ctx;
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(1000, &c);
+  SimBackend backend(&ctx);
+  backend.set_trace(true);
+  backend.Run(step, 0.5);
+  const std::vector<LaunchEvent> events = backend.DrainEvents();
+  ASSERT_EQ(events.size(), 2u);  // one per device slice
+  EXPECT_EQ(events[0].device, DeviceId::kCpu);
+  EXPECT_EQ(events[0].begin, 0u);
+  EXPECT_EQ(events[0].end, 500u);
+  EXPECT_EQ(events[1].device, DeviceId::kGpu);
+  EXPECT_EQ(events[1].end, 1000u);
+  EXPECT_GT(events[0].elapsed_ns, 0.0);
+  EXPECT_TRUE(backend.DrainEvents().empty());  // drained
+}
+
+TEST(SimBackendTest, EmptySliceRecordsNothing) {
+  simcl::SimContext ctx;
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(1000, &c);
+  SimBackend backend(&ctx);
+  backend.set_trace(true);
+  backend.Run(step, 1.0);  // CPU-only: GPU slice is empty
+  EXPECT_EQ(backend.DrainEvents().size(), 1u);
+}
+
+TEST(ThreadPoolBackendTest, ExecutesEveryItemExactlyOnce) {
+  simcl::SimContext ctx;
+  ThreadPoolOptions opts;
+  opts.threads = 4;
+  opts.chunk_items = 64;
+  ThreadPoolBackend backend(&ctx, opts);
+
+  constexpr uint64_t kItems = 100000;
+  std::vector<std::atomic<uint32_t>> hits(kItems);
+  join::StepDef step;
+  step.name = "count";
+  step.items = kItems;
+  step.fn = [&hits](uint64_t i, DeviceId) -> uint32_t {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return 2;
+  };
+
+  const simcl::StepStats stats = backend.Run(step, 0.5);
+  for (uint64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "item " << i;
+  }
+  EXPECT_EQ(stats.items[0] + stats.items[1], kItems);
+  EXPECT_EQ(stats.work[0] + stats.work[1], 2 * kItems);
+  EXPECT_GT(stats.time[0].compute_ns, 0.0);  // real wall clock
+  EXPECT_GT(stats.time[1].compute_ns, 0.0);
+  EXPECT_EQ(stats.time[0].memory_ns, 0.0);   // folded into wall time
+  EXPECT_EQ(stats.gpu_divergence, 1.0);      // no SIMD emulation
+}
+
+TEST(ThreadPoolBackendTest, KernelsSeeTheLogicalDevice) {
+  simcl::SimContext ctx;
+  ThreadPoolBackend backend(&ctx, {.threads = 2, .chunk_items = 32});
+  std::atomic<uint64_t> cpu_items{0};
+  std::atomic<uint64_t> gpu_items{0};
+  join::StepDef step;
+  step.name = "dev";
+  step.items = 10000;
+  step.fn = [&](uint64_t, DeviceId dev) -> uint32_t {
+    (dev == DeviceId::kCpu ? cpu_items : gpu_items)
+        .fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  };
+  backend.Run(step, 0.25);
+  EXPECT_EQ(cpu_items.load(), 2500u);
+  EXPECT_EQ(gpu_items.load(), 7500u);
+}
+
+TEST(ThreadPoolBackendTest, WorkerCountersCoverAllItems) {
+  simcl::SimContext ctx;
+  ThreadPoolBackend backend(&ctx, {.threads = 3, .chunk_items = 16});
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(30000, &c, 5);
+  backend.RunSpan(step, DeviceId::kCpu, 0, 30000);
+
+  uint64_t items = 0;
+  uint64_t work = 0;
+  for (const WorkerCounters& wc : backend.TakeCounters()) {
+    items += wc.items;
+    work += wc.work;
+  }
+  EXPECT_EQ(items, 30000u);
+  EXPECT_EQ(work, 5 * 30000u);
+  // Drained: a second take is all zeros.
+  for (const WorkerCounters& wc : backend.TakeCounters()) {
+    EXPECT_EQ(wc.items, 0u);
+  }
+}
+
+TEST(ThreadPoolBackendTest, SingleThreadPoolWorks) {
+  simcl::SimContext ctx;
+  ThreadPoolBackend backend(&ctx, {.threads = 1});
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(5000, &c);
+  const simcl::StepStats stats =
+      backend.RunSpan(step, DeviceId::kGpu, 1000, 5000);
+  EXPECT_EQ(c.load(), 4000u);
+  EXPECT_EQ(stats.items[1], 4000u);
+  EXPECT_EQ(stats.items[0], 0u);
+}
+
+TEST(ThreadPoolBackendTest, SkewedKernelGetsRebalanced) {
+  // One shard gets all the heavy items; stealing must still finish and
+  // count steals when more than one worker exists.
+  simcl::SimContext ctx;
+  ThreadPoolOptions opts;
+  opts.threads = 4;
+  opts.chunk_items = 8;
+  ThreadPoolBackend backend(&ctx, opts);
+  std::atomic<uint64_t> c{0};
+  join::StepDef step;
+  step.name = "skew";
+  step.items = 1 << 14;
+  step.fn = [&c](uint64_t i, DeviceId) -> uint32_t {
+    // Burn time on the first quarter of the range (worker 0's shard).
+    if (i < (1u << 12)) {
+      volatile uint64_t x = 0;
+      for (int k = 0; k < 2000; ++k) x += k;
+    }
+    c.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  };
+  backend.RunSpan(step, DeviceId::kCpu, 0, step.items);
+  EXPECT_EQ(c.load(), step.items);
+}
+
+TEST(MakeBackendTest, BuildsSelectedKind) {
+  simcl::SimContext ctx;
+  EXPECT_EQ(MakeBackend(BackendKind::kSim, &ctx)->kind(), BackendKind::kSim);
+  EXPECT_EQ(MakeBackend(BackendKind::kThreadPool, &ctx, 2)->kind(),
+            BackendKind::kThreadPool);
+}
+
+}  // namespace
+}  // namespace apujoin::exec
