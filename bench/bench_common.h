@@ -28,10 +28,22 @@ namespace apujoin::bench {
 /// Backend selection shared by all harness helpers (set by InitBench).
 inline exec::BackendKind g_backend = exec::BackendKind::kSim;
 inline int g_backend_threads = 0;
+inline cost::TuneMode g_tune = cost::TuneMode::kOff;
+inline bool g_tune_set = false;  ///< true when --tune was given explicitly
 
 /// Parses harness flags; call first thing in main.
 inline void InitBench(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tune=", 7) == 0) {
+      if (!cost::ParseTuneMode(argv[i] + 7, &g_tune)) {
+        std::fprintf(stderr,
+                     "invalid value in '%s' (want --tune=off|once|online)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+      g_tune_set = true;
+      continue;
+    }
     switch (exec::ParseBackendFlag(argv[i], &g_backend,
                                    &g_backend_threads)) {
       case exec::FlagParse::kOk:
@@ -44,7 +56,8 @@ inline void InitBench(int argc, char** argv) {
         std::exit(2);
       case exec::FlagParse::kNotMatched:
         std::fprintf(stderr,
-                     "usage: %s [--backend=sim|threads] [--threads=N]\n",
+                     "usage: %s [--backend=sim|threads] [--threads=N] "
+                     "[--tune=off|once|online]\n",
                      argv[0]);
         std::exit(2);
     }
@@ -53,10 +66,11 @@ inline void InitBench(int argc, char** argv) {
 
 inline exec::BackendKind BenchBackend() { return g_backend; }
 
-/// Stamps the selected backend into a join spec.
+/// Stamps the selected backend (and tune mode) into a join spec.
 inline void ApplyBackend(coproc::JoinSpec* spec) {
   spec->engine.backend = g_backend;
   spec->engine.backend_threads = g_backend_threads;
+  spec->engine.tune = g_tune;
 }
 
 /// One backend for the whole bench run, rebound to each experiment's
@@ -71,11 +85,24 @@ inline exec::Backend* CachedBackend(simcl::SimContext* ctx) {
   return backend.get();
 }
 
-/// Paper-size scaled by REPRO_FULL (16M -> 4M by default).
+/// Paper-size scaled by REPRO_FULL / REPRO_SCALE (16M -> 4M by default),
+/// clamped to kMinWorkloadTuples (with a one-time warning when a tiny
+/// REPRO_SCALE would otherwise round the workload away).
 inline uint64_t Scaled(uint64_t paper_tuples) {
   const uint64_t v = static_cast<uint64_t>(
       static_cast<double>(paper_tuples) * BenchScale());
-  return v < 1024 ? 1024 : v;
+  if (v >= kMinWorkloadTuples) return v;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "warning: scale %g shrinks %llu tuples to %llu; clamping "
+                 "to the %llu-tuple floor\n",
+                 BenchScale(), static_cast<unsigned long long>(paper_tuples),
+                 static_cast<unsigned long long>(v),
+                 static_cast<unsigned long long>(kMinWorkloadTuples));
+  }
+  return kMinWorkloadTuples;
 }
 
 inline data::Workload MakeWorkload(

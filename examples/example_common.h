@@ -1,6 +1,6 @@
 // Shared flag parsing for the examples: every example accepts
-// --backend=sim|threads (analytic simulator vs real thread-pool execution)
-// and --threads=N, mirroring the bench harness.
+// --backend=sim|threads (analytic simulator vs real thread-pool execution),
+// --threads=N and --tune=off|once|online, mirroring the bench harness.
 
 #ifndef APUJOIN_EXAMPLES_EXAMPLE_COMMON_H_
 #define APUJOIN_EXAMPLES_EXAMPLE_COMMON_H_
@@ -19,6 +19,15 @@ inline void ApplyBackendFlags(int argc, char** argv,
                               join::EngineOptions* engine) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (std::strncmp(arg, "--tune=", 7) == 0) {
+      if (!cost::ParseTuneMode(arg + 7, &engine->tune)) {
+        std::fprintf(stderr,
+                     "invalid value in '%s' (want --tune=off|once|online)\n",
+                     arg);
+        std::exit(2);
+      }
+      continue;
+    }
     switch (exec::ParseBackendFlag(arg, &engine->backend,
                                    &engine->backend_threads)) {
       case exec::FlagParse::kOk:
@@ -32,7 +41,8 @@ inline void ApplyBackendFlags(int argc, char** argv,
       case exec::FlagParse::kNotMatched:
         if (std::strncmp(arg, "--", 2) == 0) {
           std::fprintf(stderr,
-                       "usage: %s [--backend=sim|threads] [--threads=N]\n",
+                       "usage: %s [--backend=sim|threads] [--threads=N] "
+                       "[--tune=off|once|online]\n",
                        argv[0]);
           std::exit(2);
         }

@@ -294,12 +294,27 @@ StatusOr<JoinReport> ExecuteCoarsePhj(exec::Backend* backend,
     if (pj->overflowed()) report.overflowed = true;
   }
   report.matches = writer.count();
+  report.dropped_matches = writer.dropped();
+  report.overflowed |= writer.dropped() > 0;
   report.breakdown = ctx->log();
   report.elapsed_ns = ctx->log().TotalNs();
   report.estimated_ns = report.elapsed_ns - report.lock_ns;
   if (ctx->cache() != nullptr) {
     report.l2_accesses = ctx->cache()->accesses() - cache_acc0;
     report.l2_misses = ctx->cache()->misses() - cache_miss0;
+  }
+  if (report.overflowed && !spec.tolerate_overflow) {
+    if (writer.dropped() > 0) {
+      return Status::ResourceExhausted(
+          "coarse pair-join result buffer exhausted: " +
+          std::to_string(writer.dropped()) +
+          " matches dropped (raise JoinSpec::result_capacity or set "
+          "tolerate_overflow)");
+    }
+    return Status::ResourceExhausted(
+        "coarse pair-join node pool exhausted during the build; rows are "
+        "missing from the tables (set JoinSpec::tolerate_overflow to accept "
+        "a truncated result)");
   }
   return report;
 }

@@ -24,16 +24,40 @@ namespace {
 // Ratio resolution
 // ---------------------------------------------------------------------------
 
+/// Validates a user-supplied ratio override: sizes must broadcast (1) or
+/// match the series, and every value must be a finite CPU share in [0,1].
+/// These used to be assert-only (compiled out under NDEBUG) or silently
+/// clamped; a bad override is a caller error and must surface as one.
+Status ValidateRatioOverride(const char* which,
+                             const std::vector<double>& ratios,
+                             size_t steps) {
+  if (ratios.empty()) return Status::OK();
+  if (ratios.size() != 1 && ratios.size() != steps) {
+    return Status::InvalidArgument(
+        std::string(which) + " ratio override has " +
+        std::to_string(ratios.size()) + " entries; want 1 or " +
+        std::to_string(steps));
+  }
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    const double r = ratios[i];
+    if (!std::isfinite(r) || r < 0.0 || r > 1.0) {
+      return Status::InvalidArgument(
+          std::string(which) + " ratio override [" + std::to_string(i) +
+          "] = " + std::to_string(r) + " is not a CPU share in [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
 StatusOr<std::vector<double>> ResolveRatios(
-    Scheme scheme, const cost::StepCosts& costs, uint64_t n,
-    const cost::CommSpec& comm, const std::vector<double>& override_ratios) {
+    const char* which, Scheme scheme, const cost::StepCosts& costs,
+    uint64_t n, const cost::CommSpec& comm,
+    const std::vector<double>& override_ratios) {
   const size_t steps = costs.size();
+  APU_RETURN_IF_ERROR(ValidateRatioOverride(which, override_ratios, steps));
   if (!override_ratios.empty()) {
     if (override_ratios.size() == 1) {
       return std::vector<double>(steps, override_ratios[0]);
-    }
-    if (override_ratios.size() != steps) {
-      return Status::InvalidArgument("ratio override size mismatch");
     }
     return override_ratios;
   }
@@ -62,6 +86,7 @@ struct Driver {
   simcl::SimContext* ctx;
   const data::Workload& workload;
   const JoinSpec& spec;
+  join::ResultWriter* writer = nullptr;  ///< for per-phase dropped deltas
   JoinReport report;
   cost::CommSpec comm;
   double estimated_ns = 0.0;
@@ -74,6 +99,19 @@ struct Driver {
 
   bool real_execution() const {
     return backend->kind() != exec::BackendKind::kSim;
+  }
+
+  /// Calibrates a step series analytically, then overlays measured unit
+  /// costs from previous runs when the caller supplied a table — the
+  /// feedback loop that lets the ratio optimizers converge from analytic
+  /// guesses to hardware-true costs over repeated joins.
+  cost::StepCosts Calibrate(const std::vector<StepDef>& steps,
+                            const cost::WorkloadStats& stats) const {
+    cost::StepCosts costs = cost::CalibrateSeries(*ctx, steps, stats);
+    if (spec.measured_costs != nullptr) {
+      costs = spec.measured_costs->Refine(costs);
+    }
+    return costs;
   }
 
   /// Transfer of the GPU's input share over PCI-e in discrete mode; returns
@@ -98,6 +136,7 @@ struct Driver {
       const std::function<alloc::AllocCounts()>& drain,
       double gpu_start_delay,
       const std::vector<uint32_t>* pair_offsets = nullptr) {
+    const uint64_t dropped0 = writer != nullptr ? writer->dropped() : 0;
     SeriesResult res;
     if (spec.scheme == Scheme::kBasicUnit) {
       BasicUnitOptions bu;
@@ -137,6 +176,10 @@ struct Driver {
     }
     ctx->log().Add(phase, elapsed);
     AbsorbStepReports(phase_name, res, costs);
+    if (writer != nullptr && !report.steps.empty()) {
+      // Drops can only come from this phase's emitting step (the last one).
+      report.steps.back().dropped += writer->dropped() - dropped0;
+    }
     return res;
   }
 
@@ -159,6 +202,10 @@ struct Driver {
       sr.ratio = res.steps[i].ratio;
       sr.cpu_ns = res.steps[i].stats.time[0].TotalNs();
       sr.gpu_ns = res.steps[i].stats.time[1].TotalNs();
+      sr.cpu_modeled_ns = res.steps[i].stats.time[0].ModeledNs();
+      sr.gpu_modeled_ns = res.steps[i].stats.time[1].ModeledNs();
+      sr.cpu_items = res.steps[i].stats.items[0];
+      sr.gpu_items = res.steps[i].stats.items[1];
       sr.lock_ns = res.steps[i].stats.LockNs();
       sr.gpu_divergence = res.steps[i].stats.gpu_divergence;
       if (i < costs.size()) {
@@ -247,6 +294,7 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
   }
   join::ResultWriter writer(result_cap, spec.engine.allocator,
                             spec.engine.block_bytes);
+  drv.writer = &writer;
 
   cost::WorkloadStats stats;
   stats.build_tuples = nb;
@@ -270,9 +318,9 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
 
     // ---- build ----
     std::vector<StepDef> bsteps = engine.BuildSteps();
-    const cost::StepCosts bcosts = cost::CalibrateSeries(*ctx, bsteps, stats);
-    auto bratios =
-        ResolveRatios(spec.scheme, bcosts, nb, drv.comm, spec.build_ratios);
+    const cost::StepCosts bcosts = drv.Calibrate(bsteps, stats);
+    auto bratios = ResolveRatios("build", spec.scheme, bcosts, nb, drv.comm,
+                                 spec.build_ratios);
     if (!bratios.ok()) return bratios.status();
     drv.report.build_ratios = *bratios;
     const double btransfer = drv.PhaseInputTransfer(*bratios, nb, 8.0);
@@ -300,9 +348,9 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
 
     // ---- probe ----
     std::vector<StepDef> psteps = engine.ProbeSteps(&writer);
-    const cost::StepCosts pcosts = cost::CalibrateSeries(*ctx, psteps, stats);
-    auto pratios =
-        ResolveRatios(spec.scheme, pcosts, np, drv.comm, spec.probe_ratios);
+    const cost::StepCosts pcosts = drv.Calibrate(psteps, stats);
+    auto pratios = ResolveRatios("probe", spec.scheme, pcosts, np, drv.comm,
+                                 spec.probe_ratios);
     if (!pratios.ok()) return pratios.status();
     drv.report.probe_ratios = *pratios;
     const double ptransfer = drv.PhaseInputTransfer(*pratios, np, 8.0);
@@ -339,10 +387,9 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
       for (int pass = 0; pass < part->passes(); ++pass) {
         part->BeginPass(pass);
         std::vector<StepDef> nsteps = part->PassSteps(pass);
-        const cost::StepCosts ncosts =
-            cost::CalibrateSeries(*ctx, nsteps, stats);
-        auto nratios = ResolveRatios(spec.scheme, ncosts, n, drv.comm,
-                                     spec.partition_ratios);
+        const cost::StepCosts ncosts = drv.Calibrate(nsteps, stats);
+        auto nratios = ResolveRatios("partition", spec.scheme, ncosts, n,
+                                     drv.comm, spec.partition_ratios);
         if (!nratios.ok()) return nratios.status();
         if (side == 0 && pass == 0) drv.report.partition_ratios = *nratios;
         const double ntransfer =
@@ -369,15 +416,15 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
 
     // ---- join phase (build + probe) ----
     std::vector<StepDef> bsteps = engine.BuildSteps();
-    const cost::StepCosts bcosts = cost::CalibrateSeries(*ctx, bsteps, stats);
-    auto bratios =
-        ResolveRatios(spec.scheme, bcosts, nb, drv.comm, spec.build_ratios);
+    const cost::StepCosts bcosts = drv.Calibrate(bsteps, stats);
+    auto bratios = ResolveRatios("build", spec.scheme, bcosts, nb, drv.comm,
+                                 spec.build_ratios);
     if (!bratios.ok()) return bratios.status();
     drv.report.build_ratios = *bratios;
     std::vector<StepDef> psteps = engine.ProbeSteps(&writer);
-    const cost::StepCosts pcosts = cost::CalibrateSeries(*ctx, psteps, stats);
-    auto pratios =
-        ResolveRatios(spec.scheme, pcosts, np, drv.comm, spec.probe_ratios);
+    const cost::StepCosts pcosts = drv.Calibrate(psteps, stats);
+    auto pratios = ResolveRatios("probe", spec.scheme, pcosts, np, drv.comm,
+                                 spec.probe_ratios);
     if (!pratios.ok()) return pratios.status();
     drv.report.probe_ratios = *pratios;
 
@@ -394,9 +441,14 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
       groups[1].offsets = &engine.probe_partitioner()->offsets();
       SeriesOptions jopts;
       jopts.drain_alloc = drain;
+      const uint64_t dropped0 = writer.dropped();
       RunSeriesPairBlockedGroups(backend, groups, jopts);
       drv.AbsorbSeries("build", Phase::kBuild, groups[0].result, bcosts);
       drv.AbsorbSeries("probe", Phase::kProbe, groups[1].result, pcosts);
+      if (!drv.report.steps.empty()) {
+        // Only the probe's emitting step (absorbed last) can drop pairs.
+        drv.report.steps.back().dropped += writer.dropped() - dropped0;
+      }
     } else {
       // Separate tables (and BasicUnit) keep distinct build/probe phases
       // with an explicit merge in between.
@@ -441,12 +493,30 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
   }
 
   drv.report.matches = writer.count();
+  drv.report.dropped_matches = writer.dropped();
+  drv.report.overflowed |= writer.dropped() > 0;
   drv.report.breakdown = ctx->log();
   drv.report.elapsed_ns = ctx->log().TotalNs();
   drv.report.estimated_ns = drv.estimated_ns;
   if (ctx->cache() != nullptr) {
     drv.report.l2_accesses = ctx->cache()->accesses() - cache_acc0;
     drv.report.l2_misses = ctx->cache()->misses() - cache_miss0;
+  }
+  if (drv.report.overflowed && !spec.tolerate_overflow) {
+    // A truncated result is data loss; callers used to have to notice the
+    // `overflowed` flag themselves (and often didn't).
+    if (writer.dropped() > 0) {
+      return Status::ResourceExhausted(
+          "join result buffer exhausted: " +
+          std::to_string(writer.dropped()) + " of " +
+          std::to_string(writer.count() + writer.dropped()) +
+          " matches dropped (capacity " + std::to_string(writer.capacity()) +
+          "; raise JoinSpec::result_capacity or set tolerate_overflow)");
+    }
+    return Status::ResourceExhausted(
+        "hash-table node pool exhausted during the build; rows are missing "
+        "from the table (set JoinSpec::tolerate_overflow to accept a "
+        "truncated result)");
   }
   return drv.report;
 }

@@ -19,6 +19,7 @@
 
 #include "coproc/schemes.h"
 #include "coproc/step_series.h"
+#include "cost/online_calibration.h"
 #include "data/generator.h"
 #include "exec/backend.h"
 #include "join/options.h"
@@ -43,6 +44,18 @@ struct JoinSpec {
   /// Result buffer capacity; 0 = auto from the workload's expected matches.
   uint64_t result_capacity = 0;
 
+  /// By default an exhausted result buffer (or node pool) fails the join
+  /// with ResourceExhausted — a truncated result is data loss, not a result.
+  /// Set to keep the pre-existing report-and-truncate behaviour (the report
+  /// then carries `overflowed` and `dropped_matches`).
+  bool tolerate_overflow = false;
+
+  /// Measured per-item unit costs from previous runs (owned by the caller,
+  /// e.g. a RatioTuner). When set, entries with measurements replace their
+  /// analytic counterparts before ratio optimization, so the optimizers run
+  /// on hardware-true numbers. Null = analytic calibration only.
+  const cost::OnlineCalibrator* measured_costs = nullptr;
+
   /// BasicUnit chunk sizes; 0 = auto.
   uint64_t bu_cpu_chunk = 0;
   uint64_t bu_gpu_chunk = 0;
@@ -55,10 +68,20 @@ struct StepReport {
   double ratio = 0.0;
   double cpu_ns = 0.0;
   double gpu_ns = 0.0;
+  /// Measured time with the contention term excluded — on the sim backend
+  /// the modelled share, on real backends identical to cpu_ns/gpu_ns (wall
+  /// clock folds everything in). This is what online calibration consumes.
+  double cpu_modeled_ns = 0.0;
+  double gpu_modeled_ns = 0.0;
+  /// Items each device slice actually executed (unit cost = ns / items).
+  uint64_t cpu_items = 0;
+  uint64_t gpu_items = 0;
   double lock_ns = 0.0;
-  double unit_cpu_ns = 0.0;  ///< calibrated per-item cost
+  double unit_cpu_ns = 0.0;  ///< calibrated per-item cost (analytic or measured)
   double unit_gpu_ns = 0.0;
   double gpu_divergence = 1.0;
+  /// Result pairs this step failed to emit (buffer exhaustion).
+  uint64_t dropped = 0;
 };
 
 /// Result of one join execution.
@@ -75,6 +98,9 @@ struct JoinReport {
   uint64_t l2_accesses = 0;  ///< CacheSim counters (0 unless tracing)
   uint64_t l2_misses = 0;
   bool overflowed = false;
+  /// Result pairs dropped on buffer exhaustion (only reachable with
+  /// JoinSpec::tolerate_overflow; otherwise the join fails instead).
+  uint64_t dropped_matches = 0;
 
   double elapsed_sec() const { return elapsed_ns * 1e-9; }
 };

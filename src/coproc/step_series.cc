@@ -186,10 +186,14 @@ void RunOnePairSeries(exec::Backend* backend,
 void InitSeriesResult(const std::vector<join::StepDef>& steps,
                       const std::vector<double>& ratios,
                       SeriesResult* result) {
+  // Size agreement is the callers' contract, validated with a real Status
+  // by the join driver (ValidateRatioOverride) before execution reaches
+  // this layer; a mismatch here is a bug, not bad user input.
+  assert(ratios.size() == steps.size());
   result->steps.resize(steps.size());
   for (size_t i = 0; i < steps.size(); ++i) {
     result->steps[i].name = steps[i].name;
-    result->steps[i].ratio = i < ratios.size() ? ratios[i] : 0.0;
+    result->steps[i].ratio = ratios[i];
   }
 }
 

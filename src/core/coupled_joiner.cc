@@ -2,16 +2,26 @@
 
 namespace apujoin::core {
 
-CoupledJoiner::CoupledJoiner(JoinConfig config) : config_(std::move(config)) {
+CoupledJoiner::CoupledJoiner(JoinConfig config)
+    : config_(std::move(config)), tuner_(config_.spec.engine.tune) {
   ctx_ = std::make_unique<simcl::SimContext>(config_.context);
   backend_ =
       exec::MakeBackend(config_.spec.engine.backend, ctx_.get(),
                         config_.spec.engine.backend_threads);
 }
 
+apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::RunTuned(
+    const data::Workload& workload) {
+  coproc::JoinSpec spec = config_.spec;
+  tuner_.Prepare(&spec);
+  auto report = coproc::ExecuteJoin(backend_.get(), workload, spec);
+  if (report.ok()) tuner_.Absorb(*report);
+  return report;
+}
+
 apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::Join(
     const data::Workload& workload) {
-  return coproc::ExecuteJoin(backend_.get(), workload, config_.spec);
+  return RunTuned(workload);
 }
 
 apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::Join(
@@ -24,11 +34,13 @@ apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::Join(
   // Unknown selectivity: assume every probe tuple may match once (the FK
   // upper bound); the result buffer grows from this estimate.
   workload.expected_matches = probe.size();
-  return coproc::ExecuteJoin(backend_.get(), workload, config_.spec);
+  return RunTuned(workload);
 }
 
 apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::JoinCoarse(
     const data::Workload& workload) {
+  // The coarse path reports one aggregate pair-join step, not the
+  // fine-grained series the tuner's table is keyed by; run it untuned.
   return coproc::ExecuteCoarsePhj(backend_.get(), workload, config_.spec);
 }
 

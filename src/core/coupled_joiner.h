@@ -22,6 +22,7 @@
 #include "coproc/coarse_grained.h"
 #include "coproc/join_driver.h"
 #include "coproc/out_of_core.h"
+#include "coproc/ratio_tuner.h"
 #include "data/generator.h"
 #include "exec/backend.h"
 #include "simcl/context.h"
@@ -63,13 +64,22 @@ class CoupledJoiner {
   /// The execution backend all joins of this instance schedule through
   /// (owned; one thread pool is reused across joins under kThreadPool).
   exec::Backend& backend() { return *backend_; }
+  /// The session's measurement-feedback loop (active when
+  /// `spec.engine.tune` != kOff): each Join absorbs measured step timings
+  /// and the next Join runs with ratios re-optimized on them.
+  coproc::RatioTuner& tuner() { return tuner_; }
   const JoinConfig& config() const { return config_; }
   coproc::JoinSpec& spec() { return config_.spec; }
 
  private:
+  /// Applies tuning feedback around one driver invocation.
+  apujoin::StatusOr<coproc::JoinReport> RunTuned(
+      const data::Workload& workload);
+
   JoinConfig config_;
   std::unique_ptr<simcl::SimContext> ctx_;
   std::unique_ptr<exec::Backend> backend_;
+  coproc::RatioTuner tuner_;
 };
 
 }  // namespace apujoin::core

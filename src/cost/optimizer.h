@@ -41,6 +41,15 @@ RatioPlan OptimizePipelined(const StepCosts& costs, uint64_t n,
                             const CommSpec& comm = CommSpec(),
                             double delta = kDefaultDelta);
 
+/// Serial-lane composition: on real execution backends the two logical
+/// devices are lanes of one host pool executed back-to-back, so series time
+/// is the *sum* of lane times (no concurrent overlap, no pipelined delay)
+/// and the optimum runs each step wholly on its cheaper device. With
+/// `single_ratio` the whole series is constrained to one ratio (DD), which
+/// under a linear objective is also an endpoint in {0,1}.
+RatioPlan OptimizeSerial(const StepCosts& costs, uint64_t n,
+                         bool single_ratio = false);
+
 }  // namespace apujoin::cost
 
 #endif  // APUJOIN_COST_OPTIMIZER_H_

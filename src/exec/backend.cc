@@ -31,7 +31,8 @@ FlagParse ParseBackendFlag(const char* arg, BackendKind* kind,
   if (std::strncmp(arg, "--threads=", 10) == 0) {
     char* end = nullptr;
     const long parsed = std::strtol(arg + 10, &end, 10);
-    if (end == arg + 10 || *end != '\0' || parsed < 0 || parsed > 4096) {
+    if (end == arg + 10 || *end != '\0' || parsed < 0 ||
+        parsed > kMaxThreads) {
       return FlagParse::kInvalid;
     }
     *threads = static_cast<int>(parsed);

@@ -50,9 +50,13 @@ inline uint64_t ShardRemaining(const std::atomic<uint64_t>& range) {
 ThreadPoolBackend::ThreadPoolBackend(simcl::SimContext* ctx,
                                      ThreadPoolOptions opts)
     : Backend(ctx), chunk_items_(std::max<uint32_t>(1, opts.chunk_items)) {
+  // Normalize the worker count here, not downstream: 0 and negative values
+  // mean "hardware concurrency" (which itself may report 0 and then falls
+  // back to a single worker), and absurd requests are capped to the same
+  // bound the --threads flag parser enforces.
   int n = opts.threads;
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
-  n = std::max(n, 1);
+  n = std::clamp(n, 1, kMaxThreads);
   counters_.resize(static_cast<size_t>(n));
   shards_ = std::vector<Shard>(static_cast<size_t>(n));
   pool_.reserve(static_cast<size_t>(n - 1));

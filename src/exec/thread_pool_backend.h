@@ -30,9 +30,15 @@
 
 namespace apujoin::exec {
 
+/// Hard cap on pool workers; the --threads flag parser enforces the same
+/// bound (it reads this constant).
+inline constexpr int kMaxThreads = 4096;
+
 /// Pool construction knobs.
 struct ThreadPoolOptions {
-  /// Worker count, including the calling thread. 0 = hardware concurrency.
+  /// Worker count, including the calling thread. Zero and negative values
+  /// are normalized to hardware concurrency (at least one worker); values
+  /// above kMaxThreads are capped.
   int threads = 0;
   /// Items claimed per chunk; also the steal granularity.
   uint32_t chunk_items = 256;

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "alloc/allocator.h"
+#include "cost/online_calibration.h"
 #include "exec/backend_kind.h"
 
 namespace apujoin::join {
@@ -36,6 +37,11 @@ struct EngineOptions {
   exec::BackendKind backend = exec::BackendKind::kSim;
   /// Thread-pool backend worker count (0 = hardware concurrency).
   int backend_threads = 0;
+  /// Measurement feedback into calibration (--tune=off|once|online): whether
+  /// a session wrapper (core::CoupledJoiner, bench harness) folds measured
+  /// step timings back into the cost tables between repeated joins. The
+  /// driver itself is stateless; it acts on JoinSpec::measured_costs.
+  cost::TuneMode tune = cost::TuneMode::kOff;
 
   // --- PHJ only ---
   /// Total partitions; 0 = auto (partition pair sized to fit the L2).

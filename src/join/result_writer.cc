@@ -20,7 +20,10 @@ ResultWriter::ResultWriter(uint64_t capacity, alloc::AllocatorKind kind,
 bool ResultWriter::Emit(int32_t build_rid, int32_t probe_rid,
                         simcl::DeviceId dev, uint32_t workgroup) {
   const int64_t idx = alloc_->Allocate(1, dev, workgroup);
-  if (idx < 0) return false;
+  if (idx < 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   build_rids_[idx] = build_rid;
   probe_rids_[idx] = probe_rid;
   emitted_.fetch_add(1, std::memory_order_relaxed);
@@ -43,6 +46,7 @@ void ResultWriter::Reset() {
   std::fill(build_rids_.begin(), build_rids_.end(), -1);
   std::fill(probe_rids_.begin(), probe_rids_.end(), -1);
   emitted_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace apujoin::join

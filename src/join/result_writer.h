@@ -23,12 +23,18 @@ class ResultWriter {
   ResultWriter(uint64_t capacity, alloc::AllocatorKind kind,
                uint32_t block_bytes);
 
-  /// Appends one result pair; false when the buffer is exhausted.
+  /// Appends one result pair; false when the buffer is exhausted (the
+  /// failed emit is counted in dropped()).
   bool Emit(int32_t build_rid, int32_t probe_rid, simcl::DeviceId dev,
             uint32_t workgroup);
 
   /// Number of result pairs emitted (block over-reservation excluded).
   uint64_t count() const { return emitted_.load(std::memory_order_relaxed); }
+  /// Number of result pairs that could not be emitted because the buffer
+  /// was exhausted. Non-zero means the collected result is truncated.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   uint64_t capacity() const { return arena_.capacity(); }
 
   /// Gathers the emitted pairs (slot order is not deterministic across
@@ -45,6 +51,7 @@ class ResultWriter {
   std::vector<int32_t> build_rids_;  // -1 marks an unwritten slot
   std::vector<int32_t> probe_rids_;
   std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 }  // namespace apujoin::join

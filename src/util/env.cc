@@ -36,7 +36,10 @@ double BenchScale() {
 
 uint64_t DefaultProbeTuples() {
   const uint64_t paper = 16ull * 1024 * 1024;
-  return static_cast<uint64_t>(paper * BenchScale());
+  const uint64_t v = static_cast<uint64_t>(paper * BenchScale());
+  // Tiny REPRO_SCALE values must not round the default workload to zero
+  // tuples; the bench harness clamps (and warns) at the same floor.
+  return v < kMinWorkloadTuples ? kMinWorkloadTuples : v;
 }
 
 }  // namespace apujoin

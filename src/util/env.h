@@ -26,6 +26,11 @@ bool GetEnvFlag(const char* name);
 /// from the paper are multiplied by this.
 double BenchScale();
 
+/// Floor for scaled workload sizes: below this the figures are meaningless
+/// and derived sizes (n / partitions, n / 4, ...) start rounding to zero
+/// tuples. Shared by DefaultProbeTuples and the bench harness's Scaled().
+inline constexpr uint64_t kMinWorkloadTuples = 1024;
+
 /// The probe-relation cardinality used by "default data set" benches
 /// (paper default: 16M tuples; reduced default: 4M).
 uint64_t DefaultProbeTuples();

@@ -210,6 +210,24 @@ TEST(ThreadPoolBackendTest, SkewedKernelGetsRebalanced) {
   EXPECT_EQ(c.load(), step.items);
 }
 
+TEST(ThreadPoolBackendTest, NormalizesZeroAndNegativeThreadCounts) {
+  simcl::SimContext ctx;
+  // 0 = hardware concurrency; never less than one worker.
+  ThreadPoolBackend auto_pool(&ctx, {.threads = 0});
+  EXPECT_GE(auto_pool.threads(), 1);
+
+  // Negative requests must not underflow into a threadless (or gigantic)
+  // pool; they normalize exactly like 0 and still execute correctly.
+  ThreadPoolBackend neg_pool(&ctx, {.threads = -7});
+  EXPECT_GE(neg_pool.threads(), 1);
+  EXPECT_EQ(neg_pool.threads(), auto_pool.threads());
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(10000, &c);
+  const simcl::StepStats stats = neg_pool.Run(step, 0.5);
+  EXPECT_EQ(c.load(), 10000u);
+  EXPECT_EQ(stats.items[0] + stats.items[1], 10000u);
+}
+
 TEST(MakeBackendTest, BuildsSelectedKind) {
   simcl::SimContext ctx;
   EXPECT_EQ(MakeBackend(BackendKind::kSim, &ctx)->kind(), BackendKind::kSim);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 
 #include "coproc/join_driver.h"
@@ -145,7 +146,39 @@ TEST_F(JoinDriverTest, BadRatioOverrideRejected) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.build_ratios = {0.1, 0.2};  // neither 1 nor 4 entries
+  const auto report = ExecuteJoin(&ctx, w_, spec);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(JoinDriverTest, OutOfRangeRatioOverrideRejected) {
+  simcl::SimContext ctx;
+  JoinSpec spec;
+  spec.algorithm = Algorithm::kSHJ;
+  spec.probe_ratios = {1.5};  // not a CPU share: must be in [0,1]
+  auto report = ExecuteJoin(&ctx, w_, spec);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+
+  spec.probe_ratios = {-0.25};
   EXPECT_FALSE(ExecuteJoin(&ctx, w_, spec).ok());
+
+  spec.probe_ratios.assign(4, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(ExecuteJoin(&ctx, w_, spec).ok());
+
+  // Boundary values are legal shares, not errors.
+  spec.probe_ratios = {0.0, 1.0, 0.0, 1.0};
+  EXPECT_TRUE(ExecuteJoin(&ctx, w_, spec).ok());
+}
+
+TEST_F(JoinDriverTest, PartitionRatioOverrideValidated) {
+  simcl::SimContext ctx;
+  JoinSpec spec;
+  spec.algorithm = Algorithm::kPHJ;
+  spec.partition_ratios = {2.0};
+  const auto report = ExecuteJoin(&ctx, w_, spec);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(JoinDriverTest, BreakdownSumsToElapsed) {
@@ -233,16 +266,52 @@ TEST_F(JoinDriverTest, BasicAllocatorSlowerButCorrect) {
   EXPECT_GT(basic->lock_ns, ours->lock_ns);
 }
 
-TEST_F(JoinDriverTest, TinyResultCapacityOverflows) {
+TEST_F(JoinDriverTest, TinyResultCapacityFailsTheJoin) {
   simcl::SimContext ctx;
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kCpuOnly;
   spec.result_capacity = 16;  // far below expected matches
+  const auto report = ExecuteJoin(&ctx, w_, spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(JoinDriverTest, ToleratedOverflowReportsDroppedCount) {
+  simcl::SimContext ctx;
+  JoinSpec spec;
+  spec.algorithm = Algorithm::kSHJ;
+  spec.scheme = Scheme::kCpuOnly;
+  spec.result_capacity = 16;
+  spec.tolerate_overflow = true;
   auto report = ExecuteJoin(&ctx, w_, spec);
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->overflowed);
   EXPECT_LT(report->matches, w_.expected_matches);
+  EXPECT_GT(report->dropped_matches, 0u);
+  EXPECT_EQ(report->matches + report->dropped_matches, w_.expected_matches);
+  // Every dropped pair is attributed to an emitting step of the report.
+  uint64_t step_drops = 0;
+  for (const auto& s : report->steps) step_drops += s.dropped;
+  EXPECT_EQ(step_drops, report->dropped_matches);
+}
+
+TEST_F(JoinDriverTest, StepReportsCarryDeviceItemsAndModeledTime) {
+  simcl::SimContext ctx;
+  JoinSpec spec;
+  spec.algorithm = Algorithm::kSHJ;
+  spec.scheme = Scheme::kDataDivide;
+  auto report = ExecuteJoin(&ctx, w_, spec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->steps.empty());
+  for (const auto& s : report->steps) {
+    const uint64_t n =
+        s.phase == "build" ? w_.build.size() : w_.probe.size();
+    EXPECT_EQ(s.cpu_items + s.gpu_items, n) << s.phase << "/" << s.name;
+    EXPECT_LE(s.cpu_modeled_ns, s.cpu_ns);
+    EXPECT_LE(s.gpu_modeled_ns, s.gpu_ns);
+    EXPECT_EQ(s.dropped, 0u);
+  }
 }
 
 }  // namespace
