@@ -40,7 +40,8 @@ double MeanDrift(const std::vector<double>& prev,
 
 void Run() {
   PrintBanner("Figure 21", "online tuning: per-iteration time & ratio drift");
-  const cost::TuneMode mode = g_tune_set ? g_tune : cost::TuneMode::kOnline;
+  const cost::TuneMode mode =
+      g_flags.tune_set ? g_flags.tune : cost::TuneMode::kOnline;
   const data::Workload w =
       MakeWorkload(Scaled(4ull << 20), Scaled(16ull << 20),
                    data::Distribution::kHighSkew);
@@ -65,6 +66,7 @@ void Run() {
     auto report = coproc::ExecuteJoin(backend, w, spec);
     APU_CHECK_OK(report.status());
     APU_CHECK(report->matches == w.expected_matches);
+    g_json.AddJoin(*report);
 
     // Steps this iteration *planned* with measured unit costs (counted
     // before absorbing the iteration's own timings).
@@ -108,6 +110,8 @@ void Run() {
   units.Print();
   std::printf("\niteration %d vs iteration 1: %.2fx\n", kIterations,
               first.elapsed_ns / last.elapsed_ns);
+  g_json.AddMetric("tuning_speedup_vs_iter1",
+                   first.elapsed_ns / last.elapsed_ns);
 }
 
 }  // namespace

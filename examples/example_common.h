@@ -1,54 +1,62 @@
-// Shared flag parsing for the examples: every example accepts
-// --backend=sim|threads (analytic simulator vs real thread-pool execution),
-// --threads=N and --tune=off|once|online, mirroring the bench harness.
+// Shared flag parsing for the examples: every example accepts the common
+// harness flags (core/harness_flags.h) — --backend=sim|threads,
+// --threads=N, --tune=off|once|online — mirroring the bench harness, and
+// passes positional arguments through for the example to consume. The
+// parsing itself lives in core::ParseHarnessArg; this wrapper only adds
+// the examples' pass-through policy.
 
 #ifndef APUJOIN_EXAMPLES_EXAMPLE_COMMON_H_
 #define APUJOIN_EXAMPLES_EXAMPLE_COMMON_H_
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
+#include "core/harness_flags.h"
 #include "join/options.h"
 
 namespace apujoin::examples {
 
-/// Applies --backend/--threads flags to `engine`; leaves positional
-/// arguments for the example to consume. Exits on an unknown --flag.
-inline void ApplyBackendFlags(int argc, char** argv,
-                              join::EngineOptions* engine) {
+/// Parses the shared harness flags; leaves positional arguments for the
+/// example to consume. Exits on an unknown --flag.
+inline core::HarnessFlags ParseFlags(int argc, char** argv) {
+  core::HarnessFlags flags;
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--tune=", 7) == 0) {
-      if (!cost::ParseTuneMode(arg + 7, &engine->tune)) {
-        std::fprintf(stderr,
-                     "invalid value in '%s' (want --tune=off|once|online)\n",
-                     arg);
-        std::exit(2);
-      }
-      continue;
-    }
-    switch (exec::ParseBackendFlag(arg, &engine->backend,
-                                   &engine->backend_threads)) {
-      case exec::FlagParse::kOk:
+    switch (core::ParseHarnessArg(argv[i], &flags)) {
+      case core::HarnessArg::kConsumed:
+      case core::HarnessArg::kPositional:  // the example consumes it
         break;
-      case exec::FlagParse::kInvalid:
-        std::fprintf(stderr,
-                     "invalid value in '%s' (want --backend=sim|threads, "
-                     "--threads=N)\n",
-                     arg);
+      case core::HarnessArg::kInvalid:
         std::exit(2);
-      case exec::FlagParse::kNotMatched:
-        if (std::strncmp(arg, "--", 2) == 0) {
-          std::fprintf(stderr,
-                       "usage: %s [--backend=sim|threads] [--threads=N] "
-                       "[--tune=off|once|online]\n",
-                       argv[0]);
-          std::exit(2);
-        }
-        break;  // positional; the example consumes it
+      case core::HarnessArg::kUnknownFlag:
+        std::fprintf(stderr,
+                     "usage: %s [--backend=sim|threads] [--threads=N] "
+                     "[--tune=off|once|online]\n",
+                     argv[0]);
+        std::exit(2);
     }
   }
+  if (!flags.json_path.empty()) {
+    // Only the bench harness has a JSON emitter; refusing beats silently
+    // never writing the file the caller asked for.
+    std::fprintf(stderr, "%s: --json is supported by the bench binaries "
+                 "only\n", argv[0]);
+    std::exit(2);
+  }
+  return flags;
+}
+
+/// Applies the shared flags to `engine`, preserving the examples' historic
+/// one-call surface.
+inline void ApplyBackendFlags(int argc, char** argv,
+                              join::EngineOptions* engine) {
+  // An example may pre-set its own defaults (e.g. join_server defaults to
+  // the threads backend); flags only override what was given explicitly.
+  const join::EngineOptions defaults = *engine;
+  const core::HarnessFlags flags = ParseFlags(argc, argv);
+  core::ApplyHarnessFlags(flags, engine);
+  if (!flags.backend_set) engine->backend = defaults.backend;
+  if (!flags.threads_set) engine->backend_threads = defaults.backend_threads;
+  if (!flags.tune_set) engine->tune = defaults.tune;
 }
 
 }  // namespace apujoin::examples

@@ -108,6 +108,11 @@ struct Driver {
   cost::StepCosts Calibrate(const std::vector<StepDef>& steps,
                             const cost::WorkloadStats& stats) const {
     cost::StepCosts costs = cost::CalibrateSeries(*ctx, steps, stats);
+    // Cross-session measurements first, the session's own on top: the
+    // session overrides the pool wherever it has run the step itself.
+    if (spec.shared_costs != nullptr) {
+      costs = spec.shared_costs->Refine(costs);
+    }
     if (spec.measured_costs != nullptr) {
       costs = spec.measured_costs->Refine(costs);
     }

@@ -56,6 +56,14 @@ struct JoinSpec {
   /// on hardware-true numbers. Null = analytic calibration only.
   const cost::OnlineCalibrator* measured_costs = nullptr;
 
+  /// Pool of measured unit costs shared across sessions (the join service's
+  /// service-wide cost table). Applied *under* measured_costs: shared
+  /// measurements replace analytic guesses, and the session's own
+  /// measurements replace both — so a cold session starts from what the
+  /// hardware told its neighbours, then converges on its own workload.
+  /// Owned by the caller; null = no cross-session seeding.
+  const cost::OnlineCalibrator* shared_costs = nullptr;
+
   /// BasicUnit chunk sizes; 0 = auto.
   uint64_t bu_cpu_chunk = 0;
   uint64_t bu_gpu_chunk = 0;

@@ -61,7 +61,11 @@ void RatioTuner::Absorb(const JoinReport& report) {
 }
 
 void RatioTuner::Prepare(JoinSpec* spec) {
-  if (mode_ == cost::TuneMode::kOff || runs_ == 0) return;
+  if (mode_ == cost::TuneMode::kOff) return;
+  // The shared pool applies even before this session's first run — that
+  // cold start is exactly when a neighbour's measurements are most useful.
+  if (shared_ != nullptr) spec->shared_costs = shared_;
+  if (runs_ == 0) return;
   spec->measured_costs = &calib_;
 
   // On the sim backend the driver's own optimizers re-run on the refined
@@ -91,11 +95,14 @@ void RatioTuner::Prepare(JoinSpec* spec) {
       // Hysteresis: when the lanes measure near-equal (common on a host
       // pool, where both logical devices are the same cores) the argmin
       // flips on run-to-run noise; stick with the incumbent whole-lane
-      // assignment unless the other lane is >10% cheaper.
+      // assignment unless the other lane is >20% cheaper. The band covers
+      // the scheduling jitter of a shared pool: whether a helper worker
+      // wakes in time to join a small span moves its measured wall by up
+      // to ~20%, and that must not read as a lane preference.
       const double cpu = refined[i].cpu_ns_per_item;
       const double gpu = refined[i].gpu_ns_per_item;
       const bool near_equal =
-          std::min(cpu, gpu) > 0.9 * std::max(cpu, gpu);
+          std::min(cpu, gpu) > 0.8 * std::max(cpu, gpu);
       const bool incumbent_whole =
           shape.ratios[i] == 0.0 || shape.ratios[i] == 1.0;
       if (!single_ratio && near_equal && incumbent_whole) {

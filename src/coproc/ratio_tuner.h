@@ -36,8 +36,20 @@ class RatioTuner {
   /// installs serial-composition ratio overrides re-optimized from the
   /// measured costs. Overrides the caller set explicitly are respected —
   /// the tuner only replaces an override it installed itself. No-op while
-  /// mode is kOff or before the first Absorb.
+  /// mode is kOff or (except for the shared table) before the first
+  /// Absorb.
   void Prepare(JoinSpec* spec);
+
+  /// Attaches a cross-session measured-cost table (the join service's
+  /// service-wide pool); Prepare forwards it as JoinSpec::shared_costs,
+  /// from the very first run — cold-start seeding is its whole point. The
+  /// table is owned by the caller and must stay valid (and unmutated while
+  /// a join is planning) until replaced; sessions typically point this at
+  /// a private snapshot refreshed between runs.
+  void set_shared_costs(const cost::OnlineCalibrator* shared) {
+    shared_ = shared;
+  }
+  const cost::OnlineCalibrator* shared_costs() const { return shared_; }
 
   /// Folds a finished run's measured step timings into the table (kOnce:
   /// first run only) and captures the phase structure for Prepare.
@@ -61,6 +73,7 @@ class RatioTuner {
 
   cost::TuneMode mode_;
   cost::OnlineCalibrator calib_;
+  const cost::OnlineCalibrator* shared_ = nullptr;
   std::vector<PhaseShape> shapes_;
   /// What Prepare last installed per override slot, so a user-pinned
   /// override (anything else non-empty) is never clobbered.

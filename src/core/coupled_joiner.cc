@@ -10,6 +10,16 @@ CoupledJoiner::CoupledJoiner(JoinConfig config)
                         config_.spec.engine.backend_threads);
 }
 
+CoupledJoiner::CoupledJoiner(JoinConfig config, exec::Backend* substrate,
+                             int slots)
+    : config_(std::move(config)), tuner_(config_.spec.engine.tune) {
+  // Planning must describe the substrate that actually executes; a spec
+  // asking for a different backend kind would mis-tune the lease.
+  config_.spec.engine.backend = substrate->kind();
+  ctx_ = std::make_unique<simcl::SimContext>(config_.context);
+  backend_ = substrate->Lease(ctx_.get(), slots);
+}
+
 apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::RunTuned(
     const data::Workload& workload) {
   coproc::JoinSpec spec = config_.spec;

@@ -39,10 +39,24 @@ struct JoinConfig {
 
 /// High-level join runner. Not thread-safe; one instance per stream of
 /// joins (the simulated platform carries state such as the cache).
+///
+/// A CoupledJoiner is also the per-session facade of the join service:
+/// constructed over a shared substrate it schedules through a
+/// partial-capacity lease (its worker-slot quota) instead of an
+/// exclusively-owned backend, while keeping everything per-session — the
+/// machine model, the ratio tuner, the calibration state. Many leased
+/// joiners may run concurrently on one substrate; each individual joiner
+/// stays single-caller.
 class CoupledJoiner {
  public:
   CoupledJoiner() : CoupledJoiner(JoinConfig()) {}
   explicit CoupledJoiner(JoinConfig config);
+
+  /// Leased-session construction: schedules through `substrate->Lease(...)`
+  /// with a quota of `slots` worker slots rather than owning a backend.
+  /// `spec.engine.backend` is overridden to the substrate's kind (the two
+  /// must agree for planning); `substrate` must outlive this joiner.
+  CoupledJoiner(JoinConfig config, exec::Backend* substrate, int slots);
 
   /// Runs the configured join on a generated workload.
   apujoin::StatusOr<coproc::JoinReport> Join(const data::Workload& workload);
@@ -62,14 +76,23 @@ class CoupledJoiner {
 
   simcl::SimContext& context() { return *ctx_; }
   /// The execution backend all joins of this instance schedule through
-  /// (owned; one thread pool is reused across joins under kThreadPool).
+  /// (owned; exclusive instance or substrate lease depending on the
+  /// constructor).
   exec::Backend& backend() { return *backend_; }
+  const exec::Backend& backend() const { return *backend_; }
   /// The session's measurement-feedback loop (active when
   /// `spec.engine.tune` != kOff): each Join absorbs measured step timings
   /// and the next Join runs with ratios re-optimized on them.
   coproc::RatioTuner& tuner() { return tuner_; }
   const JoinConfig& config() const { return config_; }
   coproc::JoinSpec& spec() { return config_.spec; }
+
+  /// Attaches a cross-session measured-cost table (see
+  /// coproc::RatioTuner::set_shared_costs); the join service points this at
+  /// a per-session snapshot of its service-wide table.
+  void set_shared_costs(const cost::OnlineCalibrator* shared) {
+    tuner_.set_shared_costs(shared);
+  }
 
  private:
   /// Applies tuning feedback around one driver invocation.

@@ -1,8 +1,10 @@
 #include "cost/abstract_model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 namespace apujoin::cost {
 
@@ -11,11 +13,30 @@ SeriesEstimate ComposePipelinedTiming(const std::vector<double>& t_cpu,
                                       const std::vector<double>& ratios,
                                       uint64_t n, const CommSpec& comm) {
   assert(t_cpu.size() == ratios.size() && t_gpu.size() == ratios.size());
-  const size_t steps = ratios.size();
+  // Release builds must stay memory-safe under a caller's size mismatch
+  // (the assert above vanishes under NDEBUG): compose only the prefix all
+  // three vectors cover — and say so once, so the caller bug does not hide
+  // behind plausible-looking numbers. Planning may run on concurrent
+  // session threads, hence the atomic once-flag.
+  const size_t steps =
+      std::min(ratios.size(), std::min(t_cpu.size(), t_gpu.size()));
+  const size_t out_steps =
+      std::max(ratios.size(), std::max(t_cpu.size(), t_gpu.size()));
+  if (steps != out_steps) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "apujoin: ComposePipelinedTiming size mismatch (%zu/%zu/"
+                   "%zu step times vs ratios); composing the common prefix\n",
+                   t_cpu.size(), t_gpu.size(), ratios.size());
+    }
+  }
   const double items = static_cast<double>(n);
   SeriesEstimate est;
-  est.delay_cpu_ns.assign(steps, 0.0);
-  est.delay_gpu_ns.assign(steps, 0.0);
+  // Sized to the widest input so downstream per-step consumers indexing by
+  // their own step count never read past the delay vectors.
+  est.delay_cpu_ns.assign(out_steps, 0.0);
+  est.delay_gpu_ns.assign(out_steps, 0.0);
 
   // Cumulative sums include earlier delays: a stalled device starts its
   // later steps later (Eq. 2 folds D^i into T^i).
@@ -59,7 +80,9 @@ SeriesEstimate EstimateSeries(const StepCosts& costs, uint64_t n,
                               const std::vector<double>& ratios,
                               const CommSpec& comm) {
   assert(costs.size() == ratios.size());
-  const size_t steps = costs.size();
+  // Same release-mode guard as ComposePipelinedTiming: index only the
+  // prefix both tables cover.
+  const size_t steps = std::min(costs.size(), ratios.size());
   const double items = static_cast<double>(n);
   std::vector<double> t_cpu(steps, 0.0);
   std::vector<double> t_gpu(steps, 0.0);

@@ -78,6 +78,13 @@ void Backend::Record(const join::StepDef& step, simcl::DeviceId dev,
   events_.push_back(std::move(e));
 }
 
+std::unique_ptr<Backend> Backend::Lease(simcl::SimContext* ctx, int slots) {
+  // Without a shared physical substrate an independent instance is the
+  // lease (see the header). `slots` caps nothing here but is still passed
+  // through so a future multi-client substrate gets a meaningful bound.
+  return MakeBackend(kind(), ctx, slots);
+}
+
 std::unique_ptr<Backend> MakeBackend(BackendKind kind, simcl::SimContext* ctx,
                                      int threads) {
   if (kind == BackendKind::kThreadPool) {

@@ -31,6 +31,16 @@
 
 namespace apujoin::exec {
 
+/// Execution statistics of one capacity lease (see Backend::Lease).
+struct LeaseStats {
+  uint64_t spans = 0;  ///< spans executed through the lease
+  uint64_t items = 0;  ///< items executed through the lease
+  /// Max worker slots any single span actually occupied (calling thread
+  /// plus attached pool workers) — the observable the fair-share quota
+  /// bounds.
+  int peak_workers = 0;
+};
+
 /// One step launch, recorded when tracing is enabled (set_trace). Drained
 /// between phases by whoever wants a trace (tests, debugging, future
 /// profiling hooks); recording is off by default to keep span launches
@@ -78,6 +88,28 @@ class Backend {
   /// (in particular one thread pool) can serve a sequence of experiment
   /// contexts. Must not be called while a span is executing.
   virtual void Rebind(simcl::SimContext* ctx) { ctx_ = ctx; }
+
+  /// Total worker slots the substrate can hand out to concurrent clients
+  /// (the thread-pool backend's worker count; 1 for the analytic simulator,
+  /// whose virtual time has no notion of occupancy).
+  virtual int capacity() const { return 1; }
+
+  /// Leases up to `slots` worker slots to an independent client. The
+  /// returned backend prices and executes through `ctx` — the client's own
+  /// machine model — and never occupies more than `slots` worker slots of
+  /// the shared substrate at a time, so concurrent RunSpan calls on
+  /// *different* leases are safe even though a backend itself serves one
+  /// client per span. Leases must not outlive the leased backend.
+  ///
+  /// The default (and the sim backend's) lease is a fresh backend of the
+  /// same kind over `ctx`: virtual-time execution has no shared substrate
+  /// to contend for, so an independent instance *is* the lease — and keeps
+  /// sim results bit-identical to solo runs. The thread-pool backend
+  /// overrides this with a true partial-capacity lease on its worker pool.
+  virtual std::unique_ptr<Backend> Lease(simcl::SimContext* ctx, int slots);
+
+  /// Per-lease execution statistics; null on non-lease backends.
+  virtual const LeaseStats* lease_stats() const { return nullptr; }
 
   /// Enables/disables launch-event recording (off by default).
   void set_trace(bool on) { trace_ = on; }

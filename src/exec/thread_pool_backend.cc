@@ -58,7 +58,6 @@ ThreadPoolBackend::ThreadPoolBackend(simcl::SimContext* ctx,
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
   n = std::clamp(n, 1, kMaxThreads);
   counters_.resize(static_cast<size_t>(n));
-  shards_ = std::vector<Shard>(static_cast<size_t>(n));
   pool_.reserve(static_cast<size_t>(n - 1));
   for (int id = 1; id < n; ++id) {
     pool_.emplace_back([this, id] { WorkerLoop(id); });
@@ -77,48 +76,96 @@ ThreadPoolBackend::~ThreadPoolBackend() {
 simcl::StepStats ThreadPoolBackend::RunSpan(const join::StepDef& step,
                                             simcl::DeviceId dev,
                                             uint64_t begin, uint64_t end) {
+  // Exclusive use: the whole pool is the quota. Launch events are recorded
+  // here (and in PoolLease::RunSpan), not in the shared path — event logs
+  // are per-client, and RunSpanShared may be running for many clients at
+  // once.
+  const simcl::StepStats stats =
+      RunSpanShared(step, dev, begin, end, threads());
+  if (end > begin) {
+    Record(step, dev, begin, end,
+           stats.time[static_cast<int>(dev)].compute_ns);
+  }
+  return stats;
+}
+
+std::unique_ptr<Backend> ThreadPoolBackend::Lease(simcl::SimContext* ctx,
+                                                  int slots) {
+  return std::make_unique<PoolLease>(this, ctx, slots);
+}
+
+simcl::StepStats ThreadPoolBackend::RunSpanShared(const join::StepDef& step,
+                                                  simcl::DeviceId dev,
+                                                  uint64_t begin, uint64_t end,
+                                                  int slots,
+                                                  int* peak_workers) {
   simcl::StepStats stats;
+  if (peak_workers != nullptr) *peak_workers = 0;
   if (end <= begin) return stats;
   const uint64_t items = end - begin;
   const int di = static_cast<int>(dev);
-  const int n = threads();
+  slots = std::clamp(slots, 1, threads());
   const auto t0 = Clock::now();
 
-  if (items >= (1ull << 32)) {
-    // Shards pack <cur, end> into 32 bits each; spans this large (4G+ items)
-    // are far beyond the workloads here, so just run them on the caller.
-    job_step_ = &step;
-    job_dev_ = dev;
-    job_begin_ = begin;
-    stats.work[di] = RunChunk(0, items);
+  if (slots == 1 || items >= (1ull << 32)) {
+    // Single-slot quota needs no pool hand-off at all; 4G+ item spans do
+    // not fit the 32-bit <cur, end> shard packing (far beyond the
+    // workloads here) — both run wholly on the submitting thread, without
+    // ever touching the pool lock.
+    Job job;
+    job.step = &step;
+    job.dev = dev;
+    job.begin = begin;
+    WorkerCounters me;
+    const uint64_t work = RunChunk(job, 0, items);
+    me.items = items;
+    me.work = work;
+    me.chunks = 1;
+    FoldCallerCounters(me);
+    stats.work[di] = work;
+    if (peak_workers != nullptr) *peak_workers = 1;
   } else {
-    job_work_.store(0, std::memory_order_relaxed);
-    // Even contiguous pre-split; stealing rebalances skewed kernels.
-    const uint64_t per = items / static_cast<uint64_t>(n);
+    Job job;
+    job.step = &step;
+    job.dev = dev;
+    job.begin = begin;
+    job.max_helpers = slots - 1;
+    job.num_shards = slots;
+    if (slots <= kInlineShards) {
+      job.shards = job.inline_shards;
+    } else {
+      job.heap_shards = std::vector<Shard>(static_cast<size_t>(slots));
+      job.shards = job.heap_shards.data();
+    }
+    // Even contiguous pre-split across the quota's slots; stealing
+    // rebalances skewed kernels (and absent helpers).
+    const uint64_t per = items / static_cast<uint64_t>(slots);
     uint64_t next = 0;
-    for (int i = 0; i < n; ++i) {
-      const uint64_t hi = i + 1 == n ? items : next + per;
-      shards_[static_cast<size_t>(i)].range.store(
-          PackRange(next, hi), std::memory_order_relaxed);
+    for (int i = 0; i < slots; ++i) {
+      const uint64_t hi = i + 1 == slots ? items : next + per;
+      job.shards[i].range.store(PackRange(next, hi),
+                                std::memory_order_relaxed);
       next = hi;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      job_step_ = &step;
-      job_dev_ = dev;
-      job_begin_ = begin;
-      active_workers_.store(n - 1, std::memory_order_release);
-      ++job_seq_;
+      jobs_.push_back(&job);
     }
     cv_work_.notify_all();
-    ExecuteShards(0);
-    if (n > 1) {
+
+    WorkerCounters me;
+    DrainJob(&job, &me);
+    FoldCallerCounters(me);
+
+    {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_done_.wait(lock, [this] {
-        return active_workers_.load(std::memory_order_acquire) == 0;
-      });
+      jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+      // Attached helpers may still be finishing their last chunk; the job
+      // lives on this stack frame, so wait them out before returning.
+      cv_done_.wait(lock, [&job] { return job.helpers == 0; });
+      if (peak_workers != nullptr) *peak_workers = job.peak_workers;
     }
-    stats.work[di] = job_work_.load(std::memory_order_relaxed);
+    stats.work[di] = job.work.load(std::memory_order_relaxed);
   }
 
   const double wall_ns = ElapsedNs(t0);
@@ -126,63 +173,95 @@ simcl::StepStats ThreadPoolBackend::RunSpan(const join::StepDef& step,
   // Real execution folds memory/atomic/contention costs into the measured
   // time; report it all as compute.
   stats.time[di].compute_ns = wall_ns;
-  Record(step, dev, begin, end, wall_ns);
   return stats;
 }
 
 std::vector<WorkerCounters> ThreadPoolBackend::TakeCounters() {
-  // Workers only touch counters_ while a job is live; RunSpan has returned,
-  // so reads here are race-free.
+  // Valid only between spans: workers touch counters_ solely while a job
+  // is live, and submitters fold theirs in before RunSpanShared returns.
   std::vector<WorkerCounters> out = counters_;
   for (WorkerCounters& c : counters_) c = WorkerCounters{};
+  out[0].items = caller_counters_.items.exchange(0, std::memory_order_relaxed);
+  out[0].work = caller_counters_.work.exchange(0, std::memory_order_relaxed);
+  out[0].chunks =
+      caller_counters_.chunks.exchange(0, std::memory_order_relaxed);
+  out[0].steals =
+      caller_counters_.steals.exchange(0, std::memory_order_relaxed);
   return out;
 }
 
+void ThreadPoolBackend::FoldCallerCounters(const WorkerCounters& wc) {
+  caller_counters_.items.fetch_add(wc.items, std::memory_order_relaxed);
+  caller_counters_.work.fetch_add(wc.work, std::memory_order_relaxed);
+  caller_counters_.chunks.fetch_add(wc.chunks, std::memory_order_relaxed);
+  caller_counters_.steals.fetch_add(wc.steals, std::memory_order_relaxed);
+}
+
+ThreadPoolBackend::Job* ThreadPoolBackend::PickJobLocked() {
+  Job* best = nullptr;
+  for (Job* job : jobs_) {
+    if (job->helpers >= job->max_helpers) continue;
+    uint64_t remaining = 0;
+    for (int i = 0; i < job->num_shards; ++i) {
+      remaining += ShardRemaining(job->shards[i].range);
+    }
+    if (remaining == 0) continue;
+    if (best == nullptr || job->helpers < best->helpers) best = job;
+  }
+  return best;
+}
+
 void ThreadPoolBackend::WorkerLoop(int id) {
-  uint64_t seen_seq = 0;
+  WorkerCounters& mine = counters_[static_cast<size_t>(id)];
   for (;;) {
+    Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [this, seen_seq] {
-        return stop_ || job_seq_ != seen_seq;
+      cv_work_.wait(lock, [this, &job] {
+        if (stop_) return true;
+        job = PickJobLocked();
+        return job != nullptr;
       });
-      if (stop_) return;
-      seen_seq = job_seq_;
+      if (job == nullptr) return;  // stop_, nothing eligible
+      ++job->helpers;
+      job->peak_workers = std::max(job->peak_workers, job->helpers + 1);
     }
-    ExecuteShards(id);
-    if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last one out: wake the caller (lock so the notify cannot race
-      // between the caller's predicate check and its wait).
+    // Only this worker writes its counters slot (TakeCounters is specified
+    // idle-only), so the accumulation stays off the pool lock.
+    DrainJob(job, &mine);
+    {
       std::lock_guard<std::mutex> lock(mu_);
-      cv_done_.notify_all();
+      if (--job->helpers == 0) cv_done_.notify_all();
     }
   }
 }
 
-void ThreadPoolBackend::ExecuteShards(int id) {
-  WorkerCounters& me = counters_[static_cast<size_t>(id)];
-  const int n = threads();
+void ThreadPoolBackend::DrainJob(Job* job, WorkerCounters* me) {
+  const int nshards = job->num_shards;
+  const int home =
+      job->next_slot.fetch_add(1, std::memory_order_relaxed) % nshards;
   uint64_t local_work = 0;
-  int victim = id;
+  int victim = home;
   for (;;) {
     uint64_t lo = 0;
     uint64_t hi = 0;
-    if (ClaimChunk(&shards_[static_cast<size_t>(victim)].range, chunk_items_,
-                   &lo, &hi)) {
-      local_work += RunChunk(lo, hi);
-      me.items += hi - lo;
-      if (victim == id) {
-        ++me.chunks;
+    if (ClaimChunk(&job->shards[static_cast<size_t>(victim)].range,
+                   chunk_items_, &lo, &hi)) {
+      local_work += RunChunk(*job, lo, hi);
+      me->items += hi - lo;
+      if (victim == home) {
+        ++me->chunks;
       } else {
-        ++me.steals;
+        ++me->steals;
       }
       continue;
     }
-    // Own shard (or current victim) is dry: steal from the fullest shard.
+    // Home shard (or current victim) is dry: steal from the fullest shard.
     victim = -1;
     uint64_t best = 0;
-    for (int v = 0; v < n; ++v) {
-      const uint64_t rem = ShardRemaining(shards_[static_cast<size_t>(v)].range);
+    for (int v = 0; v < nshards; ++v) {
+      const uint64_t rem =
+          ShardRemaining(job->shards[static_cast<size_t>(v)].range);
       if (rem > best) {
         best = rem;
         victim = v;
@@ -190,17 +269,48 @@ void ThreadPoolBackend::ExecuteShards(int id) {
     }
     if (victim < 0) break;
   }
-  me.work += local_work;
-  job_work_.fetch_add(local_work, std::memory_order_relaxed);
+  me->work += local_work;
+  job->work.fetch_add(local_work, std::memory_order_relaxed);
 }
 
-uint64_t ThreadPoolBackend::RunChunk(uint64_t lo, uint64_t hi) {
-  const join::ItemKernel& fn = job_step_->fn;
+uint64_t ThreadPoolBackend::RunChunk(const Job& job, uint64_t lo,
+                                     uint64_t hi) {
+  const join::ItemKernel& fn = job.step->fn;
   uint64_t work = 0;
   for (uint64_t i = lo; i < hi; ++i) {
-    work += fn(job_begin_ + i, job_dev_);
+    work += fn(job.begin + i, job.dev);
   }
   return work;
+}
+
+// ---------------------------------------------------------------------------
+// PoolLease
+// ---------------------------------------------------------------------------
+
+PoolLease::PoolLease(ThreadPoolBackend* pool, simcl::SimContext* ctx,
+                     int slots)
+    : Backend(ctx),
+      pool_(pool),
+      slots_(std::clamp(slots, 1, pool->capacity())) {}
+
+simcl::StepStats PoolLease::RunSpan(const join::StepDef& step,
+                                    simcl::DeviceId dev, uint64_t begin,
+                                    uint64_t end) {
+  int peak = 0;
+  const simcl::StepStats stats =
+      pool_->RunSpanShared(step, dev, begin, end, slots_, &peak);
+  if (end > begin) {
+    ++stats_.spans;
+    stats_.items += end - begin;
+    stats_.peak_workers = std::max(stats_.peak_workers, peak);
+    Record(step, dev, begin, end,
+           stats.time[static_cast<int>(dev)].compute_ns);
+  }
+  return stats;
+}
+
+std::unique_ptr<Backend> PoolLease::Lease(simcl::SimContext* ctx, int slots) {
+  return pool_->Lease(ctx, std::min(slots, slots_));
 }
 
 }  // namespace apujoin::exec

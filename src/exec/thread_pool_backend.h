@@ -1,12 +1,23 @@
 // ThreadPoolBackend — real execution of step kernels on a work-stealing
 // host thread pool, timed with the wall clock.
 //
-// Each RunSpan splits its item range into one contiguous shard per worker;
-// a worker claims fixed-size chunks from the front of its own shard and,
-// when that runs dry, steals chunks from the fullest-looking victim's shard
-// (a shard is one 64-bit atomic packing <cur, end>, so claims and steals
-// are single-CAS and lock-free). The calling thread participates as worker
-// 0, so a pool of size 1 spawns no threads at all.
+// The pool is a *shared substrate*: any number of clients may have spans in
+// flight at once, each span registered as a Job with its own shard set and
+// a worker-slot quota. A submitting thread always executes its own job
+// (so a quota of 1 needs no pool workers at all); idle pool workers attach
+// to whichever eligible job currently has the fewest helpers — the
+// least-loaded-first rule that spreads the pool fairly across concurrent
+// sessions — but never beyond the job's quota, so one giant span cannot
+// starve its neighbours. Within a job, a participant claims fixed-size
+// chunks from its home shard and, when that runs dry, steals chunks from
+// the fullest-looking shard (a shard is one 64-bit atomic packing
+// <cur, end>, so claims and steals are single-CAS and lock-free).
+//
+// Exclusive use is the quota-equals-pool-size special case: RunSpan simply
+// runs the span at full capacity, which reproduces the pre-lease behaviour
+// (caller + all workers on one job). Partial-capacity clients go through
+// Lease(), which returns a PoolLease facade scheduling through the shared
+// pool under its own machine model.
 //
 // Timing semantics: the span's wall-clock time lands in the device's
 // compute_ns; memory/atomic/lock components are zero because on real
@@ -48,11 +59,16 @@ struct ThreadPoolOptions {
 struct WorkerCounters {
   uint64_t items = 0;   ///< items executed by this worker
   uint64_t work = 0;    ///< kernel-reported work units
-  uint64_t chunks = 0;  ///< chunks claimed from the worker's own shard
-  uint64_t steals = 0;  ///< chunks stolen from another worker's shard
+  uint64_t chunks = 0;  ///< chunks claimed from the worker's home shard
+  uint64_t steals = 0;  ///< chunks stolen from another shard
 };
 
-/// Work-stealing thread-pool backend (wall-clock timing).
+/// Work-stealing thread-pool backend (wall-clock timing). Any number of
+/// spans may be in flight concurrently — one per client, where a client is
+/// the backend's exclusive owner or a lease. Each client surface (RunSpan,
+/// a PoolLease) remains single-caller, like every Backend: per-client
+/// state (the trace event log) is unsynchronized by design. The
+/// thread-safe multi-client entry is RunSpanShared / concurrent leases.
 class ThreadPoolBackend : public Backend {
  public:
   explicit ThreadPoolBackend(simcl::SimContext* ctx,
@@ -64,43 +80,122 @@ class ThreadPoolBackend : public Backend {
   simcl::StepStats RunSpan(const join::StepDef& step, simcl::DeviceId dev,
                            uint64_t begin, uint64_t end) override;
 
+  int capacity() const override { return threads(); }
+
+  /// A partial-capacity lease on this pool (a PoolLease). See
+  /// Backend::Lease for the contract; `slots` is clamped to [1, capacity].
+  std::unique_ptr<Backend> Lease(simcl::SimContext* ctx, int slots) override;
+
+  /// Executes a span using at most `slots` worker slots — the calling
+  /// thread plus up to slots-1 pool workers. Thread-safe: concurrent calls
+  /// from different threads share the pool under the fairness rule above.
+  /// `peak_workers`, when non-null, receives the max worker slots the span
+  /// actually occupied at any instant.
+  simcl::StepStats RunSpanShared(const join::StepDef& step,
+                                 simcl::DeviceId dev, uint64_t begin,
+                                 uint64_t end, int slots,
+                                 int* peak_workers = nullptr);
+
   int threads() const { return static_cast<int>(counters_.size()); }
 
   /// Per-worker counters accumulated since the last call; resets them.
+  /// Slot 0 aggregates all submitting (non-pool) threads. Only valid while
+  /// no span is in flight.
   std::vector<WorkerCounters> TakeCounters();
 
  private:
-  /// One worker's claimable item sub-range, packed <end:32 | cur:32>
-  /// relative to the span's begin. Cache-line-aligned to keep claims on
-  /// different shards from false-sharing.
+  /// One claimable item sub-range, packed <end:32 | cur:32> relative to the
+  /// span's begin. Cache-line-aligned to keep claims on different shards
+  /// from false-sharing.
   struct alignas(64) Shard {
     std::atomic<uint64_t> range{0};
   };
 
+  /// Shard sets up to this wide live inline in the Job (the submitting
+  /// thread's stack) — no per-span allocation on the hot path; wider
+  /// quotas spill to the heap.
+  static constexpr int kInlineShards = 16;
+
+  /// One in-flight span. Lives on the submitting thread's stack; reachable
+  /// by pool workers only while listed in jobs_ (and until helpers drops
+  /// to zero, which the submitter awaits before returning).
+  struct Job {
+    const join::StepDef* step = nullptr;
+    simcl::DeviceId dev = simcl::DeviceId::kCpu;
+    uint64_t begin = 0;
+    Shard* shards = nullptr;            ///< one per worker slot
+    int num_shards = 0;
+    Shard inline_shards[kInlineShards];
+    std::vector<Shard> heap_shards;     ///< only for quotas > kInlineShards
+    std::atomic<uint64_t> work{0};      ///< kernel work units
+    std::atomic<int> next_slot{0};      ///< home-shard round-robin ticket
+    int max_helpers = 0;                ///< quota minus the submitting thread
+    int helpers = 0;                    ///< attached pool workers (mu_)
+    int peak_workers = 1;               ///< max concurrent participants (mu_)
+  };
+
+  /// Slot-0 counters (all submitting threads share it, so unlike the
+  /// pool-worker slots it must take concurrent lock-free additions).
+  struct CallerCounters {
+    std::atomic<uint64_t> items{0};
+    std::atomic<uint64_t> work{0};
+    std::atomic<uint64_t> chunks{0};
+    std::atomic<uint64_t> steals{0};
+  };
+
   void WorkerLoop(int id);
-  /// Drains shards (own first, then stealing) for the current job.
-  void ExecuteShards(int id);
-  /// Runs items [begin + lo, begin + hi) of the current job's step.
-  uint64_t RunChunk(uint64_t lo, uint64_t hi);
+  /// Claims/steals chunks of `job` until its shards run dry.
+  void DrainJob(Job* job, WorkerCounters* me);
+  /// Runs items [job.begin + lo, job.begin + hi) of the job's step.
+  static uint64_t RunChunk(const Job& job, uint64_t lo, uint64_t hi);
+  /// Least-helpers-first pick among listed jobs with quota and work left;
+  /// null when no job is eligible. Requires mu_.
+  Job* PickJobLocked();
+  /// Folds a submitting thread's per-span counters into slot 0 (lock-free).
+  void FoldCallerCounters(const WorkerCounters& wc);
 
   const uint32_t chunk_items_;
-  std::vector<WorkerCounters> counters_;  ///< one slot per worker
-  std::vector<Shard> shards_;             ///< one slot per worker
-
-  // Current job (valid while active_workers_ > 0 or worker 0 is running).
-  const join::StepDef* job_step_ = nullptr;
-  simcl::DeviceId job_dev_ = simcl::DeviceId::kCpu;
-  uint64_t job_begin_ = 0;
-  std::atomic<uint64_t> job_work_{0};
+  /// One slot per worker; slot 0 is materialized from caller_counters_ at
+  /// TakeCounters time (pool workers write slots 1.. directly).
+  std::vector<WorkerCounters> counters_;
+  CallerCounters caller_counters_;
 
   std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  uint64_t job_seq_ = 0;  ///< guarded by mu_
-  bool stop_ = false;     ///< guarded by mu_
-  std::atomic<int> active_workers_{0};
+  std::condition_variable cv_work_;  ///< signals workers: job list changed
+  std::condition_variable cv_done_;  ///< signals submitters: helpers left
+  std::vector<Job*> jobs_;           ///< in-flight jobs, FIFO (mu_)
+  bool stop_ = false;                ///< guarded by mu_
 
   std::vector<std::thread> pool_;  ///< workers 1..threads-1
+};
+
+/// Partial-capacity lease on a shared ThreadPoolBackend: a Backend facade
+/// that executes on the parent pool under the lease's worker-slot quota,
+/// prices/reports through its own SimContext, and records per-lease
+/// execution statistics. One lease serves one client (it is exactly as
+/// single-caller as any backend); independence holds *across* leases.
+class PoolLease : public Backend {
+ public:
+  PoolLease(ThreadPoolBackend* pool, simcl::SimContext* ctx, int slots);
+
+  BackendKind kind() const override { return BackendKind::kThreadPool; }
+
+  simcl::StepStats RunSpan(const join::StepDef& step, simcl::DeviceId dev,
+                           uint64_t begin, uint64_t end) override;
+
+  int capacity() const override { return slots_; }
+
+  /// Sub-leasing re-leases from the parent pool, never wider than this
+  /// lease's own quota.
+  std::unique_ptr<Backend> Lease(simcl::SimContext* ctx, int slots) override;
+
+  const LeaseStats* lease_stats() const override { return &stats_; }
+  int slots() const { return slots_; }
+
+ private:
+  ThreadPoolBackend* pool_;
+  int slots_;
+  LeaseStats stats_;
 };
 
 }  // namespace apujoin::exec

@@ -1,0 +1,261 @@
+#include "service/join_service.h"
+
+#include <algorithm>
+#include <string>
+
+namespace apujoin::service {
+
+using apujoin::Status;
+using apujoin::StatusOr;
+
+// ---------------------------------------------------------------------------
+// JoinTicket
+// ---------------------------------------------------------------------------
+
+bool JoinTicket::done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->result.has_value();
+}
+
+StatusOr<coproc::JoinReport> JoinTicket::Take() {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("Take() on an empty JoinTicket");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+  if (state_->taken) {
+    return Status::FailedPrecondition("JoinTicket already taken");
+  }
+  state_->taken = true;
+  return std::move(*state_->result);
+}
+
+// ---------------------------------------------------------------------------
+// JoinService
+// ---------------------------------------------------------------------------
+
+JoinService::JoinService(ServiceOptions opts) : opts_(std::move(opts)) {
+  opts_.max_sessions = std::max(1, opts_.max_sessions);
+  opts_.queue_capacity = std::max(1, opts_.queue_capacity);
+  substrate_ctx_ = std::make_unique<simcl::SimContext>();
+  substrate_ = exec::MakeBackend(opts_.backend, substrate_ctx_.get(),
+                                 opts_.backend_threads);
+}
+
+JoinService::~JoinService() {
+  // Sessions lease the substrate and point back here; one outliving the
+  // service would use freed memory. Fail loudly in every build (the
+  // assert-only version vanished under NDEBUG and let the use-after-free
+  // happen later, far from the cause).
+  std::lock_guard<std::mutex> lock(mu_);
+  APU_CHECK(open_sessions_ == 0 &&
+            "destroy all Sessions before the JoinService");
+}
+
+int JoinService::default_slots() const {
+  // Clamped to capacity like an explicit SessionOptions::slots, so the
+  // quota a Session reports is the quota its lease actually grants.
+  if (opts_.default_slots > 0) {
+    return std::min(opts_.default_slots, std::max(1, capacity()));
+  }
+  return std::max(1, capacity() / opts_.max_sessions);
+}
+
+int JoinService::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_sessions_;
+}
+
+ServiceStats JoinService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t JoinService::shared_cost_steps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shared_costs_.size();
+}
+
+StatusOr<std::unique_ptr<Session>> JoinService::OpenSession(
+    SessionOptions opts) {
+  int id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (open_sessions_ >= opts_.max_sessions) {
+      ++stats_.sessions_rejected;
+      return Status::ResourceExhausted(
+          "join service at its session limit (" +
+          std::to_string(opts_.max_sessions) +
+          " open); close a session or raise ServiceOptions::max_sessions");
+    }
+    ++open_sessions_;
+    id = next_session_id_++;
+  }
+  const int slots =
+      opts.slots > 0 ? std::min(opts.slots, std::max(1, capacity()))
+                     : default_slots();
+  try {
+    return std::unique_ptr<Session>(new Session(this, id, std::move(opts),
+                                                slots));
+  } catch (const std::exception& e) {
+    // Session construction spawns the runner thread, which can throw
+    // under thread-resource exhaustion; give the admission slot back
+    // instead of leaking it forever.
+    CloseSession();
+    return Status::ResourceExhausted(
+        std::string("failed to start session runner: ") + e.what());
+  }
+}
+
+bool JoinService::TryAcquireQueueSlot() {
+  int cur = pending_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur >= opts_.queue_capacity) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submissions_rejected;
+      return false;
+    }
+    if (pending_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void JoinService::CloseSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --open_sessions_;
+}
+
+void JoinService::AbsorbShared(const coproc::JoinReport& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const coproc::StepReport& s : report.steps) {
+    // Contention-free measured time, mirroring RatioTuner::Absorb: the
+    // modelled share on the sim backend, full wall clock on real ones.
+    shared_costs_.Observe(s.name, simcl::DeviceId::kCpu, s.cpu_items,
+                          s.cpu_modeled_ns);
+    shared_costs_.Observe(s.name, simcl::DeviceId::kGpu, s.gpu_items,
+                          s.gpu_modeled_ns);
+  }
+}
+
+void JoinService::SnapshotShared(cost::OnlineCalibrator* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out = shared_costs_;
+}
+
+void JoinService::CountJoin(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++stats_.joins_completed;
+  } else {
+    ++stats_.joins_failed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+namespace {
+
+core::JoinConfig MakeSessionConfig(const SessionOptions& opts) {
+  core::JoinConfig config;
+  config.context = opts.context;
+  config.spec = opts.spec;
+  return config;
+}
+
+}  // namespace
+
+Session::Session(JoinService* service, int id, SessionOptions opts,
+                 int slots)
+    : service_(service),
+      id_(id),
+      slots_(slots),
+      joiner_(MakeSessionConfig(opts), &service->substrate(), slots) {
+  runner_ = std::thread([this] { RunnerLoop(); });
+}
+
+Session::~Session() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closing_ = true;
+  }
+  cv_.notify_all();
+  runner_.join();  // drains the queue: accepted requests still complete
+  service_->CloseSession();
+}
+
+StatusOr<JoinTicket> Session::Submit(const data::Workload& workload) {
+  if (!service_->TryAcquireQueueSlot()) {
+    return Status::ResourceExhausted(
+        "join service submission queue is full (" +
+        std::to_string(service_->options().queue_capacity) +
+        " requests queued or running); retry after taking results");
+  }
+  JoinTicket ticket;
+  ticket.state_ = std::make_shared<JoinTicket::State>();
+  ticket.state_->workload = &workload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_) {
+      service_->ReleaseQueueSlot();
+      return Status::FailedPrecondition("session is closing");
+    }
+    queue_.push_back(ticket.state_);
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+StatusOr<coproc::JoinReport> Session::Join(const data::Workload& workload) {
+  auto ticket = Submit(workload);
+  if (!ticket.ok()) return ticket.status();
+  return ticket->Take();
+}
+
+void Session::RunnerLoop() {
+  for (;;) {
+    std::shared_ptr<JoinTicket::State> req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closing_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closing_ and drained
+      req = queue_.front();
+      queue_.pop_front();
+    }
+    RunOne(req.get());
+  }
+}
+
+void Session::RunOne(JoinTicket::State* req) {
+  if (service_->options().share_costs &&
+      joiner_.tuner().mode() != cost::TuneMode::kOff) {
+    // Refresh this session's snapshot of the service-wide table; the
+    // planner reads the snapshot lock-free while neighbours keep
+    // publishing into the live table. Untuned sessions plan analytically
+    // and never read shared costs, so don't pay the copy (they still
+    // publish their measurements below).
+    service_->SnapshotShared(&shared_snapshot_);
+    joiner_.set_shared_costs(shared_snapshot_.empty() ? nullptr
+                                                      : &shared_snapshot_);
+  }
+  auto report = joiner_.Join(*req->workload);
+  service_->CountJoin(report.ok());
+  if (report.ok() && service_->options().share_costs) {
+    service_->AbsorbShared(*report);
+  }
+  // Free the queue slot before publishing the result: a client that
+  // Take()s and immediately resubmits must find the capacity its finished
+  // request no longer occupies.
+  service_->ReleaseQueueSlot();
+  {
+    std::lock_guard<std::mutex> lock(req->mu);
+    req->result.emplace(std::move(report));
+  }
+  req->cv.notify_all();
+}
+
+}  // namespace apujoin::service

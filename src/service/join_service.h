@@ -1,0 +1,224 @@
+// JoinService — concurrent multi-session join serving over one shared
+// execution substrate.
+//
+// The paper tunes one hash join at a time; a deployable engine serves many
+// clients at once, all contending for the same physical cores. This layer
+// multiplexes them:
+//
+//   * one shared substrate (normally a ThreadPoolBackend) executes every
+//     session's step kernels; each session schedules through a
+//     partial-capacity *lease* with a fair worker-slot quota, so one giant
+//     PHJ cannot starve a stream of small SHJs;
+//   * admission control is explicit: opening a session beyond max_sessions
+//     and submitting beyond the bounded request queue both fail with a
+//     real ResourceExhausted Status instead of queuing unboundedly;
+//   * tuning state is per-session — each session owns a CoupledJoiner
+//     (machine model + lease + RatioTuner), so each workload converges to
+//     its own ratios — while measured unit costs are pooled in a
+//     service-wide cost table that seeds cold sessions with what the
+//     hardware already told their neighbours.
+//
+// Threading model: a session's requests execute serially on the session's
+// own runner thread (per-session state is single-caller by design); any
+// number of client threads may Submit to any number of sessions. On the
+// sim backend every lease is an independent analytic backend over the
+// session's own context, so concurrent sessions stay bit-identical to solo
+// runs.
+
+#ifndef APUJOIN_SERVICE_JOIN_SERVICE_H_
+#define APUJOIN_SERVICE_JOIN_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/coupled_joiner.h"
+#include "cost/online_calibration.h"
+#include "util/status.h"
+
+namespace apujoin::service {
+
+/// Service-level configuration.
+struct ServiceOptions {
+  /// Substrate every session's lease executes on.
+  exec::BackendKind backend = exec::BackendKind::kThreadPool;
+  /// Shared pool size (0 = hardware concurrency); sim ignores it.
+  int backend_threads = 0;
+  /// Admission cap on concurrently open sessions.
+  int max_sessions = 8;
+  /// Worker-slot quota per session; 0 = fair share, i.e.
+  /// max(1, capacity / max_sessions). Oversubscription (sum of quotas
+  /// beyond capacity) is allowed — quotas cap each session, the pool's
+  /// least-loaded-first worker assignment arbitrates the rest.
+  int default_slots = 0;
+  /// Bound on requests queued or running service-wide; Submit beyond it
+  /// returns ResourceExhausted (backpressure, not unbounded memory).
+  int queue_capacity = 64;
+  /// Pool measured unit costs across sessions (the service-wide cost
+  /// table). Sessions still keep their own tables on top.
+  bool share_costs = true;
+};
+
+/// Per-session configuration.
+struct SessionOptions {
+  simcl::ContextOptions context;  ///< the session's machine model
+  coproc::JoinSpec spec;          ///< algorithm/scheme/engine defaults
+  /// Worker-slot quota override; 0 = the service default.
+  int slots = 0;
+};
+
+/// Aggregate service counters (monotonic).
+struct ServiceStats {
+  uint64_t joins_completed = 0;
+  uint64_t joins_failed = 0;
+  uint64_t submissions_rejected = 0;  ///< queue-full Submit attempts
+  uint64_t sessions_rejected = 0;     ///< admission-denied OpenSession calls
+};
+
+class Session;
+
+/// One submitted join: a single-shot future for its report.
+class JoinTicket {
+ public:
+  JoinTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// True once the result is available (Take will not block).
+  bool done() const;
+  /// Blocks until the join finishes and moves its result out. A second
+  /// Take (or Take on an invalid ticket) returns FailedPrecondition.
+  apujoin::StatusOr<coproc::JoinReport> Take();
+
+ private:
+  friend class Session;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    const data::Workload* workload = nullptr;
+    std::optional<apujoin::StatusOr<coproc::JoinReport>> result;
+    bool taken = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Admission-controlled multi-session join service.
+///
+/// Lifetime: sessions hold a pointer to the service and a lease on its
+/// substrate — destroy (close) every Session before the JoinService.
+class JoinService {
+ public:
+  explicit JoinService(ServiceOptions opts = ServiceOptions());
+  ~JoinService();
+
+  JoinService(const JoinService&) = delete;
+  JoinService& operator=(const JoinService&) = delete;
+
+  /// Opens a join session (admission-controlled): ResourceExhausted once
+  /// max_sessions sessions are open.
+  apujoin::StatusOr<std::unique_ptr<Session>> OpenSession(
+      SessionOptions opts = SessionOptions());
+
+  /// Worker slots of the shared substrate.
+  int capacity() const { return substrate_->capacity(); }
+  /// The quota a default-configured session receives.
+  int default_slots() const;
+  int open_sessions() const;
+  /// Requests currently queued or running, service-wide.
+  int pending() const { return pending_.load(std::memory_order_relaxed); }
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return opts_; }
+  /// Step kinds with at least one measurement in the service-wide table.
+  size_t shared_cost_steps() const;
+  exec::Backend& substrate() { return *substrate_; }
+
+ private:
+  friend class Session;
+
+  /// Reserves one queue slot; false when the bounded queue is full.
+  bool TryAcquireQueueSlot();
+  void ReleaseQueueSlot() {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  void CloseSession();
+  void AbsorbShared(const coproc::JoinReport& report);
+  /// Copies the service-wide table into `out` (a session-private snapshot
+  /// the planner can read without holding the service lock).
+  void SnapshotShared(cost::OnlineCalibrator* out) const;
+  void CountJoin(bool ok);
+
+  ServiceOptions opts_;
+  /// The substrate's bind context. Leases price through their session's
+  /// own context; this one exists because a Backend is always attached to
+  /// some machine model.
+  std::unique_ptr<simcl::SimContext> substrate_ctx_;
+  std::unique_ptr<exec::Backend> substrate_;
+
+  mutable std::mutex mu_;
+  cost::OnlineCalibrator shared_costs_;
+  ServiceStats stats_;
+  int open_sessions_ = 0;
+  int next_session_id_ = 1;
+  std::atomic<int> pending_{0};
+};
+
+/// One client's join session: a leased CoupledJoiner fed by a FIFO of
+/// submitted requests, executed serially on the session's runner thread.
+/// Submit/Join are thread-safe; destruction drains the queue (every
+/// accepted request still completes) and releases the admission slot.
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Enqueues one join of `workload` (which must stay alive and unmodified
+  /// until the ticket completes). Fails with ResourceExhausted when the
+  /// service-wide queue is full, FailedPrecondition when the session is
+  /// closing.
+  apujoin::StatusOr<JoinTicket> Submit(const data::Workload& workload);
+
+  /// Submit + Take: one synchronous join through the session's queue.
+  apujoin::StatusOr<coproc::JoinReport> Join(const data::Workload& workload);
+
+  /// The session's per-session state: lease, machine model, ratio tuner.
+  /// Single-caller — do not drive it while submitted requests are pending.
+  core::CoupledJoiner& joiner() { return joiner_; }
+  /// Worker-slot quota of this session's lease.
+  int slots() const { return slots_; }
+  int id() const { return id_; }
+  /// Lease execution statistics (null on substrates without real leases,
+  /// i.e. the sim backend).
+  const exec::LeaseStats* lease_stats() const {
+    return joiner_.backend().lease_stats();
+  }
+
+ private:
+  friend class JoinService;
+  Session(JoinService* service, int id, SessionOptions opts, int slots);
+
+  void RunnerLoop();
+  void RunOne(JoinTicket::State* req);
+
+  JoinService* service_;
+  const int id_;
+  const int slots_;
+  core::CoupledJoiner joiner_;
+  /// Session-private snapshot of the service-wide cost table, refreshed
+  /// before each run (the planner reads it lock-free).
+  cost::OnlineCalibrator shared_snapshot_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<JoinTicket::State>> queue_;
+  bool closing_ = false;
+  std::thread runner_;
+};
+
+}  // namespace apujoin::service
+
+#endif  // APUJOIN_SERVICE_JOIN_SERVICE_H_

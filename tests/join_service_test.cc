@@ -1,0 +1,367 @@
+// Unit tests for the join service: admission control and queue bounds
+// surface real Status errors, fair-share quotas bound worker occupancy on
+// the shared pool, tuner state stays per-session, the service-wide cost
+// table seeds planning, and concurrent sim-backend sessions stay
+// bit-identical to solo runs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coproc/ratio_tuner.h"
+#include "exec/thread_pool_backend.h"
+#include "service/join_service.h"
+
+namespace apujoin::service {
+namespace {
+
+data::Workload MakeWorkload(uint64_t build, uint64_t probe,
+                            data::Distribution dist =
+                                data::Distribution::kUniform,
+                            uint64_t seed = 42) {
+  data::WorkloadSpec spec;
+  spec.build_tuples = build;
+  spec.probe_tuples = probe;
+  spec.distribution = dist;
+  spec.seed = seed;
+  auto w = data::GenerateWorkload(spec);
+  APU_CHECK_OK(w.status());
+  return std::move(w).value();
+}
+
+SessionOptions ShjSession(cost::TuneMode tune = cost::TuneMode::kOff) {
+  SessionOptions opts;
+  opts.spec.algorithm = coproc::Algorithm::kSHJ;
+  opts.spec.scheme = coproc::Scheme::kPipelined;
+  opts.spec.engine.tune = tune;
+  return opts;
+}
+
+TEST(JoinServiceTest, AdmissionControlLimitsOpenSessions) {
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kSim;
+  opts.max_sessions = 2;
+  JoinService service(opts);
+
+  auto s1 = service.OpenSession(ShjSession());
+  auto s2 = service.OpenSession(ShjSession());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(service.open_sessions(), 2);
+
+  auto s3 = service.OpenSession(ShjSession());
+  ASSERT_FALSE(s3.ok());
+  EXPECT_EQ(s3.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().sessions_rejected, 1u);
+
+  // Closing a session frees its admission slot.
+  s1->reset();
+  EXPECT_EQ(service.open_sessions(), 1);
+  auto s4 = service.OpenSession(ShjSession());
+  EXPECT_TRUE(s4.ok());
+}
+
+TEST(JoinServiceTest, SubmissionQueueOverflowReturnsResourceExhausted) {
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kSim;
+  opts.queue_capacity = 1;
+  JoinService service(opts);
+  auto session = service.OpenSession(ShjSession());
+  ASSERT_TRUE(session.ok());
+
+  // Big enough that the runner cannot possibly finish the first join in
+  // the microseconds before the second Submit.
+  const data::Workload w = MakeWorkload(1 << 18, 1 << 20);
+  auto t1 = (*session)->Submit(w);
+  ASSERT_TRUE(t1.ok());
+  auto t2 = (*session)->Submit(w);
+  ASSERT_FALSE(t2.ok());
+  EXPECT_EQ(t2.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(service.stats().submissions_rejected, 1u);
+
+  auto report = t1->Take();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->matches, w.expected_matches);
+
+  // The slot is free again once the result is in.
+  auto t3 = (*session)->Submit(w);
+  ASSERT_TRUE(t3.ok());
+  EXPECT_TRUE(t3->Take().ok());
+  EXPECT_EQ(service.pending(), 0);
+}
+
+TEST(JoinServiceTest, TicketIsSingleShot) {
+  JoinTicket empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_EQ(empty.Take().status().code(), StatusCode::kFailedPrecondition);
+
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kSim;
+  JoinService service(opts);
+  auto session = service.OpenSession(ShjSession());
+  ASSERT_TRUE(session.ok());
+  const data::Workload w = MakeWorkload(1 << 12, 1 << 14);
+  auto ticket = (*session)->Submit(w);
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_TRUE(ticket->Take().ok());
+  EXPECT_EQ(ticket->Take().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(JoinServiceTest, SessionDrainsQueueOnClose) {
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kSim;
+  JoinService service(opts);
+  auto session = service.OpenSession(ShjSession());
+  ASSERT_TRUE(session.ok());
+
+  const data::Workload w = MakeWorkload(1 << 14, 1 << 16);
+  std::vector<JoinTicket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    auto t = (*session)->Submit(w);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  session->reset();  // destructor drains: accepted requests still complete
+  for (JoinTicket& t : tickets) {
+    auto report = t.Take();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->matches, w.expected_matches);
+  }
+  EXPECT_EQ(service.stats().joins_completed, 3u);
+}
+
+TEST(JoinServiceTest, FairShareQuotaBoundsWorkerOccupancy) {
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kThreadPool;
+  opts.backend_threads = 4;
+  opts.max_sessions = 2;
+  JoinService service(opts);
+  ASSERT_EQ(service.capacity(), 4);
+  ASSERT_EQ(service.default_slots(), 2);
+
+  auto a = service.OpenSession(ShjSession());
+  auto b = service.OpenSession(ShjSession());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->slots(), 2);
+
+  const data::Workload wa = MakeWorkload(1 << 15, 1 << 17);
+  const data::Workload wb = MakeWorkload(1 << 14, 1 << 16,
+                                         data::Distribution::kLowSkew, 7);
+  std::vector<JoinTicket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    auto ta = (*a)->Submit(wa);
+    auto tb = (*b)->Submit(wb);
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE(tb.ok());
+    tickets.push_back(*ta);
+    tickets.push_back(*tb);
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto report = tickets[i].Take();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->matches,
+              (i % 2 == 0 ? wa : wb).expected_matches);
+  }
+
+  // The quota is a hard cap on a span's worker occupancy.
+  for (auto* session : {a->get(), b->get()}) {
+    const exec::LeaseStats* ls = session->lease_stats();
+    ASSERT_NE(ls, nullptr);
+    EXPECT_GT(ls->spans, 0u);
+    EXPECT_LE(ls->peak_workers, session->slots());
+  }
+}
+
+TEST(JoinServiceTest, DefaultSlotsClampToCapacity) {
+  // A default quota wider than the pool must report what the lease can
+  // actually grant, exactly like an explicit SessionOptions::slots.
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kThreadPool;
+  opts.backend_threads = 2;
+  opts.default_slots = 8;
+  JoinService service(opts);
+  EXPECT_EQ(service.default_slots(), 2);
+  auto session = service.OpenSession(ShjSession());
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->slots(), 2);
+}
+
+TEST(JoinServiceTest, PerSessionTunerStateIsIsolated) {
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kSim;
+  opts.share_costs = false;
+  JoinService service(opts);
+
+  auto a = service.OpenSession(ShjSession(cost::TuneMode::kOnline));
+  auto b = service.OpenSession(ShjSession(cost::TuneMode::kOnline));
+  auto c = service.OpenSession(ShjSession(cost::TuneMode::kOff));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+
+  const data::Workload wa =
+      MakeWorkload(1 << 14, 1 << 16, data::Distribution::kHighSkew);
+  const data::Workload wb = MakeWorkload(1 << 14, 1 << 16);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*a)->Join(wa).ok());
+  }
+  ASSERT_TRUE((*b)->Join(wb).ok());
+  ASSERT_TRUE((*c)->Join(wb).ok());
+
+  EXPECT_EQ((*a)->joiner().tuner().runs(), 3);
+  EXPECT_EQ((*b)->joiner().tuner().runs(), 1);
+  EXPECT_EQ((*c)->joiner().tuner().runs(), 0);
+
+  // No cross-talk: B absorbed exactly its own single run — had A's three
+  // runs leaked in, some step/device would show more observations — and
+  // the untuned C absorbed nothing at all.
+  const cost::OnlineCalibrator& cb = (*b)->joiner().tuner().calibrator();
+  EXPECT_GT(cb.size(), 0u);
+  for (const char* step : {"b1", "b2", "b3", "b4", "p1", "p2", "p3", "p4"}) {
+    EXPECT_LE(cb.observations(step, simcl::DeviceId::kCpu), 1u) << step;
+    EXPECT_LE(cb.observations(step, simcl::DeviceId::kGpu), 1u) << step;
+  }
+  EXPECT_TRUE((*c)->joiner().tuner().calibrator().empty());
+}
+
+TEST(JoinServiceTest, SharedCostTablePoolsMeasurementsAcrossSessions) {
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kSim;
+  opts.share_costs = true;
+  JoinService service(opts);
+  EXPECT_EQ(service.shared_cost_steps(), 0u);
+
+  auto a = service.OpenSession(ShjSession(cost::TuneMode::kOnline));
+  ASSERT_TRUE(a.ok());
+  const data::Workload w = MakeWorkload(1 << 14, 1 << 16);
+  ASSERT_TRUE((*a)->Join(w).ok());
+  EXPECT_GT(service.shared_cost_steps(), 0u);
+
+  // A cold session still plans and runs correctly on the seeded table.
+  auto b = service.OpenSession(ShjSession(cost::TuneMode::kOnline));
+  ASSERT_TRUE(b.ok());
+  auto report = (*b)->Join(w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->matches, w.expected_matches);
+}
+
+TEST(RatioTunerSharedCosts, AttachedFromTheVeryFirstRun) {
+  cost::OnlineCalibrator shared;
+  coproc::RatioTuner tuner(cost::TuneMode::kOnline);
+  tuner.set_shared_costs(&shared);
+  coproc::JoinSpec spec;
+  tuner.Prepare(&spec);  // zero runs absorbed: cold start
+  EXPECT_EQ(spec.shared_costs, &shared);
+  EXPECT_EQ(spec.measured_costs, nullptr);  // no own measurements yet
+}
+
+TEST(JoinDriverSharedCosts, SharedTableChangesPlannedRatios) {
+  // A shared table claiming the CPU is absurdly slow on every probe step
+  // must push the PL optimizer's probe ratios toward the GPU lane.
+  const data::Workload w = MakeWorkload(1 << 14, 1 << 16);
+  coproc::JoinSpec spec;
+  spec.algorithm = coproc::Algorithm::kSHJ;
+  spec.scheme = coproc::Scheme::kPipelined;
+
+  simcl::SimContext base_ctx;
+  auto baseline = coproc::ExecuteJoin(&base_ctx, w, spec);
+  ASSERT_TRUE(baseline.ok());
+
+  cost::OnlineCalibrator shared;
+  for (const char* step : {"p1", "p2", "p3", "p4"}) {
+    shared.Observe(step, simcl::DeviceId::kCpu, 1000, 1e12);  // 1e9 ns/item
+    shared.Observe(step, simcl::DeviceId::kGpu, 1000, 1e3);   // 1 ns/item
+  }
+  spec.shared_costs = &shared;
+  simcl::SimContext seeded_ctx;
+  auto seeded = coproc::ExecuteJoin(&seeded_ctx, w, spec);
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_EQ(seeded->matches, w.expected_matches);
+
+  double base_cpu = 0.0;
+  double seeded_cpu = 0.0;
+  for (double r : baseline->probe_ratios) base_cpu += r;
+  for (double r : seeded->probe_ratios) seeded_cpu += r;
+  EXPECT_LT(seeded_cpu, base_cpu);
+  EXPECT_NEAR(seeded_cpu, 0.0, 1e-9);  // CPU lane priced out entirely
+}
+
+TEST(JoinServiceTest, ConcurrentSimSessionsBitIdenticalToSolo) {
+  const data::Workload w = MakeWorkload(1 << 14, 1 << 16);
+
+  // Solo reference: an exclusively-owned sim backend.
+  core::JoinConfig config;
+  config.spec.algorithm = coproc::Algorithm::kSHJ;
+  config.spec.scheme = coproc::Scheme::kPipelined;
+  core::CoupledJoiner solo(config);
+  auto reference = solo.Join(w);
+  ASSERT_TRUE(reference.ok());
+
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kSim;
+  opts.share_costs = false;
+  JoinService service(opts);
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (int i = 0; i < 3; ++i) {
+    auto s = service.OpenSession(ShjSession());
+    ASSERT_TRUE(s.ok());
+    sessions.push_back(std::move(*s));
+  }
+  std::vector<JoinTicket> tickets;
+  for (int round = 0; round < 4; ++round) {
+    for (auto& s : sessions) {
+      auto t = s->Submit(w);
+      ASSERT_TRUE(t.ok());
+      tickets.push_back(*t);
+    }
+  }
+  for (JoinTicket& t : tickets) {
+    auto report = t.Take();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->matches, reference->matches);
+    EXPECT_EQ(report->elapsed_ns, reference->elapsed_ns);
+    EXPECT_EQ(report->estimated_ns, reference->estimated_ns);
+    ASSERT_EQ(report->steps.size(), reference->steps.size());
+    for (size_t i = 0; i < report->steps.size(); ++i) {
+      EXPECT_EQ(report->steps[i].ratio, reference->steps[i].ratio);
+      EXPECT_EQ(report->steps[i].cpu_ns, reference->steps[i].cpu_ns);
+      EXPECT_EQ(report->steps[i].gpu_ns, reference->steps[i].gpu_ns);
+    }
+  }
+}
+
+TEST(PoolLeaseTest, LeaseExecutesUnderQuotaAndSubLeasesNarrow) {
+  simcl::SimContext pool_ctx;
+  exec::ThreadPoolBackend pool(&pool_ctx, {.threads = 4, .chunk_items = 32});
+  simcl::SimContext session_ctx;
+  auto lease = pool.Lease(&session_ctx, 2);
+  EXPECT_EQ(lease->kind(), exec::BackendKind::kThreadPool);
+  EXPECT_EQ(lease->capacity(), 2);
+  EXPECT_EQ(lease->context(), &session_ctx);
+
+  std::atomic<uint64_t> c{0};
+  join::StepDef step;
+  step.name = "t1";
+  step.items = 20000;
+  step.fn = [&c](uint64_t, simcl::DeviceId) -> uint32_t {
+    c.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  };
+  const simcl::StepStats stats = lease->Run(step, 0.5);
+  EXPECT_EQ(c.load(), 20000u);
+  EXPECT_EQ(stats.items[0] + stats.items[1], 20000u);
+  const exec::LeaseStats* ls = lease->lease_stats();
+  ASSERT_NE(ls, nullptr);
+  EXPECT_EQ(ls->spans, 2u);  // one per device slice
+  EXPECT_EQ(ls->items, 20000u);
+  EXPECT_LE(ls->peak_workers, 2);
+  EXPECT_GE(ls->peak_workers, 1);
+
+  auto sub = lease->Lease(&session_ctx, 4);  // cannot widen past the parent
+  EXPECT_EQ(sub->capacity(), 2);
+}
+
+}  // namespace
+}  // namespace apujoin::service

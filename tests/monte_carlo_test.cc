@@ -22,7 +22,9 @@ TEST(MonteCarloTest, ProducesRequestedRuns) {
 }
 
 TEST(MonteCarloTest, RatiosAtDeltaGranularityInRange) {
-  const auto runs = RunMonteCarlo(200, 4, 2, ToyCosts(), 1000, CommSpec(),
+  // `steps` must match the cost table: ToyCosts() has three entries (a
+  // four-step sample against three costs used to read past the table).
+  const auto runs = RunMonteCarlo(200, 3, 2, ToyCosts(), 1000, CommSpec(),
                                   nullptr);
   for (const auto& r : runs) {
     for (double ratio : r.ratios) {

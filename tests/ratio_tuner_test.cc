@@ -216,12 +216,15 @@ TEST(RatioTunerTest, ConvergesOnThreadsBackend) {
   }
 
   // The whole point: converged iterations are no slower than the untuned
-  // first one (which ran analytic-guess ratios on real hardware). Skipped
-  // under TSan, whose scheduling distortion swamps wall-clock comparisons.
+  // first one (which ran analytic-guess ratios on real hardware). Both
+  // sides are wall clocks on a shared host, so allow a small noise margin
+  // — this asserts "tuning does not regress", not a tie-break between
+  // runs within scheduler jitter of each other. Skipped under TSan, whose
+  // scheduling distortion swamps wall-clock comparisons entirely.
 #ifndef APUJOIN_TSAN
   const double tuned_best =
       *std::min_element(elapsed.begin() + 2, elapsed.end());
-  EXPECT_LE(tuned_best, elapsed.front());
+  EXPECT_LE(tuned_best, elapsed.front() * 1.05);
 #endif
 }
 
