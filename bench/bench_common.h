@@ -7,8 +7,9 @@
 // for an arbitrary factor (CI smoke runs use REPRO_SCALE=0.01).
 //
 // Every binary accepts the shared harness flags (core/harness_flags.h):
-// --backend=sim|threads and --threads=N select the execution backend,
-// --tune=off|once|online the calibration feedback mode, and --json=<path>
+// --backend=sim|threads, --threads=N and --morsel=N select and shape the
+// execution backend, --tune=off|once|online the calibration feedback mode,
+// and --json=<path>
 // writes a machine-readable run record next to the human tables — per-join
 // elapsed/estimated ns, per-step ns and item counts, plus any
 // bench-specific metrics — which CI uploads as the perf-trajectory
@@ -172,7 +173,8 @@ inline void ApplyBackend(coproc::JoinSpec* spec) {
 inline exec::Backend* CachedBackend(simcl::SimContext* ctx) {
   static std::unique_ptr<exec::Backend> backend;
   if (backend == nullptr || backend->kind() != g_flags.backend) {
-    backend = exec::MakeBackend(g_flags.backend, ctx, g_flags.threads);
+    backend = exec::MakeBackend(g_flags.backend, ctx, g_flags.threads,
+                                g_flags.morsel);
   } else {
     backend->Rebind(ctx);
   }

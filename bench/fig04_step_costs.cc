@@ -53,9 +53,8 @@ void Run() {
       part->BeginPass(pass);
       auto steps = part->PassSteps(pass);
       for (auto& step : steps) {
-        for (uint64_t i = 0; i < step.items; ++i) {
-          step.fn(i, simcl::DeviceId::kCpu);
-        }
+        step.run(join::Morsel{0, step.items}, simcl::DeviceId::kCpu,
+                 nullptr);
       }
       part->EndPass(pass);
     }

@@ -180,6 +180,7 @@ double RunEqualWork() {
   service::ServiceOptions sopts;
   sopts.backend = g_flags.backend;
   sopts.backend_threads = g_flags.threads;
+  sopts.morsel_items = g_flags.morsel;
   sopts.max_sessions = kSessions;
   service::JoinService svc(sopts);
   std::vector<std::unique_ptr<service::Session>> sessions;
@@ -245,6 +246,7 @@ void RunFairness() {
   service::ServiceOptions sopts;
   sopts.backend = g_flags.backend;
   sopts.backend_threads = g_flags.threads;
+  sopts.morsel_items = g_flags.morsel;
   sopts.max_sessions = kSessions;
   service::JoinService svc(sopts);
 

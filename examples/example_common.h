@@ -30,7 +30,7 @@ inline core::HarnessFlags ParseFlags(int argc, char** argv) {
       case core::HarnessArg::kUnknownFlag:
         std::fprintf(stderr,
                      "usage: %s [--backend=sim|threads] [--threads=N] "
-                     "[--tune=off|once|online]\n",
+                     "[--morsel=N] [--tune=off|once|online]\n",
                      argv[0]);
         std::exit(2);
     }
@@ -56,6 +56,7 @@ inline void ApplyBackendFlags(int argc, char** argv,
   core::ApplyHarnessFlags(flags, engine);
   if (!flags.backend_set) engine->backend = defaults.backend;
   if (!flags.threads_set) engine->backend_threads = defaults.backend_threads;
+  if (!flags.morsel_set) engine->morsel_items = defaults.morsel_items;
   if (!flags.tune_set) engine->tune = defaults.tune;
 }
 

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   service::ServiceOptions sopts;
   sopts.backend = engine.backend;
   sopts.backend_threads = engine.backend_threads;
+  sopts.morsel_items = engine.morsel_items;
   sopts.max_sessions = kClients;
   sopts.queue_capacity = 8;
   service::JoinService svc(sopts);

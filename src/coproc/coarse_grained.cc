@@ -322,8 +322,9 @@ StatusOr<JoinReport> ExecuteCoarsePhj(exec::Backend* backend,
 StatusOr<JoinReport> ExecuteCoarsePhj(simcl::SimContext* ctx,
                                       const data::Workload& workload,
                                       const JoinSpec& spec) {
-  const std::unique_ptr<exec::Backend> backend = exec::MakeBackend(
-      spec.engine.backend, ctx, spec.engine.backend_threads);
+  const std::unique_ptr<exec::Backend> backend =
+      exec::MakeBackend(spec.engine.backend, ctx, spec.engine.backend_threads,
+                        spec.engine.morsel_items);
   return ExecuteCoarsePhj(backend.get(), workload, spec);
 }
 

@@ -529,8 +529,9 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
 StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
                                  const data::Workload& workload,
                                  const JoinSpec& spec) {
-  const std::unique_ptr<exec::Backend> backend = exec::MakeBackend(
-      spec.engine.backend, ctx, spec.engine.backend_threads);
+  const std::unique_ptr<exec::Backend> backend =
+      exec::MakeBackend(spec.engine.backend, ctx, spec.engine.backend_threads,
+                        spec.engine.morsel_items);
   return ExecuteJoin(backend.get(), workload, spec);
 }
 

@@ -15,9 +15,26 @@ using simcl::Phase;
 
 namespace {
 
-/// Radix-partitions `rel` chunk-by-chunk through the zero-copy buffer into
-/// `parts` buckets, appending each chunk's partitions into `out` and adding
-/// copy/partition time to `report`.
+/// Slices [0, items) into chunk-sized morsels — the unit the out-of-core
+/// path streams through the zero-copy buffer, one Morsel per partition run.
+/// chunk_tuples = 0 is treated as one whole-input chunk (nothing anywhere
+/// validates the spec field, so it must not hang the slicing loop).
+std::vector<join::Morsel> ChunkMorsels(uint64_t items, uint64_t chunk_tuples) {
+  if (chunk_tuples == 0) chunk_tuples = items;
+  std::vector<join::Morsel> morsels;
+  morsels.reserve(items / std::max<uint64_t>(1, chunk_tuples) + 1);
+  for (uint64_t base = 0; base < items; base += chunk_tuples) {
+    morsels.push_back(
+        join::Morsel{base, std::min(items, base + chunk_tuples)});
+  }
+  return morsels;
+}
+
+/// Radix-partitions `rel` morsel-by-morsel through the zero-copy buffer
+/// into `parts` buckets, appending each morsel's partitions into `out` and
+/// adding copy/partition time to `report`. Each chunk morsel runs the same
+/// n1..n3 step series — and hence the same backend scheduling path — as an
+/// in-core partition pass; there is no bespoke per-tuple loop here.
 Status PartitionChunked(exec::Backend* backend, const data::Relation& rel,
                         uint32_t parts, uint64_t chunk_tuples,
                         const JoinSpec& inner,
@@ -29,11 +46,12 @@ Status PartitionChunked(exec::Backend* backend, const data::Relation& rel,
   cost::CommSpec comm;
   comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
 
-  for (uint64_t base = 0; base < rel.size(); base += chunk_tuples) {
-    const uint64_t end = std::min(rel.size(), base + chunk_tuples);
+  for (const join::Morsel& cm : ChunkMorsels(rel.size(), chunk_tuples)) {
     data::Relation chunk;
-    chunk.keys.assign(rel.keys.begin() + base, rel.keys.begin() + end);
-    chunk.rids.assign(rel.rids.begin() + base, rel.rids.begin() + end);
+    chunk.keys.assign(rel.keys.begin() + static_cast<int64_t>(cm.begin),
+                      rel.keys.begin() + static_cast<int64_t>(cm.end));
+    chunk.rids.assign(rel.rids.begin() + static_cast<int64_t>(cm.begin),
+                      rel.rids.begin() + static_cast<int64_t>(cm.end));
     // Copy the chunk into the zero-copy buffer.
     const double in_ns = ctx->memory().BufferCopyNs(chunk.bytes());
     report->copy_ns += in_ns;
@@ -60,15 +78,18 @@ Status PartitionChunked(exec::Backend* backend, const data::Relation& rel,
       report->partition_ns += res.elapsed_ns;
       part.EndPass(pass);
     }
-    // Copy the intermediate partitions out to system memory.
+    // Copy the intermediate partitions out to system memory: one bulk
+    // append per contiguous partition range (they are contiguous in the
+    // partitioner's output by construction).
     report->copy_ns += ctx->memory().BufferCopyNs(chunk.bytes());
     const auto& offsets = part.offsets();
     const data::Relation& pt = part.output();
     for (uint32_t p = 0; p < parts; ++p) {
       data::Relation& dst = (*out)[p];
-      for (uint32_t i = offsets[p]; i < offsets[p + 1]; ++i) {
-        dst.Append(pt.keys[i], pt.rids[i]);
-      }
+      dst.keys.insert(dst.keys.end(), pt.keys.begin() + offsets[p],
+                      pt.keys.begin() + offsets[p + 1]);
+      dst.rids.insert(dst.rids.end(), pt.rids.begin() + offsets[p],
+                      pt.rids.begin() + offsets[p + 1]);
     }
   }
   return Status::OK();
@@ -145,7 +166,8 @@ StatusOr<OutOfCoreReport> ExecuteOutOfCore(simcl::SimContext* ctx,
                                            const OutOfCoreSpec& spec) {
   const std::unique_ptr<exec::Backend> backend =
       exec::MakeBackend(spec.inner.engine.backend, ctx,
-                        spec.inner.engine.backend_threads);
+                        spec.inner.engine.backend_threads,
+                        spec.inner.engine.morsel_items);
   return ExecuteOutOfCore(backend.get(), workload, spec);
 }
 

@@ -48,7 +48,9 @@ SeriesResult RunSeries(exec::Backend* backend,
     StepStats stats = backend->Run(step, r);
     ChargeAllocations(backend, opts.drain_alloc, &stats);
     if (step.after) {
-      // GPU range of the next step, for grouping.
+      // GPU range of the next step, for grouping. The hook's contract
+      // (steps.h) is a non-empty [begin, end): skip it when the next step
+      // runs CPU-only, instead of handing every hook an empty range.
       uint64_t next_split = step.items;
       if (i + 1 < steps.size()) {
         next_split = static_cast<uint64_t>(
@@ -56,7 +58,7 @@ SeriesResult RunSeries(exec::Backend* backend,
                 static_cast<double>(steps[i + 1].items) +
             0.5);
       }
-      step.after(next_split, step.items);
+      if (next_split < step.items) step.after(next_split, step.items);
     }
     StepRun run;
     run.name = step.name;
@@ -137,6 +139,7 @@ void RunOnePairSeries(exec::Backend* backend,
     stats.gpu_divergence = gpu_part.gpu_divergence;
     ChargeAllocations(backend, drain, &stats);
     if (steps[i].after) {
+      // Same non-empty-range contract as RunSeries, scoped to this pair.
       uint64_t next_split = end;
       if (i + 1 < steps.size()) {
         next_split = begin + static_cast<uint64_t>(
@@ -144,7 +147,7 @@ void RunOnePairSeries(exec::Backend* backend,
                                      static_cast<double>(len) +
                                  0.5);
       }
-      steps[i].after(next_split, end);
+      if (next_split < end) steps[i].after(next_split, end);
     }
     t_cpu[i] = stats.time[0].TotalNs();
     t_gpu[i] = stats.time[1].TotalNs();

@@ -7,7 +7,8 @@ CoupledJoiner::CoupledJoiner(JoinConfig config)
   ctx_ = std::make_unique<simcl::SimContext>(config_.context);
   backend_ =
       exec::MakeBackend(config_.spec.engine.backend, ctx_.get(),
-                        config_.spec.engine.backend_threads);
+                        config_.spec.engine.backend_threads,
+                        config_.spec.engine.morsel_items);
 }
 
 CoupledJoiner::CoupledJoiner(JoinConfig config, exec::Backend* substrate,

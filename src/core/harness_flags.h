@@ -1,9 +1,9 @@
 // Shared command-line surface of the harness binaries. Every bench and
-// example accepts the same four flags — --backend=sim|threads, --threads=N,
-// --tune=off|once|online, --json=<path> — and before this header each
-// harness carried its own copy of the parsing loop. One parser, two
-// front-ends: bench/bench_common.h (strict: no positionals) and
-// examples/example_common.h (positionals pass through).
+// example accepts the same five flags — --backend=sim|threads, --threads=N,
+// --morsel=N, --tune=off|once|online, --json=<path> — and before this
+// header each harness carried its own copy of the parsing loop. One
+// parser, two front-ends: bench/bench_common.h (strict: no positionals)
+// and examples/example_common.h (positionals pass through).
 
 #ifndef APUJOIN_CORE_HARNESS_FLAGS_H_
 #define APUJOIN_CORE_HARNESS_FLAGS_H_
@@ -22,17 +22,19 @@ namespace apujoin::core {
 struct HarnessFlags {
   exec::BackendKind backend = exec::BackendKind::kSim;
   int threads = 0;                         ///< --threads (0 = hw concurrency)
+  unsigned morsel = 0;                     ///< --morsel (0 = backend default)
   cost::TuneMode tune = cost::TuneMode::kOff;
   bool backend_set = false;                ///< --backend given explicitly
   bool threads_set = false;                ///< --threads given explicitly
+  bool morsel_set = false;                 ///< --morsel given explicitly
   bool tune_set = false;                   ///< --tune given explicitly
   std::string json_path;                   ///< --json; empty = no JSON output
 };
 
 /// Usage fragment for the shared flags (binaries append their own).
 inline constexpr char kHarnessUsage[] =
-    "[--backend=sim|threads] [--threads=N] [--tune=off|once|online] "
-    "[--json=path]";
+    "[--backend=sim|threads] [--threads=N] [--morsel=N] "
+    "[--tune=off|once|online] [--json=path]";
 
 /// Outcome of offering one argv entry to ParseHarnessArg.
 enum class HarnessArg {
@@ -62,6 +64,18 @@ inline HarnessArg ParseHarnessArg(const char* arg, HarnessFlags* flags) {
     flags->json_path = arg + 7;
     return HarnessArg::kConsumed;
   }
+  switch (exec::ParseMorselFlag(arg, &flags->morsel)) {
+    case exec::FlagParse::kOk:
+      flags->morsel_set = true;
+      return HarnessArg::kConsumed;
+    case exec::FlagParse::kInvalid:
+      std::fprintf(stderr,
+                   "invalid value in '%s' (want --morsel=N, 1 <= N <= %ld)\n",
+                   arg, exec::kMaxMorselItems);
+      return HarnessArg::kInvalid;
+    case exec::FlagParse::kNotMatched:
+      break;
+  }
   switch (exec::ParseBackendFlag(arg, &flags->backend, &flags->threads)) {
     case exec::FlagParse::kOk:
       if (std::strncmp(arg, "--backend=", 10) == 0) {
@@ -88,6 +102,7 @@ inline void ApplyHarnessFlags(const HarnessFlags& flags,
                               join::EngineOptions* engine) {
   engine->backend = flags.backend;
   engine->backend_threads = flags.threads;
+  engine->morsel_items = flags.morsel;
   engine->tune = flags.tune;
 }
 

@@ -41,6 +41,18 @@ FlagParse ParseBackendFlag(const char* arg, BackendKind* kind,
   return FlagParse::kNotMatched;
 }
 
+FlagParse ParseMorselFlag(const char* arg, unsigned* morsel_items) {
+  if (std::strncmp(arg, "--morsel=", 9) != 0) return FlagParse::kNotMatched;
+  char* end = nullptr;
+  const long parsed = std::strtol(arg + 9, &end, 10);
+  if (end == arg + 9 || *end != '\0' || parsed < 1 ||
+      parsed > kMaxMorselItems) {
+    return FlagParse::kInvalid;
+  }
+  *morsel_items = static_cast<unsigned>(parsed);
+  return FlagParse::kOk;
+}
+
 simcl::StepStats Backend::Run(const join::StepDef& step, double cpu_ratio) {
   cpu_ratio = std::clamp(cpu_ratio, 0.0, 1.0);
   const uint64_t n = step.items;
@@ -86,10 +98,11 @@ std::unique_ptr<Backend> Backend::Lease(simcl::SimContext* ctx, int slots) {
 }
 
 std::unique_ptr<Backend> MakeBackend(BackendKind kind, simcl::SimContext* ctx,
-                                     int threads) {
+                                     int threads, uint32_t morsel_items) {
   if (kind == BackendKind::kThreadPool) {
     ThreadPoolOptions opts;
     opts.threads = threads;
+    opts.morsel_items = morsel_items;
     return std::make_unique<ThreadPoolBackend>(ctx, opts);
   }
   return std::make_unique<SimBackend>(ctx);

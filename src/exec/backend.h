@@ -132,10 +132,13 @@ class Backend {
 };
 
 /// Constructs the backend selected by `kind` over `ctx`. `threads` sizes the
-/// thread-pool backend's worker pool (0 = hardware concurrency); the sim
-/// backend ignores it.
+/// thread-pool backend's worker pool (0 = hardware concurrency) and
+/// `morsel_items` its morsel granularity (0 = default); the sim backend
+/// ignores both — morsel size is a scheduling knob of real execution and
+/// never perturbs virtual-time output.
 std::unique_ptr<Backend> MakeBackend(BackendKind kind, simcl::SimContext* ctx,
-                                     int threads = 0);
+                                     int threads = 0,
+                                     uint32_t morsel_items = 0);
 
 }  // namespace apujoin::exec
 

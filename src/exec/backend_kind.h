@@ -32,6 +32,14 @@ enum class FlagParse {
 /// (benches and examples). Updates `kind`/`threads` on a match.
 FlagParse ParseBackendFlag(const char* arg, BackendKind* kind, int* threads);
 
+/// Upper bound for --morsel: one claim must stay far below any realistic
+/// span so the shared-cursor distribution still distributes.
+inline constexpr long kMaxMorselItems = 1 << 24;
+
+/// Shared --morsel=N parsing (thread-pool morsel granularity, items per
+/// shared-cursor claim). The sim backend ignores the knob by design.
+FlagParse ParseMorselFlag(const char* arg, unsigned* morsel_items);
+
 }  // namespace apujoin::exec
 
 #endif  // APUJOIN_EXEC_BACKEND_KIND_H_

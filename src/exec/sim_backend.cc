@@ -5,8 +5,14 @@ namespace apujoin::exec {
 simcl::StepStats SimBackend::RunSpan(const join::StepDef& step,
                                      simcl::DeviceId dev, uint64_t begin,
                                      uint64_t end) {
-  const simcl::StepStats stats =
-      exec_.RunSpan(dev, step.profile, begin, end, step.fn);
+  // The whole device slice is one morsel: the analytic model prices items
+  // linearly, so finer morsels would only change double-summation order.
+  const simcl::StepStats stats = exec_.RunBatch(
+      dev, step.profile, begin, end,
+      [&step](uint64_t b, uint64_t e, simcl::DeviceId d,
+              uint32_t* lane_work) -> uint64_t {
+        return step.run(join::Morsel{b, e}, d, lane_work);
+      });
   Record(step, dev, begin, end,
          stats.time[static_cast<int>(dev)].TotalNs());
   return stats;

@@ -15,41 +15,13 @@ inline double ElapsedNs(Clock::time_point t0) {
                                  .count());
 }
 
-inline uint64_t PackRange(uint64_t cur, uint64_t end) {
-  return (end << 32) | cur;
-}
-
-/// Claims up to `chunk` items from the front of `shard`; false when empty.
-bool ClaimChunk(std::atomic<uint64_t>* range, uint32_t chunk, uint64_t* lo,
-                uint64_t* hi) {
-  uint64_t r = range->load(std::memory_order_acquire);
-  for (;;) {
-    const uint64_t cur = r & 0xffffffffu;
-    const uint64_t end = r >> 32;
-    if (cur >= end) return false;
-    const uint64_t take = std::min<uint64_t>(chunk, end - cur);
-    if (range->compare_exchange_weak(r, PackRange(cur + take, end),
-                                     std::memory_order_acq_rel,
-                                     std::memory_order_acquire)) {
-      *lo = cur;
-      *hi = cur + take;
-      return true;
-    }
-  }
-}
-
-inline uint64_t ShardRemaining(const std::atomic<uint64_t>& range) {
-  const uint64_t r = range.load(std::memory_order_relaxed);
-  const uint64_t cur = r & 0xffffffffu;
-  const uint64_t end = r >> 32;
-  return end > cur ? end - cur : 0;
-}
-
 }  // namespace
 
 ThreadPoolBackend::ThreadPoolBackend(simcl::SimContext* ctx,
                                      ThreadPoolOptions opts)
-    : Backend(ctx), chunk_items_(std::max<uint32_t>(1, opts.chunk_items)) {
+    : Backend(ctx),
+      morsel_items_(opts.morsel_items == 0 ? kDefaultMorselItems
+                                           : opts.morsel_items) {
   // Normalize the worker count here, not downstream: 0 and negative values
   // mean "hardware concurrency" (which itself may report 0 and then falls
   // back to a single worker), and absurd requests are capped to the same
@@ -107,20 +79,15 @@ simcl::StepStats ThreadPoolBackend::RunSpanShared(const join::StepDef& step,
   slots = std::clamp(slots, 1, threads());
   const auto t0 = Clock::now();
 
-  if (slots == 1 || items >= (1ull << 32)) {
-    // Single-slot quota needs no pool hand-off at all; 4G+ item spans do
-    // not fit the 32-bit <cur, end> shard packing (far beyond the
-    // workloads here) — both run wholly on the submitting thread, without
-    // ever touching the pool lock.
-    Job job;
-    job.step = &step;
-    job.dev = dev;
-    job.begin = begin;
+  if (slots == 1) {
+    // Single-slot quota: the span is one monolithic morsel on the
+    // submitting thread — no pool hand-off, no cursor traffic.
     WorkerCounters me;
-    const uint64_t work = RunChunk(job, 0, items);
+    const uint64_t work =
+        step.run(join::Morsel{begin, end}, dev, nullptr);
     me.items = items;
     me.work = work;
-    me.chunks = 1;
+    me.morsels = 1;
     FoldCallerCounters(me);
     stats.work[di] = work;
     if (peak_workers != nullptr) *peak_workers = 1;
@@ -129,24 +96,8 @@ simcl::StepStats ThreadPoolBackend::RunSpanShared(const join::StepDef& step,
     job.step = &step;
     job.dev = dev;
     job.begin = begin;
+    job.items = items;
     job.max_helpers = slots - 1;
-    job.num_shards = slots;
-    if (slots <= kInlineShards) {
-      job.shards = job.inline_shards;
-    } else {
-      job.heap_shards = std::vector<Shard>(static_cast<size_t>(slots));
-      job.shards = job.heap_shards.data();
-    }
-    // Even contiguous pre-split across the quota's slots; stealing
-    // rebalances skewed kernels (and absent helpers).
-    const uint64_t per = items / static_cast<uint64_t>(slots);
-    uint64_t next = 0;
-    for (int i = 0; i < slots; ++i) {
-      const uint64_t hi = i + 1 == slots ? items : next + per;
-      job.shards[i].range.store(PackRange(next, hi),
-                                std::memory_order_relaxed);
-      next = hi;
-    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       jobs_.push_back(&job);
@@ -160,7 +111,7 @@ simcl::StepStats ThreadPoolBackend::RunSpanShared(const join::StepDef& step,
     {
       std::unique_lock<std::mutex> lock(mu_);
       jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
-      // Attached helpers may still be finishing their last chunk; the job
+      // Attached helpers may still be finishing their last morsel; the job
       // lives on this stack frame, so wait them out before returning.
       cv_done_.wait(lock, [&job] { return job.helpers == 0; });
       if (peak_workers != nullptr) *peak_workers = job.peak_workers;
@@ -183,29 +134,22 @@ std::vector<WorkerCounters> ThreadPoolBackend::TakeCounters() {
   for (WorkerCounters& c : counters_) c = WorkerCounters{};
   out[0].items = caller_counters_.items.exchange(0, std::memory_order_relaxed);
   out[0].work = caller_counters_.work.exchange(0, std::memory_order_relaxed);
-  out[0].chunks =
-      caller_counters_.chunks.exchange(0, std::memory_order_relaxed);
-  out[0].steals =
-      caller_counters_.steals.exchange(0, std::memory_order_relaxed);
+  out[0].morsels =
+      caller_counters_.morsels.exchange(0, std::memory_order_relaxed);
   return out;
 }
 
 void ThreadPoolBackend::FoldCallerCounters(const WorkerCounters& wc) {
   caller_counters_.items.fetch_add(wc.items, std::memory_order_relaxed);
   caller_counters_.work.fetch_add(wc.work, std::memory_order_relaxed);
-  caller_counters_.chunks.fetch_add(wc.chunks, std::memory_order_relaxed);
-  caller_counters_.steals.fetch_add(wc.steals, std::memory_order_relaxed);
+  caller_counters_.morsels.fetch_add(wc.morsels, std::memory_order_relaxed);
 }
 
 ThreadPoolBackend::Job* ThreadPoolBackend::PickJobLocked() {
   Job* best = nullptr;
   for (Job* job : jobs_) {
     if (job->helpers >= job->max_helpers) continue;
-    uint64_t remaining = 0;
-    for (int i = 0; i < job->num_shards; ++i) {
-      remaining += ShardRemaining(job->shards[i].range);
-    }
-    if (remaining == 0) continue;
+    if (job->cursor.load(std::memory_order_relaxed) >= job->items) continue;
     if (best == nullptr || job->helpers < best->helpers) best = job;
   }
   return best;
@@ -237,50 +181,25 @@ void ThreadPoolBackend::WorkerLoop(int id) {
 }
 
 void ThreadPoolBackend::DrainJob(Job* job, WorkerCounters* me) {
-  const int nshards = job->num_shards;
-  const int home =
-      job->next_slot.fetch_add(1, std::memory_order_relaxed) % nshards;
+  const join::StepDef& step = *job->step;
+  const uint64_t morsel = morsel_items_;
   uint64_t local_work = 0;
-  int victim = home;
   for (;;) {
-    uint64_t lo = 0;
-    uint64_t hi = 0;
-    if (ClaimChunk(&job->shards[static_cast<size_t>(victim)].range,
-                   chunk_items_, &lo, &hi)) {
-      local_work += RunChunk(*job, lo, hi);
-      me->items += hi - lo;
-      if (victim == home) {
-        ++me->chunks;
-      } else {
-        ++me->steals;
-      }
-      continue;
-    }
-    // Home shard (or current victim) is dry: steal from the fullest shard.
-    victim = -1;
-    uint64_t best = 0;
-    for (int v = 0; v < nshards; ++v) {
-      const uint64_t rem =
-          ShardRemaining(job->shards[static_cast<size_t>(v)].range);
-      if (rem > best) {
-        best = rem;
-        victim = v;
-      }
-    }
-    if (victim < 0) break;
+    // Morsel-driven distribution: one fetch_add claims the next range.
+    // Whoever is free pulls next, so skew self-balances without any
+    // per-worker pre-split or steal scan.
+    const uint64_t lo =
+        job->cursor.fetch_add(morsel, std::memory_order_relaxed);
+    if (lo >= job->items) break;
+    const uint64_t hi = std::min(job->items, lo + morsel);
+    local_work +=
+        step.run(join::Morsel{job->begin + lo, job->begin + hi}, job->dev,
+                 nullptr);
+    me->items += hi - lo;
+    ++me->morsels;
   }
   me->work += local_work;
   job->work.fetch_add(local_work, std::memory_order_relaxed);
-}
-
-uint64_t ThreadPoolBackend::RunChunk(const Job& job, uint64_t lo,
-                                     uint64_t hi) {
-  const join::ItemKernel& fn = job.step->fn;
-  uint64_t work = 0;
-  for (uint64_t i = lo; i < hi; ++i) {
-    work += fn(job.begin + i, job.dev);
-  }
-  return work;
 }
 
 // ---------------------------------------------------------------------------

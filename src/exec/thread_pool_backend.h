@@ -1,17 +1,23 @@
-// ThreadPoolBackend — real execution of step kernels on a work-stealing
+// ThreadPoolBackend — real execution of step kernels on a morsel-driven
 // host thread pool, timed with the wall clock.
 //
 // The pool is a *shared substrate*: any number of clients may have spans in
-// flight at once, each span registered as a Job with its own shard set and
-// a worker-slot quota. A submitting thread always executes its own job
-// (so a quota of 1 needs no pool workers at all); idle pool workers attach
-// to whichever eligible job currently has the fewest helpers — the
-// least-loaded-first rule that spreads the pool fairly across concurrent
-// sessions — but never beyond the job's quota, so one giant span cannot
-// starve its neighbours. Within a job, a participant claims fixed-size
-// chunks from its home shard and, when that runs dry, steals chunks from
-// the fullest-looking shard (a shard is one 64-bit atomic packing
-// <cur, end>, so claims and steals are single-CAS and lock-free).
+// flight at once, each span registered as a Job with a worker-slot quota.
+// A submitting thread always executes its own job (so a quota of 1 needs no
+// pool workers at all); idle pool workers attach to whichever eligible job
+// currently has the fewest helpers — the least-loaded-first rule that
+// spreads the pool fairly across concurrent sessions — but never beyond the
+// job's quota, so one giant span cannot starve its neighbours.
+//
+// Work distribution is morsel-driven (Leis et al.'s morsel model, adapted
+// to the paper's fine-grained steps): a span owns ONE shared atomic cursor,
+// and every participant — submitter and helpers alike — claims the next
+// --morsel-sized item range with a single fetch_add whenever it runs free.
+// There is no per-worker pre-slicing and hence nothing to steal: skewed
+// per-item costs self-balance because a worker stuck in a heavy morsel
+// simply claims fewer of them, and late-arriving helpers start pulling from
+// the same cursor instantly. Each claimed morsel runs the step's batch
+// kernel once — one virtual dispatch per morsel, a tight loop inside.
 //
 // Exclusive use is the quota-equals-pool-size special case: RunSpan simply
 // runs the span at full capacity, which reproduces the pre-lease behaviour
@@ -24,9 +30,9 @@
 // hardware they are indistinguishable parts of the measured time. There is
 // no SIMD emulation — gpu_divergence is always 1.0 — which makes the
 // "GPU" logical device simply a second pool-backed lane the schedulers can
-// split work onto. Chunks default to 256 items, the work-group granularity
-// of the allocator slot scheme, so a chunk's allocator traffic mostly stays
-// in one work-group slot.
+// split work onto. Morsels default to 256 items, the work-group granularity
+// of the allocator slot scheme, so a morsel's allocator traffic mostly
+// stays in one work-group slot.
 
 #ifndef APUJOIN_EXEC_THREAD_POOL_BACKEND_H_
 #define APUJOIN_EXEC_THREAD_POOL_BACKEND_H_
@@ -45,25 +51,27 @@ namespace apujoin::exec {
 /// bound (it reads this constant).
 inline constexpr int kMaxThreads = 4096;
 
+/// Default morsel granularity (items per shared-cursor claim).
+inline constexpr uint32_t kDefaultMorselItems = 256;
+
 /// Pool construction knobs.
 struct ThreadPoolOptions {
   /// Worker count, including the calling thread. Zero and negative values
   /// are normalized to hardware concurrency (at least one worker); values
   /// above kMaxThreads are capped.
   int threads = 0;
-  /// Items claimed per chunk; also the steal granularity.
-  uint32_t chunk_items = 256;
+  /// Items per morsel claimed from a span's shared cursor (0 = default).
+  uint32_t morsel_items = kDefaultMorselItems;
 };
 
 /// Cumulative per-worker execution counters (drainable via TakeCounters).
 struct WorkerCounters {
-  uint64_t items = 0;   ///< items executed by this worker
-  uint64_t work = 0;    ///< kernel-reported work units
-  uint64_t chunks = 0;  ///< chunks claimed from the worker's home shard
-  uint64_t steals = 0;  ///< chunks stolen from another shard
+  uint64_t items = 0;    ///< items executed by this worker
+  uint64_t work = 0;     ///< kernel-reported work units
+  uint64_t morsels = 0;  ///< morsels claimed from shared span cursors
 };
 
-/// Work-stealing thread-pool backend (wall-clock timing). Any number of
+/// Morsel-driven thread-pool backend (wall-clock timing). Any number of
 /// spans may be in flight concurrently — one per client, where a client is
 /// the backend's exclusive owner or a lease. Each client surface (RunSpan,
 /// a PoolLease) remains single-caller, like every Backend: per-client
@@ -97,6 +105,7 @@ class ThreadPoolBackend : public Backend {
                                  int* peak_workers = nullptr);
 
   int threads() const { return static_cast<int>(counters_.size()); }
+  uint32_t morsel_items() const { return morsel_items_; }
 
   /// Per-worker counters accumulated since the last call; resets them.
   /// Slot 0 aggregates all submitting (non-pool) threads. Only valid while
@@ -104,18 +113,6 @@ class ThreadPoolBackend : public Backend {
   std::vector<WorkerCounters> TakeCounters();
 
  private:
-  /// One claimable item sub-range, packed <end:32 | cur:32> relative to the
-  /// span's begin. Cache-line-aligned to keep claims on different shards
-  /// from false-sharing.
-  struct alignas(64) Shard {
-    std::atomic<uint64_t> range{0};
-  };
-
-  /// Shard sets up to this wide live inline in the Job (the submitting
-  /// thread's stack) — no per-span allocation on the hot path; wider
-  /// quotas spill to the heap.
-  static constexpr int kInlineShards = 16;
-
   /// One in-flight span. Lives on the submitting thread's stack; reachable
   /// by pool workers only while listed in jobs_ (and until helpers drops
   /// to zero, which the submitter awaits before returning).
@@ -123,15 +120,14 @@ class ThreadPoolBackend : public Backend {
     const join::StepDef* step = nullptr;
     simcl::DeviceId dev = simcl::DeviceId::kCpu;
     uint64_t begin = 0;
-    Shard* shards = nullptr;            ///< one per worker slot
-    int num_shards = 0;
-    Shard inline_shards[kInlineShards];
-    std::vector<Shard> heap_shards;     ///< only for quotas > kInlineShards
-    std::atomic<uint64_t> work{0};      ///< kernel work units
-    std::atomic<int> next_slot{0};      ///< home-shard round-robin ticket
-    int max_helpers = 0;                ///< quota minus the submitting thread
-    int helpers = 0;                    ///< attached pool workers (mu_)
-    int peak_workers = 1;               ///< max concurrent participants (mu_)
+    uint64_t items = 0;
+    /// Next unclaimed item offset (relative to begin). The whole span's
+    /// work distribution is this one fetch_add cursor.
+    std::atomic<uint64_t> cursor{0};
+    std::atomic<uint64_t> work{0};  ///< kernel work units
+    int max_helpers = 0;            ///< quota minus the submitting thread
+    int helpers = 0;                ///< attached pool workers (mu_)
+    int peak_workers = 1;           ///< max concurrent participants (mu_)
   };
 
   /// Slot-0 counters (all submitting threads share it, so unlike the
@@ -139,22 +135,19 @@ class ThreadPoolBackend : public Backend {
   struct CallerCounters {
     std::atomic<uint64_t> items{0};
     std::atomic<uint64_t> work{0};
-    std::atomic<uint64_t> chunks{0};
-    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> morsels{0};
   };
 
   void WorkerLoop(int id);
-  /// Claims/steals chunks of `job` until its shards run dry.
+  /// Claims morsels of `job` from its shared cursor until it runs dry.
   void DrainJob(Job* job, WorkerCounters* me);
-  /// Runs items [job.begin + lo, job.begin + hi) of the job's step.
-  static uint64_t RunChunk(const Job& job, uint64_t lo, uint64_t hi);
   /// Least-helpers-first pick among listed jobs with quota and work left;
   /// null when no job is eligible. Requires mu_.
   Job* PickJobLocked();
   /// Folds a submitting thread's per-span counters into slot 0 (lock-free).
   void FoldCallerCounters(const WorkerCounters& wc);
 
-  const uint32_t chunk_items_;
+  const uint32_t morsel_items_;
   /// One slot per worker; slot 0 is materialized from caller_counters_ at
   /// TakeCounters time (pool workers write slots 1.. directly).
   std::vector<WorkerCounters> counters_;

@@ -37,6 +37,11 @@ struct EngineOptions {
   exec::BackendKind backend = exec::BackendKind::kSim;
   /// Thread-pool backend worker count (0 = hardware concurrency).
   int backend_threads = 0;
+  /// Thread-pool morsel granularity — items per shared-cursor claim
+  /// (--morsel; 0 = backend default, 256). Purely a real-execution
+  /// scheduling knob: the sim backend prices whole device slices and its
+  /// virtual-time output is identical for every morsel size.
+  uint32_t morsel_items = 0;
   /// Measurement feedback into calibration (--tune=off|once|online): whether
   /// a session wrapper (core::CoupledJoiner, bench harness) folds measured
   /// step timings back into the cost tables between repeated joins. The

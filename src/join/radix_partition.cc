@@ -119,13 +119,25 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   const uint32_t nparts = mask + 1;
   std::vector<StepDef> steps;
 
+  // Column views of this pass, captured once per step. cur_/nxt_ swap only
+  // in EndPass, after the pass's steps have all executed.
+  const int32_t* in_keys = cur_->keys.data();
+  const int32_t* in_rids = cur_->rids.data();
+  int32_t* out_keys = nxt_->keys.data();
+  int32_t* out_rids = nxt_->rids.data();
+  uint32_t* pid = pid_.data();
+  uint32_t* dest = dest_.data();
+
   StepDef n1;
   n1.name = "n1";
   n1.profile = HashStepProfile();
   n1.items = n;
-  n1.fn = [this, mask](uint64_t i, DeviceId) -> uint32_t {
-    pid_[i] = MurmurHash2x4(static_cast<uint32_t>(cur_->keys[i])) & mask;
-    return 1;
+  n1.run = [in_keys, pid, mask](const Morsel& m, DeviceId,
+                                uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      pid[i] = MurmurHash2x4(static_cast<uint32_t>(in_keys[i])) & mask;
+    }
+    return ConstantWork(lw, m);
   };
   steps.push_back(std::move(n1));
 
@@ -133,22 +145,24 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   n2.name = "n2";
   n2.profile = PartitionHeaderProfile(static_cast<double>(nparts) * 8.0);
   n2.items = n;
-  n2.fn = [this, nparts](uint64_t i, DeviceId dev) -> uint32_t {
-    const size_t slot =
-        static_cast<size_t>(WgOf(i)) * nparts + pid_[i];
-    dest_[i] = cursor_[slot].fetch_add(1, std::memory_order_relaxed);
-    // Block-allocation discipline: one global atomic per chunk of claims
-    // from this (work group, partition) sub-region, local bumps otherwise.
+  n2.run = [this, nparts, pid, dest](const Morsel& m, DeviceId dev,
+                                     uint32_t* lw) -> uint64_t {
     const int di = static_cast<int>(dev);
-    counts_.requests[di].fetch_add(1, std::memory_order_relaxed);
-    if (claims_[slot].fetch_add(1, std::memory_order_relaxed) %
-            chunk_elems_ ==
-        0) {
-      counts_.global_atomics[di].fetch_add(1, std::memory_order_relaxed);
-    } else {
-      counts_.local_atomics[di].fetch_add(1, std::memory_order_relaxed);
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const size_t slot = static_cast<size_t>(WgOf(i)) * nparts + pid[i];
+      dest[i] = cursor_[slot].fetch_add(1, std::memory_order_relaxed);
+      // Block-allocation discipline: one global atomic per chunk of claims
+      // from this (work group, partition) sub-region, local bumps otherwise.
+      counts_.requests[di].fetch_add(1, std::memory_order_relaxed);
+      if (claims_[slot].fetch_add(1, std::memory_order_relaxed) %
+              chunk_elems_ ==
+          0) {
+        counts_.global_atomics[di].fetch_add(1, std::memory_order_relaxed);
+      } else {
+        counts_.local_atomics[di].fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    return 1;
+    return ConstantWork(lw, m);
   };
   steps.push_back(std::move(n2));
 
@@ -157,11 +171,14 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   n3.profile = ScatterProfile(static_cast<double>(plan_.fanout_per_pass) *
                               ctx_->memory().spec().cache_line_bytes);
   n3.items = n;
-  n3.fn = [this](uint64_t i, DeviceId) -> uint32_t {
-    const uint32_t d = dest_[i];
-    nxt_->keys[d] = cur_->keys[i];
-    nxt_->rids[d] = cur_->rids[i];
-    return 1;
+  n3.run = [in_keys, in_rids, out_keys, out_rids,
+            dest](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint32_t d = dest[i];
+      out_keys[d] = in_keys[i];
+      out_rids[d] = in_rids[i];
+    }
+    return ConstantWork(lw, m);
   };
   steps.push_back(std::move(n3));
   return steps;

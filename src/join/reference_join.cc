@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "join/steps.h"
+
 namespace apujoin::join {
 
 uint64_t ReferenceMatchCount(const data::Relation& build,
@@ -10,10 +12,20 @@ uint64_t ReferenceMatchCount(const data::Relation& build,
   std::unordered_map<int32_t, uint32_t> freq;
   freq.reserve(build.size() * 2);
   for (int32_t k : build.keys) freq[k]++;
+  // Probe in morsel-sized batches — the blocked-loop shape of the engine
+  // kernels' batch ABI. Purely structural: per-batch counts just sum, so
+  // the oracle stays trivially auditable.
   uint64_t matches = 0;
-  for (int32_t k : probe.keys) {
-    auto it = freq.find(k);
-    if (it != freq.end()) matches += it->second;
+  const int32_t* keys = probe.keys.data();
+  constexpr uint64_t kMorselItems = 4096;
+  for (uint64_t base = 0; base < probe.size(); base += kMorselItems) {
+    const Morsel m{base, std::min<uint64_t>(probe.size(), base + kMorselItems)};
+    uint64_t batch = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      auto it = freq.find(keys[i]);
+      if (it != freq.end()) batch += it->second;
+    }
+    matches += batch;
   }
   return matches;
 }

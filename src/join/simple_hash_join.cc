@@ -65,13 +65,25 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
   const double ws = TableWorkingSetBytes();
   std::vector<StepDef> steps;
 
+  // Column views captured once per step: the per-morsel calls below run
+  // tight loops over these raw pointers with no per-item dispatch. The
+  // backing vectors were sized in Prepare() and are stable from here on.
+  const int32_t* r_keys = build_->keys.data();
+  const int32_t* r_rids = build_->rids.data();
+  uint32_t* r_hash = r_hash_.data();
+  uint32_t* r_bucket = r_bucket_.data();
+  int32_t* r_keynode = r_keynode_.data();
+
   StepDef b1;
   b1.name = "b1";
   b1.profile = HashStepProfile();
   b1.items = n;
-  b1.fn = [this](uint64_t i, DeviceId) -> uint32_t {
-    r_hash_[i] = MurmurHash2x4(static_cast<uint32_t>(build_->keys[i]));
-    return 1;
+  b1.run = [r_keys, r_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(r_keys[i]));
+    }
+    return ConstantWork(lw, m);
   };
   steps.push_back(std::move(b1));
 
@@ -79,11 +91,14 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
   b2.name = "b2";
   b2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 8.0);
   b2.items = n;
-  b2.fn = [this](uint64_t i, DeviceId dev) -> uint32_t {
+  b2.run = [this, r_hash, r_bucket](const Morsel& m, DeviceId dev,
+                                    uint32_t* lw) -> uint64_t {
     HashTable* t = BuildTableFor(dev);
-    r_bucket_[i] = t->BucketOf(r_hash_[i]);
-    t->VisitHeader(r_bucket_[i]);
-    return 1;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      r_bucket[i] = t->BucketOf(r_hash[i]);
+      t->VisitHeader(r_bucket[i]);
+    }
+    return ConstantWork(lw, m);
   };
   steps.push_back(std::move(b2));
 
@@ -91,13 +106,18 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
   b3.name = "b3";
   b3.profile = KeyInsertProfile(ws, opts_.locality_boost);
   b3.items = n;
-  b3.fn = [this](uint64_t i, DeviceId dev) -> uint32_t {
+  b3.run = [this, r_keys, r_bucket, r_keynode](const Morsel& m, DeviceId dev,
+                                               uint32_t* lw) -> uint64_t {
     HashTable* t = BuildTableFor(dev);
-    uint32_t work = 0;
-    r_keynode_[i] = t->FindOrAddKey(r_bucket_[i], build_->keys[i], dev,
-                                    WorkgroupOf(i), &work);
-    if (r_keynode_[i] == kNil) overflowed_ = true;
-    return work;
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      uint32_t work = 0;
+      r_keynode[i] =
+          t->FindOrAddKey(r_bucket[i], r_keys[i], dev, WorkgroupOf(i), &work);
+      if (r_keynode[i] == kNil) overflowed_ = true;
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
   };
   steps.push_back(std::move(b3));
 
@@ -105,15 +125,18 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
   b4.name = "b4";
   b4.profile = RidInsertProfile(ws);
   b4.items = n;
-  b4.fn = [this](uint64_t i, DeviceId dev) -> uint32_t {
-    if (r_keynode_[i] == kNil) return 1;
+  b4.run = [this, r_rids, r_bucket, r_keynode](const Morsel& m, DeviceId dev,
+                                               uint32_t* lw) -> uint64_t {
     HashTable* t = BuildTableFor(dev);
-    if (!t->InsertRid(r_keynode_[i], build_->rids[i], dev, WorkgroupOf(i))) {
-      overflowed_ = true;
-      return 1;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (r_keynode[i] == kNil) continue;
+      if (!t->InsertRid(r_keynode[i], r_rids[i], dev, WorkgroupOf(i))) {
+        overflowed_ = true;
+        continue;
+      }
+      t->BumpCount(r_bucket[i]);
     }
-    t->BumpCount(r_bucket_[i]);
-    return 1;
+    return ConstantWork(lw, m);
   };
   steps.push_back(std::move(b4));
   return steps;
@@ -124,13 +147,23 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
   const double ws = TableWorkingSetBytes();
   std::vector<StepDef> steps;
 
+  const int32_t* s_keys = probe_->keys.data();
+  const int32_t* s_rids = probe_->rids.data();
+  uint32_t* s_hash = s_hash_.data();
+  uint32_t* s_bucket = s_bucket_.data();
+  int32_t* s_keynode = s_keynode_.data();
+  int32_t* s_count = s_count_.data();
+
   StepDef p1;
   p1.name = "p1";
   p1.profile = HashStepProfile();
   p1.items = n;
-  p1.fn = [this](uint64_t i, DeviceId) -> uint32_t {
-    s_hash_[i] = MurmurHash2x4(static_cast<uint32_t>(probe_->keys[i]));
-    return 1;
+  p1.run = [s_keys, s_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
+    }
+    return ConstantWork(lw, m);
   };
   steps.push_back(std::move(p1));
 
@@ -138,13 +171,16 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
   p2.name = "p2";
   p2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 8.0);
   p2.items = n;
-  p2.fn = [this](uint64_t i, DeviceId) -> uint32_t {
+  p2.run = [this, s_hash, s_bucket, s_count](const Morsel& m, DeviceId,
+                                             uint32_t* lw) -> uint64_t {
     HashTable* t = tables_[0].get();
-    s_bucket_[i] = t->BucketOf(s_hash_[i]);
-    int32_t count = 0;
-    t->VisitHeader(s_bucket_[i], &count);
-    s_count_[i] = count;
-    return 1;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      s_bucket[i] = t->BucketOf(s_hash[i]);
+      int32_t count = 0;
+      t->VisitHeader(s_bucket[i], &count);
+      s_count[i] = count;
+    }
+    return ConstantWork(lw, m);
   };
   p2.after = [this](uint64_t begin, uint64_t end) {
     if (opts_.grouping) BuildProbePermutation(begin, end);
@@ -155,12 +191,20 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
   p3.name = "p3";
   p3.profile = KeySearchProfile(ws, opts_.locality_boost);
   p3.items = n;
-  p3.fn = [this](uint64_t i, DeviceId) -> uint32_t {
-    const uint64_t j = perm_.empty() ? i : perm_[i];
-    uint32_t work = 0;
-    s_keynode_[j] =
-        tables_[0]->FindKey(s_bucket_[j], probe_->keys[j], &work);
-    return work;
+  p3.run = [this, s_keys, s_bucket, s_keynode](const Morsel& m, DeviceId,
+                                               uint32_t* lw) -> uint64_t {
+    // The grouping permutation is built by p2's after-hook, i.e. after this
+    // StepDef was created — resolve the view per morsel, not per step.
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    HashTable* t = tables_[0].get();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      uint32_t work = 0;
+      s_keynode[j] = t->FindKey(s_bucket[j], s_keys[j], &work);
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
   };
   steps.push_back(std::move(p3));
 
@@ -168,16 +212,25 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
   p4.name = "p4";
   p4.profile = EmitProfile(ws, opts_.locality_boost);
   p4.items = n;
-  p4.fn = [this, out](uint64_t i, DeviceId dev) -> uint32_t {
-    const uint64_t j = perm_.empty() ? i : perm_[i];
-    if (s_keynode_[j] == kNil) return 1;
-    const int32_t srid = probe_->rids[j];
-    const uint32_t wg = WorkgroupOf(i);
-    uint32_t matches = tables_[0]->ForEachRid(
-        s_keynode_[j], [this, out, srid, dev, wg](int32_t brid) {
-          if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
-        });
-    return matches + 1;
+  p4.run = [this, out, s_rids, s_keynode](const Morsel& m, DeviceId dev,
+                                          uint32_t* lw) -> uint64_t {
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    HashTable* t = tables_[0].get();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      uint32_t work = 1;
+      if (s_keynode[j] != kNil) {
+        const int32_t srid = s_rids[j];
+        const uint32_t wg = WorkgroupOf(i);
+        work += t->ForEachRid(
+            s_keynode[j], [this, out, srid, dev, wg](int32_t brid) {
+              if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
+            });
+      }
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
   };
   steps.push_back(std::move(p4));
   return steps;

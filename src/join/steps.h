@@ -2,13 +2,23 @@
 //
 // A StepDef packages one data-parallel step: its name (b1..b4, p1..p4,
 // n1..n3), its cost profile for the device model, the item count, and the
-// per-item kernel. Step *series* (build = b1..b4, probe = p1..p4, one
+// *morsel* kernel. Step *series* (build = b1..b4, probe = p1..p4, one
 // partitioning pass = n1..n3) are vectors of StepDefs executed by the
 // co-processing schemes in coproc/.
+//
+// Kernel ABI: kernels are batch functions over an item range (a Morsel),
+// not per-item closures. The engines capture their column views (raw key /
+// hash / bucket pointers) once per step when they build the StepDef; the
+// per-morsel call then runs one tight loop with no std::function dispatch
+// inside it. Backends pick the morsel granularity: the analytic simulator
+// prices one whole morsel per device slice, the thread-pool backend carves
+// a span into --morsel-sized morsels claimed from a shared atomic cursor.
 
 #ifndef APUJOIN_JOIN_STEPS_H_
 #define APUJOIN_JOIN_STEPS_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -17,20 +27,87 @@
 
 namespace apujoin::join {
 
-/// Kernel signature: (item index, executing device) -> work units.
-using ItemKernel = std::function<uint32_t(uint64_t, simcl::DeviceId)>;
+/// One contiguous item sub-range [begin, end) of a step's item space — the
+/// unit of kernel dispatch and of work distribution.
+struct Morsel {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  uint64_t size() const { return end > begin ? end - begin : 0; }
+  bool empty() const { return end <= begin; }
+};
+
+/// Batch kernel: executes items [m.begin, m.end) on logical device `dev`
+/// and returns the total work units performed (>= 0).
+///
+/// `lane_work`, when non-null, must receive item i's individual work units
+/// at lane_work[i - m.begin]. The analytic simulator passes a scratch array
+/// on wavefront (GPU) devices so SIMD-divergence inflation can be priced
+/// per wavefront; every real-execution backend passes nullptr, so kernels
+/// should keep the recording branch out of their fast path where possible.
+///
+/// Items must be executed in ascending index order within the morsel:
+/// engines rely on it for data-dependent state (CAS insertion order,
+/// result-emission order under the sim backend).
+using MorselKernel =
+    std::function<uint64_t(const Morsel&, simcl::DeviceId, uint32_t*)>;
 
 /// One fine-grained step of a step series.
 struct StepDef {
   std::string name;
   simcl::StepProfile profile;
   uint64_t items = 0;
-  ItemKernel fn;
+  MorselKernel run;
   /// Optional hook run after the step completes; receives the *next* step's
   /// GPU item range [begin, end) within the current execution block (used
   /// by divergence grouping to permute only the GPU share).
+  ///
+  /// Contract: the range is half-open, `begin` is the first GPU item and
+  /// `end` the block's item bound; series runners invoke the hook only when
+  /// the range is non-empty (begin < end), so hooks never see — and need
+  /// not guard against — an empty or inverted GPU range.
   std::function<void(uint64_t, uint64_t)> after;
 };
+
+/// Wraps a per-item functor `fn(item, device) -> uint32_t work` into a
+/// morsel kernel. The functor is a concrete type inlined into the batch
+/// loop — only the one per-morsel std::function dispatch remains. Meant for
+/// tests and ad-hoc steps; the production engines emit native batch kernels
+/// with column views captured once per step.
+template <typename Fn>
+MorselKernel PerItemKernel(Fn fn) {
+  return [fn = std::move(fn)](const Morsel& m, simcl::DeviceId dev,
+                              uint32_t* lane_work) -> uint64_t {
+    uint64_t work = 0;
+    if (lane_work != nullptr) {
+      for (uint64_t i = m.begin; i < m.end; ++i) {
+        const uint32_t w = fn(i, dev);
+        lane_work[i - m.begin] = w;
+        work += w;
+      }
+    } else {
+      for (uint64_t i = m.begin; i < m.end; ++i) work += fn(i, dev);
+    }
+    return work;
+  };
+}
+
+/// Records `w` for item `i` when divergence accounting is on, and folds it
+/// into the batch total either way. The tiny helper keeps engine kernels
+/// down to one line of bookkeeping per item.
+inline uint64_t RecordWork(uint32_t* lane_work, const Morsel& m, uint64_t i,
+                           uint32_t w) {
+  if (lane_work != nullptr) lane_work[i - m.begin] = w;
+  return w;
+}
+
+/// Fills a constant per-item work value (steps whose kernels cost exactly
+/// one unit per item) and returns the morsel's total.
+inline uint64_t ConstantWork(uint32_t* lane_work, const Morsel& m,
+                             uint32_t w = 1) {
+  if (lane_work != nullptr) std::fill(lane_work, lane_work + m.size(), w);
+  return m.size() * static_cast<uint64_t>(w);
+}
 
 /// Work-group of a work item, for allocator block caching. 256 items per
 /// group, bounded slot table (matches BlockAllocator::kWorkgroupSlots).

@@ -40,7 +40,7 @@ JoinService::JoinService(ServiceOptions opts) : opts_(std::move(opts)) {
   opts_.queue_capacity = std::max(1, opts_.queue_capacity);
   substrate_ctx_ = std::make_unique<simcl::SimContext>();
   substrate_ = exec::MakeBackend(opts_.backend, substrate_ctx_.get(),
-                                 opts_.backend_threads);
+                                 opts_.backend_threads, opts_.morsel_items);
 }
 
 JoinService::~JoinService() {

@@ -48,6 +48,9 @@ struct ServiceOptions {
   exec::BackendKind backend = exec::BackendKind::kThreadPool;
   /// Shared pool size (0 = hardware concurrency); sim ignores it.
   int backend_threads = 0;
+  /// Morsel granularity of the shared pool (items per shared-cursor claim;
+  /// 0 = default). Sim ignores it.
+  uint32_t morsel_items = 0;
   /// Admission cap on concurrently open sessions.
   int max_sessions = 8;
   /// Worker-slot quota per session; 0 = fair share, i.e.

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "simcl/context.h"
 
@@ -136,6 +137,55 @@ class Executor {
     return stats;
   }
 
+  /// Prices one whole morsel [begin, end) executed through a *batch* kernel
+  /// `kernel(begin, end, d, lane_work) -> total work units`. On wavefront
+  /// (SIMD) devices a per-item lane-work scratch is passed to the kernel
+  /// and reduced wavefront-by-wavefront in index order, so the virtual time
+  /// is bit-identical to the historical per-item execution path; scalar
+  /// devices skip the scratch entirely and take the kernel's total.
+  ///
+  /// The scratch buffer makes this method single-caller per Executor (the
+  /// Backend contract); concurrent pricing needs separate Executors.
+  template <typename BatchFn>
+  StepStats RunBatch(DeviceId d, const StepProfile& profile, uint64_t begin,
+                     uint64_t end, BatchFn&& kernel) const {
+    StepStats stats;
+    if (end <= begin) return stats;
+    const DeviceSpec& dev = ctx_->device(d);
+    const uint64_t items = end - begin;
+    uint64_t work = 0;
+    double work_eff = 0.0;
+    if (dev.wavefront > 1) {
+      if (lane_work_.size() < items) lane_work_.resize(items);
+      kernel(begin, end, d, lane_work_.data());
+      // Lock-step SIMD: each wavefront costs width × its slowest lane.
+      // Accumulation order matches the per-item path exactly.
+      const uint64_t wf = static_cast<uint64_t>(dev.wavefront);
+      for (uint64_t base = 0; base < items; base += wf) {
+        const uint64_t lim = std::min(items, base + wf);
+        uint32_t max_work = 0;
+        for (uint64_t i = base; i < lim; ++i) {
+          const uint32_t w = lane_work_[i];
+          work += w;
+          max_work = std::max(max_work, w);
+        }
+        work_eff += static_cast<double>(max_work) * static_cast<double>(wf);
+      }
+    } else {
+      work = kernel(begin, end, d, nullptr);
+      work_eff = static_cast<double>(work);
+    }
+    const int di = static_cast<int>(d);
+    stats.items[di] += items;
+    stats.work[di] += work;
+    stats.time[di] +=
+        ComputeDeviceTime(dev, ctx_->memory(), profile, items, work, work_eff);
+    if (d == DeviceId::kGpu && work > 0) {
+      stats.gpu_divergence = work_eff / static_cast<double>(work);
+    }
+    return stats;
+  }
+
   SimContext* context() const { return ctx_; }
 
  private:
@@ -175,6 +225,9 @@ class Executor {
   }
 
   SimContext* ctx_;
+  /// Per-item work scratch for RunBatch's wavefront reduction; grows to the
+  /// largest morsel ever priced and is reused across steps.
+  mutable std::vector<uint32_t> lane_work_;
 };
 
 }  // namespace apujoin::simcl

@@ -1,7 +1,8 @@
 // Unit tests for the exec layer: the SimBackend adapter must be
-// arithmetically identical to driving simcl::Executor directly, and the
+// arithmetically identical to driving simcl::Executor's historical
+// per-item path directly (the morsel-ABI bit-identity gate), and the
 // ThreadPoolBackend must execute every item exactly once with real
-// wall-clock timing, balanced stealing, and per-worker counters.
+// wall-clock timing, morsel-driven balancing, and per-worker counters.
 
 #include <gtest/gtest.h>
 
@@ -25,10 +26,11 @@ join::StepDef MakeStep(uint64_t items, std::atomic<uint64_t>* counter,
   step.profile.rand_accesses_per_unit = 0.5;
   step.profile.rand_working_set_bytes = 1 << 20;
   step.items = items;
-  step.fn = [counter, work_per_item](uint64_t, DeviceId) -> uint32_t {
-    counter->fetch_add(1, std::memory_order_relaxed);
-    return work_per_item;
-  };
+  step.run = join::PerItemKernel(
+      [counter, work_per_item](uint64_t, DeviceId) -> uint32_t {
+        counter->fetch_add(1, std::memory_order_relaxed);
+        return work_per_item;
+      });
   return step;
 }
 
@@ -52,9 +54,27 @@ TEST(SimBackendTest, RunMatchesExecutorBitForBit) {
 
   SimBackend backend(&ctx);
   const simcl::StepStats via_backend = backend.Run(step1, 0.37);
+  // The historical per-item execution path, composed exactly like
+  // Backend::Run splits the span — the morsel ABI must not move a ULP.
   simcl::Executor exec(&ctx);
-  const simcl::StepStats direct =
-      exec.Run(step2.profile, step2.items, 0.37, step2.fn);
+  const uint64_t n_cpu = static_cast<uint64_t>(
+      0.37 * static_cast<double>(step2.items) + 0.5);
+  auto per_item = [&c2](uint64_t, DeviceId) -> uint32_t {
+    c2.fetch_add(1, std::memory_order_relaxed);
+    return 3;
+  };
+  const simcl::StepStats cpu_part =
+      exec.RunSpan(DeviceId::kCpu, step2.profile, 0, n_cpu, per_item);
+  const simcl::StepStats gpu_part = exec.RunSpan(
+      DeviceId::kGpu, step2.profile, n_cpu, step2.items, per_item);
+  simcl::StepStats direct;
+  for (int d = 0; d < simcl::kNumDevices; ++d) {
+    direct.items[d] = cpu_part.items[d] + gpu_part.items[d];
+    direct.work[d] = cpu_part.work[d] + gpu_part.work[d];
+    direct.time[d] += cpu_part.time[d];
+    direct.time[d] += gpu_part.time[d];
+  }
+  direct.gpu_divergence = gpu_part.gpu_divergence;
 
   for (int d = 0; d < simcl::kNumDevices; ++d) {
     EXPECT_EQ(via_backend.items[d], direct.items[d]);
@@ -109,7 +129,7 @@ TEST(ThreadPoolBackendTest, ExecutesEveryItemExactlyOnce) {
   simcl::SimContext ctx;
   ThreadPoolOptions opts;
   opts.threads = 4;
-  opts.chunk_items = 64;
+  opts.morsel_items = 64;
   ThreadPoolBackend backend(&ctx, opts);
 
   constexpr uint64_t kItems = 100000;
@@ -117,10 +137,10 @@ TEST(ThreadPoolBackendTest, ExecutesEveryItemExactlyOnce) {
   join::StepDef step;
   step.name = "count";
   step.items = kItems;
-  step.fn = [&hits](uint64_t i, DeviceId) -> uint32_t {
+  step.run = join::PerItemKernel([&hits](uint64_t i, DeviceId) -> uint32_t {
     hits[i].fetch_add(1, std::memory_order_relaxed);
     return 2;
-  };
+  });
 
   const simcl::StepStats stats = backend.Run(step, 0.5);
   for (uint64_t i = 0; i < kItems; ++i) {
@@ -136,17 +156,17 @@ TEST(ThreadPoolBackendTest, ExecutesEveryItemExactlyOnce) {
 
 TEST(ThreadPoolBackendTest, KernelsSeeTheLogicalDevice) {
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 2, .chunk_items = 32});
+  ThreadPoolBackend backend(&ctx, {.threads = 2, .morsel_items = 32});
   std::atomic<uint64_t> cpu_items{0};
   std::atomic<uint64_t> gpu_items{0};
   join::StepDef step;
   step.name = "dev";
   step.items = 10000;
-  step.fn = [&](uint64_t, DeviceId dev) -> uint32_t {
+  step.run = join::PerItemKernel([&](uint64_t, DeviceId dev) -> uint32_t {
     (dev == DeviceId::kCpu ? cpu_items : gpu_items)
         .fetch_add(1, std::memory_order_relaxed);
     return 1;
-  };
+  });
   backend.Run(step, 0.25);
   EXPECT_EQ(cpu_items.load(), 2500u);
   EXPECT_EQ(gpu_items.load(), 7500u);
@@ -154,19 +174,23 @@ TEST(ThreadPoolBackendTest, KernelsSeeTheLogicalDevice) {
 
 TEST(ThreadPoolBackendTest, WorkerCountersCoverAllItems) {
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 3, .chunk_items = 16});
+  ThreadPoolBackend backend(&ctx, {.threads = 3, .morsel_items = 16});
   std::atomic<uint64_t> c{0};
   join::StepDef step = MakeStep(30000, &c, 5);
   backend.RunSpan(step, DeviceId::kCpu, 0, 30000);
 
   uint64_t items = 0;
   uint64_t work = 0;
+  uint64_t morsels = 0;
   for (const WorkerCounters& wc : backend.TakeCounters()) {
     items += wc.items;
     work += wc.work;
+    morsels += wc.morsels;
   }
   EXPECT_EQ(items, 30000u);
   EXPECT_EQ(work, 5 * 30000u);
+  // Every item arrived via a shared-cursor morsel claim.
+  EXPECT_EQ(morsels, (30000u + 15u) / 16u);
   // Drained: a second take is all zeros.
   for (const WorkerCounters& wc : backend.TakeCounters()) {
     EXPECT_EQ(wc.items, 0u);
@@ -186,26 +210,27 @@ TEST(ThreadPoolBackendTest, SingleThreadPoolWorks) {
 }
 
 TEST(ThreadPoolBackendTest, SkewedKernelGetsRebalanced) {
-  // One shard gets all the heavy items; stealing must still finish and
-  // count steals when more than one worker exists.
+  // The first quarter of the range is heavy; morsel-driven distribution
+  // (shared cursor, whoever is free pulls next) must still execute every
+  // item exactly once with no worker pinned to the hot region.
   simcl::SimContext ctx;
   ThreadPoolOptions opts;
   opts.threads = 4;
-  opts.chunk_items = 8;
+  opts.morsel_items = 8;
   ThreadPoolBackend backend(&ctx, opts);
   std::atomic<uint64_t> c{0};
   join::StepDef step;
   step.name = "skew";
   step.items = 1 << 14;
-  step.fn = [&c](uint64_t i, DeviceId) -> uint32_t {
-    // Burn time on the first quarter of the range (worker 0's shard).
+  step.run = join::PerItemKernel([&c](uint64_t i, DeviceId) -> uint32_t {
+    // Burn time on the first quarter of the range.
     if (i < (1u << 12)) {
       volatile uint64_t x = 0;
       for (int k = 0; k < 2000; ++k) x += k;
     }
     c.fetch_add(1, std::memory_order_relaxed);
     return 1;
-  };
+  });
   backend.RunSpan(step, DeviceId::kCpu, 0, step.items);
   EXPECT_EQ(c.load(), step.items);
 }

@@ -10,6 +10,7 @@
 
 #include "coproc/ratio_tuner.h"
 #include "exec/thread_pool_backend.h"
+#include "perf_asserts.h"
 #include "service/join_service.h"
 
 namespace apujoin::service {
@@ -69,15 +70,26 @@ TEST(JoinServiceTest, SubmissionQueueOverflowReturnsResourceExhausted) {
   auto session = service.OpenSession(ShjSession());
   ASSERT_TRUE(session.ok());
 
-  // Big enough that the runner cannot possibly finish the first join in
-  // the microseconds before the second Submit.
+  // Big enough that the runner cannot plausibly finish the first join in
+  // the microseconds before the second Submit. That is still a race
+  // against the wall clock, so the strict rejection expectation honours
+  // the APUJOIN_PERF_ASSERTS=0 escape hatch; the queue-accounting
+  // invariants below hold either way.
   const data::Workload w = MakeWorkload(1 << 18, 1 << 20);
   auto t1 = (*session)->Submit(w);
   ASSERT_TRUE(t1.ok());
   auto t2 = (*session)->Submit(w);
-  ASSERT_FALSE(t2.ok());
-  EXPECT_EQ(t2.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_GE(service.stats().submissions_rejected, 1u);
+  if (PerfAssertsEnabled()) {
+    ASSERT_FALSE(t2.ok());
+    EXPECT_EQ(t2.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_GE(service.stats().submissions_rejected, 1u);
+  } else if (t2.ok()) {
+    auto r2 = t2->Take();
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    EXPECT_EQ(r2->matches, w.expected_matches);
+  } else {
+    EXPECT_EQ(t2.status().code(), StatusCode::kResourceExhausted);
+  }
 
   auto report = t1->Take();
   ASSERT_TRUE(report.ok());
@@ -334,7 +346,7 @@ TEST(JoinServiceTest, ConcurrentSimSessionsBitIdenticalToSolo) {
 
 TEST(PoolLeaseTest, LeaseExecutesUnderQuotaAndSubLeasesNarrow) {
   simcl::SimContext pool_ctx;
-  exec::ThreadPoolBackend pool(&pool_ctx, {.threads = 4, .chunk_items = 32});
+  exec::ThreadPoolBackend pool(&pool_ctx, {.threads = 4, .morsel_items = 32});
   simcl::SimContext session_ctx;
   auto lease = pool.Lease(&session_ctx, 2);
   EXPECT_EQ(lease->kind(), exec::BackendKind::kThreadPool);
@@ -345,10 +357,11 @@ TEST(PoolLeaseTest, LeaseExecutesUnderQuotaAndSubLeasesNarrow) {
   join::StepDef step;
   step.name = "t1";
   step.items = 20000;
-  step.fn = [&c](uint64_t, simcl::DeviceId) -> uint32_t {
-    c.fetch_add(1, std::memory_order_relaxed);
-    return 1;
-  };
+  step.run = join::PerItemKernel(
+      [&c](uint64_t, simcl::DeviceId) -> uint32_t {
+        c.fetch_add(1, std::memory_order_relaxed);
+        return 1;
+      });
   const simcl::StepStats stats = lease->Run(step, 0.5);
   EXPECT_EQ(c.load(), 20000u);
   EXPECT_EQ(stats.items[0] + stats.items[1], 20000u);

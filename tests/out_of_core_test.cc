@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "coproc/out_of_core.h"
+#include "exec/backend_kind.h"
 
 namespace apujoin::coproc {
 namespace {
@@ -60,6 +61,63 @@ TEST(OutOfCoreTest, ShjAndPhjInnerJoinsAgree) {
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a->matches, w.expected_matches);
   EXPECT_EQ(b->matches, w.expected_matches);
+}
+
+TEST(OutOfCoreTest, ThreadsBackendRunsInCore) {
+  // Real execution end-to-end: the in-core fallback path on the pool.
+  const data::Workload w = MakeWorkload(1 << 12);
+  simcl::SimContext ctx;
+  OutOfCoreSpec spec;
+  spec.inner.engine.backend = exec::BackendKind::kThreadPool;
+  spec.inner.engine.backend_threads = 3;
+  auto report = ExecuteOutOfCore(&ctx, w, spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->chunked);
+  EXPECT_EQ(report->matches, w.expected_matches);
+}
+
+TEST(OutOfCoreTest, ThreadsBackendStreamsChunkMorsels) {
+  // The chunked path on the thread-pool backend: every chunk morsel's
+  // n1..n3 series and every pair join run on the shared pool, and the
+  // result still matches the oracle exactly.
+  const data::Workload w = MakeWorkload(1 << 14);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 64.0 * 1024;
+  simcl::SimContext ctx(copts);
+  OutOfCoreSpec spec;
+  spec.chunk_tuples = 1 << 12;
+  spec.inner.engine.backend = exec::BackendKind::kThreadPool;
+  spec.inner.engine.backend_threads = 3;
+  spec.inner.engine.morsel_items = 64;
+  auto report = ExecuteOutOfCore(&ctx, w, spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->chunked);
+  EXPECT_GT(report->partitions, 1u);
+  EXPECT_EQ(report->matches, w.expected_matches);
+  EXPECT_GT(report->partition_ns, 0.0);  // wall-clock of the chunk passes
+  EXPECT_GT(report->join_ns, 0.0);
+}
+
+TEST(OutOfCoreTest, ThreadsAndSimBackendsAgreeOnMatches) {
+  const data::Workload w = MakeWorkload(1 << 13);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 32.0 * 1024;
+  uint64_t matches[2];
+  int i = 0;
+  for (exec::BackendKind kind :
+       {exec::BackendKind::kSim, exec::BackendKind::kThreadPool}) {
+    simcl::SimContext ctx(copts);
+    OutOfCoreSpec spec;
+    spec.chunk_tuples = 1 << 11;
+    spec.inner.engine.backend = kind;
+    spec.inner.engine.backend_threads = 2;
+    auto report = ExecuteOutOfCore(&ctx, w, spec);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->chunked);
+    matches[i++] = report->matches;
+  }
+  EXPECT_EQ(matches[0], matches[1]);
+  EXPECT_EQ(matches[0], w.expected_matches);
 }
 
 TEST(OutOfCoreTest, ExplicitPartitionOverride) {

@@ -12,6 +12,7 @@
 #include "coproc/ratio_tuner.h"
 #include "core/coupled_joiner.h"
 #include "exec/thread_pool_backend.h"
+#include "perf_asserts.h"
 
 // TSan distorts wall-clock timing; skip the timing comparison under it.
 #if defined(__SANITIZE_THREAD__)
@@ -166,7 +167,7 @@ TEST(RatioTunerTest, UntunedSimSessionIsDeterministic) {
 TEST(RatioTunerTest, ConvergesOnThreadsBackend) {
   const data::Workload w = MakeWorkload(1 << 13, 1 << 16);
   simcl::SimContext ctx;
-  exec::ThreadPoolBackend backend(&ctx, {.threads = 2, .chunk_items = 256});
+  exec::ThreadPoolBackend backend(&ctx, {.threads = 2, .morsel_items = 256});
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kPipelined;
@@ -210,9 +211,15 @@ TEST(RatioTunerTest, ConvergesOnThreadsBackend) {
             reports[kIterations - 1].build_ratios);
   EXPECT_EQ(reports[kIterations - 2].probe_ratios,
             reports[kIterations - 1].probe_ratios);
-  // Tuned iterations run each step on one lane (serial composition).
+  // Tuned iterations run each step on one lane (serial composition) — the
+  // work-proportion form of "tuning took effect", robust to host noise.
   for (double r : reports[kIterations - 1].probe_ratios) {
     EXPECT_TRUE(r == 0.0 || r == 1.0) << r;
+  }
+  for (const StepReport& s : reports[kIterations - 1].steps) {
+    EXPECT_TRUE(s.cpu_items == 0 || s.gpu_items == 0)
+        << s.phase << "/" << s.name << " split " << s.cpu_items << "/"
+        << s.gpu_items;
   }
 
   // The whole point: converged iterations are no slower than the untuned
@@ -220,11 +227,14 @@ TEST(RatioTunerTest, ConvergesOnThreadsBackend) {
   // sides are wall clocks on a shared host, so allow a small noise margin
   // — this asserts "tuning does not regress", not a tie-break between
   // runs within scheduler jitter of each other. Skipped under TSan, whose
-  // scheduling distortion swamps wall-clock comparisons entirely.
+  // scheduling distortion swamps wall-clock comparisons entirely, and on
+  // loaded/single-core runners via APUJOIN_PERF_ASSERTS=0.
 #ifndef APUJOIN_TSAN
-  const double tuned_best =
-      *std::min_element(elapsed.begin() + 2, elapsed.end());
-  EXPECT_LE(tuned_best, elapsed.front() * 1.05);
+  if (PerfAssertsEnabled()) {
+    const double tuned_best =
+        *std::min_element(elapsed.begin() + 2, elapsed.end());
+    EXPECT_LE(tuned_best, elapsed.front() * 1.05);
+  }
 #endif
 }
 

@@ -15,10 +15,10 @@ std::vector<StepDef> MakeSeries(uint64_t n, std::vector<int>* counter) {
     step.name = "s" + std::to_string(s);
     step.profile.instr_per_unit = 20.0 * (s + 1);
     step.items = n;
-    step.fn = [counter, s](uint64_t, DeviceId) -> uint32_t {
+    step.run = join::PerItemKernel([counter, s](uint64_t, DeviceId) -> uint32_t {
       (*counter)[s]++;
       return 1;
-    };
+    });
     steps.push_back(std::move(step));
   }
   return steps;
@@ -73,6 +73,19 @@ TEST_F(SeriesRunnerTest, AfterHookReceivesNextGpuRange) {
   RunSeries(&ctx_, steps, opts);
   EXPECT_EQ(seen_begin, 250u);
   EXPECT_EQ(seen_end, 1000u);
+}
+
+TEST_F(SeriesRunnerTest, AfterHookSkippedWhenNextGpuRangeIsEmpty) {
+  // Contract (steps.h): hooks only ever see a non-empty [begin, end). A
+  // CPU-only next step must not invoke the hook at all.
+  std::vector<int> counter(3, 0);
+  auto steps = MakeSeries(1000, &counter);
+  int calls = 0;
+  steps[0].after = [&calls](uint64_t, uint64_t) { ++calls; };
+  SeriesOptions opts;
+  opts.ratios = {0.5, 1.0, 0.5};  // next step all-CPU: GPU range empty
+  RunSeries(&ctx_, steps, opts);
+  EXPECT_EQ(calls, 0);
 }
 
 TEST_F(SeriesRunnerTest, ModeledExcludesLockTime) {
