@@ -30,7 +30,8 @@ inline core::HarnessFlags ParseFlags(int argc, char** argv) {
       case core::HarnessArg::kUnknownFlag:
         std::fprintf(stderr,
                      "usage: %s [--backend=sim|threads] [--threads=N] "
-                     "[--morsel=N] [--tune=off|once|online]\n",
+                     "[--morsel=N] [--stream=serial|pipelined] "
+                     "[--tune=off|once|online]\n",
                      argv[0]);
         std::exit(2);
     }
@@ -57,6 +58,7 @@ inline void ApplyBackendFlags(int argc, char** argv,
   if (!flags.backend_set) engine->backend = defaults.backend;
   if (!flags.threads_set) engine->backend_threads = defaults.backend_threads;
   if (!flags.morsel_set) engine->morsel_items = defaults.morsel_items;
+  if (!flags.stream_set) engine->stream = defaults.stream;
   if (!flags.tune_set) engine->tune = defaults.tune;
 }
 

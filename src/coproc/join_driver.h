@@ -64,6 +64,14 @@ struct JoinSpec {
   /// Owned by the caller; null = no cross-session seeding.
   const cost::OnlineCalibrator* shared_costs = nullptr;
 
+  /// Bound on bytes staged in flight by the pipelined out-of-core executor
+  /// (the chunk being partitioned plus the chunk being prefetched); 0 =
+  /// auto, i.e. double buffering is always allowed. When staging the next
+  /// chunk would exceed the budget its prefetch is skipped — back-pressure
+  /// degrades that chunk to serial staging instead of growing memory.
+  /// Ignored under StreamMode::kSerial.
+  uint64_t stream_budget_bytes = 0;
+
   /// BasicUnit chunk sizes; 0 = auto.
   uint64_t bu_cpu_chunk = 0;
   uint64_t bu_gpu_chunk = 0;

@@ -32,9 +32,38 @@ struct OutOfCoreReport {
   double partition_ns = 0.0;
   double join_ns = 0.0;
   double copy_ns = 0.0;  ///< zero-copy buffer <-> system memory
+  /// Staging-copy time hidden behind computation by the pipelined executor
+  /// (already subtracted from elapsed_ns; always 0 under
+  /// StreamMode::kSerial). Priced at the same BufferCopyNs rate as copy_ns
+  /// on every backend, so the subtraction stays unit-consistent. On the sim
+  /// backend the hidden share is composed analytically (a prefetched copy
+  /// hides behind the previous chunk's series, up to the shorter of the
+  /// two); on real backends it is the *measured* fraction of each prefetch
+  /// span the pool had claimed before the pipeline barrier reached it.
+  double overlap_ns = 0.0;
+  /// Total modeled cost of the *hideable* staging copies: the async chunk
+  /// prefetches, plus (sim only) the pair copies that pipeline behind the
+  /// previous pair's join. overlap_ns / prefetch_ns is the overlap
+  /// efficiency in [0, 1]; chunk copy-outs are structurally unhideable and
+  /// excluded.
+  double prefetch_ns = 0.0;
+  /// Host wall clock of the whole call. On real-execution backends this is
+  /// the end-to-end measurement (the serial-vs-pipelined observable); on
+  /// the sim backend it is merely how long the simulation took to run.
+  double wall_ns = 0.0;
   uint64_t matches = 0;
   uint32_t partitions = 1;
+  /// Chunks staged ahead by the async prefetcher (0 when serial, when every
+  /// prefetch was vetoed by stream_budget_bytes, or when nothing chunked).
+  uint64_t prefetched_chunks = 0;
   bool chunked = false;  ///< false when the input fit the buffer directly
+  /// Overflow accounting aggregated across every chunk join: a later
+  /// chunk's clean join never clears an earlier chunk's overflow, and
+  /// JoinSpec::tolerate_overflow is honored once, at the end — when unset,
+  /// any aggregated overflow fails the whole join with ResourceExhausted
+  /// (after all pairs ran, so the counts below are totals).
+  bool overflowed = false;
+  uint64_t dropped_matches = 0;
 };
 
 /// Joins `workload` even when it exceeds the zero-copy buffer. Every chunk

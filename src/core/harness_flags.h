@@ -23,10 +23,12 @@ struct HarnessFlags {
   exec::BackendKind backend = exec::BackendKind::kSim;
   int threads = 0;                         ///< --threads (0 = hw concurrency)
   unsigned morsel = 0;                     ///< --morsel (0 = backend default)
+  exec::StreamMode stream = exec::StreamMode::kSerial;  ///< --stream
   cost::TuneMode tune = cost::TuneMode::kOff;
   bool backend_set = false;                ///< --backend given explicitly
   bool threads_set = false;                ///< --threads given explicitly
   bool morsel_set = false;                 ///< --morsel given explicitly
+  bool stream_set = false;                 ///< --stream given explicitly
   bool tune_set = false;                   ///< --tune given explicitly
   std::string json_path;                   ///< --json; empty = no JSON output
 };
@@ -34,7 +36,7 @@ struct HarnessFlags {
 /// Usage fragment for the shared flags (binaries append their own).
 inline constexpr char kHarnessUsage[] =
     "[--backend=sim|threads] [--threads=N] [--morsel=N] "
-    "[--tune=off|once|online] [--json=path]";
+    "[--stream=serial|pipelined] [--tune=off|once|online] [--json=path]";
 
 /// Outcome of offering one argv entry to ParseHarnessArg.
 enum class HarnessArg {
@@ -76,6 +78,18 @@ inline HarnessArg ParseHarnessArg(const char* arg, HarnessFlags* flags) {
     case exec::FlagParse::kNotMatched:
       break;
   }
+  switch (exec::ParseStreamFlag(arg, &flags->stream)) {
+    case exec::FlagParse::kOk:
+      flags->stream_set = true;
+      return HarnessArg::kConsumed;
+    case exec::FlagParse::kInvalid:
+      std::fprintf(stderr,
+                   "invalid value in '%s' (want --stream=serial|pipelined)\n",
+                   arg);
+      return HarnessArg::kInvalid;
+    case exec::FlagParse::kNotMatched:
+      break;
+  }
   switch (exec::ParseBackendFlag(arg, &flags->backend, &flags->threads)) {
     case exec::FlagParse::kOk:
       if (std::strncmp(arg, "--backend=", 10) == 0) {
@@ -103,6 +117,7 @@ inline void ApplyHarnessFlags(const HarnessFlags& flags,
   engine->backend = flags.backend;
   engine->backend_threads = flags.threads;
   engine->morsel_items = flags.morsel;
+  engine->stream = flags.stream;
   engine->tune = flags.tune;
 }
 

@@ -41,6 +41,24 @@ FlagParse ParseBackendFlag(const char* arg, BackendKind* kind,
   return FlagParse::kNotMatched;
 }
 
+bool ParseStreamMode(const char* text, StreamMode* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "serial") == 0) {
+    *out = StreamMode::kSerial;
+    return true;
+  }
+  if (std::strcmp(text, "pipelined") == 0) {
+    *out = StreamMode::kPipelined;
+    return true;
+  }
+  return false;
+}
+
+FlagParse ParseStreamFlag(const char* arg, StreamMode* out) {
+  if (std::strncmp(arg, "--stream=", 9) != 0) return FlagParse::kNotMatched;
+  return ParseStreamMode(arg + 9, out) ? FlagParse::kOk : FlagParse::kInvalid;
+}
+
 FlagParse ParseMorselFlag(const char* arg, unsigned* morsel_items) {
   if (std::strncmp(arg, "--morsel=", 9) != 0) return FlagParse::kNotMatched;
   char* end = nullptr;
@@ -70,6 +88,32 @@ simcl::StepStats Backend::Run(const join::StepDef& step, double cpu_ratio) {
   }
   out.gpu_divergence = gpu.gpu_divergence;
   return out;
+}
+
+namespace {
+
+/// Handle of the default (synchronous) SubmitSpan: the span already ran at
+/// submit time; Wait just hands the stats over.
+struct SyncJobHandle : Backend::JobHandle {
+  simcl::StepStats stats;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend::JobHandle> Backend::SubmitSpan(
+    const join::StepDef& step, simcl::DeviceId dev, uint64_t begin,
+    uint64_t end, int /*slots*/) {
+  auto handle = std::make_unique<SyncJobHandle>();
+  handle->stats = RunSpan(step, dev, begin, end);
+  return handle;
+}
+
+simcl::StepStats Backend::Wait(JobHandle* handle, double* done_fraction) {
+  // Handles never cross backends (the SubmitSpan contract), so this is the
+  // sync handle whenever the default SubmitSpan produced it — and the span
+  // fully ran at submit time.
+  if (done_fraction != nullptr) *done_fraction = 1.0;
+  return static_cast<SyncJobHandle*>(handle)->stats;
 }
 
 std::vector<LaunchEvent> Backend::DrainEvents() {

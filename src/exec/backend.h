@@ -71,6 +71,42 @@ class Backend {
                                    simcl::DeviceId dev, uint64_t begin,
                                    uint64_t end) = 0;
 
+  /// Opaque handle to a span submitted with SubmitSpan. Single-owner; must
+  /// be passed to Wait on the backend that created it, exactly once, before
+  /// that backend is destroyed.
+  class JobHandle {
+   public:
+    virtual ~JobHandle() = default;
+  };
+
+  /// Non-blocking counterpart of RunSpan: submits items [begin, end) of
+  /// `step` on device `dev` and returns a handle the caller later passes to
+  /// Wait. `step` (and every buffer its kernel captures) must stay alive
+  /// and unresized until Wait returns. `slots` bounds the worker slots the
+  /// span may occupy on substrates that overlap it with other work.
+  ///
+  /// The default implementation — inherited by the sim backend — runs the
+  /// span synchronously at submit time and hands its stats back through
+  /// Wait: virtual time has no real concurrency to overlap, so callers that
+  /// want overlap *pricing* compose the returned per-span times themselves
+  /// (see coproc/out_of_core's pipelined executor). The thread-pool backend
+  /// overrides this with a truly asynchronous job on the shared pool.
+  virtual std::unique_ptr<JobHandle> SubmitSpan(const join::StepDef& step,
+                                                simcl::DeviceId dev,
+                                                uint64_t begin, uint64_t end,
+                                                int slots = 1);
+
+  /// Blocks until the submitted span completes and returns its stats (only
+  /// the submitted device's slots are populated; on real backends the
+  /// device's compute_ns is the submit-to-completion wall time, which
+  /// includes time spent inside this call). `done_fraction`, when non-null,
+  /// receives the fraction of the span's items already claimed when Wait
+  /// was entered — the share that genuinely ran asynchronously, before the
+  /// caller arrived at its barrier (1.0 on synchronous backends, where the
+  /// whole span ran at submit time).
+  virtual simcl::StepStats Wait(JobHandle* handle,
+                                double* done_fraction = nullptr);
+
   /// Splits [0, step.items) by the paper's r_i convention — the first
   /// ceil(cpu_ratio * items) items on the CPU device, the rest on the GPU
   /// device — and executes both slices.

@@ -33,12 +33,36 @@ enum class FlagParse {
 FlagParse ParseBackendFlag(const char* arg, BackendKind* kind, int* threads);
 
 /// Upper bound for --morsel: one claim must stay far below any realistic
-/// span so the shared-cursor distribution still distributes.
+/// span so the shared-cursor distribution still distributes. The flag
+/// parser rejects larger values; ThreadPoolBackend clamps programmatic
+/// ThreadPoolOptions::morsel_items to the same bound.
 inline constexpr long kMaxMorselItems = 1 << 24;
 
 /// Shared --morsel=N parsing (thread-pool morsel granularity, items per
 /// shared-cursor claim). The sim backend ignores the knob by design.
 FlagParse ParseMorselFlag(const char* arg, unsigned* morsel_items);
+
+/// Out-of-core streaming policy (--stream): how chunks move through the
+/// zero-copy buffer. Serial runs copy -> partition strictly in sequence per
+/// chunk (the historical executor; sim figures are bit-identical to the
+/// pre-streaming era). Pipelined double-buffers the staging copies: while
+/// chunk k runs its partition series on the backend, chunk k+1 is staged
+/// into the second buffer by an async prefetch span.
+enum class StreamMode {
+  kSerial,     ///< copy, then compute, one chunk at a time
+  kPipelined,  ///< async chunk prefetch overlapped with compute
+};
+
+inline const char* StreamModeName(StreamMode m) {
+  return m == StreamMode::kSerial ? "serial" : "pipelined";
+}
+
+/// Parses "serial" / "pipelined" (the --stream flag values). Returns false
+/// and leaves `*out` untouched on anything else.
+bool ParseStreamMode(const char* text, StreamMode* out);
+
+/// Shared --stream=serial|pipelined parsing for harness mains.
+FlagParse ParseStreamFlag(const char* arg, StreamMode* out);
 
 }  // namespace apujoin::exec
 

@@ -20,8 +20,11 @@ inline double ElapsedNs(Clock::time_point t0) {
 ThreadPoolBackend::ThreadPoolBackend(simcl::SimContext* ctx,
                                      ThreadPoolOptions opts)
     : Backend(ctx),
-      morsel_items_(opts.morsel_items == 0 ? kDefaultMorselItems
-                                           : opts.morsel_items) {
+      // Programmatic options get the same bound the --morsel parser
+      // enforces; an absurd morsel would defeat shared-cursor distribution.
+      morsel_items_(std::min<uint32_t>(
+          opts.morsel_items == 0 ? kDefaultMorselItems : opts.morsel_items,
+          static_cast<uint32_t>(kMaxMorselItems))) {
   // Normalize the worker count here, not downstream: 0 and negative values
   // mean "hardware concurrency" (which itself may report 0 and then falls
   // back to a single worker), and absurd requests are capped to the same
@@ -66,6 +69,67 @@ std::unique_ptr<Backend> ThreadPoolBackend::Lease(simcl::SimContext* ctx,
   return std::make_unique<PoolLease>(this, ctx, slots);
 }
 
+std::unique_ptr<Backend::JobHandle> ThreadPoolBackend::SubmitSpan(
+    const join::StepDef& step, simcl::DeviceId dev, uint64_t begin,
+    uint64_t end, int slots) {
+  auto handle = std::make_unique<AsyncJobHandle>();
+  handle->pool = this;
+  handle->t0 = Clock::now();
+  if (end <= begin) return handle;  // nothing to list; Wait returns zeros
+  Job& job = handle->job;
+  job.step = &step;
+  job.dev = dev;
+  job.begin = begin;
+  job.items = end - begin;
+  // Every participant of an async job is a helper — the submitting thread
+  // only joins in at Wait — so the quota maps to helpers directly.
+  job.max_helpers = std::clamp(slots, 1, threads());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(&job);
+  }
+  handle->listed = true;
+  cv_work_.notify_all();
+  return handle;
+}
+
+simcl::StepStats ThreadPoolBackend::Wait(JobHandle* handle,
+                                         double* done_fraction) {
+  auto* h = static_cast<AsyncJobHandle*>(handle);
+  simcl::StepStats stats;
+  if (done_fraction != nullptr) *done_fraction = 1.0;
+  if (!h->listed) return stats;
+  Job* job = &h->job;
+  if (done_fraction != nullptr) {
+    // Share of the span the pool claimed before this barrier — what
+    // genuinely ran asynchronously (morsel-granular: a helper's in-flight
+    // morsel counts as claimed).
+    const uint64_t claimed = std::min(
+        job->items, job->cursor.load(std::memory_order_relaxed));
+    *done_fraction =
+        static_cast<double>(claimed) / static_cast<double>(job->items);
+  }
+  // The waiting thread becomes a participant: it drains whatever morsels
+  // the pool has not claimed yet (on a one-thread pool that is the whole
+  // span), then waits out any helpers still inside their last morsel.
+  WorkerCounters me;
+  DrainJob(job, &me);
+  FoldCallerCounters(me);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
+    cv_done_.wait(lock, [job] { return job->helpers == 0; });
+  }
+  h->listed = false;
+  const int di = static_cast<int>(job->dev);
+  stats.items[di] = job->items;
+  stats.work[di] = job->work.load(std::memory_order_relaxed);
+  // Submit-to-completion wall time: includes whatever overlapped with the
+  // submitter's own spans — the observable the pipelined executors report.
+  stats.time[di].compute_ns = ElapsedNs(h->t0);
+  return stats;
+}
+
 simcl::StepStats ThreadPoolBackend::RunSpanShared(const join::StepDef& step,
                                                   simcl::DeviceId dev,
                                                   uint64_t begin, uint64_t end,
@@ -79,9 +143,12 @@ simcl::StepStats ThreadPoolBackend::RunSpanShared(const join::StepDef& step,
   slots = std::clamp(slots, 1, threads());
   const auto t0 = Clock::now();
 
-  if (slots == 1) {
-    // Single-slot quota: the span is one monolithic morsel on the
-    // submitting thread — no pool hand-off, no cursor traffic.
+  if (slots == 1 || items <= morsel_items_) {
+    // Single-slot quota — or a span no larger than one morsel, which could
+    // only ever be claimed whole anyway: run it as one monolithic morsel on
+    // the submitting thread, with no pool hand-off and no cursor traffic
+    // (previously a morsel-sized span still round-tripped through the
+    // shared-cursor path as one oversized fetch).
     WorkerCounters me;
     const uint64_t work =
         step.run(join::Morsel{begin, end}, dev, nullptr);
@@ -180,9 +247,20 @@ void ThreadPoolBackend::WorkerLoop(int id) {
   }
 }
 
+void ThreadPoolBackend::CancelJob(Job* job) {
+  // Exhaust the cursor so no worker claims another morsel, then unlist and
+  // wait out helpers still inside their current one.
+  job->cursor.fetch_add(job->items, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu_);
+  jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
+  cv_done_.wait(lock, [job] { return job->helpers == 0; });
+}
+
 void ThreadPoolBackend::DrainJob(Job* job, WorkerCounters* me) {
   const join::StepDef& step = *job->step;
-  const uint64_t morsel = morsel_items_;
+  // Clamp to the span so one claim never overshoots the cursor by more
+  // than a span's worth of items.
+  const uint64_t morsel = std::min<uint64_t>(morsel_items_, job->items);
   uint64_t local_work = 0;
   for (;;) {
     // Morsel-driven distribution: one fetch_add claims the next range.
@@ -224,6 +302,28 @@ simcl::StepStats PoolLease::RunSpan(const join::StepDef& step,
     stats_.peak_workers = std::max(stats_.peak_workers, peak);
     Record(step, dev, begin, end,
            stats.time[static_cast<int>(dev)].compute_ns);
+  }
+  return stats;
+}
+
+std::unique_ptr<Backend::JobHandle> PoolLease::SubmitSpan(
+    const join::StepDef& step, simcl::DeviceId dev, uint64_t begin,
+    uint64_t end, int slots) {
+  return pool_->SubmitSpan(step, dev, begin, end, std::min(slots, slots_));
+}
+
+simcl::StepStats PoolLease::Wait(JobHandle* handle, double* done_fraction) {
+  const simcl::StepStats stats = pool_->Wait(handle, done_fraction);
+  const uint64_t items = stats.items[0] + stats.items[1];
+  if (items > 0) {
+    ++stats_.spans;
+    stats_.items += items;
+    // Safe to read unsynchronized: Wait returned, so helpers == 0 and the
+    // job is unlisted.
+    stats_.peak_workers = std::max(
+        stats_.peak_workers,
+        static_cast<ThreadPoolBackend::AsyncJobHandle*>(handle)
+            ->job.peak_workers);
   }
   return stats;
 }

@@ -38,6 +38,7 @@
 #define APUJOIN_EXEC_THREAD_POOL_BACKEND_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -60,7 +61,9 @@ struct ThreadPoolOptions {
   /// are normalized to hardware concurrency (at least one worker); values
   /// above kMaxThreads are capped.
   int threads = 0;
-  /// Items per morsel claimed from a span's shared cursor (0 = default).
+  /// Items per morsel claimed from a span's shared cursor (0 = default;
+  /// values above exec::kMaxMorselItems — the --morsel parser's bound —
+  /// are clamped to it).
   uint32_t morsel_items = kDefaultMorselItems;
 };
 
@@ -88,6 +91,18 @@ class ThreadPoolBackend : public Backend {
   simcl::StepStats RunSpan(const join::StepDef& step, simcl::DeviceId dev,
                            uint64_t begin, uint64_t end) override;
 
+  /// Truly asynchronous submit: the span is listed as a pool job (up to
+  /// `slots` workers may attach) and runs concurrently with whatever other
+  /// spans are in flight — including spans the submitting thread runs next.
+  /// Wait makes the calling thread a participant too (it drains remaining
+  /// morsels), so a submitted span completes even on a one-thread pool.
+  std::unique_ptr<JobHandle> SubmitSpan(const join::StepDef& step,
+                                        simcl::DeviceId dev, uint64_t begin,
+                                        uint64_t end, int slots = 1) override;
+
+  simcl::StepStats Wait(JobHandle* handle,
+                        double* done_fraction = nullptr) override;
+
   int capacity() const override { return threads(); }
 
   /// A partial-capacity lease on this pool (a PoolLease). See
@@ -113,6 +128,9 @@ class ThreadPoolBackend : public Backend {
   std::vector<WorkerCounters> TakeCounters();
 
  private:
+  /// PoolLease::Wait folds an async job's peak_workers into its LeaseStats.
+  friend class PoolLease;
+
   /// One in-flight span. Lives on the submitting thread's stack; reachable
   /// by pool workers only while listed in jobs_ (and until helpers drops
   /// to zero, which the submitter awaits before returning).
@@ -138,9 +156,27 @@ class ThreadPoolBackend : public Backend {
     std::atomic<uint64_t> morsels{0};
   };
 
+  /// One span submitted with SubmitSpan; owns the pool job until Wait
+  /// unlists it. Destroying a still-listed handle (an exception unwinding
+  /// between submit and Wait) cancels the job instead of leaving a
+  /// dangling Job* in the pool's list.
+  struct AsyncJobHandle : JobHandle {
+    ~AsyncJobHandle() override {
+      if (listed) pool->CancelJob(&job);
+    }
+    ThreadPoolBackend* pool = nullptr;
+    Job job;
+    std::chrono::steady_clock::time_point t0;  ///< submit time
+    bool listed = false;  ///< empty spans are never listed
+  };
+
   void WorkerLoop(int id);
   /// Claims morsels of `job` from its shared cursor until it runs dry.
   void DrainJob(Job* job, WorkerCounters* me);
+  /// Stops further claims on `job`, unlists it, and waits out attached
+  /// helpers (their in-flight morsels complete; kernels never abort
+  /// mid-morsel). Safety net for handles dropped without Wait.
+  void CancelJob(Job* job);
   /// Least-helpers-first pick among listed jobs with quota and work left;
   /// null when no job is eligible. Requires mu_.
   Job* PickJobLocked();
@@ -175,6 +211,15 @@ class PoolLease : public Backend {
 
   simcl::StepStats RunSpan(const join::StepDef& step, simcl::DeviceId dev,
                            uint64_t begin, uint64_t end) override;
+
+  /// Async submit through the parent pool, never wider than the lease's
+  /// own quota.
+  std::unique_ptr<JobHandle> SubmitSpan(const join::StepDef& step,
+                                        simcl::DeviceId dev, uint64_t begin,
+                                        uint64_t end, int slots = 1) override;
+
+  simcl::StepStats Wait(JobHandle* handle,
+                        double* done_fraction = nullptr) override;
 
   int capacity() const override { return slots_; }
 

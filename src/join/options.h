@@ -42,6 +42,12 @@ struct EngineOptions {
   /// scheduling knob: the sim backend prices whole device slices and its
   /// virtual-time output is identical for every morsel size.
   uint32_t morsel_items = 0;
+  /// Out-of-core streaming policy (--stream=serial|pipelined): whether the
+  /// out-of-core executor stages chunks strictly serially (copy, then
+  /// compute — the historical behaviour, bit-identical sim figures) or
+  /// double-buffers them with an async prefetch span overlapped with the
+  /// previous chunk's partition series. In-core joins ignore the knob.
+  exec::StreamMode stream = exec::StreamMode::kSerial;
   /// Measurement feedback into calibration (--tune=off|once|online): whether
   /// a session wrapper (core::CoupledJoiner, bench harness) folds measured
   /// step timings back into the cost tables between repeated joins. The

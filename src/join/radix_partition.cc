@@ -74,7 +74,10 @@ uint32_t RadixPartitioner::MaskForPass(int pass) const {
   while ((1u << fanout_bits) < plan_.fanout_per_pass) ++fanout_bits;
   const uint32_t bits = std::min(plan_.partition_bits,
                                  fanout_bits * static_cast<uint32_t>(pass + 1));
-  return bits >= 31 ? ~0u : ((1u << bits) - 1u);
+  // Saturate only when the mask would need every bit: (1u << 31) - 1 is a
+  // perfectly good 31-bit mask, and saturating it to ~0u doubled the
+  // partition count at partition_bits == 31.
+  return bits >= 32 ? ~0u : ((1u << bits) - 1u);
 }
 
 void RadixPartitioner::BeginPass(int pass) {

@@ -68,9 +68,12 @@ class RadixPartitioner {
   /// Allocator-style op counts accumulated by slot claiming.
   alloc::AllocCounts TakeCounts();
 
- private:
+  /// Partition-id mask of `pass` (cumulative low bits, capped at the total
+  /// partition mask). Public because the saturation edge at wide partition
+  /// counts is worth pinning in tests without materializing 2^31 partitions.
   uint32_t MaskForPass(int pass) const;
 
+ private:
   static constexpr uint32_t kWgSlots = 64;
   static uint32_t WgOf(uint64_t i) {
     return static_cast<uint32_t>((i >> 8) & (kWgSlots - 1));

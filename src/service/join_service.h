@@ -51,6 +51,9 @@ struct ServiceOptions {
   /// Morsel granularity of the shared pool (items per shared-cursor claim;
   /// 0 = default). Sim ignores it.
   uint32_t morsel_items = 0;
+  /// Service-wide out-of-core streaming default (--stream); a session
+  /// overrides it with SessionOptions::stream.
+  exec::StreamMode stream = exec::StreamMode::kSerial;
   /// Admission cap on concurrently open sessions.
   int max_sessions = 8;
   /// Worker-slot quota per session; 0 = fair share, i.e.
@@ -72,6 +75,11 @@ struct SessionOptions {
   coproc::JoinSpec spec;          ///< algorithm/scheme/engine defaults
   /// Worker-slot quota override; 0 = the service default.
   int slots = 0;
+  /// Out-of-core streaming override: unset inherits ServiceOptions::stream,
+  /// set (either value) wins over it — so a session can explicitly opt
+  /// *out* of a pipelining service default, which spec.engine.stream alone
+  /// cannot express (kSerial is its default value).
+  std::optional<exec::StreamMode> stream;
 };
 
 /// Aggregate service counters (monotonic).

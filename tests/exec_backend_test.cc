@@ -253,6 +253,140 @@ TEST(ThreadPoolBackendTest, NormalizesZeroAndNegativeThreadCounts) {
   EXPECT_EQ(stats.items[0] + stats.items[1], 10000u);
 }
 
+TEST(ThreadPoolBackendTest, OversizedMorselRunsMonolithicWithoutPoolTraffic) {
+  // A span no larger than one morsel must not round-trip through the
+  // shared-cursor path: it runs as one monolithic morsel on the submitting
+  // thread (slot 0), with no pool hand-off.
+  simcl::SimContext ctx;
+  ThreadPoolBackend backend(&ctx, {.threads = 4, .morsel_items = 1 << 20});
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(1000, &c, 2);
+  const simcl::StepStats stats =
+      backend.RunSpan(step, DeviceId::kCpu, 0, 1000);
+  EXPECT_EQ(c.load(), 1000u);
+  EXPECT_EQ(stats.work[0], 2000u);
+  const std::vector<WorkerCounters> wc = backend.TakeCounters();
+  EXPECT_EQ(wc[0].items, 1000u);
+  EXPECT_EQ(wc[0].morsels, 1u);
+  for (size_t i = 1; i < wc.size(); ++i) {
+    EXPECT_EQ(wc[i].items, 0u) << "worker " << i << " touched the span";
+  }
+}
+
+TEST(ThreadPoolBackendTest, ClampsMorselOptionToParserBound) {
+  simcl::SimContext ctx;
+  ThreadPoolBackend backend(
+      &ctx, {.threads = 1, .morsel_items = 1u << 30});  // beyond --morsel max
+  EXPECT_EQ(backend.morsel_items(),
+            static_cast<uint32_t>(kMaxMorselItems));
+}
+
+TEST(MorselFlagTest, RejectsValuesAboveDocumentedMax) {
+  unsigned morsel = 7;
+  EXPECT_EQ(ParseMorselFlag("--morsel=16777216", &morsel), FlagParse::kOk);
+  EXPECT_EQ(morsel, static_cast<unsigned>(kMaxMorselItems));
+  EXPECT_EQ(ParseMorselFlag("--morsel=16777217", &morsel),
+            FlagParse::kInvalid);
+  EXPECT_EQ(morsel, static_cast<unsigned>(kMaxMorselItems));  // untouched
+}
+
+TEST(ThreadPoolBackendTest, SubmitSpanOverlapsWithSubmitterSpans) {
+  // Async submit: the prefetch span and the submitter's own span both
+  // execute, every item exactly once, while potentially in flight together.
+  simcl::SimContext ctx;
+  ThreadPoolBackend backend(&ctx, {.threads = 3, .morsel_items = 64});
+  constexpr uint64_t kItems = 20000;
+  std::vector<std::atomic<uint32_t>> hits(kItems);
+  join::StepDef async_step;
+  async_step.name = "prefetch";
+  async_step.items = kItems;
+  async_step.run =
+      join::PerItemKernel([&hits](uint64_t i, DeviceId) -> uint32_t {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        return 1;
+      });
+  std::atomic<uint64_t> fg{0};
+  join::StepDef fg_step = MakeStep(30000, &fg, 1);
+
+  auto handle =
+      backend.SubmitSpan(async_step, DeviceId::kCpu, 0, kItems, 2);
+  const simcl::StepStats fg_stats =
+      backend.RunSpan(fg_step, DeviceId::kCpu, 0, 30000);
+  const simcl::StepStats async_stats = backend.Wait(handle.get());
+
+  EXPECT_EQ(fg.load(), 30000u);
+  EXPECT_EQ(fg_stats.items[0], 30000u);
+  EXPECT_EQ(async_stats.items[0], kItems);
+  EXPECT_EQ(async_stats.work[0], kItems);
+  EXPECT_GT(async_stats.time[0].compute_ns, 0.0);
+  for (uint64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolBackendTest, SubmitSpanCompletesOnSingleThreadPool) {
+  // No pool workers exist: Wait itself must drain the submitted span.
+  simcl::SimContext ctx;
+  ThreadPoolBackend backend(&ctx, {.threads = 1, .morsel_items = 32});
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(5000, &c, 3);
+  auto handle = backend.SubmitSpan(step, DeviceId::kGpu, 0, 5000);
+  const simcl::StepStats stats = backend.Wait(handle.get());
+  EXPECT_EQ(c.load(), 5000u);
+  EXPECT_EQ(stats.items[1], 5000u);
+  EXPECT_EQ(stats.work[1], 3 * 5000u);
+}
+
+TEST(ThreadPoolBackendTest, DroppingHandleWithoutWaitCancelsSafely) {
+  // A handle destroyed before Wait (exception unwind in a caller) must not
+  // leave a dangling job in the pool; the backend stays fully serviceable.
+  simcl::SimContext ctx;
+  ThreadPoolBackend backend(&ctx, {.threads = 3, .morsel_items = 16});
+  std::atomic<uint64_t> dropped_work{0};
+  join::StepDef dropped_step = MakeStep(100000, &dropped_work);
+  {
+    auto handle = backend.SubmitSpan(dropped_step, DeviceId::kCpu, 0, 100000);
+    (void)handle;  // destroyed without Wait
+  }
+  // Cancelled: whatever morsels were claimed finished; nothing dangles, so
+  // a fresh span distributes and completes normally.
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(20000, &c, 1);
+  const simcl::StepStats stats = backend.RunSpan(step, DeviceId::kCpu, 0,
+                                                 20000);
+  EXPECT_EQ(c.load(), 20000u);
+  EXPECT_EQ(stats.items[0], 20000u);
+  EXPECT_LE(dropped_work.load(), 100000u);
+}
+
+TEST(ThreadPoolBackendTest, SubmitSpanOnEmptyRangeIsANoOp) {
+  simcl::SimContext ctx;
+  ThreadPoolBackend backend(&ctx, {.threads = 2});
+  std::atomic<uint64_t> c{0};
+  join::StepDef step = MakeStep(100, &c);
+  auto handle = backend.SubmitSpan(step, DeviceId::kCpu, 50, 50);
+  const simcl::StepStats stats = backend.Wait(handle.get());
+  EXPECT_EQ(c.load(), 0u);
+  EXPECT_EQ(stats.items[0], 0u);
+}
+
+TEST(SimBackendTest, SubmitSpanIsSynchronousAndPriced) {
+  // The default (sim) submit runs at submit time; Wait hands back the same
+  // virtual-ns stats RunSpan would have produced.
+  simcl::SimContext ctx1, ctx2;
+  std::atomic<uint64_t> c1{0}, c2{0};
+  join::StepDef step1 = MakeStep(4000, &c1, 2);
+  join::StepDef step2 = MakeStep(4000, &c2, 2);
+  SimBackend a(&ctx1), b(&ctx2);
+  auto handle = a.SubmitSpan(step1, DeviceId::kGpu, 0, 4000);
+  EXPECT_EQ(c1.load(), 4000u);  // already executed
+  const simcl::StepStats async_stats = a.Wait(handle.get());
+  const simcl::StepStats sync_stats = b.RunSpan(step2, DeviceId::kGpu, 0, 4000);
+  EXPECT_EQ(async_stats.items[1], sync_stats.items[1]);
+  EXPECT_EQ(async_stats.work[1], sync_stats.work[1]);
+  EXPECT_EQ(async_stats.time[1].TotalNs(), sync_stats.time[1].TotalNs());
+}
+
 TEST(MakeBackendTest, BuildsSelectedKind) {
   simcl::SimContext ctx;
   EXPECT_EQ(MakeBackend(BackendKind::kSim, &ctx)->kind(), BackendKind::kSim);

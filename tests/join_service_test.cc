@@ -73,8 +73,9 @@ TEST(JoinServiceTest, SubmissionQueueOverflowReturnsResourceExhausted) {
   // Big enough that the runner cannot plausibly finish the first join in
   // the microseconds before the second Submit. That is still a race
   // against the wall clock, so the strict rejection expectation honours
-  // the APUJOIN_PERF_ASSERTS=0 escape hatch; the queue-accounting
-  // invariants below hold either way.
+  // PerfAssertsEnabled (off on single-core hosts automatically, and via
+  // APUJOIN_PERF_ASSERTS=0 elsewhere); the queue-accounting invariants
+  // below hold either way.
   const data::Workload w = MakeWorkload(1 << 18, 1 << 20);
   auto t1 = (*session)->Submit(w);
   ASSERT_TRUE(t1.ok());
@@ -84,6 +85,9 @@ TEST(JoinServiceTest, SubmissionQueueOverflowReturnsResourceExhausted) {
     EXPECT_EQ(t2.status().code(), StatusCode::kResourceExhausted);
     EXPECT_GE(service.stats().submissions_rejected, 1u);
   } else if (t2.ok()) {
+    std::fprintf(stderr,
+                 "log-only (perf asserts off): runner won the race, second "
+                 "submit was accepted\n");
     auto r2 = t2->Take();
     ASSERT_TRUE(r2.ok()) << r2.status().ToString();
     EXPECT_EQ(r2->matches, w.expected_matches);
@@ -298,6 +302,27 @@ TEST(JoinDriverSharedCosts, SharedTableChangesPlannedRatios) {
   for (double r : seeded->probe_ratios) seeded_cpu += r;
   EXPECT_LT(seeded_cpu, base_cpu);
   EXPECT_NEAR(seeded_cpu, 0.0, 1e-9);  // CPU lane priced out entirely
+}
+
+TEST(JoinServiceTest, StreamDefaultInheritsAndSessionOverrideWins) {
+  ServiceOptions opts;
+  opts.backend = exec::BackendKind::kSim;
+  opts.stream = exec::StreamMode::kPipelined;
+  JoinService service(opts);
+
+  // Default-valued sessions inherit the service-wide streaming mode.
+  auto inherited = service.OpenSession(ShjSession());
+  ASSERT_TRUE(inherited.ok());
+  EXPECT_EQ((*inherited)->joiner().spec().engine.stream,
+            exec::StreamMode::kPipelined);
+
+  // An explicit per-session choice can opt back out of it.
+  SessionOptions serial = ShjSession();
+  serial.stream = exec::StreamMode::kSerial;
+  auto opted_out = service.OpenSession(serial);
+  ASSERT_TRUE(opted_out.ok());
+  EXPECT_EQ((*opted_out)->joiner().spec().engine.stream,
+            exec::StreamMode::kSerial);
 }
 
 TEST(JoinServiceTest, ConcurrentSimSessionsBitIdenticalToSolo) {

@@ -120,6 +120,121 @@ TEST(OutOfCoreTest, ThreadsAndSimBackendsAgreeOnMatches) {
   EXPECT_EQ(matches[0], w.expected_matches);
 }
 
+TEST(OutOfCoreTest, OverflowAggregatesAcrossAllChunkJoins) {
+  // A small per-pair result capacity makes (nearly) every partition-pair
+  // join drop matches. The aggregated report must carry the drops of every
+  // pair — a later pair's join must not clobber an earlier pair's overflow
+  // — and matches + dropped must still account for every expected match.
+  const data::Workload w = MakeWorkload(1 << 13);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 32.0 * 1024;
+  simcl::SimContext ctx(copts);
+  OutOfCoreSpec spec;
+  spec.chunk_tuples = 1 << 11;
+  spec.inner.result_capacity = 1;  // honored per pair
+  spec.inner.tolerate_overflow = true;
+  auto report = ExecuteOutOfCore(&ctx, w, spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->chunked);
+  EXPECT_GT(report->partitions, 1u);
+  EXPECT_TRUE(report->overflowed);
+  EXPECT_GT(report->dropped_matches, report->partitions / 2);  // many pairs
+  EXPECT_EQ(report->matches + report->dropped_matches, w.expected_matches);
+}
+
+TEST(OutOfCoreTest, OverflowHonorsToleranceOnceAtTheEnd) {
+  // Without tolerate_overflow the aggregated overflow fails the join — but
+  // only after every pair ran, so the error reports the total drops.
+  const data::Workload w = MakeWorkload(1 << 13);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 32.0 * 1024;
+  simcl::SimContext ctx(copts);
+  OutOfCoreSpec spec;
+  spec.chunk_tuples = 1 << 11;
+  spec.inner.result_capacity = 1;
+  auto report = ExecuteOutOfCore(&ctx, w, spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(report.status().ToString().find("partition pairs"),
+            std::string::npos);
+}
+
+TEST(OutOfCoreTest, PipelinedSimOverlapsCopyBehindCompute) {
+  // Pipelined streaming on the sim backend: identical work (bit-identical
+  // partition/join/copy components and matches), with the prefetched
+  // staging copies priced as hidden behind the previous chunk's series —
+  // so elapsed shrinks by exactly the reported overlap.
+  const data::Workload w = MakeWorkload(1 << 14);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 64.0 * 1024;
+  OutOfCoreSpec serial_spec;
+  serial_spec.chunk_tuples = 1 << 12;
+  OutOfCoreSpec pipe_spec = serial_spec;
+  pipe_spec.inner.engine.stream = exec::StreamMode::kPipelined;
+  simcl::SimContext ctx1(copts), ctx2(copts);
+  auto serial = ExecuteOutOfCore(&ctx1, w, serial_spec);
+  auto pipe = ExecuteOutOfCore(&ctx2, w, pipe_spec);
+  ASSERT_TRUE(serial.ok() && pipe.ok());
+  EXPECT_EQ(serial->matches, w.expected_matches);
+  EXPECT_EQ(pipe->matches, serial->matches);
+  EXPECT_EQ(pipe->partition_ns, serial->partition_ns);
+  EXPECT_EQ(pipe->join_ns, serial->join_ns);
+  EXPECT_EQ(pipe->copy_ns, serial->copy_ns);
+  EXPECT_EQ(serial->overlap_ns, 0.0);
+  EXPECT_EQ(serial->prefetched_chunks, 0u);
+  EXPECT_GT(pipe->prefetched_chunks, 0u);
+  EXPECT_GT(pipe->overlap_ns, 0.0);
+  EXPECT_LT(pipe->elapsed_ns, serial->elapsed_ns);
+  EXPECT_NEAR(pipe->elapsed_ns,
+              pipe->partition_ns + pipe->join_ns + pipe->copy_ns -
+                  pipe->overlap_ns,
+              1e-6);
+}
+
+TEST(OutOfCoreTest, PipelinedThreadsBackendAgreesWithOracle) {
+  // Real async prefetch on the shared pool: every chunk still partitions
+  // and joins correctly while staging copies run concurrently.
+  const data::Workload w = MakeWorkload(1 << 14);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 64.0 * 1024;
+  simcl::SimContext ctx(copts);
+  OutOfCoreSpec spec;
+  spec.chunk_tuples = 1 << 12;
+  spec.inner.engine.stream = exec::StreamMode::kPipelined;
+  spec.inner.engine.backend = exec::BackendKind::kThreadPool;
+  spec.inner.engine.backend_threads = 3;
+  spec.inner.engine.morsel_items = 64;
+  auto report = ExecuteOutOfCore(&ctx, w, spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->chunked);
+  EXPECT_EQ(report->matches, w.expected_matches);
+  EXPECT_GT(report->prefetched_chunks, 0u);
+  EXPECT_GT(report->wall_ns, 0.0);
+  // Measured overlap is the claimed-before-barrier share of the prefetch
+  // copies — never more than the prefetches themselves.
+  EXPECT_LE(report->overlap_ns, report->prefetch_ns * (1.0 + 1e-9));
+  EXPECT_GE(report->overlap_ns, 0.0);
+}
+
+TEST(OutOfCoreTest, StreamBudgetBackpressureDisablesPrefetch) {
+  // A budget below two chunks' staging bytes vetoes every prefetch: the
+  // pipelined executor degrades to serial staging (no prefetched chunks)
+  // and still joins correctly.
+  const data::Workload w = MakeWorkload(1 << 14);
+  simcl::ContextOptions copts;
+  copts.memory.zero_copy_bytes = 64.0 * 1024;
+  simcl::SimContext ctx(copts);
+  OutOfCoreSpec spec;
+  spec.chunk_tuples = 1 << 12;
+  spec.inner.engine.stream = exec::StreamMode::kPipelined;
+  spec.inner.stream_budget_bytes = 1024;  // < one chunk, let alone two
+  auto report = ExecuteOutOfCore(&ctx, w, spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->chunked);
+  EXPECT_EQ(report->prefetched_chunks, 0u);
+  EXPECT_EQ(report->matches, w.expected_matches);
+}
+
 TEST(OutOfCoreTest, ExplicitPartitionOverride) {
   const data::Workload w = MakeWorkload(1 << 13);
   simcl::ContextOptions copts;

@@ -148,6 +148,22 @@ TEST_F(RadixPartitionTest, CoProcessedSplitProducesSameResult) {
                                    split.output().keys.end()));
 }
 
+TEST_F(RadixPartitionTest, MaskForPassSaturatesOnlyAtFullWidth) {
+  // partition_bits = 31 must yield a 31-bit mask (0x7FFFFFFF) on the final
+  // pass. The old saturation guard (`bits >= 31`) returned the full 32-bit
+  // mask there, silently doubling the partition count. Constructing the
+  // partitioner is cheap — no Prepare/BeginPass, so no 2^31-partition
+  // allocations.
+  opts_.partitions = 1u << 31;
+  const RadixPlan plan = RadixPlan::Make(1 << 10, 1 << 10, 4e6, opts_);
+  EXPECT_EQ(plan.partition_bits, 31u);
+  EXPECT_EQ(plan.passes, 6);  // ceil(31 / 6 fanout bits)
+  const data::Relation rel = MakeRelation(16);
+  RadixPartitioner part(&ctx_, &rel, plan, opts_);
+  EXPECT_EQ(part.MaskForPass(0), 63u);  // pass 0: fanout bits only
+  EXPECT_EQ(part.MaskForPass(part.passes() - 1), 0x7FFFFFFFu);
+}
+
 TEST_F(RadixPartitionTest, ClaimAccountingFollowsBlockSize) {
   const data::Relation rel = MakeRelation(1 << 12);
   opts_.partitions = 4;

@@ -227,13 +227,19 @@ TEST(RatioTunerTest, ConvergesOnThreadsBackend) {
   // sides are wall clocks on a shared host, so allow a small noise margin
   // — this asserts "tuning does not regress", not a tie-break between
   // runs within scheduler jitter of each other. Skipped under TSan, whose
-  // scheduling distortion swamps wall-clock comparisons entirely, and on
-  // loaded/single-core runners via APUJOIN_PERF_ASSERTS=0.
+  // scheduling distortion swamps wall-clock comparisons entirely; on
+  // single-core hosts PerfAssertsEnabled auto-downgrades it to log-only
+  // (APUJOIN_PERF_ASSERTS=0 does the same on loaded multi-core runners).
 #ifndef APUJOIN_TSAN
+  const double tuned_best =
+      *std::min_element(elapsed.begin() + 2, elapsed.end());
   if (PerfAssertsEnabled()) {
-    const double tuned_best =
-        *std::min_element(elapsed.begin() + 2, elapsed.end());
     EXPECT_LE(tuned_best, elapsed.front() * 1.05);
+  } else {
+    std::fprintf(stderr,
+                 "log-only (perf asserts off): tuned best %.0f ns vs "
+                 "untuned first %.0f ns\n",
+                 tuned_best, elapsed.front());
   }
 #endif
 }
