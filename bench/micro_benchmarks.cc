@@ -15,9 +15,11 @@
 #include "exec/thread_pool_backend.h"
 #include "data/generator.h"
 #include "join/hash_table.h"
+#include "join/open_hash_table.h"
 #include "join/radix_partition.h"
 #include "join/reference_join.h"
 #include "simcl/cache_sim.h"
+#include "util/cpu_features.h"
 #include "util/murmur_hash.h"
 #include "util/random.h"
 
@@ -112,6 +114,116 @@ void BM_HashTableProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HashTableProbe);
+
+// --------------------------------------------------------------------------
+// Probe-layout comparison: the same out-of-cache probe workload against the
+// chained table and the open-addressing table (scalar and AVX2 paths). All
+// three run batch-style with hashes/buckets precomputed — the p2/p3 split
+// of the real kernels — so the numbers isolate the key-search itself.
+// --------------------------------------------------------------------------
+
+constexpr uint32_t kLayoutBuildKeys = 1 << 20;
+constexpr uint32_t kLayoutProbeBatch = 1 << 16;
+
+struct ProbeBatch {
+  std::vector<int32_t> keys;
+  std::vector<uint32_t> hash;
+};
+
+ProbeBatch MakeProbeBatch() {
+  ProbeBatch b;
+  b.keys.resize(kLayoutProbeBatch);
+  b.hash.resize(kLayoutProbeBatch);
+  Random rng(7);
+  for (uint32_t i = 0; i < kLayoutProbeBatch; ++i) {
+    // Build keys are the odd numbers below 2n; every second probe misses.
+    b.keys[i] = static_cast<int32_t>(rng.Next() % (2 * kLayoutBuildKeys));
+    b.hash[i] = MurmurHash2x4(static_cast<uint32_t>(b.keys[i]));
+  }
+  return b;
+}
+
+void BM_ProbeChained(benchmark::State& state) {
+  const uint32_t n = kLayoutBuildKeys;
+  join::NodePools pools(n + n / 4, n + n / 4,
+                        alloc::AllocatorKind::kOptimized, 2048);
+  join::HashTable table(join::NextPow2(n), &pools);
+  for (uint32_t k = 0; k < n; ++k) {
+    uint32_t work = 0;
+    const int32_t key = static_cast<int32_t>(2 * k + 1);
+    const uint32_t b = table.BucketOf(MurmurHash2x4(2 * k + 1));
+    const int32_t node =
+        table.FindOrAddKey(b, key, simcl::DeviceId::kCpu, 0, &work);
+    table.InsertRid(node, static_cast<int32_t>(k), simcl::DeviceId::kCpu, 0);
+  }
+  const ProbeBatch batch = MakeProbeBatch();
+  for (auto _ : state) {
+    uint64_t found = 0;
+    for (uint32_t i = 0; i < kLayoutProbeBatch; ++i) {
+      uint32_t work = 0;
+      found += table.FindKey(table.BucketOf(batch.hash[i]), batch.keys[i],
+                             &work) != join::kNil;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kLayoutProbeBatch));
+}
+BENCHMARK(BM_ProbeChained);
+
+void ProbeOpenAddressing(benchmark::State& state, bool use_avx2,
+                         uint32_t prefetch_dist) {
+  const uint32_t n = kLayoutBuildKeys;
+  join::NodePools pools(64, n + n / 4, alloc::AllocatorKind::kOptimized,
+                        2048);
+  join::OpenHashTable table(join::OpenBucketsFor(n), &pools);
+  for (uint32_t k = 0; k < n; ++k) {
+    uint32_t work = 0;
+    const int32_t key = static_cast<int32_t>(2 * k + 1);
+    const int32_t slot =
+        table.FindOrAddKey(table.BucketOf(MurmurHash2x4(2 * k + 1)), key,
+                           &work);
+    table.InsertRid(slot, static_cast<int32_t>(k), simcl::DeviceId::kCpu, 0);
+  }
+  const ProbeBatch batch = MakeProbeBatch();
+  std::vector<uint32_t> buckets(kLayoutProbeBatch);
+  for (uint32_t i = 0; i < kLayoutProbeBatch; ++i) {
+    buckets[i] = table.BucketOf(batch.hash[i]);
+  }
+  for (auto _ : state) {
+    uint64_t found = 0;
+    for (uint32_t i = 0; i < kLayoutProbeBatch; ++i) {
+      if (prefetch_dist != 0 && i + prefetch_dist < kLayoutProbeBatch) {
+        table.PrefetchBucket(buckets[i + prefetch_dist]);
+      }
+      uint32_t work = 0;
+      found += table.FindKey(buckets[i], batch.keys[i], &work, use_avx2) !=
+               join::kNil;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kLayoutProbeBatch));
+}
+
+void BM_ProbeOpenAddressingScalar(benchmark::State& state) {
+  ProbeOpenAddressing(state, /*use_avx2=*/false, /*prefetch_dist=*/16);
+}
+BENCHMARK(BM_ProbeOpenAddressingScalar);
+
+void BM_ProbeOpenAddressingAvx2(benchmark::State& state) {
+  // Silently measures the scalar path on hosts without AVX2 (the same
+  // degradation the kAuto dispatch applies).
+  ProbeOpenAddressing(state, /*use_avx2=*/CpuSupportsAvx2(),
+                      /*prefetch_dist=*/16);
+}
+BENCHMARK(BM_ProbeOpenAddressingAvx2);
+
+void BM_ProbeOpenAddressingNoPrefetch(benchmark::State& state) {
+  ProbeOpenAddressing(state, /*use_avx2=*/CpuSupportsAvx2(),
+                      /*prefetch_dist=*/0);
+}
+BENCHMARK(BM_ProbeOpenAddressingNoPrefetch);
 
 void BM_RadixPartitionPass(benchmark::State& state) {
   data::WorkloadSpec wspec;

@@ -1,0 +1,41 @@
+#include "alloc/aligned_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace apujoin::alloc {
+
+namespace {
+constexpr size_t kHugePageBytes = 2u << 20;
+}  // namespace
+
+void* AllocateAligned(size_t bytes, size_t alignment) {
+  if (bytes == 0) bytes = alignment;
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const size_t rounded = (bytes + alignment - 1) & ~(alignment - 1);
+  void* p = std::aligned_alloc(alignment, rounded);
+  if (p == nullptr) return nullptr;
+  std::memset(p, 0, rounded);
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  // Best-effort: THP-back big bucket arrays so random bucket walks stop
+  // paying a TLB miss per access. madvise wants page-aligned bounds, so
+  // advise the page-aligned interior; failure is fine (THP disabled, etc.).
+  if (rounded >= kHugePageBytes) {
+    constexpr uintptr_t kPage = 4096;
+    const uintptr_t lo = (reinterpret_cast<uintptr_t>(p) + kPage - 1) &
+                         ~(kPage - 1);
+    const uintptr_t hi = (reinterpret_cast<uintptr_t>(p) + rounded) &
+                         ~(kPage - 1);
+    if (lo < hi) madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+  }
+#endif
+  return p;
+}
+
+void FreeAligned(void* p) { std::free(p); }
+
+}  // namespace apujoin::alloc

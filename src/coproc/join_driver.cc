@@ -312,7 +312,9 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
     join::ShjEngine engine(ctx, &workload.build, &workload.probe,
                            spec.engine);
     APU_RETURN_IF_ERROR(engine.Prepare());
-    stats.buckets = engine.options().num_buckets;
+    // Chained bucket count, or total key slots under the open layout — the
+    // calibration occupancy alpha divides distinct keys by this.
+    stats.buckets = static_cast<double>(engine.CostModelBuckets());
     stats.distinct_keys = static_cast<double>(nb);
 
     auto drain = [&engine, &writer]() {
@@ -378,8 +380,7 @@ StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
                            spec.engine);
     APU_RETURN_IF_ERROR(engine.Prepare());
     const uint32_t parts = engine.num_partitions();
-    stats.buckets = static_cast<double>(
-        join::NextPow2(std::max<uint64_t>(nb / parts, 8)));
+    stats.buckets = static_cast<double>(engine.CostModelBuckets());
     stats.distinct_keys =
         static_cast<double>(nb) / static_cast<double>(parts);
 

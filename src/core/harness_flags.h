@@ -24,11 +24,15 @@ struct HarnessFlags {
   int threads = 0;                         ///< --threads (0 = hw concurrency)
   unsigned morsel = 0;                     ///< --morsel (0 = backend default)
   exec::StreamMode stream = exec::StreamMode::kSerial;  ///< --stream
+  exec::HashLayout layout = exec::HashLayout::kChained;  ///< --layout
+  unsigned prefetch_dist = 16;             ///< --prefetch-dist (0 = off)
   cost::TuneMode tune = cost::TuneMode::kOff;
   bool backend_set = false;                ///< --backend given explicitly
   bool threads_set = false;                ///< --threads given explicitly
   bool morsel_set = false;                 ///< --morsel given explicitly
   bool stream_set = false;                 ///< --stream given explicitly
+  bool layout_set = false;                 ///< --layout given explicitly
+  bool prefetch_set = false;               ///< --prefetch-dist explicitly
   bool tune_set = false;                   ///< --tune given explicitly
   std::string json_path;                   ///< --json; empty = no JSON output
 };
@@ -36,7 +40,8 @@ struct HarnessFlags {
 /// Usage fragment for the shared flags (binaries append their own).
 inline constexpr char kHarnessUsage[] =
     "[--backend=sim|threads] [--threads=N] [--morsel=N] "
-    "[--stream=serial|pipelined] [--tune=off|once|online] [--json=path]";
+    "[--stream=serial|pipelined] [--layout=chained|open] "
+    "[--prefetch-dist=N] [--tune=off|once|online] [--json=path]";
 
 /// Outcome of offering one argv entry to ParseHarnessArg.
 enum class HarnessArg {
@@ -90,6 +95,31 @@ inline HarnessArg ParseHarnessArg(const char* arg, HarnessFlags* flags) {
     case exec::FlagParse::kNotMatched:
       break;
   }
+  switch (exec::ParseLayoutFlag(arg, &flags->layout)) {
+    case exec::FlagParse::kOk:
+      flags->layout_set = true;
+      return HarnessArg::kConsumed;
+    case exec::FlagParse::kInvalid:
+      std::fprintf(stderr,
+                   "invalid value in '%s' (want --layout=chained|open)\n",
+                   arg);
+      return HarnessArg::kInvalid;
+    case exec::FlagParse::kNotMatched:
+      break;
+  }
+  switch (exec::ParsePrefetchFlag(arg, &flags->prefetch_dist)) {
+    case exec::FlagParse::kOk:
+      flags->prefetch_set = true;
+      return HarnessArg::kConsumed;
+    case exec::FlagParse::kInvalid:
+      std::fprintf(stderr,
+                   "invalid value in '%s' (want --prefetch-dist=N, "
+                   "0 <= N <= %ld)\n",
+                   arg, exec::kMaxPrefetchDist);
+      return HarnessArg::kInvalid;
+    case exec::FlagParse::kNotMatched:
+      break;
+  }
   switch (exec::ParseBackendFlag(arg, &flags->backend, &flags->threads)) {
     case exec::FlagParse::kOk:
       if (std::strncmp(arg, "--backend=", 10) == 0) {
@@ -118,6 +148,8 @@ inline void ApplyHarnessFlags(const HarnessFlags& flags,
   engine->backend_threads = flags.threads;
   engine->morsel_items = flags.morsel;
   engine->stream = flags.stream;
+  engine->layout = flags.layout;
+  engine->prefetch_dist = flags.prefetch_dist;
   engine->tune = flags.tune;
 }
 

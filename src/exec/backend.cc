@@ -59,6 +59,38 @@ FlagParse ParseStreamFlag(const char* arg, StreamMode* out) {
   return ParseStreamMode(arg + 9, out) ? FlagParse::kOk : FlagParse::kInvalid;
 }
 
+bool ParseHashLayout(const char* text, HashLayout* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "chained") == 0) {
+    *out = HashLayout::kChained;
+    return true;
+  }
+  if (std::strcmp(text, "open") == 0) {
+    *out = HashLayout::kOpenAddressing;
+    return true;
+  }
+  return false;
+}
+
+FlagParse ParseLayoutFlag(const char* arg, HashLayout* out) {
+  if (std::strncmp(arg, "--layout=", 9) != 0) return FlagParse::kNotMatched;
+  return ParseHashLayout(arg + 9, out) ? FlagParse::kOk : FlagParse::kInvalid;
+}
+
+FlagParse ParsePrefetchFlag(const char* arg, unsigned* dist) {
+  if (std::strncmp(arg, "--prefetch-dist=", 16) != 0) {
+    return FlagParse::kNotMatched;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(arg + 16, &end, 10);
+  if (end == arg + 16 || *end != '\0' || parsed < 0 ||
+      parsed > kMaxPrefetchDist) {
+    return FlagParse::kInvalid;
+  }
+  *dist = static_cast<unsigned>(parsed);
+  return FlagParse::kOk;
+}
+
 FlagParse ParseMorselFlag(const char* arg, unsigned* morsel_items) {
   if (std::strncmp(arg, "--morsel=", 9) != 0) return FlagParse::kNotMatched;
   char* end = nullptr;

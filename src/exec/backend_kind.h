@@ -64,6 +64,39 @@ bool ParseStreamMode(const char* text, StreamMode* out);
 /// Shared --stream=serial|pipelined parsing for harness mains.
 FlagParse ParseStreamFlag(const char* arg, StreamMode* out);
 
+/// Hash-table layout (--layout): how the join engines organise the build
+/// table. Chained is the paper's bucket-header/key-list/rid-list design
+/// (the default; every sim figure is bit-identical under it). Open is a
+/// cache-conscious open-addressing bucket array — 8-slot buckets packed
+/// into aligned cache lines, probed with a SIMD compare where the CPU
+/// supports it — that trades the chained layout's dependent pointer chases
+/// for flat, prefetchable loads.
+enum class HashLayout {
+  kChained,         ///< bucket header -> key list -> rid list (Section 3.1)
+  kOpenAddressing,  ///< 8-slot bucket array, linear probing across buckets
+};
+
+inline const char* HashLayoutName(HashLayout l) {
+  return l == HashLayout::kChained ? "chained" : "open";
+}
+
+/// Parses "chained" / "open" (the --layout flag values). Returns false and
+/// leaves `*out` untouched on anything else.
+bool ParseHashLayout(const char* text, HashLayout* out);
+
+/// Shared --layout=chained|open parsing for harness mains.
+FlagParse ParseLayoutFlag(const char* arg, HashLayout* out);
+
+/// Upper bound for --prefetch-dist: lookahead beyond a morsel is pointless
+/// (the batch loops prefetch within their own morsel) and a huge distance
+/// only evicts what it fetched before the demand load arrives.
+inline constexpr long kMaxPrefetchDist = 4096;
+
+/// Shared --prefetch-dist=N parsing (software-prefetch lookahead, in items,
+/// of the open-layout build/probe loops and the radix cursor loop; 0
+/// disables prefetching).
+FlagParse ParsePrefetchFlag(const char* arg, unsigned* dist);
+
 }  // namespace apujoin::exec
 
 #endif  // APUJOIN_EXEC_BACKEND_KIND_H_

@@ -1,5 +1,8 @@
 #include "join/hash_table.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "alloc/basic_allocator.h"
 #include "alloc/block_allocator.h"
 #include "util/murmur_hash.h"
@@ -59,6 +62,13 @@ HashTable::HashTable(uint32_t num_buckets, NodePools* pools)
       pools_(pools),
       head_(num_buckets),
       count_(num_buckets) {
+  if (num_buckets == 0 || (num_buckets & (num_buckets - 1)) != 0) {
+    // BucketOf masks with num_buckets-1, so anything else silently drops
+    // tuples into wrong buckets (or divides by zero conceptually).
+    throw std::invalid_argument(
+        "HashTable: num_buckets must be a nonzero power of two, got " +
+        std::to_string(num_buckets));
+  }
   for (auto& h : head_) h.store(kNil, std::memory_order_relaxed);
   for (auto& c : count_) c.store(0, std::memory_order_relaxed);
 }

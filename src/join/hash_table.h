@@ -76,7 +76,8 @@ class NodePools {
 /// Chained hash table with bucket headers, key lists and rid lists.
 class HashTable {
  public:
-  /// `num_buckets` must be a power of two.
+  /// `num_buckets` must be a nonzero power of two (BucketOf masks with
+  /// num_buckets-1); throws std::invalid_argument otherwise.
   HashTable(uint32_t num_buckets, NodePools* pools);
 
   uint32_t num_buckets() const { return num_buckets_; }

@@ -13,11 +13,39 @@
 
 namespace apujoin::join {
 
+/// Probe-kernel SIMD policy for the open-addressing layout. Auto uses the
+/// AVX2 bucket-compare path when the host CPU supports it and the scalar
+/// fallback otherwise; the forced modes exist for parity tests and
+/// micro-benchmarks (forcing AVX2 on a host without it silently degrades
+/// to scalar rather than faulting). The chained layout is always scalar —
+/// its dependent pointer chases have nothing to vectorise.
+enum class SimdPolicy {
+  kAuto,    ///< runtime CPU-feature dispatch (the default)
+  kScalar,  ///< always the scalar probe loop
+  kAvx2,    ///< AVX2 probe when compiled in and supported, else scalar
+};
+
 /// Engine configuration. Defaults are the tuned values the paper converges
 /// to (optimized allocator, 2 KB blocks, shared hash table).
 struct EngineOptions {
-  /// Hash-table buckets; 0 = auto (next power of two >= build tuples).
+  /// Hash-table buckets; 0 = auto (next power of two >= build tuples for
+  /// the chained layout; for the open layout, enough 8-slot buckets to
+  /// keep the slot load factor at or below one half).
   uint32_t num_buckets = 0;
+  /// Hash-table layout (--layout=chained|open). Chained is the paper's
+  /// pointer-linked design and the default — every sim-backend figure is
+  /// bit-identical under it. Open-addressing packs 8-slot buckets into
+  /// aligned cache lines and probes them with a SIMD compare; the sim
+  /// backend prices it with its own step profiles, so figures run with
+  /// --layout=open are a what-if, not the paper's reproduction.
+  exec::HashLayout layout = exec::HashLayout::kChained;
+  /// Software-prefetch lookahead in items (--prefetch-dist=N) for the
+  /// open-layout build/probe batch loops and the radix cursor-claim loop;
+  /// 0 disables the prefetches. Purely a real-execution knob: the sim
+  /// backend's virtual time never depends on it.
+  uint32_t prefetch_dist = 16;
+  /// Probe SIMD policy (open layout only); see SimdPolicy.
+  SimdPolicy simd = SimdPolicy::kAuto;
   /// Shared table (both devices build into one) vs separate per-device
   /// tables merged after the build (Figure 10).
   bool shared_table = true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/cpu_features.h"
 #include "util/murmur_hash.h"
 
 namespace apujoin::join {
@@ -27,10 +28,16 @@ apujoin::Status PhjEngine::Prepare() {
 
   const uint64_t nb = build_->size();
   const uint64_t np = probe_->size();
+  const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
+  use_avx2_ = opts_.simd != SimdPolicy::kScalar && CpuSupportsAvx2();
   // Separate tables re-allocate every merged node (see ShjEngine::Prepare).
+  // The open layout keeps keys inline in its bucket arrays; only the rid
+  // arena carries data.
   const uint64_t merge_headroom = opts_.shared_table ? 0 : nb;
-  const uint64_t key_cap = nb + nb / 8 + merge_headroom +
-                           PoolSlack(nb, opts_.block_bytes, 12);
+  const uint64_t key_cap =
+      open ? 64
+           : nb + nb / 8 + merge_headroom +
+                 PoolSlack(nb, opts_.block_bytes, 12);
   const uint64_t rid_cap =
       nb + merge_headroom + PoolSlack(nb, opts_.block_bytes, 8);
   pools_ = std::make_unique<NodePools>(key_cap, rid_cap, opts_.allocator,
@@ -55,11 +62,31 @@ apujoin::Status PhjEngine::PrepareJoinPhase() {
         "partitioning must complete before the join phase");
   }
   const uint32_t p = plan_.total_partitions;
+  const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
   tables_.clear();
   tables_gpu_.clear();
-  tables_.reserve(p);
+  open_tables_.clear();
+  open_tables_gpu_.clear();
+  tables_.reserve(open ? 0 : p);
+  open_tables_.reserve(open ? p : 0);
   for (uint32_t i = 0; i < p; ++i) {
     const uint32_t count = off_r[i + 1] - off_r[i];
+    if (open) {
+      const uint32_t buckets = OpenBucketsFor(std::max<uint32_t>(count, 1));
+      open_tables_.push_back(
+          std::make_unique<OpenHashTable>(buckets, pools_.get()));
+      if (ctx_->cache() != nullptr) {
+        open_tables_.back()->set_cache(ctx_->cache());
+      }
+      if (!opts_.shared_table) {
+        open_tables_gpu_.push_back(
+            std::make_unique<OpenHashTable>(buckets, pools_.get()));
+        if (ctx_->cache() != nullptr) {
+          open_tables_gpu_.back()->set_cache(ctx_->cache());
+        }
+      }
+      continue;
+    }
     const uint32_t buckets = NextPow2(std::max<uint32_t>(count, 8));
     tables_.push_back(std::make_unique<HashTable>(buckets, pools_.get()));
     if (ctx_->cache() != nullptr) tables_.back()->set_cache(ctx_->cache());
@@ -85,9 +112,25 @@ apujoin::Status PhjEngine::PrepareJoinPhase() {
 
 double PhjEngine::PartitionWorkingSetBytes() const {
   const double nb = static_cast<double>(build_->size());
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    // Bucket arrays (72 B/bucket, ~1 bucket per 4 build keys) + rid nodes.
+    const double total = nb * (72.0 / 4.0 + 8.0) +
+                         static_cast<double>(plan_.total_partitions) * 72.0;
+    return total / static_cast<double>(plan_.total_partitions);
+  }
   const double total = nb * (8.0 + 12.0 + 8.0) +
                        static_cast<double>(plan_.total_partitions) * 64.0;
   return total / static_cast<double>(plan_.total_partitions);
+}
+
+uint64_t PhjEngine::CostModelBuckets() const {
+  const uint32_t parts = std::max<uint32_t>(plan_.total_partitions, 1);
+  const uint32_t per_part = static_cast<uint32_t>(
+      std::max<uint64_t>(build_->size() / parts, 1));
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    return uint64_t{OpenBucketsFor(per_part)} * kOpenSlotsPerBucket;
+  }
+  return NextPow2(std::max<uint32_t>(per_part, 8));
 }
 
 HashTable* PhjEngine::TableFor(uint64_t item, simcl::DeviceId dev) const {
@@ -98,7 +141,19 @@ HashTable* PhjEngine::TableFor(uint64_t item, simcl::DeviceId dev) const {
   return tables_[part].get();
 }
 
+OpenHashTable* PhjEngine::OpenTableFor(uint64_t item,
+                                       simcl::DeviceId dev) const {
+  const uint32_t part = part_of_r_[item];
+  if (!opts_.shared_table && dev == simcl::DeviceId::kGpu) {
+    return open_tables_gpu_[part].get();
+  }
+  return open_tables_[part].get();
+}
+
 std::vector<StepDef> PhjEngine::BuildSteps() {
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    return BuildStepsOpen();
+  }
   const uint64_t n = build_->size();
   const data::Relation& rp = part_r_->output();
   const double ws = PartitionWorkingSetBytes();
@@ -182,6 +237,9 @@ std::vector<StepDef> PhjEngine::BuildSteps() {
 }
 
 std::vector<StepDef> PhjEngine::ProbeSteps(ResultWriter* out) {
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    return ProbeStepsOpen(out);
+  }
   const uint64_t n = probe_->size();
   const data::Relation& sp = part_s_->output();
   const double ws = PartitionWorkingSetBytes();
@@ -297,10 +355,207 @@ void PhjEngine::BuildProbePermutation(uint64_t begin, uint64_t end) {
                       ctx_->device(DeviceId::kGpu), bytes));
 }
 
+std::vector<StepDef> PhjEngine::BuildStepsOpen() {
+  const uint64_t n = build_->size();
+  const data::Relation& rp = part_r_->output();
+  const double ws = PartitionWorkingSetBytes();
+  const uint32_t shift = plan_.partition_bits;
+  const uint32_t dist = opts_.prefetch_dist;
+  std::vector<StepDef> steps;
+
+  const int32_t* r_keys = rp.keys.data();
+  const int32_t* r_rids = rp.rids.data();
+  uint32_t* r_hash = r_hash_.data();
+  uint32_t* r_bucket = r_bucket_.data();
+  int32_t* r_keynode = r_keynode_.data();  // holds global slot ids here
+
+  StepDef b1;
+  b1.name = "b1";
+  b1.profile = HashStepProfile();
+  b1.items = n;
+  b1.run = [r_keys, r_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(r_keys[i]));
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(b1));
+
+  StepDef b2;
+  b2.name = "b2";
+  b2.profile = HeaderVisitProfile(ws);
+  b2.items = n;
+  b2.run = [this, shift, r_hash, r_bucket](const Morsel& m, DeviceId dev,
+                                           uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      OpenHashTable* t = OpenTableFor(i, dev);
+      r_bucket[i] = t->BucketOf(r_hash[i] >> shift);
+      t->VisitHeader(r_bucket[i]);
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(b2));
+
+  StepDef b3;
+  b3.name = "b3";
+  b3.profile = OpenKeyInsertProfile(ws, opts_.locality_boost);
+  b3.items = n;
+  b3.run = [this, dist, r_keys, r_bucket, r_keynode](
+               const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      OpenHashTable* t = OpenTableFor(i, dev);
+      if (dist != 0 && i + dist < m.end) {
+        OpenTableFor(i + dist, dev)->PrefetchBucket(r_bucket[i + dist]);
+      }
+      uint32_t work = 0;
+      r_keynode[i] = t->FindOrAddKey(r_bucket[i], r_keys[i], &work);
+      if (r_keynode[i] == kNil) overflowed_ = true;
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  steps.push_back(std::move(b3));
+
+  StepDef b4;
+  b4.name = "b4";
+  b4.profile = RidInsertProfile(ws);
+  b4.items = n;
+  b4.run = [this, r_rids, r_bucket, r_keynode](const Morsel& m, DeviceId dev,
+                                               uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (r_keynode[i] == kNil) continue;
+      OpenHashTable* t = OpenTableFor(i, dev);
+      if (!t->InsertRid(r_keynode[i], r_rids[i], dev, WorkgroupOf(i))) {
+        overflowed_ = true;
+        continue;
+      }
+      t->BumpCount(r_bucket[i]);
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(b4));
+  return steps;
+}
+
+std::vector<StepDef> PhjEngine::ProbeStepsOpen(ResultWriter* out) {
+  const uint64_t n = probe_->size();
+  const data::Relation& sp = part_s_->output();
+  const double ws = PartitionWorkingSetBytes();
+  const uint32_t shift = plan_.partition_bits;
+  const uint32_t dist = opts_.prefetch_dist;
+  const bool avx2 = use_avx2_;
+  std::vector<StepDef> steps;
+
+  const int32_t* s_keys = sp.keys.data();
+  const int32_t* s_rids = sp.rids.data();
+  uint32_t* s_hash = s_hash_.data();
+  uint32_t* s_bucket = s_bucket_.data();
+  int32_t* s_keynode = s_keynode_.data();
+  int32_t* s_count = s_count_.data();
+  const uint32_t* part_of_s = part_of_s_.data();
+
+  StepDef p1;
+  p1.name = "p1";
+  p1.profile = HashStepProfile();
+  p1.items = n;
+  p1.run = [s_keys, s_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(p1));
+
+  StepDef p2;
+  p2.name = "p2";
+  p2.profile = HeaderVisitProfile(ws);
+  p2.items = n;
+  p2.run = [this, shift, s_hash, s_bucket, s_count,
+            part_of_s](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      OpenHashTable* t = open_tables_[part_of_s[i]].get();
+      s_bucket[i] = t->BucketOf(s_hash[i] >> shift);
+      int32_t count = 0;
+      t->VisitHeader(s_bucket[i], &count);
+      s_count[i] = count;
+    }
+    return ConstantWork(lw, m);
+  };
+  p2.after = [this](uint64_t begin, uint64_t end) {
+    if (opts_.grouping) BuildProbePermutation(begin, end);
+  };
+  steps.push_back(std::move(p2));
+
+  StepDef p3;
+  p3.name = "p3";
+  p3.profile = OpenKeySearchProfile(ws, opts_.locality_boost);
+  p3.items = n;
+  p3.run = [this, dist, avx2, s_keys, s_bucket, s_keynode,
+            part_of_s](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      if (dist != 0 && i + dist < m.end) {
+        const uint64_t jn = perm != nullptr ? perm[i + dist] : i + dist;
+        open_tables_[part_of_s[jn]]->PrefetchBucket(s_bucket[jn]);
+      }
+      uint32_t work = 0;
+      s_keynode[j] = open_tables_[part_of_s[j]]->FindKey(s_bucket[j],
+                                                         s_keys[j], &work,
+                                                         avx2);
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  steps.push_back(std::move(p3));
+
+  StepDef p4;
+  p4.name = "p4";
+  p4.profile = EmitProfile(ws, opts_.locality_boost);
+  p4.items = n;
+  p4.run = [this, out, s_rids, s_keynode,
+            part_of_s](const Morsel& m, DeviceId dev,
+                       uint32_t* lw) -> uint64_t {
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      uint32_t work = 1;
+      if (s_keynode[j] != kNil) {
+        const int32_t srid = s_rids[j];
+        const uint32_t wg = WorkgroupOf(i);
+        work += open_tables_[part_of_s[j]]->ForEachRid(
+            s_keynode[j], [this, out, srid, dev, wg](int32_t brid) {
+              if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
+            });
+      }
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  steps.push_back(std::move(p4));
+  return steps;
+}
+
 std::pair<uint64_t, uint64_t> PhjEngine::MergeSeparateTables() {
   if (opts_.shared_table) return {0, 0};
   uint64_t keys = 0;
   uint64_t rids = 0;
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    // Partition buckets are addressed by the hash shifted past the radix
+    // bits, so the merge must recompute homes with the same shift.
+    for (uint32_t p = 0; p < plan_.total_partitions; ++p) {
+      const auto [k, r] = open_tables_[p]->MergeFrom(
+          *open_tables_gpu_[p], plan_.partition_bits, DeviceId::kCpu);
+      keys += k;
+      rids += r;
+    }
+    return {keys, rids};
+  }
   for (uint32_t p = 0; p < plan_.total_partitions; ++p) {
     const auto [k, r] = tables_[p]->MergeFrom(*tables_gpu_[p], DeviceId::kCpu);
     keys += k;

@@ -19,6 +19,7 @@
 
 #include "data/relation.h"
 #include "join/hash_table.h"
+#include "join/open_hash_table.h"
 #include "join/options.h"
 #include "join/radix_partition.h"
 #include "join/result_writer.h"
@@ -58,6 +59,16 @@ class PhjEngine {
   }
   uint32_t num_partitions() const { return plan_.total_partitions; }
   HashTable* table(uint32_t partition) { return tables_[partition].get(); }
+  /// Open-layout table for `partition` (nullptr under the chained layout).
+  OpenHashTable* open_table(uint32_t partition) {
+    return partition < open_tables_.size() ? open_tables_[partition].get()
+                                           : nullptr;
+  }
+  /// Average per-partition table capacity as the cost model sees it:
+  /// chained buckets, or total key slots under the open layout.
+  uint64_t CostModelBuckets() const;
+  /// True when the probe kernels take the AVX2 bucket-compare path.
+  bool probe_uses_avx2() const { return use_avx2_; }
 
   /// Average per-partition working set (bytes) — the join phase's random
   /// accesses hit this, not the full table (PHJ's cache advantage).
@@ -68,9 +79,13 @@ class PhjEngine {
  private:
   void BuildProbePermutation(uint64_t begin, uint64_t end);
 
+  std::vector<StepDef> BuildStepsOpen();
+  std::vector<StepDef> ProbeStepsOpen(ResultWriter* out);
+
   /// Table the build kernel for item `item` on `dev` addresses: the item's
   /// partition table, or the GPU's private copy in separate mode.
   HashTable* TableFor(uint64_t item, simcl::DeviceId dev) const;
+  OpenHashTable* OpenTableFor(uint64_t item, simcl::DeviceId dev) const;
 
   simcl::SimContext* ctx_;
   const data::Relation* build_;
@@ -83,6 +98,9 @@ class PhjEngine {
   std::unique_ptr<NodePools> pools_;
   std::vector<std::unique_ptr<HashTable>> tables_;
   std::vector<std::unique_ptr<HashTable>> tables_gpu_;  // separate mode
+  std::vector<std::unique_ptr<OpenHashTable>> open_tables_;
+  std::vector<std::unique_ptr<OpenHashTable>> open_tables_gpu_;
+  bool use_avx2_ = false;  // resolved from opts_.simd in Prepare()
   std::atomic<bool> overflowed_{false};  // kernels may set it concurrently
 
   std::vector<uint32_t> part_of_r_, part_of_s_;  // tuple -> partition

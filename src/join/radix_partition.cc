@@ -87,11 +87,15 @@ void RadixPartitioner::BeginPass(int pass) {
 
   // Exact per-(workgroup, partition) sub-histogram so destination regions
   // are tight (bookkeeping; the charged work happens in the n1..n3 kernels).
+  // Partition-major layout ([p * kWgSlots + w], not [w * nparts + p]): the
+  // prefix sum below becomes one linear walk, and under skew a hot
+  // partition's 64 work-group counters share a few cache lines instead of
+  // being strided nparts apart.
   std::vector<uint32_t> counts(static_cast<size_t>(kWgSlots) * nparts, 0);
   for (uint64_t i = 0; i < n; ++i) {
     const uint32_t p =
         MurmurHash2x4(static_cast<uint32_t>(cur_->keys[i])) & mask;
-    counts[static_cast<size_t>(WgOf(i)) * nparts + p]++;
+    counts[static_cast<size_t>(p) * kWgSlots + WgOf(i)]++;
   }
   // Partition-major prefix sum: partition regions are contiguous, each
   // ordered by claiming work group.
@@ -102,9 +106,9 @@ void RadixPartitioner::BeginPass(int pass) {
   for (uint32_t p = 0; p < nparts; ++p) {
     part_base[p] = running;
     for (uint32_t w = 0; w < kWgSlots; ++w) {
-      cursor_[static_cast<size_t>(w) * nparts + p].store(
+      cursor_[static_cast<size_t>(p) * kWgSlots + w].store(
           running, std::memory_order_relaxed);
-      running += counts[static_cast<size_t>(w) * nparts + p];
+      running += counts[static_cast<size_t>(p) * kWgSlots + w];
     }
   }
   part_base[nparts] = running;
@@ -148,11 +152,20 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   n2.name = "n2";
   n2.profile = PartitionHeaderProfile(static_cast<double>(nparts) * 8.0);
   n2.items = n;
-  n2.run = [this, nparts, pid, dest](const Morsel& m, DeviceId dev,
-                                     uint32_t* lw) -> uint64_t {
+  const uint32_t dist = opts_.prefetch_dist;
+  n2.run = [this, dist, pid, dest](const Morsel& m, DeviceId dev,
+                                   uint32_t* lw) -> uint64_t {
     const int di = static_cast<int>(dev);
     for (uint64_t i = m.begin; i < m.end; ++i) {
-      const size_t slot = static_cast<size_t>(WgOf(i)) * nparts + pid[i];
+      if (dist != 0 && i + dist < m.end) {
+        // pid is fully populated by n1, so the upcoming cursor line is
+        // known `dist` items ahead of its fetch_add.
+        __builtin_prefetch(
+            &cursor_[static_cast<size_t>(pid[i + dist]) * kWgSlots +
+                     WgOf(i + dist)],
+            1, 1);
+      }
+      const size_t slot = static_cast<size_t>(pid[i]) * kWgSlots + WgOf(i);
       dest[i] = cursor_[slot].fetch_add(1, std::memory_order_relaxed);
       // Block-allocation discipline: one global atomic per chunk of claims
       // from this (work group, partition) sub-region, local bumps otherwise.
@@ -174,13 +187,42 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   n3.profile = ScatterProfile(static_cast<double>(plan_.fanout_per_pass) *
                               ctx_->memory().spec().cache_line_bytes);
   n3.items = n;
-  n3.run = [in_keys, in_rids, out_keys, out_rids,
+  n3.run = [in_keys, in_rids, out_keys, out_rids, pid,
             dest](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    // Write-combining scatter: within a (work group, partition) sub-region
+    // the n2 cursor hands out ascending destinations, so consecutive items
+    // of one partition form runs of consecutive slots. Batch each run in a
+    // small per-partition buffer (direct-mapped on the partition id) and
+    // store it as one burst — the scattered stores then hit each output
+    // cache line once instead of once per tuple. Each destination is still
+    // written exactly once with the same value, so the output (and the sim
+    // backend's accounting) is unchanged.
+    struct WcSlot {
+      uint32_t base = 0;  // destination of entry 0
+      uint32_t len = 0;   // valid entries
+      int32_t keys[8];
+      int32_t rids[8];
+    };
+    WcSlot wc[128];
+    const auto flush = [out_keys, out_rids](WcSlot& s) {
+      for (uint32_t k = 0; k < s.len; ++k) {
+        out_keys[s.base + k] = s.keys[k];
+        out_rids[s.base + k] = s.rids[k];
+      }
+      s.len = 0;
+    };
     for (uint64_t i = m.begin; i < m.end; ++i) {
       const uint32_t d = dest[i];
-      out_keys[d] = in_keys[i];
-      out_rids[d] = in_rids[i];
+      WcSlot& s = wc[pid[i] & 127u];
+      if (s.len == 0 || s.base + s.len != d || s.len == 8) {
+        flush(s);
+        s.base = d;
+      }
+      s.keys[s.len] = in_keys[i];
+      s.rids[s.len] = in_rids[i];
+      ++s.len;
     }
+    for (WcSlot& s : wc) flush(s);
     return ConstantWork(lw, m);
   };
   steps.push_back(std::move(n3));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/cpu_features.h"
 #include "util/murmur_hash.h"
 
 namespace apujoin::join {
@@ -20,28 +21,50 @@ apujoin::Status ShjEngine::Prepare() {
   if (nb == 0 || np == 0) {
     return apujoin::Status::InvalidArgument("empty relation");
   }
-  if (opts_.num_buckets == 0) opts_.num_buckets = NextPow2(nb);
+  const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
+  if (opts_.num_buckets == 0) {
+    opts_.num_buckets = open ? OpenBucketsFor(nb) : NextPow2(nb);
+  }
+  use_avx2_ = opts_.simd != SimdPolicy::kScalar && CpuSupportsAvx2();
 
   // Key nodes: one per distinct build key, plus slack for lost CAS races
   // and stranded allocator blocks. Rid nodes: one per build tuple + slack.
   // Separate tables need double headroom: the post-build merge re-allocates
   // a fresh node for every entry it moves (exactly like the real kernel —
   // nodes are never freed back into the pre-allocated array).
+  // The open layout keeps keys inline in its bucket arrays, so its key
+  // arena is vestigial — only the rid arena carries data.
   const uint64_t merge_headroom = opts_.shared_table ? 0 : nb;
-  const uint64_t key_cap = nb + nb / 8 + merge_headroom +
-                           PoolSlack(nb, opts_.block_bytes, 12);
+  const uint64_t key_cap =
+      open ? 64
+           : nb + nb / 8 + merge_headroom +
+                 PoolSlack(nb, opts_.block_bytes, 12);
   const uint64_t rid_cap =
       nb + merge_headroom + PoolSlack(nb, opts_.block_bytes, 8);
   pools_ = std::make_unique<NodePools>(key_cap, rid_cap, opts_.allocator,
                                        opts_.block_bytes);
   tables_.clear();
-  tables_.push_back(std::make_unique<HashTable>(opts_.num_buckets, pools_.get()));
-  if (!opts_.shared_table) {
+  open_tables_.clear();
+  if (open) {
+    open_tables_.push_back(
+        std::make_unique<OpenHashTable>(opts_.num_buckets, pools_.get()));
+    if (!opts_.shared_table) {
+      open_tables_.push_back(
+          std::make_unique<OpenHashTable>(opts_.num_buckets, pools_.get()));
+    }
+    if (ctx_->cache() != nullptr) {
+      for (auto& t : open_tables_) t->set_cache(ctx_->cache());
+    }
+  } else {
     tables_.push_back(
         std::make_unique<HashTable>(opts_.num_buckets, pools_.get()));
-  }
-  if (ctx_->cache() != nullptr) {
-    for (auto& t : tables_) t->set_cache(ctx_->cache());
+    if (!opts_.shared_table) {
+      tables_.push_back(
+          std::make_unique<HashTable>(opts_.num_buckets, pools_.get()));
+    }
+    if (ctx_->cache() != nullptr) {
+      for (auto& t : tables_) t->set_cache(ctx_->cache());
+    }
   }
 
   r_hash_.resize(nb);
@@ -57,10 +80,17 @@ apujoin::Status ShjEngine::Prepare() {
 
 double ShjEngine::TableWorkingSetBytes() const {
   const double nb = static_cast<double>(build_->size());
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    // Bucket arrays (72 B/bucket) + one rid node per build tuple.
+    return static_cast<double>(opts_.num_buckets) * 72.0 + nb * 8.0;
+  }
   return static_cast<double>(opts_.num_buckets) * 8.0 + nb * 12.0 + nb * 8.0;
 }
 
 std::vector<StepDef> ShjEngine::BuildSteps() {
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    return BuildStepsOpen();
+  }
   const uint64_t n = build_->size();
   const double ws = TableWorkingSetBytes();
   std::vector<StepDef> steps;
@@ -143,6 +173,9 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
 }
 
 std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    return ProbeStepsOpen(out);
+  }
   const uint64_t n = probe_->size();
   const double ws = TableWorkingSetBytes();
   std::vector<StepDef> steps;
@@ -258,8 +291,193 @@ void ShjEngine::BuildProbePermutation(uint64_t begin, uint64_t end) {
                       ctx_->device(DeviceId::kGpu), bytes));
 }
 
+std::vector<StepDef> ShjEngine::BuildStepsOpen() {
+  const uint64_t n = build_->size();
+  const double ws = TableWorkingSetBytes();
+  const uint32_t dist = opts_.prefetch_dist;
+  std::vector<StepDef> steps;
+
+  const int32_t* r_keys = build_->keys.data();
+  const int32_t* r_rids = build_->rids.data();
+  uint32_t* r_hash = r_hash_.data();
+  uint32_t* r_bucket = r_bucket_.data();
+  int32_t* r_keynode = r_keynode_.data();  // holds global slot ids here
+
+  StepDef b1;
+  b1.name = "b1";
+  b1.profile = HashStepProfile();
+  b1.items = n;
+  b1.run = [r_keys, r_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(r_keys[i]));
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(b1));
+
+  StepDef b2;
+  b2.name = "b2";
+  b2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 4.0);
+  b2.items = n;
+  b2.run = [this, r_hash, r_bucket](const Morsel& m, DeviceId dev,
+                                    uint32_t* lw) -> uint64_t {
+    OpenHashTable* t = OpenBuildTableFor(dev);
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      r_bucket[i] = t->BucketOf(r_hash[i]);
+      t->VisitHeader(r_bucket[i]);
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(b2));
+
+  StepDef b3;
+  b3.name = "b3";
+  b3.profile = OpenKeyInsertProfile(ws, opts_.locality_boost);
+  b3.items = n;
+  b3.run = [this, dist, r_keys, r_bucket, r_keynode](
+               const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
+    OpenHashTable* t = OpenBuildTableFor(dev);
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (dist != 0 && i + dist < m.end) t->PrefetchBucket(r_bucket[i + dist]);
+      uint32_t work = 0;
+      r_keynode[i] = t->FindOrAddKey(r_bucket[i], r_keys[i], &work);
+      if (r_keynode[i] == kNil) overflowed_ = true;
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  steps.push_back(std::move(b3));
+
+  StepDef b4;
+  b4.name = "b4";
+  b4.profile = RidInsertProfile(ws);
+  b4.items = n;
+  b4.run = [this, r_rids, r_bucket, r_keynode](const Morsel& m, DeviceId dev,
+                                               uint32_t* lw) -> uint64_t {
+    OpenHashTable* t = OpenBuildTableFor(dev);
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (r_keynode[i] == kNil) continue;
+      if (!t->InsertRid(r_keynode[i], r_rids[i], dev, WorkgroupOf(i))) {
+        overflowed_ = true;
+        continue;
+      }
+      t->BumpCount(r_bucket[i]);
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(b4));
+  return steps;
+}
+
+std::vector<StepDef> ShjEngine::ProbeStepsOpen(ResultWriter* out) {
+  const uint64_t n = probe_->size();
+  const double ws = TableWorkingSetBytes();
+  const uint32_t dist = opts_.prefetch_dist;
+  const bool avx2 = use_avx2_;
+  std::vector<StepDef> steps;
+
+  const int32_t* s_keys = probe_->keys.data();
+  const int32_t* s_rids = probe_->rids.data();
+  uint32_t* s_hash = s_hash_.data();
+  uint32_t* s_bucket = s_bucket_.data();
+  int32_t* s_keynode = s_keynode_.data();
+  int32_t* s_count = s_count_.data();
+
+  StepDef p1;
+  p1.name = "p1";
+  p1.profile = HashStepProfile();
+  p1.items = n;
+  p1.run = [s_keys, s_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(p1));
+
+  StepDef p2;
+  p2.name = "p2";
+  p2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 4.0);
+  p2.items = n;
+  p2.run = [this, s_hash, s_bucket, s_count](const Morsel& m, DeviceId,
+                                             uint32_t* lw) -> uint64_t {
+    OpenHashTable* t = open_tables_[0].get();
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      s_bucket[i] = t->BucketOf(s_hash[i]);
+      int32_t count = 0;
+      t->VisitHeader(s_bucket[i], &count);
+      s_count[i] = count;
+    }
+    return ConstantWork(lw, m);
+  };
+  p2.after = [this](uint64_t begin, uint64_t end) {
+    if (opts_.grouping) BuildProbePermutation(begin, end);
+  };
+  steps.push_back(std::move(p2));
+
+  StepDef p3;
+  p3.name = "p3";
+  p3.profile = OpenKeySearchProfile(ws, opts_.locality_boost);
+  p3.items = n;
+  p3.run = [this, dist, avx2, s_keys, s_bucket, s_keynode](
+               const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    OpenHashTable* t = open_tables_[0].get();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      if (dist != 0 && i + dist < m.end) {
+        t->PrefetchBucket(s_bucket[perm != nullptr ? perm[i + dist]
+                                                   : i + dist]);
+      }
+      uint32_t work = 0;
+      s_keynode[j] = t->FindKey(s_bucket[j], s_keys[j], &work, avx2);
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  steps.push_back(std::move(p3));
+
+  StepDef p4;
+  p4.name = "p4";
+  p4.profile = EmitProfile(ws, opts_.locality_boost);
+  p4.items = n;
+  p4.run = [this, out, s_rids, s_keynode](const Morsel& m, DeviceId dev,
+                                          uint32_t* lw) -> uint64_t {
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    OpenHashTable* t = open_tables_[0].get();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      uint32_t work = 1;
+      if (s_keynode[j] != kNil) {
+        const int32_t srid = s_rids[j];
+        const uint32_t wg = WorkgroupOf(i);
+        work += t->ForEachRid(
+            s_keynode[j], [this, out, srid, dev, wg](int32_t brid) {
+              if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
+            });
+      }
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  steps.push_back(std::move(p4));
+  return steps;
+}
+
 std::pair<uint64_t, uint64_t> ShjEngine::MergeSeparateTables() {
-  if (opts_.shared_table || tables_.size() < 2) return {0, 0};
+  if (opts_.shared_table) return {0, 0};
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    if (open_tables_.size() < 2) return {0, 0};
+    // SHJ buckets are addressed by the unshifted hash.
+    return open_tables_[0]->MergeFrom(*open_tables_[1], /*shift=*/0,
+                                      DeviceId::kCpu);
+  }
+  if (tables_.size() < 2) return {0, 0};
   return tables_[0]->MergeFrom(*tables_[1], DeviceId::kCpu);
 }
 

@@ -15,6 +15,7 @@
 
 #include "data/relation.h"
 #include "join/hash_table.h"
+#include "join/open_hash_table.h"
 #include "join/options.h"
 #include "join/result_writer.h"
 #include "join/steps.h"
@@ -44,9 +45,27 @@ class ShjEngine {
   std::pair<uint64_t, uint64_t> MergeSeparateTables();
 
   HashTable* table(int i = 0) { return tables_[i].get(); }
-  int num_tables() const { return static_cast<int>(tables_.size()); }
+  /// Open-layout table (nullptr under the chained layout).
+  OpenHashTable* open_table(int i = 0) {
+    return i < static_cast<int>(open_tables_.size()) ? open_tables_[i].get()
+                                                     : nullptr;
+  }
+  int num_tables() const {
+    return static_cast<int>(opts_.layout == exec::HashLayout::kChained
+                                ? tables_.size()
+                                : open_tables_.size());
+  }
   NodePools& pools() { return *pools_; }
   const EngineOptions& options() const { return opts_; }
+  /// Hash-table capacity as the cost model sees it: chained bucket count,
+  /// or total key slots under the open layout.
+  uint64_t CostModelBuckets() const {
+    return opts_.layout == exec::HashLayout::kChained
+               ? opts_.num_buckets
+               : uint64_t{opts_.num_buckets} * kOpenSlotsPerBucket;
+  }
+  /// True when the probe kernels take the AVX2 bucket-compare path.
+  bool probe_uses_avx2() const { return use_avx2_; }
 
   /// True if any kernel hit arena exhaustion.
   bool overflowed() const {
@@ -63,12 +82,20 @@ class ShjEngine {
  private:
   void BuildProbePermutation(uint64_t begin, uint64_t end);
 
+  std::vector<StepDef> BuildStepsOpen();
+  std::vector<StepDef> ProbeStepsOpen(ResultWriter* out);
+
   /// Table a build kernel on `dev` inserts into: the shared table, or the
   /// device's private table in separate mode.
   HashTable* BuildTableFor(simcl::DeviceId dev) {
     return (opts_.shared_table || dev == simcl::DeviceId::kCpu)
                ? tables_[0].get()
                : tables_.back().get();
+  }
+  OpenHashTable* OpenBuildTableFor(simcl::DeviceId dev) {
+    return (opts_.shared_table || dev == simcl::DeviceId::kCpu)
+               ? open_tables_[0].get()
+               : open_tables_.back().get();
   }
 
   simcl::SimContext* ctx_;
@@ -78,6 +105,8 @@ class ShjEngine {
 
   std::unique_ptr<NodePools> pools_;
   std::vector<std::unique_ptr<HashTable>> tables_;
+  std::vector<std::unique_ptr<OpenHashTable>> open_tables_;
+  bool use_avx2_ = false;  // resolved from opts_.simd in Prepare()
   std::atomic<bool> overflowed_{false};  // kernels may set it concurrently
 
   // Per-tuple intermediate state (the "pipeline registers" between steps).

@@ -69,6 +69,30 @@ StepProfile EmitProfile(double table_bytes, double locality_boost) {
   return p;
 }
 
+StepProfile OpenKeyInsertProfile(double table_bytes, double locality_boost) {
+  StepProfile p;
+  p.instr_per_unit = 16.0;
+  p.rand_accesses_per_unit = 1.0;  // one bucket line per probed bucket
+  p.rand_working_set_bytes = table_bytes;
+  // The bucket address is hash-derived, not loaded: probes of consecutive
+  // tuples overlap, unlike the chained layout's serialized node chases.
+  p.dependent_accesses = false;
+  p.locality_boost = locality_boost;
+  p.global_atomics_per_unit = 0.5;  // lock only on first insert of a key
+  p.atomic_addresses = table_bytes / 8.0;
+  return p;
+}
+
+StepProfile OpenKeySearchProfile(double table_bytes, double locality_boost) {
+  StepProfile p;
+  p.instr_per_unit = 8.0;  // SIMD compare folds 8 slot tests into one
+  p.rand_accesses_per_unit = 1.0;
+  p.rand_working_set_bytes = table_bytes;
+  p.dependent_accesses = false;
+  p.locality_boost = locality_boost;
+  return p;
+}
+
 StepProfile PartitionHeaderProfile(double header_bytes) {
   StepProfile p;
   p.instr_per_unit = 10.0;

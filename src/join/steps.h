@@ -140,6 +140,18 @@ simcl::StepProfile RidInsertProfile(double table_bytes);
 /// p4: visit matching build tuples and emit result tuples.
 simcl::StepProfile EmitProfile(double table_bytes, double locality_boost);
 
+/// b3, open layout: scan the 8-slot bucket prefix, claiming a slot if
+/// absent. The bucket address comes straight from the hash — no pointer
+/// chase — so accesses are independent and the lock-free fast path pays
+/// fewer atomics than the chained CAS push.
+simcl::StepProfile OpenKeyInsertProfile(double table_bytes,
+                                        double locality_boost);
+
+/// p3, open layout: one vector compare per bucket probed (read-only,
+/// independent accesses).
+simcl::StepProfile OpenKeySearchProfile(double table_bytes,
+                                        double locality_boost);
+
 /// n2: visit the partition header (cursor claim bookkeeping).
 simcl::StepProfile PartitionHeaderProfile(double header_bytes);
 

@@ -1,0 +1,14 @@
+#include "util/cpu_features.h"
+
+namespace apujoin {
+
+bool CpuSupportsAvx2() {
+#if APUJOIN_HAVE_AVX2
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+}  // namespace apujoin

@@ -1,0 +1,28 @@
+// Runtime CPU-feature detection for the SIMD kernel dispatch.
+//
+// The library is built without -march=native so one binary runs on any
+// host; SIMD kernels are compiled per-function (GCC/clang `target`
+// attribute) and selected at runtime from here. APUJOIN_HAVE_AVX2 says the
+// AVX2 code paths are *compiled in* (x86-64 with a compiler that supports
+// the target attribute, and not vetoed by -DAPUJOIN_NO_AVX2); whether they
+// *run* is decided per process by CpuSupportsAvx2().
+
+#ifndef APUJOIN_UTIL_CPU_FEATURES_H_
+#define APUJOIN_UTIL_CPU_FEATURES_H_
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(APUJOIN_NO_AVX2)
+#define APUJOIN_HAVE_AVX2 1
+#else
+#define APUJOIN_HAVE_AVX2 0
+#endif
+
+namespace apujoin {
+
+/// True when this CPU executes AVX2 (cached cpuid probe). Always false when
+/// the AVX2 paths were not compiled in.
+bool CpuSupportsAvx2();
+
+}  // namespace apujoin
+
+#endif  // APUJOIN_UTIL_CPU_FEATURES_H_

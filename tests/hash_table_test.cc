@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "join/hash_table.h"
@@ -165,6 +166,18 @@ TEST_F(HashTableTest, WorkingSetGrowsWithContent) {
   const double before = table_.WorkingSetBytes();
   for (int32_t k = 0; k < 100; ++k) Insert(k * 2 + 1, k);
   EXPECT_GT(table_.WorkingSetBytes(), before);
+}
+
+TEST(HashTableCtor, RejectsInvalidBucketCounts) {
+  NodePools pools(16, 16, alloc::AllocatorKind::kBasic, 64);
+  // BucketOf masks with num_buckets - 1, so zero or a non-power-of-two
+  // would silently misroute keys; the constructor must refuse instead.
+  EXPECT_THROW(HashTable(0, &pools), std::invalid_argument);
+  EXPECT_THROW(HashTable(3, &pools), std::invalid_argument);
+  EXPECT_THROW(HashTable(100, &pools), std::invalid_argument);
+  EXPECT_THROW(HashTable(65535, &pools), std::invalid_argument);
+  EXPECT_NO_THROW(HashTable(1, &pools));
+  EXPECT_NO_THROW(HashTable(65536, &pools));
 }
 
 TEST(NextPow2Test, Values) {
