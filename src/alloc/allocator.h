@@ -57,15 +57,21 @@ struct AtomicAllocCounts {
   std::atomic<uint64_t> failed{0};
 
   /// Returns the counts accumulated since the last Take and resets them.
+  /// All counter traffic is relaxed: independent statistics tallies whose
+  /// only requirement is RMW atomicity (the exchange-to-zero drain must
+  /// not lose concurrent increments); no other memory is published
+  /// through them.
   AllocCounts Take() {
     AllocCounts out;
     for (int d = 0; d < simcl::kNumDevices; ++d) {
+      // relaxed exchanges: see above.
       out.global_atomics[d] =
           global_atomics[d].exchange(0, std::memory_order_relaxed);
       out.local_atomics[d] =
           local_atomics[d].exchange(0, std::memory_order_relaxed);
       out.requests[d] = requests[d].exchange(0, std::memory_order_relaxed);
     }
+    // relaxed exchange: see above.
     out.failed = failed.exchange(0, std::memory_order_relaxed);
     return out;
   }

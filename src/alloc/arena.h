@@ -26,19 +26,26 @@ class Arena {
   /// Reserves `count` consecutive elements; returns the first index, or -1
   /// when the arena is exhausted (the reservation is then rolled back).
   int64_t Reserve(uint64_t count) {
+    // relaxed: reservations only need to be disjoint, which fetch_add's
+    // RMW atomicity alone provides. Writes into a reserved range are
+    // published by the *consumer's* synchronisation (a span barrier or a
+    // table's acquire/release protocol), never through next_.
     const uint64_t start = next_.fetch_add(count, std::memory_order_relaxed);
     if (start + count > capacity_) {
+      // relaxed: rollback of this thread's own over-reservation.
       next_.fetch_sub(count, std::memory_order_relaxed);
       return -1;
     }
     return static_cast<int64_t>(start);
   }
 
+  /// (relaxed: Reset runs only between spans, on a quiesced arena.)
   void Reset() { next_.store(0, std::memory_order_relaxed); }
 
   uint64_t capacity() const { return capacity_; }
   uint32_t elem_bytes() const { return elem_bytes_; }
   uint64_t used() const {
+    // relaxed: monitoring snapshot; may lag concurrent reservations.
     const uint64_t u = next_.load(std::memory_order_relaxed);
     return u > capacity_ ? capacity_ : u;
   }

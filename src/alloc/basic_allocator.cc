@@ -5,6 +5,7 @@ namespace apujoin::alloc {
 int64_t BasicAllocator::Allocate(uint32_t count, simcl::DeviceId dev,
                                  uint32_t /*workgroup*/) {
   const int di = static_cast<int>(dev);
+  // counts_ updates are relaxed: statistics only (see AtomicAllocCounts).
   counts_.requests[di].fetch_add(1, std::memory_order_relaxed);
   // The latched pointer bump.
   counts_.global_atomics[di].fetch_add(1, std::memory_order_relaxed);

@@ -4,26 +4,6 @@
 
 namespace apujoin::alloc {
 
-namespace {
-
-/// Scoped spin-latch over one cache slot.
-class SlotGuard {
- public:
-  explicit SlotGuard(std::atomic_flag* lock) : lock_(lock) {
-    while (lock_->test_and_set(std::memory_order_acquire)) {
-    }
-  }
-  ~SlotGuard() { lock_->clear(std::memory_order_release); }
-
-  SlotGuard(const SlotGuard&) = delete;
-  SlotGuard& operator=(const SlotGuard&) = delete;
-
- private:
-  std::atomic_flag* lock_;
-};
-
-}  // namespace
-
 BlockAllocator::BlockAllocator(Arena* arena, uint32_t block_bytes)
     : arena_(arena), block_bytes_(block_bytes) {
   block_elems_ = std::max<uint32_t>(1, block_bytes_ / arena_->elem_bytes());
@@ -33,10 +13,12 @@ BlockAllocator::BlockAllocator(Arena* arena, uint32_t block_bytes)
 int64_t BlockAllocator::Allocate(uint32_t count, simcl::DeviceId dev,
                                  uint32_t workgroup) {
   const int di = static_cast<int>(dev);
+  // counts_ updates are relaxed throughout: independent statistics
+  // counters, drained by TakeCounts on a quiesced allocator.
   counts_.requests[di].fetch_add(1, std::memory_order_relaxed);
   Cache& c = cache_[static_cast<size_t>(di) * kWorkgroupSlots +
                     (workgroup % kWorkgroupSlots)];
-  SlotGuard guard(&c.lock);
+  annotated::SpinLockGuard guard(c.lock);
   // Local-pointer bump within the cached block (local-memory atomic).
   if (c.cur + count <= c.end) {
     counts_.local_atomics[di].fetch_add(1, std::memory_order_relaxed);
@@ -50,11 +32,13 @@ int64_t BlockAllocator::Allocate(uint32_t count, simcl::DeviceId dev,
   const uint32_t grab = std::max(block_elems_, count);
   const int64_t start = arena_->Reserve(grab);
   if (start < 0) {
+    // relaxed: statistics counter.
     counts_.failed.fetch_add(1, std::memory_order_relaxed);
     return -1;
   }
   c.cur = start + count;
   c.end = start + grab;
+  // relaxed: statistics counter.
   counts_.local_atomics[di].fetch_add(1, std::memory_order_relaxed);
   return start;
 }
@@ -64,7 +48,7 @@ AllocCounts BlockAllocator::TakeCounts() { return counts_.Take(); }
 void BlockAllocator::Reset() {
   counts_.Take();
   for (Cache& c : cache_) {
-    SlotGuard guard(&c.lock);
+    annotated::SpinLockGuard guard(c.lock);
     c.cur = 0;
     c.end = 0;
   }

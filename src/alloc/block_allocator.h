@@ -10,12 +10,13 @@
 #ifndef APUJOIN_ALLOC_BLOCK_ALLOCATOR_H_
 #define APUJOIN_ALLOC_BLOCK_ALLOCATOR_H_
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "alloc/allocator.h"
 #include "alloc/arena.h"
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apujoin::alloc {
 
@@ -45,9 +46,9 @@ class BlockAllocator : public Allocator {
   /// backend two workers can hit one slot concurrently; the spinlock is the
   /// work group's "local memory" serialisation made explicit.
   struct Cache {
-    std::atomic_flag lock = ATOMIC_FLAG_INIT;
-    int64_t cur = 0;
-    int64_t end = 0;  // cur == end => empty
+    annotated::SpinLock lock;
+    int64_t cur GUARDED_BY(lock) = 0;
+    int64_t end GUARDED_BY(lock) = 0;  // cur == end => empty
   };
 
   Arena* arena_;

@@ -1,10 +1,10 @@
 #include "coproc/step_series.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "alloc/latch_model.h"
 #include "exec/sim_backend.h"
+#include "util/status.h"
 
 namespace apujoin::coproc {
 
@@ -34,7 +34,8 @@ void ChargeAllocations(exec::Backend* backend,
 SeriesResult RunSeries(exec::Backend* backend,
                        std::vector<join::StepDef>& steps,
                        const SeriesOptions& opts) {
-  assert(opts.ratios.size() == steps.size());
+  APU_CHECK(opts.ratios.size() == steps.size() &&
+            "one ratio per step (driver validates before this layer)");
   SeriesResult result;
   result.steps.reserve(steps.size());
 
@@ -192,7 +193,8 @@ void InitSeriesResult(const std::vector<join::StepDef>& steps,
   // Size agreement is the callers' contract, validated with a real Status
   // by the join driver (ValidateRatioOverride) before execution reaches
   // this layer; a mismatch here is a bug, not bad user input.
-  assert(ratios.size() == steps.size());
+  APU_CHECK(ratios.size() == steps.size() &&
+            "one ratio per step (driver validates before this layer)");
   result->steps.resize(steps.size());
   for (size_t i = 0; i < steps.size(); ++i) {
     result->steps[i].name = steps[i].name;
@@ -206,7 +208,8 @@ SeriesResult RunSeriesPairBlocked(exec::Backend* backend,
                                   std::vector<join::StepDef>& steps,
                                   const SeriesOptions& opts,
                                   const std::vector<uint32_t>& offsets) {
-  assert(opts.ratios.size() == steps.size());
+  APU_CHECK(opts.ratios.size() == steps.size() &&
+            "one ratio per step (driver validates before this layer)");
   SeriesResult result;
   InitSeriesResult(steps, opts.ratios, &result);
   for (size_t p = 0; p + 1 < offsets.size(); ++p) {
@@ -225,7 +228,8 @@ void RunSeriesPairBlockedGroups(exec::Backend* backend,
   if (groups.empty()) return;
   const size_t pairs = groups.front().offsets->size() - 1;
   for (auto& g : groups) {
-    assert(g.offsets->size() == pairs + 1);
+    APU_CHECK(g.offsets->size() == pairs + 1 &&
+              "all groups must partition over the same pair boundaries");
     InitSeriesResult(*g.steps, g.ratios, &g.result);
   }
   for (size_t p = 0; p < pairs; ++p) {

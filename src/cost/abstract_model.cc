@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 
@@ -12,18 +11,18 @@ SeriesEstimate ComposePipelinedTiming(const std::vector<double>& t_cpu,
                                       const std::vector<double>& t_gpu,
                                       const std::vector<double>& ratios,
                                       uint64_t n, const CommSpec& comm) {
-  assert(t_cpu.size() == ratios.size() && t_gpu.size() == ratios.size());
-  // Release builds must stay memory-safe under a caller's size mismatch
-  // (the assert above vanishes under NDEBUG): compose only the prefix all
-  // three vectors cover — and say so once, so the caller bug does not hide
-  // behind plausible-looking numbers. Planning may run on concurrent
-  // session threads, hence the atomic once-flag.
+  // A caller's size mismatch is a bug, but planning must stay memory-safe
+  // and available: compose only the prefix all three vectors cover — and
+  // say so once, so the bug does not hide behind plausible-looking
+  // numbers. Planning may run on concurrent session threads, hence the
+  // atomic once-flag.
   const size_t steps =
       std::min(ratios.size(), std::min(t_cpu.size(), t_gpu.size()));
   const size_t out_steps =
       std::max(ratios.size(), std::max(t_cpu.size(), t_gpu.size()));
   if (steps != out_steps) {
     static std::atomic<bool> warned{false};
+    // relaxed: warn-once flag; only the exchange's atomicity matters.
     if (!warned.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
                    "apujoin: ComposePipelinedTiming size mismatch (%zu/%zu/"
@@ -79,9 +78,8 @@ SeriesEstimate ComposePipelinedTiming(const std::vector<double>& t_cpu,
 SeriesEstimate EstimateSeries(const StepCosts& costs, uint64_t n,
                               const std::vector<double>& ratios,
                               const CommSpec& comm) {
-  assert(costs.size() == ratios.size());
-  // Same release-mode guard as ComposePipelinedTiming: index only the
-  // prefix both tables cover.
+  // Same mismatch guard as ComposePipelinedTiming: index only the prefix
+  // both tables cover.
   const size_t steps = std::min(costs.size(), ratios.size());
   const double items = static_cast<double>(n);
   std::vector<double> t_cpu(steps, 0.0);

@@ -41,10 +41,10 @@ ThreadPoolBackend::ThreadPoolBackend(simcl::SimContext* ctx,
 
 ThreadPoolBackend::~ThreadPoolBackend() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    annotated::MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
   for (std::thread& t : pool_) t.join();
 }
 
@@ -85,11 +85,11 @@ std::unique_ptr<Backend::JobHandle> ThreadPoolBackend::SubmitSpan(
   // only joins in at Wait — so the quota maps to helpers directly.
   job.max_helpers = std::clamp(slots, 1, threads());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    annotated::MutexLock lock(mu_);
     jobs_.push_back(&job);
   }
   handle->listed = true;
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
   return handle;
 }
 
@@ -116,13 +116,15 @@ simcl::StepStats ThreadPoolBackend::Wait(JobHandle* handle,
   DrainJob(job, &me);
   FoldCallerCounters(me);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    annotated::MutexLock lock(mu_);
     jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
-    cv_done_.wait(lock, [job] { return job->helpers == 0; });
+    cv_done_.Wait(mu_, [job] { return job->helpers == 0; });
   }
   h->listed = false;
   const int di = static_cast<int>(job->dev);
   stats.items[di] = job->items;
+  // relaxed: helpers published their work with the mu_ release above; the
+  // cv_done_ wait ordered every contribution before this read.
   stats.work[di] = job->work.load(std::memory_order_relaxed);
   // Submit-to-completion wall time: includes whatever overlapped with the
   // submitter's own spans — the observable the pipelined executors report.
@@ -166,23 +168,25 @@ simcl::StepStats ThreadPoolBackend::RunSpanShared(const join::StepDef& step,
     job.items = items;
     job.max_helpers = slots - 1;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      annotated::MutexLock lock(mu_);
       jobs_.push_back(&job);
     }
-    cv_work_.notify_all();
+    cv_work_.NotifyAll();
 
     WorkerCounters me;
     DrainJob(&job, &me);
     FoldCallerCounters(me);
 
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      annotated::MutexLock lock(mu_);
       jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
       // Attached helpers may still be finishing their last morsel; the job
       // lives on this stack frame, so wait them out before returning.
-      cv_done_.wait(lock, [&job] { return job.helpers == 0; });
+      cv_done_.Wait(mu_, [&job] { return job.helpers == 0; });
       if (peak_workers != nullptr) *peak_workers = job.peak_workers;
     }
+    // relaxed: the helpers == 0 wait above released/acquired mu_ after the
+    // last work fetch_add, so every contribution is already visible.
     stats.work[di] = job.work.load(std::memory_order_relaxed);
   }
 
@@ -199,6 +203,8 @@ std::vector<WorkerCounters> ThreadPoolBackend::TakeCounters() {
   // is live, and submitters fold theirs in before RunSpanShared returns.
   std::vector<WorkerCounters> out = counters_;
   for (WorkerCounters& c : counters_) c = WorkerCounters{};
+  // relaxed exchanges: statistics drain on an idle pool (see above) — there
+  // is no concurrent writer left to order against.
   out[0].items = caller_counters_.items.exchange(0, std::memory_order_relaxed);
   out[0].work = caller_counters_.work.exchange(0, std::memory_order_relaxed);
   out[0].morsels =
@@ -207,6 +213,8 @@ std::vector<WorkerCounters> ThreadPoolBackend::TakeCounters() {
 }
 
 void ThreadPoolBackend::FoldCallerCounters(const WorkerCounters& wc) {
+  // relaxed: pure statistics sums; readers (TakeCounters) run on an idle
+  // pool and never infer other state from these counters.
   caller_counters_.items.fetch_add(wc.items, std::memory_order_relaxed);
   caller_counters_.work.fetch_add(wc.work, std::memory_order_relaxed);
   caller_counters_.morsels.fetch_add(wc.morsels, std::memory_order_relaxed);
@@ -216,6 +224,8 @@ ThreadPoolBackend::Job* ThreadPoolBackend::PickJobLocked() {
   Job* best = nullptr;
   for (Job* job : jobs_) {
     if (job->helpers >= job->max_helpers) continue;
+    // relaxed: an eligibility hint only — a stale read at worst attaches a
+    // worker to a drained job, and DrainJob's own fetch_add re-checks.
     if (job->cursor.load(std::memory_order_relaxed) >= job->items) continue;
     if (best == nullptr || job->helpers < best->helpers) best = job;
   }
@@ -227,8 +237,11 @@ void ThreadPoolBackend::WorkerLoop(int id) {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [this, &job] {
+      annotated::MutexLock lock(mu_);
+      // The predicate runs with mu_ held (CondVar::Wait re-acquires before
+      // each evaluation), but it is a separate function to the analysis —
+      // opt its body out while the REQUIRES contract still checks callers.
+      cv_work_.Wait(mu_, [this, &job]() NO_THREAD_SAFETY_ANALYSIS {
         if (stop_) return true;
         job = PickJobLocked();
         return job != nullptr;
@@ -241,19 +254,21 @@ void ThreadPoolBackend::WorkerLoop(int id) {
     // idle-only), so the accumulation stays off the pool lock.
     DrainJob(job, &mine);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--job->helpers == 0) cv_done_.notify_all();
+      annotated::MutexLock lock(mu_);
+      if (--job->helpers == 0) cv_done_.NotifyAll();
     }
   }
 }
 
 void ThreadPoolBackend::CancelJob(Job* job) {
   // Exhaust the cursor so no worker claims another morsel, then unlist and
-  // wait out helpers still inside their current one.
+  // wait out helpers still inside their current one. relaxed suffices: the
+  // fetch_add only needs to win the claim race arithmetically; helper
+  // hand-off synchronisation happens through mu_ below.
   job->cursor.fetch_add(job->items, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(mu_);
+  annotated::MutexLock lock(mu_);
   jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
-  cv_done_.wait(lock, [job] { return job->helpers == 0; });
+  cv_done_.Wait(mu_, [job] { return job->helpers == 0; });
 }
 
 void ThreadPoolBackend::DrainJob(Job* job, WorkerCounters* me) {
@@ -265,7 +280,9 @@ void ThreadPoolBackend::DrainJob(Job* job, WorkerCounters* me) {
   for (;;) {
     // Morsel-driven distribution: one fetch_add claims the next range.
     // Whoever is free pulls next, so skew self-balances without any
-    // per-worker pre-split or steal scan.
+    // per-worker pre-split or steal scan. relaxed: claims only need to be
+    // unique (RMW atomicity); the item data is published by the job
+    // listing under mu_ before any claim can happen.
     const uint64_t lo =
         job->cursor.fetch_add(morsel, std::memory_order_relaxed);
     if (lo >= job->items) break;
@@ -277,6 +294,8 @@ void ThreadPoolBackend::DrainJob(Job* job, WorkerCounters* me) {
     ++me->morsels;
   }
   me->work += local_work;
+  // relaxed: the submitter reads this total only after the helpers == 0
+  // wait under mu_, which orders every contribution.
   job->work.fetch_add(local_work, std::memory_order_relaxed);
 }
 

@@ -39,12 +39,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "exec/backend.h"
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace apujoin::exec {
 
@@ -134,6 +134,11 @@ class ThreadPoolBackend : public Backend {
   /// One in-flight span. Lives on the submitting thread's stack; reachable
   /// by pool workers only while listed in jobs_ (and until helpers drops
   /// to zero, which the submitter awaits before returning).
+  ///
+  /// `helpers` and `peak_workers` are guarded by the owning pool's mu_ —
+  /// a capability of the enclosing backend that GUARDED_BY cannot name
+  /// from a nested struct, so the contract is enforced by review + the
+  /// TSan preset rather than -Wthread-safety.
   struct Job {
     const join::StepDef* step = nullptr;
     simcl::DeviceId dev = simcl::DeviceId::kCpu;
@@ -144,8 +149,8 @@ class ThreadPoolBackend : public Backend {
     std::atomic<uint64_t> cursor{0};
     std::atomic<uint64_t> work{0};  ///< kernel work units
     int max_helpers = 0;            ///< quota minus the submitting thread
-    int helpers = 0;                ///< attached pool workers (mu_)
-    int peak_workers = 1;           ///< max concurrent participants (mu_)
+    int helpers = 0;                ///< attached pool workers (pool mu_)
+    int peak_workers = 1;           ///< max concurrent participants (pool mu_)
   };
 
   /// Slot-0 counters (all submitting threads share it, so unlike the
@@ -178,8 +183,8 @@ class ThreadPoolBackend : public Backend {
   /// mid-morsel). Safety net for handles dropped without Wait.
   void CancelJob(Job* job);
   /// Least-helpers-first pick among listed jobs with quota and work left;
-  /// null when no job is eligible. Requires mu_.
-  Job* PickJobLocked();
+  /// null when no job is eligible.
+  Job* PickJobLocked() REQUIRES(mu_);
   /// Folds a submitting thread's per-span counters into slot 0 (lock-free).
   void FoldCallerCounters(const WorkerCounters& wc);
 
@@ -189,11 +194,12 @@ class ThreadPoolBackend : public Backend {
   std::vector<WorkerCounters> counters_;
   CallerCounters caller_counters_;
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;  ///< signals workers: job list changed
-  std::condition_variable cv_done_;  ///< signals submitters: helpers left
-  std::vector<Job*> jobs_;           ///< in-flight jobs, FIFO (mu_)
-  bool stop_ = false;                ///< guarded by mu_
+  annotated::Mutex mu_;
+  annotated::CondVar cv_work_;  ///< signals workers: job list changed
+  annotated::CondVar cv_done_;  ///< signals submitters: helpers left
+  /// In-flight jobs, FIFO.
+  std::vector<Job*> jobs_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> pool_;  ///< workers 1..threads-1
 };

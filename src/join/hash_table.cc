@@ -69,6 +69,8 @@ HashTable::HashTable(uint32_t num_buckets, NodePools* pools)
         "HashTable: num_buckets must be a nonzero power of two, got " +
         std::to_string(num_buckets));
   }
+  // relaxed: single-threaded construction; the table is published to
+  // workers by the span launch, not by these stores.
   for (auto& h : head_) h.store(kNil, std::memory_order_relaxed);
   for (auto& c : count_) c.store(0, std::memory_order_relaxed);
 }
@@ -109,8 +111,12 @@ int32_t HashTable::FindOrAddKey(uint32_t bucket, int32_t key,
     pools_->key_next[ni].store(first, std::memory_order_relaxed);
     Touch(&pools_->key_value[ni]);
     int32_t expected = first;
+    // acq_rel: release publishes the new node's fields (key_value,
+    // key_next, rid_head above) to any thread that acquire-loads the
+    // head; acquire orders our re-scan when we lose the race.
     if (head_[bucket].compare_exchange_strong(expected, ni,
                                               std::memory_order_acq_rel)) {
+      // relaxed: statistics counter.
       keys_inserted_.fetch_add(1, std::memory_order_relaxed);
       *work += traversed;
       return ni;
@@ -127,11 +133,16 @@ bool HashTable::InsertRid(int32_t key_node, int32_t rid, simcl::DeviceId dev,
   if (ni == kNil) return false;
   pools_->rid_value[ni] = rid;
   Touch(&pools_->rid_value[ni]);
+  // Push ni at the rid-list head. The initial load may be relaxed (a
+  // stale head just fails the CAS); the CAS is acq_rel — release
+  // publishes rid_value/rid_next to acquire-readers of the head,
+  // acquire refreshes `old` for the retry.
   int32_t old = pools_->rid_head[key_node].load(std::memory_order_relaxed);
   do {
     pools_->rid_next[ni] = old;
   } while (!pools_->rid_head[key_node].compare_exchange_weak(
       old, ni, std::memory_order_acq_rel));
+  // relaxed: statistics counter.
   rids_inserted_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -140,11 +151,14 @@ int32_t HashTable::FindKey(uint32_t bucket, int32_t key,
                            uint32_t* work) const {
   Touch(&head_[bucket]);  // the list head load below
   uint32_t traversed = 1;
+  // acquire (head and next): pairs with the inserter's acq_rel CAS so
+  // every node reached through the chain is fully initialised.
   int32_t node = head_[bucket].load(std::memory_order_acquire);
   while (node != kNil) {
     Touch(&pools_->key_value[node]);
     if (pools_->key_value[node] == key) break;
     ++traversed;
+    // acquire: same chain-publication pairing as the head load.
     node = pools_->key_next[node].load(std::memory_order_acquire);
   }
   *work += traversed;
@@ -155,6 +169,9 @@ std::pair<uint64_t, uint64_t> HashTable::MergeFrom(const HashTable& other,
                                                    simcl::DeviceId dev) {
   uint64_t keys_moved = 0;
   uint64_t rids_moved = 0;
+  // All loads from `other` are relaxed: MergeFrom runs after the span
+  // barrier that built `other`, so its lists are quiescent and already
+  // synchronised with this thread.
   for (uint32_t b = 0; b < other.num_buckets_; ++b) {
     for (int32_t kn = other.head_[b].load(std::memory_order_relaxed);
          kn != kNil;
@@ -171,6 +188,7 @@ std::pair<uint64_t, uint64_t> HashTable::MergeFrom(const HashTable& other,
                                        &work);
       if (dst == kNil) return {keys_moved, rids_moved};
       ++keys_moved;
+      // relaxed: quiescent source table (see loop header comment).
       for (int32_t rn =
                other.pools_->rid_head[kn].load(std::memory_order_relaxed);
            rn != kNil; rn = other.pools_->rid_next[rn]) {
@@ -194,6 +212,7 @@ double HashTable::WorkingSetBytes() const {
 
 uint64_t HashTable::TotalCount() const {
   uint64_t total = 0;
+  // relaxed: post-build statistics read on a quiescent table.
   for (const auto& c : count_) {
     total += static_cast<uint64_t>(c.load(std::memory_order_relaxed));
   }

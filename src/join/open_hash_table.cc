@@ -125,11 +125,16 @@ bool OpenHashTable::InsertRid(int32_t slot, int32_t rid, simcl::DeviceId dev,
   if (ni == kNil) return false;
   pools_->rid_value[ni] = rid;
   Touch(&pools_->rid_value[ni]);
+  // Push ni at the rid-list head. The initial load may be relaxed (a
+  // stale head just fails the CAS); the CAS is acq_rel — release
+  // publishes rid_value/rid_next to acquire-readers of the head,
+  // acquire refreshes `old` for the retry.
   int32_t old = rid_head_[slot].load(std::memory_order_relaxed);
   do {
     pools_->rid_next[ni] = old;
   } while (!rid_head_[slot].compare_exchange_weak(
       old, ni, std::memory_order_acq_rel));
+  // relaxed: statistics counter.
   rids_inserted_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -142,6 +147,8 @@ int32_t OpenHashTable::FindKeyScalar(uint32_t home_bucket, int32_t key,
     ++probed;
     const size_t base = size_t{b} * kOpenSlotsPerBucket;
     Touch(&keys_[base]);
+    // acquire: pairs with the inserter's release-store of the count so
+    // the first `cnt` key slots are visible before we read them.
     const uint32_t cnt =
         state_[b].load(std::memory_order_acquire) & kCountMask;
     for (uint32_t s = 0; s < cnt; ++s) {
@@ -167,6 +174,8 @@ __attribute__((target("avx2"))) int32_t OpenHashTable::FindKeyAvx2(
     ++probed;
     const size_t base = size_t{b} * kOpenSlotsPerBucket;
     Touch(&keys_[base]);
+    // acquire: pairs with the inserter's release-store of the count so
+    // the first `cnt` key slots are visible before we read them.
     const uint32_t cnt =
         state_[b].load(std::memory_order_acquire) & kCountMask;
     // One 32-byte load covers the whole bucket (keys_ is 64-byte aligned
@@ -209,6 +218,9 @@ std::pair<uint64_t, uint64_t> OpenHashTable::MergeFrom(
     const OpenHashTable& other, uint32_t shift, simcl::DeviceId dev) {
   uint64_t keys_moved = 0;
   uint64_t rids_moved = 0;
+  // All loads from `other` are relaxed: MergeFrom runs after the span
+  // barrier that built `other`, so its buckets are quiescent and already
+  // synchronised with this thread.
   for (uint32_t b = 0; b < other.num_buckets_; ++b) {
     const uint32_t cnt =
         other.state_[b].load(std::memory_order_relaxed) & kCountMask;
@@ -223,6 +235,7 @@ std::pair<uint64_t, uint64_t> OpenHashTable::MergeFrom(
       const int32_t dst = FindOrAddKey(home, key, &work);
       if (dst == kNil) return {keys_moved, rids_moved};
       ++keys_moved;
+      // relaxed: quiescent source table (see loop header comment).
       for (int32_t rn =
                other.rid_head_[base + s].load(std::memory_order_relaxed);
            rn != kNil; rn = other.pools_->rid_next[rn]) {
@@ -247,6 +260,7 @@ double OpenHashTable::WorkingSetBytes() const {
 
 uint64_t OpenHashTable::TotalCount() const {
   uint64_t total = 0;
+  // relaxed: post-build statistics read on a quiescent table.
   for (size_t b = 0; b < count_.size(); ++b) {
     total += static_cast<uint64_t>(count_[b].load(std::memory_order_relaxed));
   }

@@ -55,6 +55,7 @@ class PhjEngine {
   NodePools& pools() { return *pools_; }
   const EngineOptions& options() const { return opts_; }
   bool overflowed() const {
+    // relaxed: sticky flag read after the spans that may set it.
     return overflowed_.load(std::memory_order_relaxed);
   }
   uint32_t num_partitions() const { return plan_.total_partitions; }

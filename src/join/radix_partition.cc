@@ -106,6 +106,8 @@ void RadixPartitioner::BeginPass(int pass) {
   for (uint32_t p = 0; p < nparts; ++p) {
     part_base[p] = running;
     for (uint32_t w = 0; w < kWgSlots; ++w) {
+      // relaxed: histogram phase ended at a span barrier; these stores
+      // are published to scatter workers by the next span launch.
       cursor_[static_cast<size_t>(p) * kWgSlots + w].store(
           running, std::memory_order_relaxed);
       running += counts[static_cast<size_t>(p) * kWgSlots + w];
@@ -166,6 +168,8 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
             1, 1);
       }
       const size_t slot = static_cast<size_t>(pid[i]) * kWgSlots + WgOf(i);
+      // relaxed: claimed offsets only need to be unique (RMW atomicity);
+      // the scattered payload is published by the span barrier.
       dest[i] = cursor_[slot].fetch_add(1, std::memory_order_relaxed);
       // Block-allocation discipline: one global atomic per chunk of claims
       // from this (work group, partition) sub-region, local bumps otherwise.
@@ -175,6 +179,7 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
           0) {
         counts_.global_atomics[di].fetch_add(1, std::memory_order_relaxed);
       } else {
+        // relaxed (both arms): statistics counters.
         counts_.local_atomics[di].fetch_add(1, std::memory_order_relaxed);
       }
     }

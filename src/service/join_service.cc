@@ -14,7 +14,7 @@ using apujoin::StatusOr;
 
 bool JoinTicket::done() const {
   if (state_ == nullptr) return false;
-  std::lock_guard<std::mutex> lock(state_->mu);
+  annotated::MutexLock lock(state_->mu);
   return state_->result.has_value();
 }
 
@@ -22,8 +22,12 @@ StatusOr<coproc::JoinReport> JoinTicket::Take() {
   if (state_ == nullptr) {
     return Status::FailedPrecondition("Take() on an empty JoinTicket");
   }
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+  annotated::MutexLock lock(state_->mu);
+  // Predicate runs with state_->mu held (CondVar::Wait contract), which
+  // the analysis cannot see into the lambda.
+  state_->cv.Wait(state_->mu, [this]() NO_THREAD_SAFETY_ANALYSIS {
+    return state_->result.has_value();
+  });
   if (state_->taken) {
     return Status::FailedPrecondition("JoinTicket already taken");
   }
@@ -48,7 +52,7 @@ JoinService::~JoinService() {
   // service would use freed memory. Fail loudly in every build (the
   // assert-only version vanished under NDEBUG and let the use-after-free
   // happen later, far from the cause).
-  std::lock_guard<std::mutex> lock(mu_);
+  annotated::MutexLock lock(mu_);
   APU_CHECK(open_sessions_ == 0 &&
             "destroy all Sessions before the JoinService");
 }
@@ -63,17 +67,17 @@ int JoinService::default_slots() const {
 }
 
 int JoinService::open_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  annotated::MutexLock lock(mu_);
   return open_sessions_;
 }
 
 ServiceStats JoinService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  annotated::MutexLock lock(mu_);
   return stats_;
 }
 
 size_t JoinService::shared_cost_steps() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  annotated::MutexLock lock(mu_);
   return shared_costs_.size();
 }
 
@@ -81,7 +85,7 @@ StatusOr<std::unique_ptr<Session>> JoinService::OpenSession(
     SessionOptions opts) {
   int id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    annotated::MutexLock lock(mu_);
     if (open_sessions_ >= opts_.max_sessions) {
       ++stats_.sessions_rejected;
       return Status::ResourceExhausted(
@@ -117,13 +121,17 @@ StatusOr<std::unique_ptr<Session>> JoinService::OpenSession(
 }
 
 bool JoinService::TryAcquireQueueSlot() {
+  // relaxed CAS loop: pending_ is a standalone admission counter — the
+  // slot count itself is the only shared state, no other memory is
+  // published under it, so no ordering is needed beyond RMW atomicity.
   int cur = pending_.load(std::memory_order_relaxed);
   for (;;) {
     if (cur >= opts_.queue_capacity) {
-      std::lock_guard<std::mutex> lock(mu_);
+      annotated::MutexLock lock(mu_);
       ++stats_.submissions_rejected;
       return false;
     }
+    // relaxed: see above — RMW atomicity is the whole contract.
     if (pending_.compare_exchange_weak(cur, cur + 1,
                                        std::memory_order_relaxed)) {
       return true;
@@ -132,12 +140,12 @@ bool JoinService::TryAcquireQueueSlot() {
 }
 
 void JoinService::CloseSession() {
-  std::lock_guard<std::mutex> lock(mu_);
+  annotated::MutexLock lock(mu_);
   --open_sessions_;
 }
 
 void JoinService::AbsorbShared(const coproc::JoinReport& report) {
-  std::lock_guard<std::mutex> lock(mu_);
+  annotated::MutexLock lock(mu_);
   for (const coproc::StepReport& s : report.steps) {
     // Contention-free measured time, mirroring RatioTuner::Absorb: the
     // modelled share on the sim backend, full wall clock on real ones.
@@ -149,12 +157,12 @@ void JoinService::AbsorbShared(const coproc::JoinReport& report) {
 }
 
 void JoinService::SnapshotShared(cost::OnlineCalibrator* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  annotated::MutexLock lock(mu_);
   *out = shared_costs_;
 }
 
 void JoinService::CountJoin(bool ok) {
-  std::lock_guard<std::mutex> lock(mu_);
+  annotated::MutexLock lock(mu_);
   if (ok) {
     ++stats_.joins_completed;
   } else {
@@ -188,10 +196,10 @@ Session::Session(JoinService* service, int id, SessionOptions opts,
 
 Session::~Session() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    annotated::MutexLock lock(mu_);
     closing_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   runner_.join();  // drains the queue: accepted requests still complete
   service_->CloseSession();
 }
@@ -207,14 +215,14 @@ StatusOr<JoinTicket> Session::Submit(const data::Workload& workload) {
   ticket.state_ = std::make_shared<JoinTicket::State>();
   ticket.state_->workload = &workload;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    annotated::MutexLock lock(mu_);
     if (closing_) {
       service_->ReleaseQueueSlot();
       return Status::FailedPrecondition("session is closing");
     }
     queue_.push_back(ticket.state_);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return ticket;
 }
 
@@ -228,8 +236,12 @@ void Session::RunnerLoop() {
   for (;;) {
     std::shared_ptr<JoinTicket::State> req;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return closing_ || !queue_.empty(); });
+      annotated::MutexLock lock(mu_);
+      // Predicate runs with mu_ held (CondVar::Wait contract), which the
+      // analysis cannot see into the lambda.
+      cv_.Wait(mu_, [this]() NO_THREAD_SAFETY_ANALYSIS {
+        return closing_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // closing_ and drained
       req = queue_.front();
       queue_.pop_front();
@@ -260,10 +272,10 @@ void Session::RunOne(JoinTicket::State* req) {
   // request no longer occupies.
   service_->ReleaseQueueSlot();
   {
-    std::lock_guard<std::mutex> lock(req->mu);
+    annotated::MutexLock lock(req->mu);
     req->result.emplace(std::move(report));
   }
-  req->cv.notify_all();
+  req->cv.NotifyAll();
 }
 
 }  // namespace apujoin::service

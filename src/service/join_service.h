@@ -29,16 +29,16 @@
 #define APUJOIN_SERVICE_JOIN_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "core/coupled_joiner.h"
 #include "cost/online_calibration.h"
+#include "util/annotated_mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace apujoin::service {
 
@@ -107,11 +107,12 @@ class JoinTicket {
  private:
   friend class Session;
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
+    annotated::Mutex mu;
+    annotated::CondVar cv;
+    /// Set once by the session runner before it is handed to the client.
     const data::Workload* workload = nullptr;
-    std::optional<apujoin::StatusOr<coproc::JoinReport>> result;
-    bool taken = false;
+    std::optional<apujoin::StatusOr<coproc::JoinReport>> result GUARDED_BY(mu);
+    bool taken GUARDED_BY(mu) = false;
   };
   std::shared_ptr<State> state_;
 };
@@ -139,6 +140,7 @@ class JoinService {
   int default_slots() const;
   int open_sessions() const;
   /// Requests currently queued or running, service-wide.
+  /// (relaxed: monitoring snapshot of a standalone counter.)
   int pending() const { return pending_.load(std::memory_order_relaxed); }
   ServiceStats stats() const;
   const ServiceOptions& options() const { return opts_; }
@@ -168,11 +170,11 @@ class JoinService {
   std::unique_ptr<simcl::SimContext> substrate_ctx_;
   std::unique_ptr<exec::Backend> substrate_;
 
-  mutable std::mutex mu_;
-  cost::OnlineCalibrator shared_costs_;
-  ServiceStats stats_;
-  int open_sessions_ = 0;
-  int next_session_id_ = 1;
+  mutable annotated::Mutex mu_;
+  cost::OnlineCalibrator shared_costs_ GUARDED_BY(mu_);
+  ServiceStats stats_ GUARDED_BY(mu_);
+  int open_sessions_ GUARDED_BY(mu_) = 0;
+  int next_session_id_ GUARDED_BY(mu_) = 1;
   std::atomic<int> pending_{0};
 };
 
@@ -223,10 +225,10 @@ class Session {
   /// before each run (the planner reads it lock-free).
   cost::OnlineCalibrator shared_snapshot_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<JoinTicket::State>> queue_;
-  bool closing_ = false;
+  annotated::Mutex mu_;
+  annotated::CondVar cv_;
+  std::deque<std::shared_ptr<JoinTicket::State>> queue_ GUARDED_BY(mu_);
+  bool closing_ GUARDED_BY(mu_) = false;
   std::thread runner_;
 };
 

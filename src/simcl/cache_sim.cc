@@ -1,22 +1,25 @@
 #include "simcl/cache_sim.h"
 
-#include <cassert>
 #include <cstddef>
+
+#include "util/status.h"
 
 namespace apujoin::simcl {
 
 namespace {
-[[maybe_unused]] bool IsPowerOfTwo(uint64_t v) {
+bool IsPowerOfTwo(uint64_t v) {
   return v != 0 && (v & (v - 1)) == 0;
 }
 }  // namespace
 
 CacheSim::CacheSim(uint64_t capacity_bytes, uint32_t line_bytes, uint32_t ways)
     : line_bytes_(line_bytes), ways_(ways) {
-  assert(IsPowerOfTwo(line_bytes_));
+  APU_CHECK(IsPowerOfTwo(line_bytes_) &&
+            "cache line size must be a power of two");
   const uint64_t lines = capacity_bytes / line_bytes_;
   num_sets_ = static_cast<uint32_t>(lines / ways_);
-  assert(num_sets_ > 0 && IsPowerOfTwo(num_sets_));
+  APU_CHECK(num_sets_ > 0 && IsPowerOfTwo(num_sets_) &&
+            "cache geometry (capacity / line / ways) must yield a power-of-two set count");
   sets_.assign(static_cast<size_t>(num_sets_) * ways_, Way{});
 }
 

@@ -7,7 +7,6 @@
 #ifndef APUJOIN_UTIL_STATUS_H_
 #define APUJOIN_UTIL_STATUS_H_
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -67,12 +66,43 @@ class Status {
   std::string msg_;
 };
 
+/// Propagate a non-OK status to the caller.
+#define APU_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::apujoin::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Abort (with message) if `expr` yields a non-OK status.
+#define APU_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    ::apujoin::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                        \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,         \
+                   _st.ToString().c_str());                                 \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Abort if a boolean invariant does not hold. Unlike assert it survives
+/// NDEBUG, so release builds keep checking — the library-wide rule
+/// (enforced by tools/lint_invariants.py) is APU_CHECK or a Status, never
+/// assert.
+#define APU_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "FATAL %s:%d: check failed: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
 /// Either a value of T or an error Status.
 template <typename T>
 class StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
-    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+    APU_CHECK(!status_.ok() && "StatusOr(Status) requires a non-OK status");
   }
   StatusOr(T value)  // NOLINT: implicit by design, mirrors absl::StatusOr
       : status_(Status::OK()), value_(std::move(value)) {}
@@ -81,15 +111,15 @@ class StatusOr {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    APU_CHECK(ok() && "value() on an error StatusOr");
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    APU_CHECK(ok() && "value() on an error StatusOr");
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    APU_CHECK(ok() && "value() on an error StatusOr");
     return std::move(*value_);
   }
 
@@ -102,34 +132,6 @@ class StatusOr {
   Status status_;
   std::optional<T> value_;
 };
-
-/// Propagate a non-OK status to the caller.
-#define APU_RETURN_IF_ERROR(expr)            \
-  do {                                       \
-    ::apujoin::Status _st = (expr);          \
-    if (!_st.ok()) return _st;               \
-  } while (0)
-
-/// Abort (with message) if `expr` yields a non-OK status. For tools/benches.
-#define APU_CHECK_OK(expr)                                                  \
-  do {                                                                      \
-    ::apujoin::Status _st = (expr);                                         \
-    if (!_st.ok()) {                                                        \
-      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,         \
-                   _st.ToString().c_str());                                 \
-      std::abort();                                                         \
-    }                                                                       \
-  } while (0)
-
-/// Abort if a boolean invariant does not hold. For tools/benches.
-#define APU_CHECK(cond)                                                     \
-  do {                                                                      \
-    if (!(cond)) {                                                          \
-      std::fprintf(stderr, "FATAL %s:%d: check failed: %s\n", __FILE__,     \
-                   __LINE__, #cond);                                        \
-      std::abort();                                                         \
-    }                                                                       \
-  } while (0)
 
 }  // namespace apujoin
 

@@ -1,0 +1,78 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These attach the locking discipline of a structure to its declaration so
+// clang's -Wthread-safety pass can machine-check it at compile time: which
+// mutex guards which field (GUARDED_BY), which functions must be entered
+// with a lock held (REQUIRES), which acquire or release one (ACQUIRE /
+// RELEASE). The macros follow the naming of the LLVM/abseil convention
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and expand to
+// nothing on compilers without the attribute (GCC), so annotated code
+// builds identically everywhere; only clang enforces.
+//
+// The CI clang lane builds the library with -Wthread-safety -Werror, so an
+// unlocked access to a GUARDED_BY field is a build break, not a review
+// comment. Use the capability wrappers in util/annotated_mutex.h
+// (annotated::Mutex / annotated::SpinLock) rather than raw std::mutex —
+// the analysis only understands lock types that are themselves annotated.
+
+#ifndef APUJOIN_UTIL_THREAD_ANNOTATIONS_H_
+#define APUJOIN_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define APUJOIN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define APUJOIN_THREAD_ANNOTATION(x)  // no-op on GCC and others
+#endif
+
+/// Marks a type as a lock ("capability") the analysis can track.
+#define CAPABILITY(x) APUJOIN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII guard type: acquiring in the constructor, releasing in the
+/// destructor.
+#define SCOPED_CAPABILITY APUJOIN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define GUARDED_BY(x) APUJOIN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define PT_GUARDED_BY(x) APUJOIN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define REQUIRES(...) \
+  APUJOIN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define ACQUIRE(...) APUJOIN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define RELEASE(...) APUJOIN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; the first argument is the
+/// return value that means success.
+#define TRY_ACQUIRE(...) \
+  APUJOIN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be entered with the listed capabilities held (deadlock
+/// guard for non-reentrant locks).
+#define EXCLUDES(...) APUJOIN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a lock-ordering edge: this lock must be acquired after `x`.
+#define ACQUIRED_AFTER(...) \
+  APUJOIN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Declares a lock-ordering edge: this lock must be acquired before `x`.
+#define ACQUIRED_BEFORE(...) \
+  APUJOIN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Function returns a reference to a capability-guarded object.
+#define RETURN_CAPABILITY(x) APUJOIN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function body. Use only
+/// where the analysis cannot follow a sound protocol (condition-variable
+/// re-acquisition, lock hand-off across call boundaries) and say why in a
+/// comment at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  APUJOIN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // APUJOIN_UTIL_THREAD_ANNOTATIONS_H_

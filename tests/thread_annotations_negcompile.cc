@@ -1,0 +1,34 @@
+// Negative-compile test: this translation unit MUST fail to build under
+// clang with -Wthread-safety -Werror=thread-safety-analysis. CTest builds
+// it on demand and inverts the result (WILL_FAIL; see CMakeLists.txt), so
+// a toolchain or annotation regression that silently stops enforcing the
+// locking discipline turns the suite red.
+//
+// The violation below is the exact class of bug the annotations exist to
+// catch: reading a GUARDED_BY field without holding its mutex.
+//
+// This file is EXCLUDE_FROM_ALL — it is only ever compiled by the
+// thread_annotations_negcompile test, and only on clang lanes.
+
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int Broken() const {
+    return value_;  // BAD: no lock held — must trip -Wthread-safety
+  }
+
+ private:
+  mutable apujoin::annotated::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.Broken();
+}

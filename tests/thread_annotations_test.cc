@@ -1,0 +1,114 @@
+// Tests for the capability-annotated lock wrappers (util/annotated_mutex.h)
+// and the annotation macros (util/thread_annotations.h).
+//
+// Two things are under test. First, runtime semantics: the wrappers must
+// behave exactly like the std primitives they wrap — mutual exclusion,
+// condition-variable wakeups, spinlock exclusion — on every compiler.
+// Second, portability of the annotations themselves: this file *uses* the
+// macros on a local class, so a GCC build proves they expand to nothing
+// harmful; the companion negative-compile test (clang lanes only, see
+// tests/thread_annotations_negcompile.cc and CMakeLists.txt) proves they
+// actually reject unlocked access under -Wthread-safety.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/annotated_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace apujoin {
+namespace {
+
+// A guarded structure in the exact idiom the library uses; compiling it on
+// GCC (annotations expand to nothing) and clang (annotations enforced) is
+// itself part of the test.
+class Counter {
+ public:
+  void Add(int v) {
+    annotated::MutexLock lock(mu_);
+    value_ += v;
+  }
+  int Get() const {
+    annotated::MutexLock lock(mu_);
+    return value_;
+  }
+  void AddLocked(int v) REQUIRES(mu_) { value_ += v; }
+  annotated::Mutex& mu() RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  mutable annotated::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+TEST(AnnotatedMutexTest, MutualExclusionUnderContention) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIters; ++i) c.Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.Get(), kThreads * kIters);
+}
+
+TEST(AnnotatedMutexTest, RequiresAnnotatedHelperWorksUnderExplicitLock) {
+  Counter c;
+  c.mu().Lock();
+  c.AddLocked(5);
+  c.mu().Unlock();
+  EXPECT_EQ(c.Get(), 5);
+}
+
+TEST(AnnotatedMutexTest, TryLockReportsHeldMutex) {
+  annotated::Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  std::thread other([&mu] { EXPECT_FALSE(mu.TryLock()); });
+  other.join();
+  mu.Unlock();
+}
+
+TEST(AnnotatedCondVarTest, WaitWakesOnPredicate) {
+  annotated::Mutex mu;
+  annotated::CondVar cv;
+  bool ready = false;  // GUARDED_BY(mu) in spirit; local to the test
+  int observed = 0;
+
+  std::thread waiter([&] {
+    annotated::MutexLock lock(mu);
+    cv.Wait(mu, [&]() NO_THREAD_SAFETY_ANALYSIS { return ready; });
+    observed = 1;
+  });
+  {
+    annotated::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(AnnotatedSpinLockTest, MutualExclusionUnderContention) {
+  annotated::SpinLock lock;
+  int value = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        annotated::SpinLockGuard guard(lock);
+        ++value;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(value, kThreads * kIters);
+}
+
+}  // namespace
+}  // namespace apujoin

@@ -49,6 +49,19 @@ TEST(StatusOrTest, HoldsError) {
   EXPECT_EQ(v.status().code(), StatusCode::kInternal);
 }
 
+// Regression: these guards used to be assert()s, which vanish under
+// NDEBUG — release builds would dereference an empty optional instead of
+// failing loudly. They are APU_CHECKs now and must abort in EVERY build
+// configuration.
+TEST(StatusOrDeathTest, ValueOnErrorAbortsInAllBuilds) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_DEATH({ (void)v.value(); }, "check failed");
+}
+
+TEST(StatusOrDeathTest, WrappingOkStatusAbortsInAllBuilds) {
+  EXPECT_DEATH({ StatusOr<int> v{Status::OK()}; (void)v; }, "check failed");
+}
+
 TEST(RandomTest, DeterministicForSeed) {
   Random a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: machine-checks the concurrency and portability
+rules that code review used to carry by hand. Runs as a CTest (see
+CMakeLists.txt) and in CI's default build job; exit status 1 on any
+violation, with file:line diagnostics.
+
+Rules (over src/ unless stated otherwise):
+
+  atomic-order    every std::atomic operation (load/store/RMW and
+                  atomic_flag test_and_set/clear) must name an explicit
+                  std::memory_order AND carry a justifying comment on the
+                  same line or within the 5 lines above it. Implicit
+                  seq_cst is almost always either an unintended cost or an
+                  unexamined protocol; the comment records which ordering
+                  argument was actually made.
+  no-assert       no assert() in src/ — it vanishes under NDEBUG, so the
+                  invariant silently stops being checked in release
+                  builds. Use APU_CHECK (always on) or return a Status.
+                  static_assert is fine (compile-time, never stripped).
+  no-march-native anywhere in the repo (sources, CMake, scripts):
+                  -march=native makes builds non-reproducible across
+                  machines and silently embeds AVX-512 on some CI hosts.
+                  ISA dispatch is runtime (util/cpu_features) by design.
+  avx2-target     _mm256_* intrinsics may appear only inside functions
+                  marked __attribute__((target("avx2"))) (or files listed
+                  in AVX2_FILE_ALLOWLIST that gate at file level). The
+                  library builds without -mavx2 globally; an unmarked
+                  intrinsic is an illegal-instruction crash on SSE-only
+                  hosts waiting to happen.
+  kernel-no-alloc MorselKernel bodies (`.run = [...]` lambdas in step
+                  definitions) must not allocate: no new/malloc/
+                  make_unique/make_shared and no growing container calls
+                  (push_back/emplace_back/resize/reserve). Kernels run on
+                  every morsel of every span; allocation there is both a
+                  scalability bug (heap lock under the morsel loop) and a
+                  modelling bug (unpriced work). Writers go through
+                  pre-sized buffers and the alloc/ subsystem instead.
+
+The linter is line-oriented and deliberately heuristic — it joins
+continuation lines to find the argument list of a call that spills over,
+and brace-matches lambda/function bodies — but it does not parse C++.
+Keep the rules honest: if a rule misfires, fix the pattern here rather
+than sprinkling suppressions in the code.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+CXX_EXTS = (".cc", ".h", ".cpp", ".hpp")
+
+# Atomic member operations that take a memory_order argument. `.clear(` is
+# included only when the call names a memory_order (vector::clear shares
+# the spelling); an atomic_flag.clear() without an order therefore shows up
+# through the companion test_and_set hit on the same flag in practice.
+ATOMIC_OPS = (
+    r"\.load\s*\(",
+    r"\.store\s*\(",
+    r"\.exchange\s*\(",
+    r"\.fetch_add\s*\(",
+    r"\.fetch_sub\s*\(",
+    r"\.fetch_and\s*\(",
+    r"\.fetch_or\s*\(",
+    r"\.fetch_xor\s*\(",
+    r"\.compare_exchange_weak\s*\(",
+    r"\.compare_exchange_strong\s*\(",
+    r"\.test_and_set\s*\(",
+)
+ATOMIC_OP_RE = re.compile("|".join(ATOMIC_OPS))
+# Lines that merely *declare* or pass a pointer to these members.
+DECL_RE = re.compile(r"^\s*(//|\*|/\*)")
+
+COMMENT_LOOKBACK = 5  # lines above an atomic op that may hold its comment
+
+ALLOC_TOKENS = re.compile(
+    r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|"
+    r"\.push_back\s*\(|\.emplace_back\s*\(|\.resize\s*\(|\.reserve\s*\(|"
+    r"\bmake_unique\s*<|\bmake_shared\s*<"
+)
+
+AVX2_INTRIN = re.compile(r"\b_mm256_\w+\s*\(")
+AVX2_TARGET = re.compile(r'__attribute__\s*\(\s*\(\s*target\s*\(\s*"avx2"')
+# Files that gate every AVX2 path behind a single file-level mechanism the
+# span matcher cannot see (none today; add "src/..." paths if one appears).
+AVX2_FILE_ALLOWLIST: set[str] = set()
+
+MARCH_NATIVE = re.compile(r"-march=native")
+ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+
+
+def iter_files(root, exts):
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith(exts):
+                yield os.path.join(dirpath, name)
+
+
+def rel(path):
+    return os.path.relpath(path, REPO)
+
+
+def strip_strings(line):
+    """Blanks out string literals so tokens inside them don't match."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+
+
+def join_call(lines, i):
+    """Returns the call starting at line i joined until parens balance
+    (bounded), for argument inspection of calls that spill over."""
+    joined = lines[i]
+    depth = joined.count("(") - joined.count(")")
+    j = i
+    while depth > 0 and j + 1 < len(lines) and j - i < 8:
+        j += 1
+        joined += " " + lines[j].strip()
+        depth += lines[j].count("(") - lines[j].count(")")
+    return joined
+
+
+def has_nearby_comment(lines, i):
+    code, sep, _tail = lines[i].partition("//")
+    if sep:
+        return True
+    for j in range(max(0, i - COMMENT_LOOKBACK), i):
+        s = lines[j].strip()
+        if s.startswith("//") or "//" in strip_strings(lines[j]) or \
+                s.startswith("*") or s.startswith("/*"):
+            return True
+    return False
+
+
+def check_atomic_order(path, lines, errors):
+    for i, raw in enumerate(lines):
+        line = strip_strings(raw)
+        if DECL_RE.match(line):
+            continue
+        if not ATOMIC_OP_RE.search(line):
+            continue
+        call = strip_strings(join_call(lines, i))
+        if "memory_order" not in call:
+            errors.append(
+                f"{rel(path)}:{i + 1}: atomic operation without an explicit "
+                f"std::memory_order (implicit seq_cst): {raw.strip()}")
+        elif not has_nearby_comment(lines, i):
+            errors.append(
+                f"{rel(path)}:{i + 1}: atomic operation lacks a justifying "
+                f"comment (same line or the {COMMENT_LOOKBACK} lines above): "
+                f"{raw.strip()}")
+
+
+def check_no_assert(path, lines, errors):
+    for i, raw in enumerate(lines):
+        code = strip_strings(raw).partition("//")[0]
+        if "static_assert" in code:
+            code = code.replace("static_assert", "")
+        if ASSERT_RE.search(code):
+            errors.append(
+                f"{rel(path)}:{i + 1}: assert() in src/ vanishes under "
+                f"NDEBUG — use APU_CHECK or return a Status: {raw.strip()}")
+
+
+def body_span(lines, i):
+    """(start, end) line indexes of the brace-matched body opening at or
+    after line i; end is inclusive. Returns None when no '{' is found."""
+    depth = 0
+    started = False
+    for j in range(i, len(lines)):
+        code = strip_strings(lines[j]).partition("//")[0]
+        for ch in code:
+            if ch == "{":
+                depth += 1
+                started = True
+            elif ch == "}":
+                depth -= 1
+                if started and depth == 0:
+                    return (i, j)
+        if j - i > 400:  # runaway guard: unmatched brace
+            break
+    return (i, len(lines) - 1) if started else None
+
+
+KERNEL_LAMBDA_RE = re.compile(r"\.run\s*=\s*\[")
+
+
+def check_kernel_no_alloc(path, lines, errors):
+    for i, raw in enumerate(lines):
+        if not KERNEL_LAMBDA_RE.search(strip_strings(raw)):
+            continue
+        span = body_span(lines, i)
+        if span is None:
+            continue
+        for j in range(span[0], span[1] + 1):
+            code = strip_strings(lines[j]).partition("//")[0]
+            m = ALLOC_TOKENS.search(code)
+            if m:
+                errors.append(
+                    f"{rel(path)}:{j + 1}: allocation inside a MorselKernel "
+                    f"body ('{m.group(0).strip()}' in the `.run = [...]` "
+                    f"lambda opened at line {i + 1}) — kernels must run "
+                    f"allocation-free; pre-size outside the kernel or go "
+                    f"through alloc/")
+
+
+def check_avx2_target(path, lines, errors):
+    if rel(path) in AVX2_FILE_ALLOWLIST:
+        return
+    # Collect spans of functions declared with the avx2 target attribute.
+    spans = []
+    for i, raw in enumerate(lines):
+        if AVX2_TARGET.search(raw):
+            s = body_span(lines, i)
+            if s:
+                spans.append(s)
+    for i, raw in enumerate(lines):
+        code = strip_strings(raw).partition("//")[0]
+        if not AVX2_INTRIN.search(code):
+            continue
+        if any(s[0] <= i <= s[1] for s in spans):
+            continue
+        errors.append(
+            f"{rel(path)}:{i + 1}: _mm256_* intrinsic outside an "
+            f"__attribute__((target(\"avx2\"))) function — illegal "
+            f"instruction on SSE-only hosts: {raw.strip()}")
+
+
+def check_march_native(errors):
+    exts = CXX_EXTS + (".txt", ".cmake", ".sh", ".yml", ".yaml", ".json")
+    for dirpath, dirnames, filenames in os.walk(REPO):
+        dirnames[:] = [d for d in dirnames
+                       if d not in (".git", "build", "third_party")
+                       and not d.startswith("build")]
+        for name in sorted(filenames):
+            if not name.endswith(exts):
+                continue
+            path = os.path.join(dirpath, name)
+            if os.path.abspath(path) == os.path.abspath(__file__):
+                continue
+            comment = "//" if name.endswith(CXX_EXTS) else "#"
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    for i, raw in enumerate(f):
+                        # Prose about the flag is fine; passing it is not.
+                        code = strip_strings(raw).split(comment)[0]
+                        if MARCH_NATIVE.search(code):
+                            errors.append(
+                                f"{rel(path)}:{i + 1}: -march=native breaks "
+                                f"build reproducibility; use runtime ISA "
+                                f"dispatch (util/cpu_features)")
+            except OSError:
+                continue
+
+
+def main():
+    errors = []
+    for path in iter_files(SRC, CXX_EXTS):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+        check_atomic_order(path, lines, errors)
+        check_no_assert(path, lines, errors)
+        check_kernel_no_alloc(path, lines, errors)
+        check_avx2_target(path, lines, errors)
+    check_march_native(errors)
+
+    if errors:
+        print(f"lint_invariants: {len(errors)} violation(s)\n")
+        for e in errors:
+            print(e)
+        return 1
+    print("lint_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
