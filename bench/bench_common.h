@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "coproc/pipeline_runner.h"
 #include "core/coupled_joiner.h"
 #include "core/harness_flags.h"
 #include "util/env.h"
@@ -242,7 +243,8 @@ inline coproc::JoinReport MustJoin(simcl::SimContext* ctx,
                                    const coproc::JoinSpec& spec) {
   coproc::JoinSpec run_spec = spec;
   ApplyBackend(&run_spec);
-  auto report = coproc::ExecuteJoin(CachedBackend(ctx), w, run_spec);
+  auto report = coproc::ExecutePlan(CachedBackend(ctx),
+                                    coproc::MakeSingleJoinPlan(w, run_spec));
   APU_CHECK_OK(report.status());
   APU_CHECK(report->matches == w.expected_matches);
   g_json.AddJoin(*report);

@@ -63,7 +63,8 @@ void Run() {
   coproc::JoinReport last;
   for (int i = 1; i <= kIterations; ++i) {
     tuner.Prepare(&spec);
-    auto report = coproc::ExecuteJoin(backend, w, spec);
+    auto report =
+        coproc::ExecutePlan(backend, coproc::MakeSingleJoinPlan(w, spec));
     APU_CHECK_OK(report.status());
     APU_CHECK(report->matches == w.expected_matches);
     g_json.AddJoin(*report);

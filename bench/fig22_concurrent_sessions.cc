@@ -178,9 +178,9 @@ double RunEqualWork() {
   core::CoupledJoiner joiner(config);
 
   service::ServiceOptions sopts;
-  sopts.backend = g_flags.backend;
-  sopts.backend_threads = g_flags.threads;
-  sopts.morsel_items = g_flags.morsel;
+  sopts.exec.backend = g_flags.backend;
+  sopts.exec.threads = g_flags.threads;
+  sopts.exec.morsel_items = g_flags.morsel;
   sopts.max_sessions = kSessions;
   service::JoinService svc(sopts);
   std::vector<std::unique_ptr<service::Session>> sessions;
@@ -244,9 +244,9 @@ void RunFairness() {
       MakeWorkload(Scaled(1ull << 16), Scaled(1ull << 18));
 
   service::ServiceOptions sopts;
-  sopts.backend = g_flags.backend;
-  sopts.backend_threads = g_flags.threads;
-  sopts.morsel_items = g_flags.morsel;
+  sopts.exec.backend = g_flags.backend;
+  sopts.exec.threads = g_flags.threads;
+  sopts.exec.morsel_items = g_flags.morsel;
   sopts.max_sessions = kSessions;
   service::JoinService svc(sopts);
 

@@ -1,0 +1,214 @@
+// Operator pipelines beyond the lone hash join: runs one of three plan
+// shapes through the pipeline runner and reports per-operator timings.
+//
+//   --plan=snowflake  3-table snowflake: fact probes two dimension tables
+//                     in one multi-way chain, aggregated by key (the CI
+//                     smoke plan, run on both backends);
+//   --plan=filter     select(build) -> hash join (predicate pushdown);
+//   --plan=groupby    hash join -> group-by SUM over the probe rids.
+//
+// All shared harness flags apply (--backend, --threads, --layout, ...);
+// --json adds one metric per operator (elapsed ns) next to the join record.
+
+#include <cinttypes>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "data/generator.h"
+#include "plan/plan.h"
+
+namespace apujoin::bench {
+namespace {
+
+enum class PlanShape { kSnowflake, kFilter, kGroupBy };
+
+const char* PlanShapeName(PlanShape s) {
+  switch (s) {
+    case PlanShape::kSnowflake: return "snowflake";
+    case PlanShape::kFilter:    return "filter";
+    case PlanShape::kGroupBy:   return "groupby";
+  }
+  return "?";
+}
+
+/// Dimension table: keys 0..n-1, each once (deterministically shuffled so
+/// the build is not presorted).
+data::Relation MakeDimension(uint64_t n, uint32_t seed) {
+  data::Relation r;
+  r.Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    r.Append(static_cast<int32_t>(i), static_cast<int32_t>(i));
+  }
+  // Fisher-Yates with a fixed LCG: deterministic across runs and platforms.
+  uint64_t state = seed;
+  for (uint64_t i = n - 1; i > 0; --i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t j = (state >> 33) % (i + 1);
+    std::swap(r.keys[i], r.keys[j]);
+    std::swap(r.rids[i], r.rids[j]);
+  }
+  return r;
+}
+
+/// Fact table: m rows with foreign keys uniform over [0, n).
+data::Relation MakeFact(uint64_t m, uint64_t n, uint32_t seed) {
+  data::Relation r;
+  r.Reserve(m);
+  uint64_t state = seed;
+  for (uint64_t i = 0; i < m; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    r.Append(static_cast<int32_t>((state >> 33) % n),
+             static_cast<int32_t>(i));
+  }
+  return r;
+}
+
+void PrintOperators(const coproc::JoinReport& report) {
+  TablePrinter table({"operator", "kind", "input rows", "output rows",
+                      "time (s)", "share"});
+  double total = 0.0;
+  for (const coproc::OperatorReport& op : report.operators) {
+    total += op.elapsed_ns;
+  }
+  for (const coproc::OperatorReport& op : report.operators) {
+    table.AddRow({op.path, op.kind, TablePrinter::FmtCount(op.input_rows),
+                  TablePrinter::FmtCount(op.output_rows), Secs(op.elapsed_ns),
+                  TablePrinter::FmtPercent(total > 0 ? op.elapsed_ns / total
+                                                     : 0.0)});
+    g_json.AddMetric("op_elapsed_ns:" + op.path, op.elapsed_ns);
+  }
+  table.Print();
+  std::printf("total %s s (%" PRIu64 " matches, %zu groups)\n\n",
+              Secs(report.elapsed_ns).c_str(), report.matches,
+              report.groups.size());
+}
+
+void RunSnowflake(simcl::SimContext* ctx) {
+  const uint64_t dim = Scaled(4ull << 20);
+  const uint64_t fact = Scaled(16ull << 20);
+  const data::Relation d1 = MakeDimension(dim, 17);
+  const data::Relation d2 = MakeDimension(dim, 23);
+  const data::Relation f = MakeFact(fact, dim, 42);
+
+  PrintSection("snowflake: fact ⋈ dim1 ⋈ dim2 -> group-by count");
+  coproc::PlanSpec plan;
+  const int n1 = plan.graph.AddScan(&d1);
+  const int n2 = plan.graph.AddScan(&d2);
+  const int nf = plan.graph.AddScan(&f);
+  const int mw = plan.graph.AddMultiwayJoin({n1, n2}, nf);
+  plan.graph.AddGroupBy(mw, plan::AggFn::kCount);
+  ApplyBackend(&plan.exec);
+  // Unique dimension keys: every fact row survives the chain exactly once.
+  plan.expected_matches = fact;
+
+  auto report = coproc::ExecutePlan(CachedBackend(ctx), plan);
+  APU_CHECK_OK(report.status());
+  APU_CHECK(report->matches == fact);
+  g_json.AddJoin(*report);
+  PrintOperators(*report);
+}
+
+void RunFilter(simcl::SimContext* ctx) {
+  const data::Workload w =
+      MakeWorkload(Scaled(16ull << 20), Scaled(16ull << 20));
+
+  PrintSection("filter: select(R.key >= median) -> R ⋈ S");
+  plan::Predicate pred;
+  pred.column = plan::SelectColumn::kKey;
+  pred.op = plan::CompareOp::kGe;
+  pred.operand = w.build.keys[w.build.size() / 2];
+
+  // Reference match count for the filtered build side.
+  std::unordered_map<int32_t, uint64_t> counts;
+  for (uint64_t i = 0; i < w.build.size(); ++i) {
+    if (plan::EvalPredicate(pred, w.build.keys[i], w.build.rids[i])) {
+      ++counts[w.build.keys[i]];
+    }
+  }
+  uint64_t expected = 0;
+  for (int32_t k : w.probe.keys) {
+    auto it = counts.find(k);
+    if (it != counts.end()) expected += it->second;
+  }
+
+  coproc::PlanSpec plan;
+  const int b = plan.graph.AddScan(&w.build);
+  const int sel = plan.graph.AddSelect(b, pred);
+  const int p = plan.graph.AddScan(&w.probe);
+  plan.graph.AddHashJoin(sel, p);
+  ApplyBackend(&plan.exec);
+  plan.expected_matches = expected;
+
+  auto report = coproc::ExecutePlan(CachedBackend(ctx), plan);
+  APU_CHECK_OK(report.status());
+  APU_CHECK(report->matches == expected);
+  g_json.AddJoin(*report);
+  PrintOperators(*report);
+}
+
+void RunGroupBy(simcl::SimContext* ctx) {
+  const data::Workload w =
+      MakeWorkload(Scaled(16ull << 20), Scaled(16ull << 20));
+
+  PrintSection("groupby: R ⋈ S -> group-by sum(probe rid)");
+  coproc::PlanSpec plan;
+  const int b = plan.graph.AddScan(&w.build);
+  const int p = plan.graph.AddScan(&w.probe);
+  const int j = plan.graph.AddHashJoin(b, p);
+  plan.graph.AddGroupBy(j, plan::AggFn::kSum);
+  ApplyBackend(&plan.exec);
+  plan.expected_matches = w.expected_matches;
+
+  auto report = coproc::ExecutePlan(CachedBackend(ctx), plan);
+  APU_CHECK_OK(report.status());
+  APU_CHECK(report->matches == w.expected_matches);
+  g_json.AddJoin(*report);
+  PrintOperators(*report);
+}
+
+}  // namespace
+}  // namespace apujoin::bench
+
+int main(int argc, char** argv) {
+  using namespace apujoin;
+  using namespace apujoin::bench;
+
+  // Extract the bench-specific --plan flag, hand everything else to the
+  // shared harness parser.
+  PlanShape shape = PlanShape::kSnowflake;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--plan=", 7) == 0) {
+      const char* v = argv[i] + 7;
+      if (std::strcmp(v, "snowflake") == 0) {
+        shape = PlanShape::kSnowflake;
+      } else if (std::strcmp(v, "filter") == 0) {
+        shape = PlanShape::kFilter;
+      } else if (std::strcmp(v, "groupby") == 0) {
+        shape = PlanShape::kGroupBy;
+      } else {
+        std::fprintf(stderr,
+                     "invalid value in '%s' "
+                     "(want --plan=snowflake|filter|groupby)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  InitBench(static_cast<int>(rest.size()), rest.data());
+
+  PrintBanner("fig23 operator pipelines",
+              "plan trees on the step-series machinery (beyond Section 5: "
+              "selection, multi-way chains, group-by)");
+  std::printf("plan: %s\n\n", PlanShapeName(shape));
+
+  simcl::SimContext ctx = MakeContext();
+  switch (shape) {
+    case PlanShape::kSnowflake: RunSnowflake(&ctx); break;
+    case PlanShape::kFilter:    RunFilter(&ctx);    break;
+    case PlanShape::kGroupBy:   RunGroupBy(&ctx);   break;
+  }
+  return 0;
+}

@@ -56,7 +56,7 @@ inline void ApplyBackendFlags(int argc, char** argv,
   const core::HarnessFlags flags = ParseFlags(argc, argv);
   core::ApplyHarnessFlags(flags, engine);
   if (!flags.backend_set) engine->backend = defaults.backend;
-  if (!flags.threads_set) engine->backend_threads = defaults.backend_threads;
+  if (!flags.threads_set) engine->threads = defaults.threads;
   if (!flags.morsel_set) engine->morsel_items = defaults.morsel_items;
   if (!flags.stream_set) engine->stream = defaults.stream;
   if (!flags.tune_set) engine->tune = defaults.tune;

@@ -74,16 +74,16 @@ int main(int argc, char** argv) {
   examples::ApplyBackendFlags(argc, argv, &engine);
 
   service::ServiceOptions sopts;
-  sopts.backend = engine.backend;
-  sopts.backend_threads = engine.backend_threads;
-  sopts.morsel_items = engine.morsel_items;
+  sopts.exec.backend = engine.backend;
+  sopts.exec.threads = engine.threads;
+  sopts.exec.morsel_items = engine.morsel_items;
   sopts.max_sessions = kClients;
   sopts.queue_capacity = 8;
   service::JoinService svc(sopts);
 
   std::printf("join server: backend=%s, %d worker slots, max %d sessions, "
               "queue %d, tune=%s\n\n",
-              exec::BackendKindName(sopts.backend), svc.capacity(),
+              exec::BackendKindName(sopts.exec.backend), svc.capacity(),
               sopts.max_sessions, sopts.queue_capacity,
               cost::TuneModeName(engine.tune));
 

@@ -323,7 +323,7 @@ StatusOr<JoinReport> ExecuteCoarsePhj(simcl::SimContext* ctx,
                                       const data::Workload& workload,
                                       const JoinSpec& spec) {
   const std::unique_ptr<exec::Backend> backend =
-      exec::MakeBackend(spec.engine.backend, ctx, spec.engine.backend_threads,
+      exec::MakeBackend(spec.engine.backend, ctx, spec.engine.threads,
                         spec.engine.morsel_items);
   return ExecuteCoarsePhj(backend.get(), workload, spec);
 }

@@ -1,539 +1,24 @@
 #include "coproc/join_driver.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-
-#include "cost/calibration.h"
-#include "cost/optimizer.h"
-#include "join/partitioned_hash_join.h"
-#include "join/result_writer.h"
-#include "join/simple_hash_join.h"
+#include "coproc/pipeline_runner.h"
 
 namespace apujoin::coproc {
 
-using apujoin::Status;
-using apujoin::StatusOr;
-using join::StepDef;
-using simcl::DeviceId;
-using simcl::Phase;
+// Legacy entry points, kept as thin shims over the plan pipeline: the
+// workload lowers to a single-HashJoin PlanSpec whose execution is
+// bit-identical to the pre-plan driver (tests/plan_lowering_test.cc pins
+// this).
 
-namespace {
-
-// ---------------------------------------------------------------------------
-// Ratio resolution
-// ---------------------------------------------------------------------------
-
-/// Validates a user-supplied ratio override: sizes must broadcast (1) or
-/// match the series, and every value must be a finite CPU share in [0,1].
-/// These used to be assert-only (compiled out under NDEBUG) or silently
-/// clamped; a bad override is a caller error and must surface as one.
-Status ValidateRatioOverride(const char* which,
-                             const std::vector<double>& ratios,
-                             size_t steps) {
-  if (ratios.empty()) return Status::OK();
-  if (ratios.size() != 1 && ratios.size() != steps) {
-    return Status::InvalidArgument(
-        std::string(which) + " ratio override has " +
-        std::to_string(ratios.size()) + " entries; want 1 or " +
-        std::to_string(steps));
-  }
-  for (size_t i = 0; i < ratios.size(); ++i) {
-    const double r = ratios[i];
-    if (!std::isfinite(r) || r < 0.0 || r > 1.0) {
-      return Status::InvalidArgument(
-          std::string(which) + " ratio override [" + std::to_string(i) +
-          "] = " + std::to_string(r) + " is not a CPU share in [0,1]");
-    }
-  }
-  return Status::OK();
+apujoin::StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
+                                          const data::Workload& workload,
+                                          const JoinSpec& spec) {
+  return ExecutePlan(backend, MakeSingleJoinPlan(workload, spec));
 }
 
-StatusOr<std::vector<double>> ResolveRatios(
-    const char* which, Scheme scheme, const cost::StepCosts& costs,
-    uint64_t n, const cost::CommSpec& comm,
-    const std::vector<double>& override_ratios) {
-  const size_t steps = costs.size();
-  APU_RETURN_IF_ERROR(ValidateRatioOverride(which, override_ratios, steps));
-  if (!override_ratios.empty()) {
-    if (override_ratios.size() == 1) {
-      return std::vector<double>(steps, override_ratios[0]);
-    }
-    return override_ratios;
-  }
-  switch (scheme) {
-    case Scheme::kCpuOnly:
-      return std::vector<double>(steps, 1.0);
-    case Scheme::kGpuOnly:
-      return std::vector<double>(steps, 0.0);
-    case Scheme::kOffload:
-      return cost::OptimizeOffloading(costs, n, comm).ratios;
-    case Scheme::kDataDivide:
-    case Scheme::kBasicUnit:  // BasicUnit schedules dynamically; no ratios
-      return cost::OptimizeDataDividing(costs, n, comm).ratios;
-    case Scheme::kPipelined:
-      return cost::OptimizePipelined(costs, n, comm).ratios;
-  }
-  return Status::Internal("unknown scheme");
-}
-
-// ---------------------------------------------------------------------------
-// Driver state shared by the SHJ and PHJ paths
-// ---------------------------------------------------------------------------
-
-struct Driver {
-  exec::Backend* backend;
-  simcl::SimContext* ctx;
-  const data::Workload& workload;
-  const JoinSpec& spec;
-  join::ResultWriter* writer = nullptr;  ///< for per-phase dropped deltas
-  JoinReport report;
-  cost::CommSpec comm;
-  double estimated_ns = 0.0;
-
-  Driver(exec::Backend* b, const data::Workload& w, const JoinSpec& s)
-      : backend(b), ctx(b->context()), workload(w), spec(s) {
-    comm.bytes_per_item = 8.0;
-    comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
-  }
-
-  bool real_execution() const {
-    return backend->kind() != exec::BackendKind::kSim;
-  }
-
-  /// Calibrates a step series analytically, then overlays measured unit
-  /// costs from previous runs when the caller supplied a table — the
-  /// feedback loop that lets the ratio optimizers converge from analytic
-  /// guesses to hardware-true costs over repeated joins.
-  cost::StepCosts Calibrate(const std::vector<StepDef>& steps,
-                            const cost::WorkloadStats& stats) const {
-    cost::StepCosts costs = cost::CalibrateSeries(*ctx, steps, stats);
-    // Cross-session measurements first, the session's own on top: the
-    // session overrides the pool wherever it has run the step itself.
-    if (spec.shared_costs != nullptr) {
-      costs = spec.shared_costs->Refine(costs);
-    }
-    if (spec.measured_costs != nullptr) {
-      costs = spec.measured_costs->Refine(costs);
-    }
-    return costs;
-  }
-
-  /// Transfer of the GPU's input share over PCI-e in discrete mode; returns
-  /// the delay before the GPU can start this phase.
-  double PhaseInputTransfer(const std::vector<double>& ratios,
-                            uint64_t items, double bytes_per_item) {
-    if (!ctx->discrete() || ratios.empty()) return 0.0;
-    const double gpu_share = 1.0 - ratios.front();
-    if (gpu_share <= 0.0) return 0.0;
-    const double bytes = gpu_share * static_cast<double>(items) *
-                         bytes_per_item;
-    return ctx->TransferToDevice(bytes);
-  }
-
-  /// Runs one series under `scheme` with resolved `ratios`, logs phase time
-  /// and collects step reports. `gpu_start_delay` shifts the GPU (PCI-e
-  /// input transfer in discrete mode).
-  StatusOr<SeriesResult> RunPhase(
-      const std::string& phase_name, Phase phase,
-      std::vector<StepDef>& steps, const cost::StepCosts& costs,
-      const std::vector<double>& ratios,
-      const std::function<alloc::AllocCounts()>& drain,
-      double gpu_start_delay,
-      const std::vector<uint32_t>* pair_offsets = nullptr) {
-    const uint64_t dropped0 = writer != nullptr ? writer->dropped() : 0;
-    SeriesResult res;
-    if (spec.scheme == Scheme::kBasicUnit) {
-      BasicUnitOptions bu;
-      const uint64_t n = steps.front().items;
-      bu.cpu_chunk = spec.bu_cpu_chunk != 0
-                         ? spec.bu_cpu_chunk
-                         : std::max<uint64_t>(8192, n / 256);
-      bu.gpu_chunk =
-          spec.bu_gpu_chunk != 0 ? spec.bu_gpu_chunk : bu.cpu_chunk * 4;
-      bu.drain_alloc = drain;
-      double eff_ratio = 0.0;
-      res = RunSeriesBasicUnit(backend, steps, bu, &eff_ratio);
-      // Report the effective (scheduled) ratio on every step.
-      for (auto& s : res.steps) {
-        const double tot = static_cast<double>(s.stats.items[0]) +
-                           static_cast<double>(s.stats.items[1]);
-        s.ratio = tot > 0.0 ? static_cast<double>(s.stats.items[0]) / tot
-                            : eff_ratio;
-      }
-    } else {
-      SeriesOptions opts;
-      opts.ratios = ratios;
-      opts.drain_alloc = drain;
-      res = pair_offsets != nullptr
-                ? RunSeriesPairBlocked(backend, steps, opts, *pair_offsets)
-                : RunSeries(backend, steps, opts);
-    }
-    double elapsed = res.elapsed_ns;
-    if (gpu_start_delay > 0.0) {
-      // The modeled PCI-e transfer overlaps the CPU lane on the simulated
-      // machine; under real execution the lanes ran sequentially, so the
-      // (still modeled) transfer simply serializes in front.
-      elapsed = real_execution()
-                    ? res.elapsed_ns + gpu_start_delay
-                    : std::max(res.cpu_ns, gpu_start_delay + res.gpu_ns) +
-                          res.comm_ns;
-    }
-    ctx->log().Add(phase, elapsed);
-    AbsorbStepReports(phase_name, res, costs);
-    if (writer != nullptr && !report.steps.empty()) {
-      // Drops can only come from this phase's emitting step (the last one).
-      report.steps.back().dropped += writer->dropped() - dropped0;
-    }
-    return res;
-  }
-
-  /// Logs a series result that was executed outside RunPhase (the joined
-  /// pair-blocked PHJ join phase).
-  void AbsorbSeries(const std::string& phase_name, Phase phase,
-                    const SeriesResult& res, const cost::StepCosts& costs) {
-    ctx->log().Add(phase, res.elapsed_ns);
-    AbsorbStepReports(phase_name, res, costs);
-  }
-
-  void AbsorbStepReports(const std::string& phase_name,
-                         const SeriesResult& res,
-                         const cost::StepCosts& costs) {
-    report.lock_ns += res.lock_ns;
-    for (size_t i = 0; i < res.steps.size(); ++i) {
-      StepReport sr;
-      sr.phase = phase_name;
-      sr.name = res.steps[i].name;
-      sr.ratio = res.steps[i].ratio;
-      sr.cpu_ns = res.steps[i].stats.time[0].TotalNs();
-      sr.gpu_ns = res.steps[i].stats.time[1].TotalNs();
-      sr.cpu_modeled_ns = res.steps[i].stats.time[0].ModeledNs();
-      sr.gpu_modeled_ns = res.steps[i].stats.time[1].ModeledNs();
-      sr.cpu_items = res.steps[i].stats.items[0];
-      sr.gpu_items = res.steps[i].stats.items[1];
-      sr.lock_ns = res.steps[i].stats.LockNs();
-      sr.gpu_divergence = res.steps[i].stats.gpu_divergence;
-      if (i < costs.size()) {
-        sr.unit_cpu_ns = costs[i].cpu_ns_per_item;
-        sr.unit_gpu_ns = costs[i].gpu_ns_per_item;
-      }
-      report.steps.push_back(std::move(sr));
-    }
-  }
-
-  /// Merges separate per-device tables and returns the merge time: wall
-  /// clock under real execution, the analytic per-node cost otherwise.
-  template <typename Engine>
-  double TimeMerge(Engine* engine, double table_bytes) {
-    if (real_execution()) {
-      const auto t0 = std::chrono::steady_clock::now();
-      engine->MergeSeparateTables();
-      return static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count());
-    }
-    const auto [keys, rids] = engine->MergeSeparateTables();
-    return MergeCostNs(*ctx, keys + rids, table_bytes);
-  }
-
-  /// Per-node merge cost (separate tables): one dependent random access
-  /// into the destination table plus the insertion atomic.
-  static double MergeCostNs(const simcl::SimContext& ctx, uint64_t nodes,
-                            double table_bytes) {
-    simcl::StepProfile p;
-    p.instr_per_unit = 20.0;
-    p.rand_accesses_per_unit = 1.0;
-    p.rand_working_set_bytes = table_bytes;
-    p.dependent_accesses = true;
-    p.global_atomics_per_unit = 1.0;
-    p.atomic_addresses = table_bytes / 8.0;
-    return simcl::ComputeDeviceTime(ctx.device(DeviceId::kCpu), ctx.memory(),
-                                    p, nodes, nodes,
-                                    static_cast<double>(nodes))
-        .ModeledNs();
-  }
-};
-
-}  // namespace
-
-StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
-                                 const data::Workload& workload,
-                                 const JoinSpec& spec_in) {
-  simcl::SimContext* ctx = backend->context();
-  JoinSpec spec = spec_in;
-  if (ctx->discrete()) {
-    if (spec.scheme == Scheme::kPipelined) {
-      return Status::InvalidArgument(
-          "fine-grained PL is impractical on the discrete architecture "
-          "(Section 5.1); run it on the coupled context");
-    }
-    // Separate device memories: a shared hash table does not exist.
-    spec.engine.shared_table = false;
-  }
-  if (backend->kind() != exec::BackendKind::kSim && ctx->cache() != nullptr) {
-    return Status::InvalidArgument(
-        "cache tracing (trace_cache) requires the sim backend: the "
-        "CacheSim is not thread-safe under concurrent kernels");
-  }
-  // Skewed probes concentrate on hot keys, which stay cache-resident.
-  if (spec.engine.locality_boost == 0.0) {
-    spec.engine.locality_boost =
-        data::SkewFraction(workload.spec.distribution);
-  }
-
-  const uint64_t nb = workload.build.size();
-  const uint64_t np = workload.probe.size();
-  Driver drv(backend, workload, spec);
-  ctx->log().Clear();
-  backend->DrainEvents();  // discard records of previous joins
-  const uint64_t cache_acc0 = ctx->cache() ? ctx->cache()->accesses() : 0;
-  const uint64_t cache_miss0 = ctx->cache() ? ctx->cache()->misses() : 0;
-
-  // Result buffer: expected matches + slack for stranded block remainders.
-  uint64_t result_cap = spec.result_capacity;
-  if (result_cap == 0) {
-    const uint64_t block_elems =
-        std::max<uint64_t>(1, spec.engine.block_bytes / 8);
-    result_cap = workload.expected_matches + 2048 * block_elems + 4096;
-  }
-  join::ResultWriter writer(result_cap, spec.engine.allocator,
-                            spec.engine.block_bytes);
-  drv.writer = &writer;
-
-  cost::WorkloadStats stats;
-  stats.build_tuples = nb;
-  stats.probe_tuples = np;
-  stats.match_rate = static_cast<double>(workload.expected_matches) /
-                     static_cast<double>(np);
-  stats.skew_fraction = data::SkewFraction(workload.spec.distribution);
-
-  if (spec.algorithm == Algorithm::kSHJ) {
-    join::ShjEngine engine(ctx, &workload.build, &workload.probe,
-                           spec.engine);
-    APU_RETURN_IF_ERROR(engine.Prepare());
-    // Chained bucket count, or total key slots under the open layout — the
-    // calibration occupancy alpha divides distinct keys by this.
-    stats.buckets = static_cast<double>(engine.CostModelBuckets());
-    stats.distinct_keys = static_cast<double>(nb);
-
-    auto drain = [&engine, &writer]() {
-      alloc::AllocCounts c = engine.pools().TakeCounts();
-      c += writer.TakeCounts();
-      return c;
-    };
-
-    // ---- build ----
-    std::vector<StepDef> bsteps = engine.BuildSteps();
-    const cost::StepCosts bcosts = drv.Calibrate(bsteps, stats);
-    auto bratios = ResolveRatios("build", spec.scheme, bcosts, nb, drv.comm,
-                                 spec.build_ratios);
-    if (!bratios.ok()) return bratios.status();
-    drv.report.build_ratios = *bratios;
-    const double btransfer = drv.PhaseInputTransfer(*bratios, nb, 8.0);
-    auto bres = drv.RunPhase("build", Phase::kBuild, bsteps, bcosts,
-                             *bratios, drain, btransfer);
-    if (!bres.ok()) return bres.status();
-    drv.estimated_ns +=
-        cost::EstimateSeries(bcosts, nb, *bratios, drv.comm).elapsed_ns +
-        btransfer;
-
-    // ---- merge (separate tables) ----
-    if (!spec.engine.shared_table) {
-      if (ctx->discrete()) {
-        // Partial table comes back over PCI-e before merging.
-        const double gpu_nodes =
-            (1.0 - (*bratios)[0]) * static_cast<double>(nb);
-        ctx->TransferToDevice(gpu_nodes * 20.0);
-        drv.estimated_ns += ctx->pcie().TransferNs(gpu_nodes * 20.0);
-      }
-      const double merge_ns =
-          drv.TimeMerge(&engine, engine.TableWorkingSetBytes());
-      ctx->log().Add(Phase::kMerge, merge_ns);
-      drv.estimated_ns += merge_ns;
-    }
-
-    // ---- probe ----
-    std::vector<StepDef> psteps = engine.ProbeSteps(&writer);
-    const cost::StepCosts pcosts = drv.Calibrate(psteps, stats);
-    auto pratios = ResolveRatios("probe", spec.scheme, pcosts, np, drv.comm,
-                                 spec.probe_ratios);
-    if (!pratios.ok()) return pratios.status();
-    drv.report.probe_ratios = *pratios;
-    const double ptransfer = drv.PhaseInputTransfer(*pratios, np, 8.0);
-    auto pres = drv.RunPhase("probe", Phase::kProbe, psteps, pcosts,
-                             *pratios, drain, ptransfer);
-    if (!pres.ok()) return pres.status();
-    drv.estimated_ns +=
-        cost::EstimateSeries(pcosts, np, *pratios, drv.comm).elapsed_ns +
-        ptransfer;
-    if (ctx->discrete()) {
-      const double result_bytes =
-          (1.0 - (*pratios)[0]) * static_cast<double>(writer.count()) * 8.0;
-      const double back = ctx->TransferToDevice(result_bytes);
-      drv.estimated_ns += back;
-    }
-    drv.report.overflowed = engine.overflowed();
-  } else {
-    // ---- PHJ ----
-    join::PhjEngine engine(ctx, &workload.build, &workload.probe,
-                           spec.engine);
-    APU_RETURN_IF_ERROR(engine.Prepare());
-    const uint32_t parts = engine.num_partitions();
-    stats.buckets = static_cast<double>(engine.CostModelBuckets());
-    stats.distinct_keys =
-        static_cast<double>(nb) / static_cast<double>(parts);
-
-    // ---- partition passes (R then S) ----
-    for (int side = 0; side < 2; ++side) {
-      join::RadixPartitioner* part = side == 0 ? engine.build_partitioner()
-                                               : engine.probe_partitioner();
-      const uint64_t n = side == 0 ? nb : np;
-      auto drain_part = [part]() { return part->TakeCounts(); };
-      for (int pass = 0; pass < part->passes(); ++pass) {
-        part->BeginPass(pass);
-        std::vector<StepDef> nsteps = part->PassSteps(pass);
-        const cost::StepCosts ncosts = drv.Calibrate(nsteps, stats);
-        auto nratios = ResolveRatios("partition", spec.scheme, ncosts, n,
-                                     drv.comm, spec.partition_ratios);
-        if (!nratios.ok()) return nratios.status();
-        if (side == 0 && pass == 0) drv.report.partition_ratios = *nratios;
-        const double ntransfer =
-            pass == 0 ? drv.PhaseInputTransfer(*nratios, n, 8.0) : 0.0;
-        const std::string label = std::string("partition-") +
-                                  (side == 0 ? "R" : "S") + "." +
-                                  std::to_string(pass);
-        auto nres = drv.RunPhase(label, Phase::kPartition, nsteps, ncosts,
-                                 *nratios, drain_part, ntransfer);
-        if (!nres.ok()) return nres.status();
-        drv.estimated_ns +=
-            cost::EstimateSeries(ncosts, n, *nratios, drv.comm).elapsed_ns +
-            ntransfer;
-        part->EndPass(pass);
-      }
-    }
-    APU_RETURN_IF_ERROR(engine.PrepareJoinPhase());
-
-    auto drain = [&engine, &writer]() {
-      alloc::AllocCounts c = engine.pools().TakeCounts();
-      c += writer.TakeCounts();
-      return c;
-    };
-
-    // ---- join phase (build + probe) ----
-    std::vector<StepDef> bsteps = engine.BuildSteps();
-    const cost::StepCosts bcosts = drv.Calibrate(bsteps, stats);
-    auto bratios = ResolveRatios("build", spec.scheme, bcosts, nb, drv.comm,
-                                 spec.build_ratios);
-    if (!bratios.ok()) return bratios.status();
-    drv.report.build_ratios = *bratios;
-    std::vector<StepDef> psteps = engine.ProbeSteps(&writer);
-    const cost::StepCosts pcosts = drv.Calibrate(psteps, stats);
-    auto pratios = ResolveRatios("probe", spec.scheme, pcosts, np, drv.comm,
-                                 spec.probe_ratios);
-    if (!pratios.ok()) return pratios.status();
-    drv.report.probe_ratios = *pratios;
-
-    if (spec.engine.shared_table && spec.scheme != Scheme::kBasicUnit) {
-      // Algorithm 2: apply the whole SHJ to each partition pair before the
-      // next one, so a pair's table stays L2-resident across build AND
-      // probe — the fine-grained cache reuse of Table 3.
-      std::vector<PairSeriesGroup> groups(2);
-      groups[0].steps = &bsteps;
-      groups[0].ratios = *bratios;
-      groups[0].offsets = &engine.build_partitioner()->offsets();
-      groups[1].steps = &psteps;
-      groups[1].ratios = *pratios;
-      groups[1].offsets = &engine.probe_partitioner()->offsets();
-      SeriesOptions jopts;
-      jopts.drain_alloc = drain;
-      const uint64_t dropped0 = writer.dropped();
-      RunSeriesPairBlockedGroups(backend, groups, jopts);
-      drv.AbsorbSeries("build", Phase::kBuild, groups[0].result, bcosts);
-      drv.AbsorbSeries("probe", Phase::kProbe, groups[1].result, pcosts);
-      if (!drv.report.steps.empty()) {
-        // Only the probe's emitting step (absorbed last) can drop pairs.
-        drv.report.steps.back().dropped += writer.dropped() - dropped0;
-      }
-    } else {
-      // Separate tables (and BasicUnit) keep distinct build/probe phases
-      // with an explicit merge in between.
-      const double btransfer = drv.PhaseInputTransfer(*bratios, nb, 8.0);
-      drv.estimated_ns += btransfer;
-      auto bres = drv.RunPhase("build", Phase::kBuild, bsteps, bcosts,
-                               *bratios, drain, btransfer,
-                               &engine.build_partitioner()->offsets());
-      if (!bres.ok()) return bres.status();
-
-      if (!spec.engine.shared_table) {
-        if (ctx->discrete()) {
-          const double gpu_nodes =
-              (1.0 - (*bratios)[0]) * static_cast<double>(nb);
-          ctx->TransferToDevice(gpu_nodes * 20.0);
-          drv.estimated_ns += ctx->pcie().TransferNs(gpu_nodes * 20.0);
-        }
-        const double merge_ns =
-            drv.TimeMerge(&engine, engine.PartitionWorkingSetBytes());
-        ctx->log().Add(Phase::kMerge, merge_ns);
-        drv.estimated_ns += merge_ns;
-      }
-
-      const double ptransfer = drv.PhaseInputTransfer(*pratios, np, 8.0);
-      drv.estimated_ns += ptransfer;
-      auto pres = drv.RunPhase("probe", Phase::kProbe, psteps, pcosts,
-                               *pratios, drain, ptransfer,
-                               &engine.probe_partitioner()->offsets());
-      if (!pres.ok()) return pres.status();
-      if (ctx->discrete()) {
-        const double result_bytes =
-            (1.0 - (*pratios)[0]) * static_cast<double>(writer.count()) *
-            8.0;
-        const double back = ctx->TransferToDevice(result_bytes);
-        drv.estimated_ns += back;
-      }
-    }
-    drv.estimated_ns +=
-        cost::EstimateSeries(bcosts, nb, *bratios, drv.comm).elapsed_ns +
-        cost::EstimateSeries(pcosts, np, *pratios, drv.comm).elapsed_ns;
-    drv.report.overflowed = engine.overflowed();
-  }
-
-  drv.report.matches = writer.count();
-  drv.report.dropped_matches = writer.dropped();
-  drv.report.overflowed |= writer.dropped() > 0;
-  drv.report.breakdown = ctx->log();
-  drv.report.elapsed_ns = ctx->log().TotalNs();
-  drv.report.estimated_ns = drv.estimated_ns;
-  if (ctx->cache() != nullptr) {
-    drv.report.l2_accesses = ctx->cache()->accesses() - cache_acc0;
-    drv.report.l2_misses = ctx->cache()->misses() - cache_miss0;
-  }
-  if (drv.report.overflowed && !spec.tolerate_overflow) {
-    // A truncated result is data loss; callers used to have to notice the
-    // `overflowed` flag themselves (and often didn't).
-    if (writer.dropped() > 0) {
-      return Status::ResourceExhausted(
-          "join result buffer exhausted: " +
-          std::to_string(writer.dropped()) + " of " +
-          std::to_string(writer.count() + writer.dropped()) +
-          " matches dropped (capacity " + std::to_string(writer.capacity()) +
-          "; raise JoinSpec::result_capacity or set tolerate_overflow)");
-    }
-    return Status::ResourceExhausted(
-        "hash-table node pool exhausted during the build; rows are missing "
-        "from the table (set JoinSpec::tolerate_overflow to accept a "
-        "truncated result)");
-  }
-  return drv.report;
-}
-
-StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
-                                 const data::Workload& workload,
-                                 const JoinSpec& spec) {
-  const std::unique_ptr<exec::Backend> backend =
-      exec::MakeBackend(spec.engine.backend, ctx, spec.engine.backend_threads,
-                        spec.engine.morsel_items);
-  return ExecuteJoin(backend.get(), workload, spec);
+apujoin::StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
+                                          const data::Workload& workload,
+                                          const JoinSpec& spec) {
+  return ExecutePlan(ctx, MakeSingleJoinPlan(workload, spec));
 }
 
 }  // namespace apujoin::coproc

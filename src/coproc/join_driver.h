@@ -22,6 +22,7 @@
 #include "cost/online_calibration.h"
 #include "data/generator.h"
 #include "exec/backend.h"
+#include "join/group_row.h"
 #include "join/options.h"
 #include "simcl/context.h"
 #include "util/status.h"
@@ -100,6 +101,16 @@ struct StepReport {
   uint64_t dropped = 0;
 };
 
+/// Per-operator outcome of a plan execution (one entry per plan node the
+/// pipeline runner lowered: selections, joins, group-bys).
+struct OperatorReport {
+  std::string path;  ///< node path, e.g. "plan/join[2]"
+  std::string kind;  ///< NodeKindName of the node
+  double elapsed_ns = 0.0;  ///< time attributed to this operator's series
+  uint64_t input_rows = 0;
+  uint64_t output_rows = 0;
+};
+
 /// Result of one join execution.
 struct JoinReport {
   uint64_t matches = 0;
@@ -117,6 +128,11 @@ struct JoinReport {
   /// Result pairs dropped on buffer exhaustion (only reachable with
   /// JoinSpec::tolerate_overflow; otherwise the join fails instead).
   uint64_t dropped_matches = 0;
+  /// Per-operator timings/cardinalities, one entry per executed plan node
+  /// (single-join runs carry exactly the join's entry).
+  std::vector<OperatorReport> operators;
+  /// Materialized groups when the plan root is a GroupBy (sorted by key).
+  std::vector<join::GroupRow> groups;
 
   double elapsed_sec() const { return elapsed_ns * 1e-9; }
 };
@@ -124,12 +140,21 @@ struct JoinReport {
 /// Runs build ⋈ probe under `spec` on `backend`. Fails on invalid
 /// combinations (e.g. fine-grained PL on the emulated discrete
 /// architecture, which the paper shows is impractical there).
+///
+/// Legacy entry point: a thin shim that lowers the workload into a
+/// single-HashJoin PlanSpec and runs it through the pipeline runner
+/// (coproc/pipeline_runner.h) — the report is bit-identical to what this
+/// function produced before plan trees existed.
+[[deprecated(
+    "build a PlanSpec and call ExecutePlan (coproc/pipeline_runner.h)")]]
 apujoin::StatusOr<JoinReport> ExecuteJoin(exec::Backend* backend,
                                           const data::Workload& workload,
                                           const JoinSpec& spec);
 
 /// Convenience: builds the backend selected by `spec.engine.backend` over
 /// `ctx` for the duration of the call.
+[[deprecated(
+    "build a PlanSpec and call ExecutePlan (coproc/pipeline_runner.h)")]]
 apujoin::StatusOr<JoinReport> ExecuteJoin(simcl::SimContext* ctx,
                                           const data::Workload& workload,
                                           const JoinSpec& spec);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "coproc/pipeline_runner.h"
 #include "cost/calibration.h"
 #include "cost/optimizer.h"
 #include "join/radix_partition.h"
@@ -271,7 +272,7 @@ StatusOr<OutOfCoreReport> ExecuteOutOfCore(exec::Backend* backend,
 
   if (total_bytes * 1.25 <= buffer) {
     // Fits in the zero-copy buffer: plain in-core join.
-    auto rep = ExecuteJoin(backend, workload, spec.inner);
+    auto rep = ExecutePlan(backend, MakeSingleJoinPlan(workload, spec.inner));
     if (!rep.ok()) return rep.status();
     report.elapsed_ns = rep->elapsed_ns;
     report.partition_ns = rep->breakdown.Get(Phase::kPartition);
@@ -329,7 +330,7 @@ StatusOr<OutOfCoreReport> ExecuteOutOfCore(exec::Backend* backend,
     // Per-pair overflow must not abort mid-stream: aggregate every pair's
     // counts and apply the caller's tolerance to the total below.
     inner.tolerate_overflow = true;
-    auto rep = ExecuteJoin(backend, pair, inner);
+    auto rep = ExecutePlan(backend, MakeSingleJoinPlan(pair, inner));
     if (!rep.ok()) return rep.status();
     const double pair_join_ns =
         rep->elapsed_ns - rep->breakdown.Get(Phase::kPartition);
@@ -371,7 +372,7 @@ StatusOr<OutOfCoreReport> ExecuteOutOfCore(simcl::SimContext* ctx,
                                            const OutOfCoreSpec& spec) {
   const std::unique_ptr<exec::Backend> backend =
       exec::MakeBackend(spec.inner.engine.backend, ctx,
-                        spec.inner.engine.backend_threads,
+                        spec.inner.engine.threads,
                         spec.inner.engine.morsel_items);
   return ExecuteOutOfCore(backend.get(), workload, spec);
 }

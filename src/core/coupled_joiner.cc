@@ -7,7 +7,7 @@ CoupledJoiner::CoupledJoiner(JoinConfig config)
   ctx_ = std::make_unique<simcl::SimContext>(config_.context);
   backend_ =
       exec::MakeBackend(config_.spec.engine.backend, ctx_.get(),
-                        config_.spec.engine.backend_threads,
+                        config_.spec.engine.threads,
                         config_.spec.engine.morsel_items);
 }
 
@@ -25,7 +25,21 @@ apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::RunTuned(
     const data::Workload& workload) {
   coproc::JoinSpec spec = config_.spec;
   tuner_.Prepare(&spec);
-  auto report = coproc::ExecuteJoin(backend_.get(), workload, spec);
+  auto report =
+      coproc::ExecutePlan(backend_.get(),
+                          coproc::MakeSingleJoinPlan(workload, spec));
+  if (report.ok()) tuner_.Absorb(*report);
+  return report;
+}
+
+apujoin::StatusOr<coproc::JoinReport> CoupledJoiner::RunPlan(
+    const coproc::PlanSpec& plan) {
+  coproc::PlanSpec run = plan;
+  // Planning must describe the substrate that actually executes (same rule
+  // as the leased constructor).
+  run.exec.engine.backend = backend_->kind();
+  tuner_.Prepare(&run.exec);
+  auto report = coproc::ExecutePlan(backend_.get(), run);
   if (report.ok()) tuner_.Absorb(*report);
   return report;
 }

@@ -22,6 +22,7 @@
 #include "coproc/coarse_grained.h"
 #include "coproc/join_driver.h"
 #include "coproc/out_of_core.h"
+#include "coproc/pipeline_runner.h"
 #include "coproc/ratio_tuner.h"
 #include "data/generator.h"
 #include "exec/backend.h"
@@ -65,6 +66,12 @@ class CoupledJoiner {
   /// front; the result buffer is sized from the probe cardinality).
   apujoin::StatusOr<coproc::JoinReport> Join(const data::Relation& build,
                                              const data::Relation& probe);
+
+  /// Runs an operator-plan tree (selections, hash/multi-way join, group-by)
+  /// on this joiner's backend. The plan's own execution knobs apply, except
+  /// the backend kind, which is overridden to this joiner's substrate; the
+  /// session's ratio tuner wraps the run exactly as it wraps Join().
+  apujoin::StatusOr<coproc::JoinReport> RunPlan(const coproc::PlanSpec& plan);
 
   /// Runs the coarse-grained PHJ-PL' variant (Section 3.3 / Table 3).
   apujoin::StatusOr<coproc::JoinReport> JoinCoarse(

@@ -145,7 +145,7 @@ inline HarnessArg ParseHarnessArg(const char* arg, HarnessFlags* flags) {
 inline void ApplyHarnessFlags(const HarnessFlags& flags,
                               join::EngineOptions* engine) {
   engine->backend = flags.backend;
-  engine->backend_threads = flags.threads;
+  engine->threads = flags.threads;
   engine->morsel_items = flags.morsel;
   engine->stream = flags.stream;
   engine->layout = flags.layout;

@@ -184,4 +184,12 @@ std::unique_ptr<Backend> MakeBackend(BackendKind kind, simcl::SimContext* ctx,
   return std::make_unique<SimBackend>(ctx);
 }
 
+std::unique_ptr<Backend> MakeBackend(const ExecOptions& exec,
+                                     simcl::SimContext* ctx) {
+  if (exec.backend == BackendKind::kThreadPool) {
+    return std::make_unique<ThreadPoolBackend>(ctx, ThreadPoolOptions(exec));
+  }
+  return std::make_unique<SimBackend>(ctx);
+}
+
 }  // namespace apujoin::exec

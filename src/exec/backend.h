@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "exec/backend_kind.h"
+#include "exec/exec_options.h"
 #include "join/steps.h"
 #include "simcl/context.h"
 #include "simcl/executor.h"
@@ -175,6 +176,12 @@ class Backend {
 std::unique_ptr<Backend> MakeBackend(BackendKind kind, simcl::SimContext* ctx,
                                      int threads = 0,
                                      uint32_t morsel_items = 0);
+
+/// Constructs the backend an ExecOptions selects — the one-struct spelling
+/// every layer that embeds ExecOptions (EngineOptions, ServiceOptions) can
+/// forward verbatim.
+std::unique_ptr<Backend> MakeBackend(const ExecOptions& exec,
+                                     simcl::SimContext* ctx);
 
 }  // namespace apujoin::exec
 

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "exec/backend.h"
+#include "exec/exec_options.h"
 #include "util/annotated_mutex.h"
 #include "util/thread_annotations.h"
 
@@ -55,16 +56,25 @@ inline constexpr int kMaxThreads = 4096;
 /// Default morsel granularity (items per shared-cursor claim).
 inline constexpr uint32_t kDefaultMorselItems = 256;
 
-/// Pool construction knobs.
-struct ThreadPoolOptions {
-  /// Worker count, including the calling thread. Zero and negative values
-  /// are normalized to hardware concurrency (at least one worker); values
-  /// above kMaxThreads are capped.
-  int threads = 0;
-  /// Items per morsel claimed from a span's shared cursor (0 = default;
-  /// values above exec::kMaxMorselItems — the --morsel parser's bound —
-  /// are clamped to it).
-  uint32_t morsel_items = kDefaultMorselItems;
+/// Pool construction knobs — the shared ExecOptions struct, so pools are
+/// configured with the exact fields EngineOptions/ServiceOptions carry.
+/// The pool consumes `threads` (worker count including the calling thread;
+/// zero/negative normalize to hardware concurrency, values above
+/// kMaxThreads are capped) and `morsel_items` (0 = kDefaultMorselItems,
+/// values above kMaxMorselItems are clamped); the remaining knobs ride
+/// along untouched for callers constructing a pool straight from an
+/// ExecOptions.
+struct ThreadPoolOptions : ExecOptions {
+  ThreadPoolOptions() { backend = BackendKind::kThreadPool; }
+  explicit ThreadPoolOptions(const ExecOptions& exec) : ExecOptions(exec) {
+    backend = BackendKind::kThreadPool;
+  }
+  /// Shorthand for the two knobs the pool actually consumes.
+  ThreadPoolOptions(int threads_in, uint32_t morsel_items_in = 0)
+      : ThreadPoolOptions() {
+    threads = threads_in;
+    morsel_items = morsel_items_in;
+  }
 };
 
 /// Cumulative per-worker execution counters (drainable via TakeCounters).

@@ -1,0 +1,22 @@
+// GroupRow — one materialized group of a hash group-by over join output.
+// Lives in its own tiny header so both the group-by engine (join/) and the
+// JoinReport (coproc/) can name the type without a dependency cycle.
+
+#ifndef APUJOIN_JOIN_GROUP_ROW_H_
+#define APUJOIN_JOIN_GROUP_ROW_H_
+
+#include <cstdint>
+
+namespace apujoin::join {
+
+/// One group of a hash aggregate: the join key, the aggregated value
+/// (count/sum/min/max of the probe rids), and the group's tuple count.
+struct GroupRow {
+  int32_t key = 0;
+  int64_t value = 0;
+  uint64_t count = 0;
+};
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_GROUP_ROW_H_

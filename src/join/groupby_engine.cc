@@ -1,0 +1,155 @@
+#include "join/groupby_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "join/hash_table.h"
+#include "util/murmur_hash.h"
+
+namespace apujoin::join {
+
+using simcl::DeviceId;
+
+GroupByEngine::GroupByEngine(const ResultWriter* results, plan::AggFn agg)
+    : results_(results), agg_(agg) {}
+
+apujoin::Status GroupByEngine::Prepare() {
+  if (!results_->captures_keys()) {
+    return apujoin::Status::Internal(
+        "group-by input writer did not capture keys; the plan lowering must "
+        "call ResultWriter::CaptureKeys before the join runs");
+  }
+  // Distinct keys <= emitted tuples, so 2x emitted slots keeps the load
+  // factor at or below one half and linear probes short.
+  const uint32_t cap =
+      NextPow2(std::max<uint64_t>(16, results_->count() * 2));
+  mask_ = cap - 1;
+  keys_ = std::vector<std::atomic<int32_t>>(cap);
+  values_ = std::vector<std::atomic<int64_t>>(cap);
+  counts_ = std::vector<std::atomic<uint64_t>>(cap);
+  int64_t init = 0;
+  if (agg_ == plan::AggFn::kMin) init = std::numeric_limits<int64_t>::max();
+  if (agg_ == plan::AggFn::kMax) init = std::numeric_limits<int64_t>::min();
+  for (uint32_t i = 0; i < cap; ++i) {
+    // relaxed: single-threaded setup, before any kernel runs.
+    keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+    values_[i].store(init, std::memory_order_relaxed);
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  // The sentinel doubles as the empty-slot marker, so a tuple carrying it
+  // could never claim a slot — reject up front instead of looping forever.
+  const uint64_t used = results_->used_slots();
+  const int32_t* brids = results_->build_rid_data();
+  const int32_t* keys = results_->key_data();
+  for (uint64_t i = 0; i < used; ++i) {
+    if (brids[i] >= 0 && keys[i] == kEmptyKey) {
+      return apujoin::Status::InvalidArgument(
+          "group-by key INT32_MIN collides with the aggregate table's "
+          "empty-slot sentinel");
+    }
+  }
+  return apujoin::Status::OK();
+}
+
+std::vector<StepDef> GroupByEngine::Steps() {
+  const int32_t* brids = results_->build_rid_data();
+  const int32_t* prids = results_->probe_rid_data();
+  const int32_t* rkeys = results_->key_data();
+  const plan::AggFn agg = agg_;
+
+  std::vector<StepDef> steps;
+  StepDef g1;
+  g1.name = "g1";
+  g1.profile = GroupAggProfile(TableWorkingSetBytes());
+  g1.items = results_->used_slots();
+  g1.run = [this, brids, prids, rkeys, agg](const Morsel& m, DeviceId,
+                                            uint32_t* lw) -> uint64_t {
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      uint32_t work = 1;
+      const int32_t brid = brids[i];
+      if (brid >= 0) {  // skip unclaimed block-remainder slots
+        const int32_t key = rkeys[i];
+        const int64_t val = prids[i];
+        uint32_t b = MurmurHash2x4(static_cast<uint32_t>(key)) & mask_;
+        for (;;) {
+          // relaxed: the slot's key IS the atomic value — a successful CAS
+          // publishes it; aggregate slots are read only after the span
+          // barrier, so no ordering beyond the RMW itself is needed.
+          int32_t cur = keys_[b].load(std::memory_order_relaxed);
+          if (cur == kEmptyKey) {
+            if (keys_[b].compare_exchange_strong(cur, key,
+                                                 std::memory_order_relaxed)) {
+              cur = key;
+            }
+            // CAS failure loads the racing claimant's key into `cur`.
+          }
+          if (cur == key) break;
+          b = (b + 1) & mask_;
+          ++work;
+        }
+        // relaxed: commutative statistics updates, read after the barrier.
+        counts_[b].fetch_add(1, std::memory_order_relaxed);
+        switch (agg) {
+          case plan::AggFn::kCount:
+            break;
+          case plan::AggFn::kSum:
+            // relaxed: commutative add, read after the barrier.
+            values_[b].fetch_add(val, std::memory_order_relaxed);
+            break;
+          case plan::AggFn::kMin: {
+            // relaxed: monotone CAS loop, read after the barrier.
+            int64_t cur = values_[b].load(std::memory_order_relaxed);
+            while (val < cur && !values_[b].compare_exchange_weak(
+                                    cur, val, std::memory_order_relaxed)) {
+            }
+            break;
+          }
+          case plan::AggFn::kMax: {
+            // relaxed: monotone CAS loop, read after the barrier.
+            int64_t cur = values_[b].load(std::memory_order_relaxed);
+            while (val > cur && !values_[b].compare_exchange_weak(
+                                    cur, val, std::memory_order_relaxed)) {
+            }
+            break;
+          }
+        }
+      }
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  steps.push_back(std::move(g1));
+  return steps;
+}
+
+std::vector<GroupRow> GroupByEngine::Materialize() const {
+  std::vector<GroupRow> rows;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    // relaxed: the series completed; the table is quiescent.
+    const uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    GroupRow r;
+    r.key = keys_[i].load(std::memory_order_relaxed);
+    r.count = c;
+    // relaxed: same quiescent-table read as the count above.
+    r.value = agg_ == plan::AggFn::kCount
+                  ? static_cast<int64_t>(c)
+                  : values_[i].load(std::memory_order_relaxed);
+    rows.push_back(r);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const GroupRow& a, const GroupRow& b) { return a.key < b.key; });
+  return rows;
+}
+
+uint64_t GroupByEngine::num_groups() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    // relaxed: quiescent-table scan.
+    n += counts_[i].load(std::memory_order_relaxed) != 0 ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace apujoin::join

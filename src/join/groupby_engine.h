@@ -1,0 +1,67 @@
+// Hash group-by/aggregate over join output: one morsel step (g1) that
+// folds every emitted <key, build rid, probe rid> result tuple into an
+// open-addressing aggregate table keyed by the join key.
+//
+// The table is built for cross-backend determinism: slots are claimed with
+// a CAS on the key word itself, and every aggregate update is a commutative
+// atomic (fetch_add for count/sum, a CAS min/max loop), so the final per-key
+// values are bit-identical no matter how morsels interleave — the sim and
+// thread-pool backends agree exactly, and Materialize() sorts by key to
+// erase the only remaining order freedom (slot placement under collisions).
+
+#ifndef APUJOIN_JOIN_GROUPBY_ENGINE_H_
+#define APUJOIN_JOIN_GROUPBY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "join/group_row.h"
+#include "join/result_writer.h"
+#include "join/steps.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace apujoin::join {
+
+/// Group-by kernels + aggregate table. One engine per GroupBy node; runs
+/// after the upstream join's writer has been filled.
+class GroupByEngine {
+ public:
+  /// `results` must have captured keys (ResultWriter::CaptureKeys) and must
+  /// outlive the engine.
+  GroupByEngine(const ResultWriter* results, plan::AggFn agg);
+
+  /// Sizes the aggregate table (load factor <= 1/2) and rejects inputs
+  /// whose keys collide with the empty-slot sentinel.
+  apujoin::Status Prepare();
+
+  /// The aggregation step series (g1) over the writer's used slots.
+  std::vector<StepDef> Steps();
+
+  /// Collects the groups, sorted by key. Call after the series ran.
+  std::vector<GroupRow> Materialize() const;
+
+  uint64_t num_groups() const;
+  double TableWorkingSetBytes() const {
+    // key word + value + count per slot.
+    return static_cast<double>(keys_.size()) * 20.0;
+  }
+  plan::AggFn agg() const { return agg_; }
+
+  /// Key value reserved for empty slots; inputs containing it are rejected
+  /// by Prepare().
+  static constexpr int32_t kEmptyKey = INT32_MIN;
+
+ private:
+  const ResultWriter* results_;
+  plan::AggFn agg_;
+  uint32_t mask_ = 0;
+  std::vector<std::atomic<int32_t>> keys_;
+  std::vector<std::atomic<int64_t>> values_;
+  std::vector<std::atomic<uint64_t>> counts_;
+};
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_GROUPBY_ENGINE_H_

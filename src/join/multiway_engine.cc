@@ -1,0 +1,240 @@
+#include "join/multiway_engine.h"
+
+#include <utility>
+
+#include "util/murmur_hash.h"
+
+namespace apujoin::join {
+
+using simcl::DeviceId;
+
+MultiwayEngine::MultiwayEngine(simcl::SimContext* ctx,
+                               std::vector<const data::Relation*> builds,
+                               const data::Relation* probe, EngineOptions opts)
+    : ctx_(ctx), builds_(std::move(builds)), probe_(probe), opts_(opts) {
+  // Both devices probe every table; private per-device tables would need a
+  // merge formulation the chain deliberately does not have.
+  opts_.shared_table = true;
+}
+
+apujoin::Status MultiwayEngine::Prepare() {
+  if (builds_.size() < 2 || builds_.size() > 4) {
+    return apujoin::Status::InvalidArgument(
+        "multiway chain takes 2..4 build tables, got " +
+        std::to_string(builds_.size()));
+  }
+  engines_.clear();
+  for (const data::Relation* b : builds_) {
+    // Per-table bucket sizing: leave num_buckets auto so each table is
+    // sized for its own relation.
+    EngineOptions per_table = opts_;
+    engines_.push_back(
+        std::make_unique<ShjEngine>(ctx_, b, probe_, per_table));
+    APU_RETURN_IF_ERROR(engines_.back()->Prepare());
+  }
+  const uint64_t np = probe_->size();
+  s_hash_.assign(np, 0);
+  s_alive_.assign(np, 0);
+  s_keynode_.assign(engines_.size(), std::vector<int32_t>(np, kNil));
+  return apujoin::Status::OK();
+}
+
+double MultiwayEngine::TablesWorkingSetBytes() const {
+  double ws = 0.0;
+  for (const auto& e : engines_) ws += e->TableWorkingSetBytes();
+  return ws;
+}
+
+bool MultiwayEngine::overflowed() const {
+  // relaxed: sticky flag read after the spans that may set it.
+  if (overflowed_.load(std::memory_order_relaxed)) return true;
+  for (const auto& e : engines_) {
+    if (e->overflowed()) return true;
+  }
+  return false;
+}
+
+std::vector<StepDef> MultiwayEngine::ChainSteps(ResultWriter* out) {
+  const uint64_t np = probe_->size();
+  const int32_t* s_keys = probe_->keys.data();
+  const int32_t* s_rids = probe_->rids.data();
+  uint32_t* s_hash = s_hash_.data();
+  uint8_t* s_alive = s_alive_.data();
+  const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
+  const double ws = TablesWorkingSetBytes();
+
+  std::vector<StepDef> steps;
+
+  StepDef m1;
+  m1.name = "m1";
+  m1.profile = HashStepProfile();
+  m1.items = np;
+  m1.run = [s_keys, s_hash, s_alive](const Morsel& m, DeviceId,
+                                     uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
+      s_alive[i] = 1;
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(m1));
+
+  for (int k = 0; k < num_tables(); ++k) {
+    ShjEngine* eng = engines_[k].get();
+    int32_t* keynode = s_keynode_[k].data();
+    const double header_bytes =
+        static_cast<double>(eng->options().num_buckets) * 8.0;
+
+    StepDef m2;
+    m2.name = "m2." + std::to_string(k);
+    m2.profile = HeaderVisitProfile(header_bytes);
+    m2.items = np;
+    if (open) {
+      m2.run = [eng, s_hash, s_alive](const Morsel& m, DeviceId,
+                                      uint32_t* lw) -> uint64_t {
+        OpenHashTable* t = eng->open_table(0);
+        for (uint64_t i = m.begin; i < m.end; ++i) {
+          if (s_alive[i] == 0) continue;
+          // A home bucket with no published slots has 8 free slots, which
+          // ends any linear probe — the key is definitively absent.
+          if (t->VisitHeader(t->BucketOf(s_hash[i])) == 0) s_alive[i] = 0;
+        }
+        return ConstantWork(lw, m);
+      };
+    } else {
+      m2.run = [eng, s_hash, s_alive](const Morsel& m, DeviceId,
+                                      uint32_t* lw) -> uint64_t {
+        HashTable* t = eng->table(0);
+        for (uint64_t i = m.begin; i < m.end; ++i) {
+          if (s_alive[i] == 0) continue;
+          if (t->VisitHeader(t->BucketOf(s_hash[i])) == kNil) s_alive[i] = 0;
+        }
+        return ConstantWork(lw, m);
+      };
+    }
+    steps.push_back(std::move(m2));
+
+    StepDef m3;
+    m3.name = "m3." + std::to_string(k);
+    m3.profile = open ? OpenKeySearchProfile(eng->TableWorkingSetBytes(),
+                                             opts_.locality_boost)
+                      : KeySearchProfile(eng->TableWorkingSetBytes(),
+                                         opts_.locality_boost);
+    m3.items = np;
+    if (open) {
+      const bool avx2 = eng->probe_uses_avx2();
+      m3.run = [eng, s_keys, s_hash, s_alive, keynode, avx2](
+                   const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+        OpenHashTable* t = eng->open_table(0);
+        uint64_t total = 0;
+        for (uint64_t i = m.begin; i < m.end; ++i) {
+          uint32_t work = 1;
+          if (s_alive[i] != 0) {
+            work = 0;
+            keynode[i] =
+                t->FindKey(t->BucketOf(s_hash[i]), s_keys[i], &work, avx2);
+            if (keynode[i] == kNil) s_alive[i] = 0;
+          }
+          total += RecordWork(lw, m, i, work);
+        }
+        return total;
+      };
+    } else {
+      m3.run = [eng, s_keys, s_hash, s_alive, keynode](
+                   const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+        HashTable* t = eng->table(0);
+        uint64_t total = 0;
+        for (uint64_t i = m.begin; i < m.end; ++i) {
+          uint32_t work = 1;
+          if (s_alive[i] != 0) {
+            work = 0;
+            keynode[i] = t->FindKey(t->BucketOf(s_hash[i]), s_keys[i], &work);
+            if (keynode[i] == kNil) s_alive[i] = 0;
+          }
+          total += RecordWork(lw, m, i, work);
+        }
+        return total;
+      };
+    }
+    steps.push_back(std::move(m3));
+  }
+
+  // m4: emit the cross product. Tables 0..K-2 contribute their rid-list
+  // lengths as a multiplier; the last table's rids are materialized.
+  const int last = num_tables() - 1;
+  StepDef m4;
+  m4.name = "m4";
+  m4.profile = EmitProfile(ws, opts_.locality_boost);
+  m4.items = np;
+  if (open) {
+    m4.run = [this, out, s_rids, s_keys, s_alive, last](
+                 const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
+      const bool keyed = out->captures_keys();
+      uint64_t total = 0;
+      for (uint64_t i = m.begin; i < m.end; ++i) {
+        uint32_t work = 1;
+        if (s_alive[i] != 0) {
+          uint64_t prod = 1;
+          for (int k = 0; k < last; ++k) {
+            prod *= engines_[k]->open_table(0)->ForEachRid(s_keynode_[k][i],
+                                                           [](int32_t) {});
+          }
+          const int32_t srid = s_rids[i];
+          const int32_t skey = s_keys[i];
+          const uint32_t wg = WorkgroupOf(i);
+          if (prod > 0) {
+            work += engines_[last]->open_table(0)->ForEachRid(
+                s_keynode_[last][i],
+                [this, out, keyed, skey, srid, dev, wg, prod](int32_t brid) {
+                  for (uint64_t c = 0; c < prod; ++c) {
+                    const bool ok = keyed
+                                        ? out->Emit(skey, brid, srid, dev, wg)
+                                        : out->Emit(brid, srid, dev, wg);
+                    if (!ok) overflowed_ = true;
+                  }
+                });
+          }
+        }
+        total += RecordWork(lw, m, i, work);
+      }
+      return total;
+    };
+  } else {
+    m4.run = [this, out, s_rids, s_keys, s_alive, last](
+                 const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
+      const bool keyed = out->captures_keys();
+      uint64_t total = 0;
+      for (uint64_t i = m.begin; i < m.end; ++i) {
+        uint32_t work = 1;
+        if (s_alive[i] != 0) {
+          uint64_t prod = 1;
+          for (int k = 0; k < last; ++k) {
+            prod *= engines_[k]->table(0)->ForEachRid(s_keynode_[k][i],
+                                                      [](int32_t) {});
+          }
+          const int32_t srid = s_rids[i];
+          const int32_t skey = s_keys[i];
+          const uint32_t wg = WorkgroupOf(i);
+          if (prod > 0) {
+            work += engines_[last]->table(0)->ForEachRid(
+                s_keynode_[last][i],
+                [this, out, keyed, skey, srid, dev, wg, prod](int32_t brid) {
+                  for (uint64_t c = 0; c < prod; ++c) {
+                    const bool ok = keyed
+                                        ? out->Emit(skey, brid, srid, dev, wg)
+                                        : out->Emit(brid, srid, dev, wg);
+                    if (!ok) overflowed_ = true;
+                  }
+                });
+          }
+        }
+        total += RecordWork(lw, m, i, work);
+      }
+      return total;
+    };
+  }
+  steps.push_back(std::move(m4));
+  return steps;
+}
+
+}  // namespace apujoin::join

@@ -10,6 +10,7 @@
 #include "alloc/allocator.h"
 #include "cost/online_calibration.h"
 #include "exec/backend_kind.h"
+#include "exec/exec_options.h"
 
 namespace apujoin::join {
 
@@ -27,23 +28,16 @@ enum class SimdPolicy {
 
 /// Engine configuration. Defaults are the tuned values the paper converges
 /// to (optimized allocator, 2 KB blocks, shared hash table).
-struct EngineOptions {
+///
+/// The execution-substrate knobs (backend, threads, morsel_items, layout,
+/// prefetch_dist, stream, tune) live in the inherited exec::ExecOptions —
+/// the one struct every layer shares — so `engine.backend` etc. keep
+/// working while service and pool options embed the identical fields.
+struct EngineOptions : exec::ExecOptions {
   /// Hash-table buckets; 0 = auto (next power of two >= build tuples for
   /// the chained layout; for the open layout, enough 8-slot buckets to
   /// keep the slot load factor at or below one half).
   uint32_t num_buckets = 0;
-  /// Hash-table layout (--layout=chained|open). Chained is the paper's
-  /// pointer-linked design and the default — every sim-backend figure is
-  /// bit-identical under it. Open-addressing packs 8-slot buckets into
-  /// aligned cache lines and probes them with a SIMD compare; the sim
-  /// backend prices it with its own step profiles, so figures run with
-  /// --layout=open are a what-if, not the paper's reproduction.
-  exec::HashLayout layout = exec::HashLayout::kChained;
-  /// Software-prefetch lookahead in items (--prefetch-dist=N) for the
-  /// open-layout build/probe batch loops and the radix cursor-claim loop;
-  /// 0 disables the prefetches. Purely a real-execution knob: the sim
-  /// backend's virtual time never depends on it.
-  uint32_t prefetch_dist = 16;
   /// Probe SIMD policy (open layout only); see SimdPolicy.
   SimdPolicy simd = SimdPolicy::kAuto;
   /// Shared table (both devices build into one) vs separate per-device
@@ -58,29 +52,6 @@ struct EngineOptions {
   /// Extra cache-hit rate from skewed key popularity, in [0,1]; engines
   /// derive it from the workload's skew fraction.
   double locality_boost = 0.0;
-
-  // --- execution backend ---
-  /// Substrate the driver schedules steps onto: the analytic simulator
-  /// (virtual time) or a real host thread pool (wall-clock time).
-  exec::BackendKind backend = exec::BackendKind::kSim;
-  /// Thread-pool backend worker count (0 = hardware concurrency).
-  int backend_threads = 0;
-  /// Thread-pool morsel granularity — items per shared-cursor claim
-  /// (--morsel; 0 = backend default, 256). Purely a real-execution
-  /// scheduling knob: the sim backend prices whole device slices and its
-  /// virtual-time output is identical for every morsel size.
-  uint32_t morsel_items = 0;
-  /// Out-of-core streaming policy (--stream=serial|pipelined): whether the
-  /// out-of-core executor stages chunks strictly serially (copy, then
-  /// compute — the historical behaviour, bit-identical sim figures) or
-  /// double-buffers them with an async prefetch span overlapped with the
-  /// previous chunk's partition series. In-core joins ignore the knob.
-  exec::StreamMode stream = exec::StreamMode::kSerial;
-  /// Measurement feedback into calibration (--tune=off|once|online): whether
-  /// a session wrapper (core::CoupledJoiner, bench harness) folds measured
-  /// step timings back into the cost tables between repeated joins. The
-  /// driver itself is stateless; it acts on JoinSpec::measured_costs.
-  cost::TuneMode tune = cost::TuneMode::kOff;
 
   // --- PHJ only ---
   /// Total partitions; 0 = auto (partition pair sized to fit the L2).

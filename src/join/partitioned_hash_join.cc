@@ -312,10 +312,11 @@ std::vector<StepDef> PhjEngine::ProbeSteps(ResultWriter* out) {
   p4.name = "p4";
   p4.profile = EmitProfile(ws, opts_.locality_boost);
   p4.items = n;
-  p4.run = [this, out, s_rids, s_keynode,
+  p4.run = [this, out, s_rids, s_keys, s_keynode,
             part_of_s](const Morsel& m, DeviceId dev,
                        uint32_t* lw) -> uint64_t {
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    const bool keyed = out->captures_keys();
     uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
       const uint64_t j = perm != nullptr ? perm[i] : i;
@@ -323,9 +324,13 @@ std::vector<StepDef> PhjEngine::ProbeSteps(ResultWriter* out) {
       if (s_keynode[j] != kNil) {
         const int32_t srid = s_rids[j];
         const uint32_t wg = WorkgroupOf(i);
+        const int32_t skey = s_keys[j];
         work += tables_[part_of_s[j]]->ForEachRid(
-            s_keynode[j], [this, out, srid, dev, wg](int32_t brid) {
-              if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
+            s_keynode[j],
+            [this, out, keyed, skey, srid, dev, wg](int32_t brid) {
+              const bool ok = keyed ? out->Emit(skey, brid, srid, dev, wg)
+                                    : out->Emit(brid, srid, dev, wg);
+              if (!ok) overflowed_ = true;
             });
       }
       total += RecordWork(lw, m, i, work);
@@ -517,10 +522,11 @@ std::vector<StepDef> PhjEngine::ProbeStepsOpen(ResultWriter* out) {
   p4.name = "p4";
   p4.profile = EmitProfile(ws, opts_.locality_boost);
   p4.items = n;
-  p4.run = [this, out, s_rids, s_keynode,
+  p4.run = [this, out, s_rids, s_keys, s_keynode,
             part_of_s](const Morsel& m, DeviceId dev,
                        uint32_t* lw) -> uint64_t {
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    const bool keyed = out->captures_keys();
     uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
       const uint64_t j = perm != nullptr ? perm[i] : i;
@@ -528,9 +534,13 @@ std::vector<StepDef> PhjEngine::ProbeStepsOpen(ResultWriter* out) {
       if (s_keynode[j] != kNil) {
         const int32_t srid = s_rids[j];
         const uint32_t wg = WorkgroupOf(i);
+        const int32_t skey = s_keys[j];
         work += open_tables_[part_of_s[j]]->ForEachRid(
-            s_keynode[j], [this, out, srid, dev, wg](int32_t brid) {
-              if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
+            s_keynode[j],
+            [this, out, keyed, skey, srid, dev, wg](int32_t brid) {
+              const bool ok = keyed ? out->Emit(skey, brid, srid, dev, wg)
+                                    : out->Emit(brid, srid, dev, wg);
+              if (!ok) overflowed_ = true;
             });
       }
       total += RecordWork(lw, m, i, work);

@@ -33,6 +33,25 @@ bool ResultWriter::Emit(int32_t build_rid, int32_t probe_rid,
   return true;
 }
 
+bool ResultWriter::Emit(int32_t key, int32_t build_rid, int32_t probe_rid,
+                        simcl::DeviceId dev, uint32_t workgroup) {
+  const int64_t idx = alloc_->Allocate(1, dev, workgroup);
+  if (idx < 0) {
+    // relaxed: statistics counter.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  keys_[idx] = key;
+  build_rids_[idx] = build_rid;
+  probe_rids_[idx] = probe_rid;
+  // relaxed: statistics counter — readers of the pairs themselves
+  // synchronise through the span barrier, not through emitted_.
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultWriter::CaptureKeys() { keys_.assign(arena_.capacity(), 0); }
+
 std::vector<std::pair<int32_t, int32_t>> ResultWriter::CollectPairs() const {
   std::vector<std::pair<int32_t, int32_t>> out;
   out.reserve(count());
@@ -48,6 +67,7 @@ void ResultWriter::Reset() {
   alloc_->Reset();
   std::fill(build_rids_.begin(), build_rids_.end(), -1);
   std::fill(probe_rids_.begin(), probe_rids_.end(), -1);
+  std::fill(keys_.begin(), keys_.end(), 0);
   // relaxed: Reset runs only between spans, on a quiesced writer.
   emitted_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);

@@ -28,6 +28,18 @@ class ResultWriter {
   bool Emit(int32_t build_rid, int32_t probe_rid, simcl::DeviceId dev,
             uint32_t workgroup);
 
+  /// Keyed append: also stores the join key alongside the pair, for
+  /// downstream operators (group-by) that aggregate the join output.
+  /// Only valid after CaptureKeys().
+  bool Emit(int32_t key, int32_t build_rid, int32_t probe_rid,
+            simcl::DeviceId dev, uint32_t workgroup);
+
+  /// Allocates the key column so keyed Emit calls may store the join key.
+  /// Must be called before the first Emit (typically right after
+  /// construction, when a plan has a consumer downstream of the join).
+  void CaptureKeys();
+  bool captures_keys() const { return !keys_.empty(); }
+
   /// Number of result pairs emitted (block over-reservation excluded).
   uint64_t count() const { return emitted_.load(std::memory_order_relaxed); }
   /// Number of result pairs that could not be emitted because the buffer
@@ -41,6 +53,17 @@ class ResultWriter {
   /// allocator kinds; unclaimed block-remainder slots are skipped).
   std::vector<std::pair<int32_t, int32_t>> CollectPairs() const;
 
+  // Raw column views for downstream operator kernels (group-by). Slots in
+  // [0, used_slots()) with build_rid_data()[i] < 0 are unclaimed block
+  // remainders and must be skipped.
+  uint64_t used_slots() const { return arena_.used(); }
+  const int32_t* build_rid_data() const { return build_rids_.data(); }
+  const int32_t* probe_rid_data() const { return probe_rids_.data(); }
+  /// Key column (nullptr unless CaptureKeys() was called).
+  const int32_t* key_data() const {
+    return keys_.empty() ? nullptr : keys_.data();
+  }
+
   alloc::AllocCounts TakeCounts() { return alloc_->TakeCounts(); }
 
   void Reset();
@@ -50,6 +73,7 @@ class ResultWriter {
   std::unique_ptr<alloc::Allocator> alloc_;
   std::vector<int32_t> build_rids_;  // -1 marks an unwritten slot
   std::vector<int32_t> probe_rids_;
+  std::vector<int32_t> keys_;  // sized only by CaptureKeys()
   std::atomic<uint64_t> emitted_{0};
   std::atomic<uint64_t> dropped_{0};
 };

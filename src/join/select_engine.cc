@@ -1,0 +1,75 @@
+#include "join/select_engine.h"
+
+namespace apujoin::join {
+
+using simcl::DeviceId;
+
+SelectEngine::SelectEngine(const data::Relation* input, plan::Predicate pred)
+    : input_(input), pred_(pred) {}
+
+apujoin::Status SelectEngine::Prepare() {
+  const uint64_t n = input_->size();
+  flags_.assign(n, 0);
+  // Worst case every tuple passes; Finish() shrinks to the real count.
+  out_.keys.assign(n, 0);
+  out_.rids.assign(n, 0);
+  // relaxed: single-threaded setup, before any kernel runs.
+  cursor_.store(0, std::memory_order_relaxed);
+  return apujoin::Status::OK();
+}
+
+std::vector<StepDef> SelectEngine::Steps() {
+  const uint64_t n = input_->size();
+  const int32_t* in_keys = input_->keys.data();
+  const int32_t* in_rids = input_->rids.data();
+  uint8_t* flags = flags_.data();
+  int32_t* out_keys = out_.keys.data();
+  int32_t* out_rids = out_.rids.data();
+  const plan::Predicate pred = pred_;
+
+  std::vector<StepDef> steps;
+
+  StepDef f1;
+  f1.name = "f1";
+  f1.profile = SelectEvalProfile();
+  f1.items = n;
+  f1.run = [pred, in_keys, in_rids, flags](const Morsel& m, DeviceId,
+                                           uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      flags[i] = plan::EvalPredicate(pred, in_keys[i], in_rids[i]) ? 1 : 0;
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(f1));
+
+  StepDef f2;
+  f2.name = "f2";
+  f2.profile = SelectCompactProfile(static_cast<double>(n) * 8.0);
+  f2.items = n;
+  f2.run = [this, in_keys, in_rids, flags, out_keys, out_rids](
+               const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (flags[i] != 0) {
+        // relaxed: the cursor only hands out unique slots; readers of the
+        // output columns synchronise through the span barrier.
+        const uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+        out_keys[idx] = in_keys[i];
+        out_rids[idx] = in_rids[i];
+      }
+    }
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(f2));
+  return steps;
+}
+
+void SelectEngine::Finish() {
+  // relaxed: the series has completed; no claims are in flight.
+  const uint64_t kept = cursor_.load(std::memory_order_relaxed);
+  out_.keys.resize(kept);
+  out_.rids.resize(kept);
+  flags_.clear();
+  flags_.shrink_to_fit();
+}
+
+}  // namespace apujoin::join

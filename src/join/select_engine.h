@@ -1,0 +1,60 @@
+// Predicate-selection operator: filters a relation through a two-step
+// series (f1 evaluate, f2 compact), pushed onto the same morsel machinery
+// as the join steps so a plan's selections co-process across both devices.
+//
+// f1 scans the input columns and stores a pass/fail flag per tuple; f2
+// claims output slots from one shared atomic cursor and scatters the
+// passing <key, rid> pairs. The split mirrors the paper's fine-grained
+// decomposition: f1 is bandwidth-bound (GPU-friendly), f2 pays the atomic
+// claim — exactly the kind of asymmetry the ratio optimizers exploit.
+
+#ifndef APUJOIN_JOIN_SELECT_ENGINE_H_
+#define APUJOIN_JOIN_SELECT_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+#include "join/steps.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace apujoin::join {
+
+/// Selection kernels + state. One engine instance per Select node; the
+/// engine owns the output relation (valid after Finish()).
+class SelectEngine {
+ public:
+  /// `input` must outlive the engine.
+  SelectEngine(const data::Relation* input, plan::Predicate pred);
+
+  /// Allocates the flag column and the (worst-case-sized) output arrays.
+  apujoin::Status Prepare();
+
+  /// The selection step series f1..f2 over the input size.
+  std::vector<StepDef> Steps();
+
+  /// Shrinks the output to the surviving tuples. Call once, after the
+  /// series ran (never from a kernel — it frees memory).
+  void Finish();
+
+  /// The filtered relation; valid after Finish().
+  const data::Relation& output() const { return out_; }
+  uint64_t survivors() const {
+    // relaxed: read after the span barrier, not concurrently with claims.
+    return cursor_.load(std::memory_order_relaxed);
+  }
+  const plan::Predicate& predicate() const { return pred_; }
+
+ private:
+  const data::Relation* input_;
+  plan::Predicate pred_;
+  std::vector<uint8_t> flags_;
+  data::Relation out_;
+  std::atomic<uint64_t> cursor_{0};
+};
+
+}  // namespace apujoin::join
+
+#endif  // APUJOIN_JOIN_SELECT_ENGINE_H_

@@ -245,9 +245,10 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
   p4.name = "p4";
   p4.profile = EmitProfile(ws, opts_.locality_boost);
   p4.items = n;
-  p4.run = [this, out, s_rids, s_keynode](const Morsel& m, DeviceId dev,
-                                          uint32_t* lw) -> uint64_t {
+  p4.run = [this, out, s_rids, s_keys, s_keynode](
+               const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    const bool keyed = out->captures_keys();
     HashTable* t = tables_[0].get();
     uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
@@ -256,9 +257,13 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
       if (s_keynode[j] != kNil) {
         const int32_t srid = s_rids[j];
         const uint32_t wg = WorkgroupOf(i);
+        const int32_t skey = s_keys[j];
         work += t->ForEachRid(
-            s_keynode[j], [this, out, srid, dev, wg](int32_t brid) {
-              if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
+            s_keynode[j],
+            [this, out, keyed, skey, srid, dev, wg](int32_t brid) {
+              const bool ok = keyed ? out->Emit(skey, brid, srid, dev, wg)
+                                    : out->Emit(brid, srid, dev, wg);
+              if (!ok) overflowed_ = true;
             });
       }
       total += RecordWork(lw, m, i, work);
@@ -445,9 +450,10 @@ std::vector<StepDef> ShjEngine::ProbeStepsOpen(ResultWriter* out) {
   p4.name = "p4";
   p4.profile = EmitProfile(ws, opts_.locality_boost);
   p4.items = n;
-  p4.run = [this, out, s_rids, s_keynode](const Morsel& m, DeviceId dev,
-                                          uint32_t* lw) -> uint64_t {
+  p4.run = [this, out, s_rids, s_keys, s_keynode](
+               const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    const bool keyed = out->captures_keys();
     OpenHashTable* t = open_tables_[0].get();
     uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
@@ -456,9 +462,13 @@ std::vector<StepDef> ShjEngine::ProbeStepsOpen(ResultWriter* out) {
       if (s_keynode[j] != kNil) {
         const int32_t srid = s_rids[j];
         const uint32_t wg = WorkgroupOf(i);
+        const int32_t skey = s_keys[j];
         work += t->ForEachRid(
-            s_keynode[j], [this, out, srid, dev, wg](int32_t brid) {
-              if (!out->Emit(brid, srid, dev, wg)) overflowed_ = true;
+            s_keynode[j],
+            [this, out, keyed, skey, srid, dev, wg](int32_t brid) {
+              const bool ok = keyed ? out->Emit(skey, brid, srid, dev, wg)
+                                    : out->Emit(brid, srid, dev, wg);
+              if (!ok) overflowed_ = true;
             });
       }
       total += RecordWork(lw, m, i, work);

@@ -93,6 +93,42 @@ StepProfile OpenKeySearchProfile(double table_bytes, double locality_boost) {
   return p;
 }
 
+StepProfile SelectEvalProfile() {
+  StepProfile p;
+  // Compare + flag store over a sequential column scan; bandwidth-bound
+  // like n1, far cheaper than the hash steps.
+  p.instr_per_unit = 6.0;
+  p.seq_bytes_per_item = 9.0;  // read key+rid (8B), write flag (1B)
+  return p;
+}
+
+StepProfile SelectCompactProfile(double output_bytes) {
+  StepProfile p;
+  p.instr_per_unit = 10.0;
+  // One scattered pair store per *passing* tuple (work unit), cursor
+  // claimed via a shared atomic.
+  p.rand_accesses_per_unit = 1.0;
+  p.rand_working_set_bytes = output_bytes;
+  p.dependent_accesses = false;
+  p.global_atomics_per_unit = 1.0;  // output-cursor fetch_add
+  p.atomic_addresses = 1.0;         // single shared cursor word
+  p.seq_bytes_per_item = 9.0;       // re-read key+rid + flag
+  return p;
+}
+
+StepProfile GroupAggProfile(double table_bytes) {
+  StepProfile p;
+  // Murmur over the group key + slot probe + aggregate atomic.
+  p.instr_per_unit = 24.0;
+  p.rand_accesses_per_unit = 1.0;  // hash-derived slot line
+  p.rand_working_set_bytes = table_bytes;
+  p.dependent_accesses = false;  // open addressing: address from the hash
+  p.global_atomics_per_unit = 1.5;  // slot CAS (amortized) + value atomic
+  p.atomic_addresses = table_bytes / 16.0;
+  p.seq_bytes_per_item = 12.0;  // read key + value of the result tuple
+  return p;
+}
+
 StepProfile PartitionHeaderProfile(double header_bytes) {
   StepProfile p;
   p.instr_per_unit = 10.0;

@@ -152,6 +152,17 @@ simcl::StepProfile OpenKeyInsertProfile(double table_bytes,
 simcl::StepProfile OpenKeySearchProfile(double table_bytes,
                                         double locality_boost);
 
+/// f1: evaluate a selection predicate per tuple (sequential column scan).
+simcl::StepProfile SelectEvalProfile();
+
+/// f2: compact passing tuples into the output relation (atomic cursor claim
+/// plus one scattered pair store per passing tuple).
+simcl::StepProfile SelectCompactProfile(double output_bytes);
+
+/// g1: aggregate one result tuple into the open-addressing group table
+/// (hash + slot claim + value atomic).
+simcl::StepProfile GroupAggProfile(double table_bytes);
+
 /// n2: visit the partition header (cursor claim bookkeeping).
 simcl::StepProfile PartitionHeaderProfile(double header_bytes);
 

@@ -1,0 +1,299 @@
+#include "plan/plan.h"
+
+#include <utility>
+
+namespace apujoin::plan {
+
+using apujoin::Status;
+
+const char* NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kScan:         return "scan";
+    case NodeKind::kSelect:       return "select";
+    case NodeKind::kHashJoin:     return "join";
+    case NodeKind::kMultiwayJoin: return "multiway";
+    case NodeKind::kGroupBy:      return "group-by";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum:   return "sum";
+    case AggFn::kMin:   return "min";
+    case AggFn::kMax:   return "max";
+  }
+  return "?";
+}
+
+int Graph::AddScan(const data::Relation* relation) {
+  Node n;
+  n.kind = NodeKind::kScan;
+  n.relation = relation;
+  nodes.push_back(std::move(n));
+  root = static_cast<int>(nodes.size()) - 1;
+  return root;
+}
+
+int Graph::AddSelect(int input, Predicate predicate) {
+  Node n;
+  n.kind = NodeKind::kSelect;
+  n.children.push_back(input);
+  n.predicate = predicate;
+  nodes.push_back(std::move(n));
+  root = static_cast<int>(nodes.size()) - 1;
+  return root;
+}
+
+int Graph::AddHashJoin(int build, int probe) {
+  Node n;
+  n.kind = NodeKind::kHashJoin;
+  n.children = {build, probe};
+  nodes.push_back(std::move(n));
+  root = static_cast<int>(nodes.size()) - 1;
+  return root;
+}
+
+int Graph::AddMultiwayJoin(std::vector<int> builds, int probe) {
+  Node n;
+  n.kind = NodeKind::kMultiwayJoin;
+  n.children = std::move(builds);
+  n.children.push_back(probe);
+  nodes.push_back(std::move(n));
+  root = static_cast<int>(nodes.size()) - 1;
+  return root;
+}
+
+int Graph::AddGroupBy(int input, AggFn agg) {
+  Node n;
+  n.kind = NodeKind::kGroupBy;
+  n.children.push_back(input);
+  n.agg = agg;
+  nodes.push_back(std::move(n));
+  root = static_cast<int>(nodes.size()) - 1;
+  return root;
+}
+
+namespace {
+
+/// A node's display label inside a path: kind plus its index in the graph,
+/// e.g. "join[1]".
+std::string NodeLabel(const Graph& g, int idx) {
+  return std::string(NodeKindName(g.nodes[idx].kind)) + "[" +
+         std::to_string(idx) + "]";
+}
+
+bool KnownKind(NodeKind k) {
+  switch (k) {
+    case NodeKind::kScan:
+    case NodeKind::kSelect:
+    case NodeKind::kHashJoin:
+    case NodeKind::kMultiwayJoin:
+    case NodeKind::kGroupBy:
+      return true;
+  }
+  return false;
+}
+
+bool KnownAgg(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+    case AggFn::kSum:
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return true;
+  }
+  return false;
+}
+
+bool KnownPredicate(const Predicate& p) {
+  switch (p.column) {
+    case SelectColumn::kKey:
+    case SelectColumn::kRid:
+      break;
+    default:
+      return false;
+  }
+  switch (p.op) {
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return true;
+  }
+  return false;
+}
+
+/// The role a child plays under its parent, for error paths.
+std::string ChildRole(const Node& parent, size_t child_pos) {
+  switch (parent.kind) {
+    case NodeKind::kHashJoin:
+      return child_pos == 0 ? "build" : "probe";
+    case NodeKind::kMultiwayJoin:
+      return child_pos + 1 == parent.children.size()
+                 ? "probe"
+                 : "build[" + std::to_string(child_pos) + "]";
+    default:
+      return "input";
+  }
+}
+
+/// Recursive structural check of the subtree rooted at `idx`. `path` is the
+/// role-path from the plan root ("plan/join[1]/build"). `state` tracks
+/// visit status per node: 0 = unvisited, 1 = on the current DFS stack
+/// (seeing it again is a cycle), 2 = done (seeing it again means two
+/// parents — the tree property is violated).
+Status CheckNode(const Graph& g, int idx, const std::string& path,
+                 std::vector<int>& state, int depth) {
+  if (idx < 0 || idx >= static_cast<int>(g.nodes.size())) {
+    return Status::InvalidArgument(path + ": child index " +
+                                   std::to_string(idx) +
+                                   " is outside the node table (size " +
+                                   std::to_string(g.nodes.size()) + ")");
+  }
+  if (depth > static_cast<int>(g.nodes.size())) {
+    // Unreachable with the state checks below, but a cheap belt against a
+    // pathological graph shape slipping past them.
+    return Status::InvalidArgument(path + ": plan nesting exceeds the node "
+                                          "count — the graph is not a tree");
+  }
+  const std::string here = path + "/" + NodeLabel(g, idx);
+  if (state[idx] == 1) {
+    return Status::InvalidArgument(here + ": cycle — node appears among its "
+                                          "own descendants");
+  }
+  if (state[idx] == 2) {
+    return Status::InvalidArgument(here + ": node has two parents; a plan "
+                                          "is a tree, duplicate the subtree "
+                                          "instead of sharing it");
+  }
+  state[idx] = 1;
+  const Node& n = g.nodes[idx];
+  if (!KnownKind(n.kind)) {
+    return Status::InvalidArgument(
+        here + ": unknown node kind (" +
+        std::to_string(static_cast<int>(n.kind)) + ")");
+  }
+  switch (n.kind) {
+    case NodeKind::kScan:
+      if (!n.children.empty()) {
+        return Status::InvalidArgument(here + ": scan takes no children, got " +
+                                       std::to_string(n.children.size()));
+      }
+      if (n.relation == nullptr) {
+        return Status::InvalidArgument(here + ": scan has no relation");
+      }
+      break;
+    case NodeKind::kSelect:
+      if (n.children.size() != 1) {
+        return Status::InvalidArgument(here + ": select takes exactly one "
+                                              "input, got " +
+                                       std::to_string(n.children.size()));
+      }
+      if (!KnownPredicate(n.predicate)) {
+        return Status::InvalidArgument(
+            here + ": unknown predicate column/op (column " +
+            std::to_string(static_cast<int>(n.predicate.column)) + ", op " +
+            std::to_string(static_cast<int>(n.predicate.op)) + ")");
+      }
+      break;
+    case NodeKind::kHashJoin:
+      if (n.children.size() != 2) {
+        return Status::InvalidArgument(here + ": hash join takes exactly "
+                                              "{build, probe}, got " +
+                                       std::to_string(n.children.size()) +
+                                       " children");
+      }
+      break;
+    case NodeKind::kMultiwayJoin:
+      if (n.children.size() < 3 || n.children.size() > 5) {
+        return Status::InvalidArgument(
+            here + ": multiway join takes 2..4 build tables plus the probe "
+                   "(3..5 children), got " +
+            std::to_string(n.children.size()));
+      }
+      break;
+    case NodeKind::kGroupBy:
+      if (n.children.size() != 1) {
+        return Status::InvalidArgument(here + ": group-by takes exactly one "
+                                              "join input, got " +
+                                       std::to_string(n.children.size()));
+      }
+      if (!KnownAgg(n.agg)) {
+        return Status::InvalidArgument(
+            here + ": unknown aggregate function (" +
+            std::to_string(static_cast<int>(n.agg)) + ")");
+      }
+      break;
+  }
+  for (size_t c = 0; c < n.children.size(); ++c) {
+    const std::string child_path = here + "/" + ChildRole(n, c);
+    const int child = n.children[c];
+    APU_RETURN_IF_ERROR(CheckNode(g, child, child_path, state, depth + 1));
+    const Node& cn = g.nodes[child];
+    // Shape constraints on the child, reported at the child's role path.
+    switch (n.kind) {
+      case NodeKind::kSelect:
+      case NodeKind::kHashJoin:
+      case NodeKind::kMultiwayJoin:
+        if (!ProducesRelation(cn.kind)) {
+          return Status::InvalidArgument(
+              child_path + ": expected a relation-producing node (scan or "
+                           "select), got " +
+              NodeKindName(cn.kind));
+        }
+        break;
+      case NodeKind::kGroupBy:
+        if (cn.kind != NodeKind::kHashJoin &&
+            cn.kind != NodeKind::kMultiwayJoin) {
+          return Status::InvalidArgument(
+              child_path + ": group-by aggregates join output; expected a "
+                           "join node, got " +
+              NodeKindName(cn.kind));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  state[idx] = 2;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Graph::Validate() const {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("plan: empty graph");
+  }
+  if (root < 0 || root >= static_cast<int>(nodes.size())) {
+    return Status::InvalidArgument(
+        "plan: root index " + std::to_string(root) +
+        " is outside the node table (size " + std::to_string(nodes.size()) +
+        ")");
+  }
+  const NodeKind rk = nodes[root].kind;
+  if (rk != NodeKind::kHashJoin && rk != NodeKind::kMultiwayJoin &&
+      rk != NodeKind::kGroupBy) {
+    const std::string got = KnownKind(rk)
+                                ? NodeKindName(rk)
+                                : std::to_string(static_cast<int>(rk));
+    return Status::InvalidArgument(
+        "plan: root must be a join or a group-by, got " + got);
+  }
+  std::vector<int> state(nodes.size(), 0);
+  APU_RETURN_IF_ERROR(CheckNode(*this, root, "plan", state, 0));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (state[i] == 0) {
+      return Status::InvalidArgument(
+          "plan: node " + NodeLabel(*this, static_cast<int>(i)) +
+          " is unreachable from the root");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace apujoin::plan

@@ -1,0 +1,135 @@
+// Operator-plan IR — the tree the pipeline runner lowers onto the
+// fine-grained step-series machinery (coproc/pipeline_runner).
+//
+// A plan is a small DAG restricted to a tree: leaf Scan nodes name input
+// relations, Select filters a relation, HashJoin / MultiwayJoin consume
+// relation-producing children, and GroupBy aggregates a join's output.
+// The IR layer is deliberately execution-free: nodes carry no kernels, no
+// costs and no backend state — lowering (operator engines in join/, series
+// scheduling in coproc/) happens against a *validated* Graph, so every
+// structural error surfaces here as an InvalidArgument naming the node
+// path (e.g. "plan/join[1]/build"), never as an assert deep in a kernel.
+
+#ifndef APUJOIN_PLAN_PLAN_H_
+#define APUJOIN_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+#include "util/status.h"
+
+namespace apujoin::plan {
+
+/// Operator kinds of the plan IR.
+enum class NodeKind {
+  kScan,          ///< leaf: one input relation
+  kSelect,        ///< predicate filter over a relation-producing child
+  kHashJoin,      ///< children: {build, probe}
+  kMultiwayJoin,  ///< children: {build[0..k-1], probe} — probe chain, k in [2,4]
+  kGroupBy,       ///< hash aggregate over a join child's output
+};
+
+const char* NodeKindName(NodeKind k);
+
+/// Column a selection predicate reads.
+enum class SelectColumn {
+  kKey,  ///< the join-key column
+  kRid,  ///< the record-id column
+};
+
+/// Comparison operator of a selection predicate.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One selection predicate: `column <op> operand`.
+struct Predicate {
+  SelectColumn column = SelectColumn::kKey;
+  CompareOp op = CompareOp::kGe;
+  int32_t operand = 0;
+};
+
+/// Aggregate function of a GroupBy node. Groups are join keys; the
+/// aggregated value is the probe-side rid of each result pair.
+enum class AggFn {
+  kCount,  ///< result pairs per key
+  kSum,    ///< sum of probe rids per key
+  kMin,    ///< min probe rid per key
+  kMax,    ///< max probe rid per key
+};
+
+const char* AggFnName(AggFn fn);
+
+/// One plan node. Children are indexes into Graph::nodes.
+struct Node {
+  NodeKind kind = NodeKind::kScan;
+  std::vector<int> children;
+  /// kScan: the input relation (owned by the caller, must outlive the run).
+  const data::Relation* relation = nullptr;
+  /// kSelect: the filter predicate.
+  Predicate predicate;
+  /// kGroupBy: the aggregate function.
+  AggFn agg = AggFn::kCount;
+};
+
+/// A plan tree: nodes plus the root index. Build with the Add* helpers
+/// (each returns the new node's index) and call Validate() before handing
+/// the graph to the pipeline runner — ExecutePlan validates again, but an
+/// early check keeps error paths close to construction.
+struct Graph {
+  std::vector<Node> nodes;
+  int root = -1;
+
+  /// Appends a Scan of `relation` and makes it the root.
+  int AddScan(const data::Relation* relation);
+  /// Appends a Select of node `input` and makes it the root.
+  int AddSelect(int input, Predicate predicate);
+  /// Appends a HashJoin of {build, probe} and makes it the root.
+  int AddHashJoin(int build, int probe);
+  /// Appends a MultiwayJoin probing `probe` through every table of
+  /// `builds` (in order) and makes it the root.
+  int AddMultiwayJoin(std::vector<int> builds, int probe);
+  /// Appends a GroupBy over join node `input` and makes it the root.
+  int AddGroupBy(int input, AggFn agg);
+
+  /// Structural validation: real Status codes, never asserts.
+  ///
+  ///   * root in range; the root is a join or a group-by (a plan must
+  ///     produce a join result);
+  ///   * the graph restricted to reachable nodes is a tree — every node
+  ///     has exactly one parent, no cycles, no unreachable nodes;
+  ///   * per-node arity and child shapes: Scan has no children and a
+  ///     non-null relation; Select one relation-producing child; HashJoin
+  ///     exactly {build, probe}; MultiwayJoin 2..4 builds plus the probe;
+  ///     GroupBy exactly one join child;
+  ///   * enum fields hold known values (a Predicate or AggFn cast from an
+  ///     untrusted integer is caught here, not in a kernel).
+  ///
+  /// Errors are InvalidArgument and name the node path from the root, e.g.
+  /// "plan/join[1]/build".
+  apujoin::Status Validate() const;
+};
+
+/// True when `kind` produces a relation (a join/group-by input shape).
+inline bool ProducesRelation(NodeKind kind) {
+  return kind == NodeKind::kScan || kind == NodeKind::kSelect;
+}
+
+/// Evaluates `pred` on one tuple (shared by the select kernels and the
+/// reference oracles in tests).
+inline bool EvalPredicate(const Predicate& pred, int32_t key, int32_t rid) {
+  const int32_t v = pred.column == SelectColumn::kKey ? key : rid;
+  switch (pred.op) {
+    case CompareOp::kEq: return v == pred.operand;
+    case CompareOp::kNe: return v != pred.operand;
+    case CompareOp::kLt: return v < pred.operand;
+    case CompareOp::kLe: return v <= pred.operand;
+    case CompareOp::kGt: return v > pred.operand;
+    case CompareOp::kGe: return v >= pred.operand;
+  }
+  return false;
+}
+
+}  // namespace apujoin::plan
+
+#endif  // APUJOIN_PLAN_PLAN_H_

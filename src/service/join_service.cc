@@ -42,9 +42,11 @@ StatusOr<coproc::JoinReport> JoinTicket::Take() {
 JoinService::JoinService(ServiceOptions opts) : opts_(std::move(opts)) {
   opts_.max_sessions = std::max(1, opts_.max_sessions);
   opts_.queue_capacity = std::max(1, opts_.queue_capacity);
+  // Out-of-range substrate knobs fail loudly here (a service with a
+  // mis-sized pool should not come up half-configured and clamp silently).
+  APU_CHECK_OK(opts_.exec.Validate());
   substrate_ctx_ = std::make_unique<simcl::SimContext>();
-  substrate_ = exec::MakeBackend(opts_.backend, substrate_ctx_.get(),
-                                 opts_.backend_threads, opts_.morsel_items);
+  substrate_ = exec::MakeBackend(opts_.exec, substrate_ctx_.get());
 }
 
 JoinService::~JoinService() {
@@ -83,6 +85,11 @@ size_t JoinService::shared_cost_steps() const {
 
 StatusOr<std::unique_ptr<Session>> JoinService::OpenSession(
     SessionOptions opts) {
+  // The session's engine knobs go through the same single validation the
+  // substrate went through (ExecOptions consolidation: no layer
+  // re-implements range checks). Checked before admission so a rejected
+  // spec cannot leak an admission slot.
+  APU_RETURN_IF_ERROR(opts.spec.engine.Validate());
   int id = 0;
   {
     annotated::MutexLock lock(mu_);
@@ -105,7 +112,7 @@ StatusOr<std::unique_ptr<Session>> JoinService::OpenSession(
   if (opts.stream.has_value()) {
     opts.spec.engine.stream = *opts.stream;
   } else if (opts.spec.engine.stream == exec::StreamMode::kSerial) {
-    opts.spec.engine.stream = opts_.stream;
+    opts.spec.engine.stream = opts_.exec.stream;
   }
   try {
     return std::unique_ptr<Session>(new Session(this, id, std::move(opts),
@@ -204,7 +211,8 @@ Session::~Session() {
   service_->CloseSession();
 }
 
-StatusOr<JoinTicket> Session::Submit(const data::Workload& workload) {
+StatusOr<JoinTicket> Session::Enqueue(
+    std::shared_ptr<JoinTicket::State> state) {
   if (!service_->TryAcquireQueueSlot()) {
     return Status::ResourceExhausted(
         "join service submission queue is full (" +
@@ -212,8 +220,7 @@ StatusOr<JoinTicket> Session::Submit(const data::Workload& workload) {
         " requests queued or running); retry after taking results");
   }
   JoinTicket ticket;
-  ticket.state_ = std::make_shared<JoinTicket::State>();
-  ticket.state_->workload = &workload;
+  ticket.state_ = std::move(state);
   {
     annotated::MutexLock lock(mu_);
     if (closing_) {
@@ -224,6 +231,18 @@ StatusOr<JoinTicket> Session::Submit(const data::Workload& workload) {
   }
   cv_.NotifyOne();
   return ticket;
+}
+
+StatusOr<JoinTicket> Session::Submit(const data::Workload& workload) {
+  auto state = std::make_shared<JoinTicket::State>();
+  state->workload = &workload;
+  return Enqueue(std::move(state));
+}
+
+StatusOr<JoinTicket> Session::Submit(const coproc::PlanSpec& plan) {
+  auto state = std::make_shared<JoinTicket::State>();
+  state->plan = &plan;
+  return Enqueue(std::move(state));
 }
 
 StatusOr<coproc::JoinReport> Session::Join(const data::Workload& workload) {
@@ -262,7 +281,8 @@ void Session::RunOne(JoinTicket::State* req) {
     joiner_.set_shared_costs(shared_snapshot_.empty() ? nullptr
                                                       : &shared_snapshot_);
   }
-  auto report = joiner_.Join(*req->workload);
+  auto report = req->plan != nullptr ? joiner_.RunPlan(*req->plan)
+                                     : joiner_.Join(*req->workload);
   service_->CountJoin(report.ok());
   if (report.ok() && service_->options().share_costs) {
     service_->AbsorbShared(*report);

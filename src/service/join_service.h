@@ -36,24 +36,30 @@
 
 #include "core/coupled_joiner.h"
 #include "cost/online_calibration.h"
+#include "exec/exec_options.h"
 #include "util/annotated_mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace apujoin::service {
 
+/// The service's substrate defaults: a thread pool, not the simulator —
+/// a service exists to multiplex real cores.
+inline exec::ExecOptions DefaultServiceExec() {
+  exec::ExecOptions e;
+  e.backend = exec::BackendKind::kThreadPool;
+  return e;
+}
+
 /// Service-level configuration.
 struct ServiceOptions {
-  /// Substrate every session's lease executes on.
-  exec::BackendKind backend = exec::BackendKind::kThreadPool;
-  /// Shared pool size (0 = hardware concurrency); sim ignores it.
-  int backend_threads = 0;
-  /// Morsel granularity of the shared pool (items per shared-cursor claim;
-  /// 0 = default). Sim ignores it.
-  uint32_t morsel_items = 0;
-  /// Service-wide out-of-core streaming default (--stream); a session
-  /// overrides it with SessionOptions::stream.
-  exec::StreamMode stream = exec::StreamMode::kSerial;
+  /// Execution substrate every session's lease executes on: backend kind,
+  /// shared pool size (`threads`; 0 = hardware concurrency), morsel
+  /// granularity, and the service-wide out-of-core streaming default
+  /// (`stream`; a session overrides it with SessionOptions::stream). The
+  /// same exec::ExecOptions struct join::EngineOptions embeds — one knob
+  /// set, validated in one place (ExecOptions::Validate).
+  exec::ExecOptions exec = DefaultServiceExec();
   /// Admission cap on concurrently open sessions.
   int max_sessions = 8;
   /// Worker-slot quota per session; 0 = fair share, i.e.
@@ -110,7 +116,10 @@ class JoinTicket {
     annotated::Mutex mu;
     annotated::CondVar cv;
     /// Set once by the session runner before it is handed to the client.
+    /// Exactly one of the two is non-null: a legacy workload request or an
+    /// operator-plan request.
     const data::Workload* workload = nullptr;
+    const coproc::PlanSpec* plan = nullptr;
     std::optional<apujoin::StatusOr<coproc::JoinReport>> result GUARDED_BY(mu);
     bool taken GUARDED_BY(mu) = false;
   };
@@ -195,6 +204,12 @@ class Session {
   /// closing.
   apujoin::StatusOr<JoinTicket> Submit(const data::Workload& workload);
 
+  /// Enqueues one operator-plan execution (selections, hash/multi-way join,
+  /// group-by — see coproc/pipeline_runner.h). `plan` and every relation its
+  /// scans point at must stay alive and unmodified until the ticket
+  /// completes. Same failure modes as the workload overload.
+  apujoin::StatusOr<JoinTicket> Submit(const coproc::PlanSpec& plan);
+
   /// Submit + Take: one synchronous join through the session's queue.
   apujoin::StatusOr<coproc::JoinReport> Join(const data::Workload& workload);
 
@@ -213,6 +228,10 @@ class Session {
  private:
   friend class JoinService;
   Session(JoinService* service, int id, SessionOptions opts, int slots);
+
+  /// Shared admission + queue logic behind both Submit overloads.
+  apujoin::StatusOr<JoinTicket> Enqueue(
+      std::shared_ptr<JoinTicket::State> state);
 
   void RunnerLoop();
   void RunOne(JoinTicket::State* req);

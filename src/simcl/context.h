@@ -35,10 +35,12 @@ enum class Phase {
   kDataCopy,  ///< zero-copy buffer <-> system memory (out-of-core)
   kSchedule,  ///< dynamic chunk-dispatch overhead (BasicUnit)
   kGrouping,  ///< divergence-reduction grouping passes
+  kSelect,    ///< predicate-selection operator series (plan pipelines)
+  kGroupBy,   ///< hash group-by/aggregate operator series (plan pipelines)
   kOther,
 };
 
-inline constexpr int kNumPhases = 9;
+inline constexpr int kNumPhases = 11;
 
 inline const char* PhaseName(Phase p) {
   switch (p) {
@@ -50,6 +52,8 @@ inline const char* PhaseName(Phase p) {
     case Phase::kDataCopy:     return "data-copy";
     case Phase::kSchedule:     return "schedule";
     case Phase::kGrouping:     return "grouping";
+    case Phase::kSelect:       return "select";
+    case Phase::kGroupBy:      return "group-by";
     case Phase::kOther:        return "other";
   }
   return "?";

@@ -8,6 +8,7 @@
 #include <chrono>
 
 #include "coproc/join_driver.h"
+#include "coproc/pipeline_runner.h"
 #include "data/generator.h"
 #include "exec/backend_kind.h"
 #include "join/reference_join.h"
@@ -54,9 +55,9 @@ TEST_P(BackendParityTest, MatchesReferenceOnAllWorkloads) {
     spec.algorithm = algo;
     spec.scheme = Scheme::kPipelined;
     spec.engine.backend = backend;
-    spec.engine.backend_threads = 4;
+    spec.engine.threads = 4;
     const auto t0 = std::chrono::steady_clock::now();
-    auto report = ExecuteJoin(&ctx, w, spec);
+    auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
     const double wall_ns = static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
@@ -104,8 +105,8 @@ TEST(BackendParitySchemes, SameMatchesUnderEveryScheme) {
       spec.algorithm = Algorithm::kPHJ;
       spec.scheme = scheme;
       spec.engine.backend = backend;
-      spec.engine.backend_threads = 3;
-      auto report = ExecuteJoin(&ctx, w, spec);
+      spec.engine.threads = 3;
+      auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
       ASSERT_TRUE(report.ok()) << report.status().ToString();
       matches[i++] = report->matches;
     }
@@ -125,7 +126,7 @@ TEST(BackendParityDeterminism, SimElapsedIsReproducible) {
     JoinSpec spec;
     spec.algorithm = Algorithm::kPHJ;
     spec.scheme = Scheme::kPipelined;
-    auto report = ExecuteJoin(&ctx, w, spec);
+    auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
     ASSERT_TRUE(report.ok());
     elapsed[i] = report->elapsed_ns;
   }
@@ -141,7 +142,7 @@ TEST(BackendParityGuards, ThreadPoolRejectsCacheTracing) {
   simcl::SimContext ctx(copts);
   JoinSpec spec;
   spec.engine.backend = exec::BackendKind::kThreadPool;
-  auto report = ExecuteJoin(&ctx, w, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
 }

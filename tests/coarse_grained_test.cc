@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "coproc/pipeline_runner.h"
 #include "coproc/coarse_grained.h"
 
 namespace apujoin::coproc {
@@ -32,7 +33,7 @@ TEST(CoarseGrainedTest, SlowerThanFineGrainedPl) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kPHJ;
   spec.scheme = Scheme::kPipelined;
-  auto fine = ExecuteJoin(&ctx, w, spec);
+  auto fine = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
   auto coarse = ExecuteCoarsePhj(&ctx, w, spec);
   ASSERT_TRUE(fine.ok() && coarse.ok());
   EXPECT_GT(coarse->elapsed_ns, fine->elapsed_ns);
@@ -50,7 +51,7 @@ TEST(CoarseGrainedTest, MoreCacheMissesThanFineGrained) {
   spec.scheme = Scheme::kPipelined;
   spec.engine.partitions = 16;
   simcl::SimContext ctx_fine(copts);
-  auto fine = ExecuteJoin(&ctx_fine, w, spec);
+  auto fine = ExecutePlan(&ctx_fine, MakeSingleJoinPlan(w, spec));
   simcl::SimContext ctx_coarse(copts);
   auto coarse = ExecuteCoarsePhj(&ctx_coarse, w, spec);
   ASSERT_TRUE(fine.ok() && coarse.ok());

@@ -156,7 +156,7 @@ TEST(ThreadPoolBackendTest, ExecutesEveryItemExactlyOnce) {
 
 TEST(ThreadPoolBackendTest, KernelsSeeTheLogicalDevice) {
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 2, .morsel_items = 32});
+  ThreadPoolBackend backend(&ctx, {2, 32});
   std::atomic<uint64_t> cpu_items{0};
   std::atomic<uint64_t> gpu_items{0};
   join::StepDef step;
@@ -174,7 +174,7 @@ TEST(ThreadPoolBackendTest, KernelsSeeTheLogicalDevice) {
 
 TEST(ThreadPoolBackendTest, WorkerCountersCoverAllItems) {
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 3, .morsel_items = 16});
+  ThreadPoolBackend backend(&ctx, {3, 16});
   std::atomic<uint64_t> c{0};
   join::StepDef step = MakeStep(30000, &c, 5);
   backend.RunSpan(step, DeviceId::kCpu, 0, 30000);
@@ -199,7 +199,7 @@ TEST(ThreadPoolBackendTest, WorkerCountersCoverAllItems) {
 
 TEST(ThreadPoolBackendTest, SingleThreadPoolWorks) {
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 1});
+  ThreadPoolBackend backend(&ctx, {1});
   std::atomic<uint64_t> c{0};
   join::StepDef step = MakeStep(5000, &c);
   const simcl::StepStats stats =
@@ -238,12 +238,12 @@ TEST(ThreadPoolBackendTest, SkewedKernelGetsRebalanced) {
 TEST(ThreadPoolBackendTest, NormalizesZeroAndNegativeThreadCounts) {
   simcl::SimContext ctx;
   // 0 = hardware concurrency; never less than one worker.
-  ThreadPoolBackend auto_pool(&ctx, {.threads = 0});
+  ThreadPoolBackend auto_pool(&ctx, {0});
   EXPECT_GE(auto_pool.threads(), 1);
 
   // Negative requests must not underflow into a threadless (or gigantic)
   // pool; they normalize exactly like 0 and still execute correctly.
-  ThreadPoolBackend neg_pool(&ctx, {.threads = -7});
+  ThreadPoolBackend neg_pool(&ctx, {-7});
   EXPECT_GE(neg_pool.threads(), 1);
   EXPECT_EQ(neg_pool.threads(), auto_pool.threads());
   std::atomic<uint64_t> c{0};
@@ -258,7 +258,7 @@ TEST(ThreadPoolBackendTest, OversizedMorselRunsMonolithicWithoutPoolTraffic) {
   // shared-cursor path: it runs as one monolithic morsel on the submitting
   // thread (slot 0), with no pool hand-off.
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 4, .morsel_items = 1 << 20});
+  ThreadPoolBackend backend(&ctx, {4, 1 << 20});
   std::atomic<uint64_t> c{0};
   join::StepDef step = MakeStep(1000, &c, 2);
   const simcl::StepStats stats =
@@ -276,7 +276,7 @@ TEST(ThreadPoolBackendTest, OversizedMorselRunsMonolithicWithoutPoolTraffic) {
 TEST(ThreadPoolBackendTest, ClampsMorselOptionToParserBound) {
   simcl::SimContext ctx;
   ThreadPoolBackend backend(
-      &ctx, {.threads = 1, .morsel_items = 1u << 30});  // beyond --morsel max
+      &ctx, {1, 1u << 30});  // beyond --morsel max
   EXPECT_EQ(backend.morsel_items(),
             static_cast<uint32_t>(kMaxMorselItems));
 }
@@ -294,7 +294,7 @@ TEST(ThreadPoolBackendTest, SubmitSpanOverlapsWithSubmitterSpans) {
   // Async submit: the prefetch span and the submitter's own span both
   // execute, every item exactly once, while potentially in flight together.
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 3, .morsel_items = 64});
+  ThreadPoolBackend backend(&ctx, {3, 64});
   constexpr uint64_t kItems = 20000;
   std::vector<std::atomic<uint32_t>> hits(kItems);
   join::StepDef async_step;
@@ -327,7 +327,7 @@ TEST(ThreadPoolBackendTest, SubmitSpanOverlapsWithSubmitterSpans) {
 TEST(ThreadPoolBackendTest, SubmitSpanCompletesOnSingleThreadPool) {
   // No pool workers exist: Wait itself must drain the submitted span.
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 1, .morsel_items = 32});
+  ThreadPoolBackend backend(&ctx, {1, 32});
   std::atomic<uint64_t> c{0};
   join::StepDef step = MakeStep(5000, &c, 3);
   auto handle = backend.SubmitSpan(step, DeviceId::kGpu, 0, 5000);
@@ -341,7 +341,7 @@ TEST(ThreadPoolBackendTest, DroppingHandleWithoutWaitCancelsSafely) {
   // A handle destroyed before Wait (exception unwind in a caller) must not
   // leave a dangling job in the pool; the backend stays fully serviceable.
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 3, .morsel_items = 16});
+  ThreadPoolBackend backend(&ctx, {3, 16});
   std::atomic<uint64_t> dropped_work{0};
   join::StepDef dropped_step = MakeStep(100000, &dropped_work);
   {
@@ -361,7 +361,7 @@ TEST(ThreadPoolBackendTest, DroppingHandleWithoutWaitCancelsSafely) {
 
 TEST(ThreadPoolBackendTest, SubmitSpanOnEmptyRangeIsANoOp) {
   simcl::SimContext ctx;
-  ThreadPoolBackend backend(&ctx, {.threads = 2});
+  ThreadPoolBackend backend(&ctx, {2});
   std::atomic<uint64_t> c{0};
   join::StepDef step = MakeStep(100, &c);
   auto handle = backend.SubmitSpan(step, DeviceId::kCpu, 50, 50);

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "coproc/join_driver.h"
+#include "coproc/pipeline_runner.h"
 
 namespace apujoin::coproc {
 namespace {
@@ -37,7 +38,7 @@ TEST_P(JoinSweepTest, MatchesReference) {
   JoinSpec spec;
   spec.algorithm = algo;
   spec.scheme = scheme;
-  auto report = ExecuteJoin(&ctx, w, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->matches, w.expected_matches);
   EXPECT_FALSE(report->overflowed);
@@ -83,7 +84,7 @@ TEST_F(JoinDriverTest, PipelinedRejectedOnDiscrete) {
   simcl::SimContext ctx(copts);
   JoinSpec spec;
   spec.scheme = Scheme::kPipelined;
-  EXPECT_FALSE(ExecuteJoin(&ctx, w_, spec).ok());
+  EXPECT_FALSE(ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec)).ok());
 }
 
 TEST_F(JoinDriverTest, DiscretePaysTransferAndMerge) {
@@ -94,8 +95,8 @@ TEST_F(JoinDriverTest, DiscretePaysTransferAndMerge) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kDataDivide;
-  auto on_discrete = ExecuteJoin(&discrete_ctx, w_, spec);
-  auto on_coupled = ExecuteJoin(&coupled_ctx, w_, spec);
+  auto on_discrete = ExecutePlan(&discrete_ctx, MakeSingleJoinPlan(w_, spec));
+  auto on_coupled = ExecutePlan(&coupled_ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(on_discrete.ok() && on_coupled.ok());
   EXPECT_EQ(on_discrete->matches, on_coupled->matches);
   EXPECT_GT(on_discrete->breakdown.Get(simcl::Phase::kDataTransfer), 0.0);
@@ -110,7 +111,7 @@ TEST_F(JoinDriverTest, SeparateTablesOnCoupledStillCorrect) {
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kDataDivide;
   spec.engine.shared_table = false;
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->matches, w_.expected_matches);
   EXPECT_GT(report->breakdown.Get(simcl::Phase::kMerge), 0.0);
@@ -121,7 +122,7 @@ TEST_F(JoinDriverTest, SharedTableSkipsMerge) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kDataDivide;
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(report.ok());
   EXPECT_DOUBLE_EQ(report->breakdown.Get(simcl::Phase::kMerge), 0.0);
 }
@@ -133,7 +134,7 @@ TEST_F(JoinDriverTest, ExplicitRatioOverrides) {
   spec.scheme = Scheme::kDataDivide;
   spec.build_ratios = {0.25};
   spec.probe_ratios = {0.4};
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(report.ok());
   ASSERT_EQ(report->build_ratios.size(), 4u);
   for (double r : report->build_ratios) EXPECT_DOUBLE_EQ(r, 0.25);
@@ -146,7 +147,7 @@ TEST_F(JoinDriverTest, BadRatioOverrideRejected) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.build_ratios = {0.1, 0.2};  // neither 1 nor 4 entries
-  const auto report = ExecuteJoin(&ctx, w_, spec);
+  const auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
 }
@@ -156,19 +157,19 @@ TEST_F(JoinDriverTest, OutOfRangeRatioOverrideRejected) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.probe_ratios = {1.5};  // not a CPU share: must be in [0,1]
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
 
   spec.probe_ratios = {-0.25};
-  EXPECT_FALSE(ExecuteJoin(&ctx, w_, spec).ok());
+  EXPECT_FALSE(ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec)).ok());
 
   spec.probe_ratios.assign(4, std::numeric_limits<double>::quiet_NaN());
-  EXPECT_FALSE(ExecuteJoin(&ctx, w_, spec).ok());
+  EXPECT_FALSE(ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec)).ok());
 
   // Boundary values are legal shares, not errors.
   spec.probe_ratios = {0.0, 1.0, 0.0, 1.0};
-  EXPECT_TRUE(ExecuteJoin(&ctx, w_, spec).ok());
+  EXPECT_TRUE(ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec)).ok());
 }
 
 TEST_F(JoinDriverTest, PartitionRatioOverrideValidated) {
@@ -176,7 +177,7 @@ TEST_F(JoinDriverTest, PartitionRatioOverrideValidated) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kPHJ;
   spec.partition_ratios = {2.0};
-  const auto report = ExecuteJoin(&ctx, w_, spec);
+  const auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
 }
@@ -186,7 +187,7 @@ TEST_F(JoinDriverTest, BreakdownSumsToElapsed) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kPHJ;
   spec.scheme = Scheme::kPipelined;
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(report.ok());
   EXPECT_NEAR(report->breakdown.TotalNs(), report->elapsed_ns, 1e-6);
   EXPECT_GT(report->breakdown.Get(simcl::Phase::kPartition), 0.0);
@@ -199,7 +200,7 @@ TEST_F(JoinDriverTest, EstimateTracksMeasured) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kDataDivide;
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(report.ok());
   // The estimate must be in the right ballpark (paper: <15% mostly; we
   // allow 40% slack at this tiny size) and below measured (no locks).
@@ -212,7 +213,7 @@ TEST_F(JoinDriverTest, PipelinedRatiosVaryAcrossSteps) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kPipelined;
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(report.ok());
   // PL's whole point: per-step ratios differ (hash steps lean GPU).
   double lo = 1.0, hi = 0.0;
@@ -230,7 +231,7 @@ TEST_F(JoinDriverTest, CacheTracingCountsAccesses) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kCpuOnly;
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(report.ok());
   EXPECT_GT(report->l2_accesses, 0u);
   EXPECT_GT(report->l2_misses, 0u);
@@ -245,7 +246,7 @@ TEST_F(JoinDriverTest, GroupingStillCorrect) {
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kGpuOnly;
   spec.engine.grouping = true;
-  auto report = ExecuteJoin(&ctx, skewed, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(skewed, spec));
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->matches, skewed.expected_matches);
   EXPECT_GT(report->breakdown.Get(simcl::Phase::kGrouping), 0.0);
@@ -257,11 +258,11 @@ TEST_F(JoinDriverTest, BasicAllocatorSlowerButCorrect) {
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kGpuOnly;
   spec.engine.allocator = alloc::AllocatorKind::kBasic;
-  auto basic = ExecuteJoin(&ctx, w_, spec);
+  auto basic = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(basic.ok());
   EXPECT_EQ(basic->matches, w_.expected_matches);
   spec.engine.allocator = alloc::AllocatorKind::kOptimized;
-  auto ours = ExecuteJoin(&ctx, w_, spec);
+  auto ours = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(ours.ok());
   EXPECT_GT(basic->lock_ns, ours->lock_ns);
 }
@@ -272,7 +273,7 @@ TEST_F(JoinDriverTest, TinyResultCapacityFailsTheJoin) {
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kCpuOnly;
   spec.result_capacity = 16;  // far below expected matches
-  const auto report = ExecuteJoin(&ctx, w_, spec);
+  const auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
 }
@@ -284,7 +285,7 @@ TEST_F(JoinDriverTest, ToleratedOverflowReportsDroppedCount) {
   spec.scheme = Scheme::kCpuOnly;
   spec.result_capacity = 16;
   spec.tolerate_overflow = true;
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->overflowed);
   EXPECT_LT(report->matches, w_.expected_matches);
@@ -301,7 +302,7 @@ TEST_F(JoinDriverTest, StepReportsCarryDeviceItemsAndModeledTime) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kDataDivide;
-  auto report = ExecuteJoin(&ctx, w_, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w_, spec));
   ASSERT_TRUE(report.ok());
   ASSERT_FALSE(report->steps.empty());
   for (const auto& s : report->steps) {

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "coproc/pipeline_runner.h"
 #include "coproc/ratio_tuner.h"
 #include "exec/thread_pool_backend.h"
 #include "perf_asserts.h"
@@ -40,7 +41,7 @@ SessionOptions ShjSession(cost::TuneMode tune = cost::TuneMode::kOff) {
 
 TEST(JoinServiceTest, AdmissionControlLimitsOpenSessions) {
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kSim;
+  opts.exec.backend = exec::BackendKind::kSim;
   opts.max_sessions = 2;
   JoinService service(opts);
 
@@ -64,7 +65,7 @@ TEST(JoinServiceTest, AdmissionControlLimitsOpenSessions) {
 
 TEST(JoinServiceTest, SubmissionQueueOverflowReturnsResourceExhausted) {
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kSim;
+  opts.exec.backend = exec::BackendKind::kSim;
   opts.queue_capacity = 1;
   JoinService service(opts);
   auto session = service.OpenSession(ShjSession());
@@ -112,7 +113,7 @@ TEST(JoinServiceTest, TicketIsSingleShot) {
   EXPECT_EQ(empty.Take().status().code(), StatusCode::kFailedPrecondition);
 
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kSim;
+  opts.exec.backend = exec::BackendKind::kSim;
   JoinService service(opts);
   auto session = service.OpenSession(ShjSession());
   ASSERT_TRUE(session.ok());
@@ -126,7 +127,7 @@ TEST(JoinServiceTest, TicketIsSingleShot) {
 
 TEST(JoinServiceTest, SessionDrainsQueueOnClose) {
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kSim;
+  opts.exec.backend = exec::BackendKind::kSim;
   JoinService service(opts);
   auto session = service.OpenSession(ShjSession());
   ASSERT_TRUE(session.ok());
@@ -149,8 +150,8 @@ TEST(JoinServiceTest, SessionDrainsQueueOnClose) {
 
 TEST(JoinServiceTest, FairShareQuotaBoundsWorkerOccupancy) {
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kThreadPool;
-  opts.backend_threads = 4;
+  opts.exec.backend = exec::BackendKind::kThreadPool;
+  opts.exec.threads = 4;
   opts.max_sessions = 2;
   JoinService service(opts);
   ASSERT_EQ(service.capacity(), 4);
@@ -194,8 +195,8 @@ TEST(JoinServiceTest, DefaultSlotsClampToCapacity) {
   // A default quota wider than the pool must report what the lease can
   // actually grant, exactly like an explicit SessionOptions::slots.
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kThreadPool;
-  opts.backend_threads = 2;
+  opts.exec.backend = exec::BackendKind::kThreadPool;
+  opts.exec.threads = 2;
   opts.default_slots = 8;
   JoinService service(opts);
   EXPECT_EQ(service.default_slots(), 2);
@@ -206,7 +207,7 @@ TEST(JoinServiceTest, DefaultSlotsClampToCapacity) {
 
 TEST(JoinServiceTest, PerSessionTunerStateIsIsolated) {
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kSim;
+  opts.exec.backend = exec::BackendKind::kSim;
   opts.share_costs = false;
   JoinService service(opts);
 
@@ -244,7 +245,7 @@ TEST(JoinServiceTest, PerSessionTunerStateIsIsolated) {
 
 TEST(JoinServiceTest, SharedCostTablePoolsMeasurementsAcrossSessions) {
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kSim;
+  opts.exec.backend = exec::BackendKind::kSim;
   opts.share_costs = true;
   JoinService service(opts);
   EXPECT_EQ(service.shared_cost_steps(), 0u);
@@ -282,7 +283,7 @@ TEST(JoinDriverSharedCosts, SharedTableChangesPlannedRatios) {
   spec.scheme = coproc::Scheme::kPipelined;
 
   simcl::SimContext base_ctx;
-  auto baseline = coproc::ExecuteJoin(&base_ctx, w, spec);
+  auto baseline = coproc::ExecutePlan(&base_ctx, coproc::MakeSingleJoinPlan(w, spec));
   ASSERT_TRUE(baseline.ok());
 
   cost::OnlineCalibrator shared;
@@ -292,7 +293,7 @@ TEST(JoinDriverSharedCosts, SharedTableChangesPlannedRatios) {
   }
   spec.shared_costs = &shared;
   simcl::SimContext seeded_ctx;
-  auto seeded = coproc::ExecuteJoin(&seeded_ctx, w, spec);
+  auto seeded = coproc::ExecutePlan(&seeded_ctx, coproc::MakeSingleJoinPlan(w, spec));
   ASSERT_TRUE(seeded.ok());
   EXPECT_EQ(seeded->matches, w.expected_matches);
 
@@ -306,8 +307,8 @@ TEST(JoinDriverSharedCosts, SharedTableChangesPlannedRatios) {
 
 TEST(JoinServiceTest, StreamDefaultInheritsAndSessionOverrideWins) {
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kSim;
-  opts.stream = exec::StreamMode::kPipelined;
+  opts.exec.backend = exec::BackendKind::kSim;
+  opts.exec.stream = exec::StreamMode::kPipelined;
   JoinService service(opts);
 
   // Default-valued sessions inherit the service-wide streaming mode.
@@ -337,7 +338,7 @@ TEST(JoinServiceTest, ConcurrentSimSessionsBitIdenticalToSolo) {
   ASSERT_TRUE(reference.ok());
 
   ServiceOptions opts;
-  opts.backend = exec::BackendKind::kSim;
+  opts.exec.backend = exec::BackendKind::kSim;
   opts.share_costs = false;
   JoinService service(opts);
   std::vector<std::unique_ptr<Session>> sessions;
@@ -371,7 +372,7 @@ TEST(JoinServiceTest, ConcurrentSimSessionsBitIdenticalToSolo) {
 
 TEST(PoolLeaseTest, LeaseExecutesUnderQuotaAndSubLeasesNarrow) {
   simcl::SimContext pool_ctx;
-  exec::ThreadPoolBackend pool(&pool_ctx, {.threads = 4, .morsel_items = 32});
+  exec::ThreadPoolBackend pool(&pool_ctx, {4, 32});
   simcl::SimContext session_ctx;
   auto lease = pool.Lease(&session_ctx, 2);
   EXPECT_EQ(lease->kind(), exec::BackendKind::kThreadPool);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "coproc/join_driver.h"
+#include "coproc/pipeline_runner.h"
 #include "data/generator.h"
 #include "exec/backend_kind.h"
 #include "join/open_hash_table.h"
@@ -81,9 +82,9 @@ uint64_t RunJoin(const data::Workload& w, HashLayout layout,
   spec.engine.layout = layout;
   spec.engine.simd = simd;
   spec.engine.backend = backend;
-  spec.engine.backend_threads = 4;
+  spec.engine.threads = 4;
   spec.engine.morsel_items = morsel;
-  auto report = ExecuteJoin(&ctx, w, spec);
+  auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
   EXPECT_TRUE(report.ok()) << report.status().ToString();
   if (!report.ok()) return ~0ull;
   EXPECT_FALSE(report->overflowed);
@@ -145,7 +146,7 @@ TEST(LayoutParity, EmptyRelationRejectedIdentically) {
     simcl::SimContext ctx;
     JoinSpec spec;
     spec.engine.layout = layout;
-    auto report = ExecuteJoin(&ctx, w, spec);
+    auto report = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
     ASSERT_FALSE(report.ok());
     EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
   }

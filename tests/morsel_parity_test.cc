@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "coproc/join_driver.h"
+#include "coproc/pipeline_runner.h"
 #include "data/generator.h"
 #include "exec/thread_pool_backend.h"
 #include "join/reference_join.h"
@@ -39,7 +40,7 @@ TEST(MorselParityTest, SimReportsAreBitIdenticalAcrossMorselSizes) {
     spec.algorithm = coproc::Algorithm::kPHJ;
     spec.scheme = coproc::Scheme::kPipelined;
     spec.engine.morsel_items = morsel;
-    auto report = coproc::ExecuteJoin(&ctx, w, spec);
+    auto report = coproc::ExecutePlan(&ctx, coproc::MakeSingleJoinPlan(w, spec));
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     reports.push_back(*report);
   }
@@ -67,9 +68,9 @@ TEST(MorselParityTest, ThreadsBackendAgreesAcrossMorselSizes) {
     spec.algorithm = coproc::Algorithm::kSHJ;
     spec.scheme = coproc::Scheme::kPipelined;
     spec.engine.backend = BackendKind::kThreadPool;
-    spec.engine.backend_threads = 3;
+    spec.engine.threads = 3;
     spec.engine.morsel_items = morsel;
-    auto report = coproc::ExecuteJoin(&ctx, w, spec);
+    auto report = coproc::ExecutePlan(&ctx, coproc::MakeSingleJoinPlan(w, spec));
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     EXPECT_EQ(report->matches, reference);
     EXPECT_FALSE(report->overflowed);
@@ -91,13 +92,13 @@ TEST(MorselParityTest, MonolithicAndMorselSpansExecuteIdentically) {
   });
 
   simcl::SimContext ctx;
-  ThreadPoolBackend mono(&ctx, {.threads = 1, .morsel_items = 128});
+  ThreadPoolBackend mono(&ctx, {1, 128});
   const simcl::StepStats a = mono.RunSpan(step, DeviceId::kCpu, 0, kItems);
   EXPECT_EQ(a.work[0], 3 * kItems);
   const std::vector<WorkerCounters> mc = mono.TakeCounters();
   EXPECT_EQ(mc[0].morsels, 1u);  // single-slot quota: one monolithic morsel
 
-  ThreadPoolBackend pooled(&ctx, {.threads = 4, .morsel_items = 128});
+  ThreadPoolBackend pooled(&ctx, {4, 128});
   const simcl::StepStats b =
       pooled.RunSpan(step, DeviceId::kCpu, 0, kItems);
   EXPECT_EQ(b.work[0], a.work[0]);

@@ -69,7 +69,7 @@ TEST(OutOfCoreTest, ThreadsBackendRunsInCore) {
   simcl::SimContext ctx;
   OutOfCoreSpec spec;
   spec.inner.engine.backend = exec::BackendKind::kThreadPool;
-  spec.inner.engine.backend_threads = 3;
+  spec.inner.engine.threads = 3;
   auto report = ExecuteOutOfCore(&ctx, w, spec);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_FALSE(report->chunked);
@@ -87,7 +87,7 @@ TEST(OutOfCoreTest, ThreadsBackendStreamsChunkMorsels) {
   OutOfCoreSpec spec;
   spec.chunk_tuples = 1 << 12;
   spec.inner.engine.backend = exec::BackendKind::kThreadPool;
-  spec.inner.engine.backend_threads = 3;
+  spec.inner.engine.threads = 3;
   spec.inner.engine.morsel_items = 64;
   auto report = ExecuteOutOfCore(&ctx, w, spec);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
@@ -110,7 +110,7 @@ TEST(OutOfCoreTest, ThreadsAndSimBackendsAgreeOnMatches) {
     OutOfCoreSpec spec;
     spec.chunk_tuples = 1 << 11;
     spec.inner.engine.backend = kind;
-    spec.inner.engine.backend_threads = 2;
+    spec.inner.engine.threads = 2;
     auto report = ExecuteOutOfCore(&ctx, w, spec);
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     EXPECT_TRUE(report->chunked);
@@ -202,7 +202,7 @@ TEST(OutOfCoreTest, PipelinedThreadsBackendAgreesWithOracle) {
   spec.chunk_tuples = 1 << 12;
   spec.inner.engine.stream = exec::StreamMode::kPipelined;
   spec.inner.engine.backend = exec::BackendKind::kThreadPool;
-  spec.inner.engine.backend_threads = 3;
+  spec.inner.engine.threads = 3;
   spec.inner.engine.morsel_items = 64;
   auto report = ExecuteOutOfCore(&ctx, w, spec);
   ASSERT_TRUE(report.ok()) << report.status().ToString();

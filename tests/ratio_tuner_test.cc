@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "coproc/pipeline_runner.h"
 #include "coproc/ratio_tuner.h"
 #include "core/coupled_joiner.h"
 #include "exec/thread_pool_backend.h"
@@ -157,8 +158,8 @@ TEST(RatioTunerTest, UntunedSimSessionIsDeterministic) {
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kPipelined;
-  auto a = ExecuteJoin(&ctx, w, spec);
-  auto b = ExecuteJoin(&ctx, w, spec);
+  auto a = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
+  auto b = ExecutePlan(&ctx, MakeSingleJoinPlan(w, spec));
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a->elapsed_ns, b->elapsed_ns);
   EXPECT_EQ(a->matches, b->matches);
@@ -167,12 +168,12 @@ TEST(RatioTunerTest, UntunedSimSessionIsDeterministic) {
 TEST(RatioTunerTest, ConvergesOnThreadsBackend) {
   const data::Workload w = MakeWorkload(1 << 13, 1 << 16);
   simcl::SimContext ctx;
-  exec::ThreadPoolBackend backend(&ctx, {.threads = 2, .morsel_items = 256});
+  exec::ThreadPoolBackend backend(&ctx, {2, 256});
   JoinSpec spec;
   spec.algorithm = Algorithm::kSHJ;
   spec.scheme = Scheme::kPipelined;
   spec.engine.backend = exec::BackendKind::kThreadPool;
-  spec.engine.backend_threads = 2;
+  spec.engine.threads = 2;
 
   RatioTuner tuner(TuneMode::kOnline);
   constexpr int kIterations = 6;
@@ -180,7 +181,7 @@ TEST(RatioTunerTest, ConvergesOnThreadsBackend) {
   std::vector<JoinReport> reports;
   for (int i = 0; i < kIterations; ++i) {
     tuner.Prepare(&spec);
-    auto report = ExecuteJoin(&backend, w, spec);
+    auto report = ExecutePlan(&backend, MakeSingleJoinPlan(w, spec));
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     ASSERT_EQ(report->matches, w.expected_matches) << "iteration " << i;
     elapsed.push_back(report->elapsed_ns);

@@ -27,6 +27,15 @@ Rules (over src/ unless stated otherwise):
                   library builds without -mavx2 globally; an unmarked
                   intrinsic is an illegal-instruction crash on SSE-only
                   hosts waiting to happen.
+  stepdef-outside-lowering
+                  join::StepDef may be constructed (declared as a local /
+                  member, or brace-initialized) only inside the lowering
+                  layers: src/join, src/coproc and src/plan. Step series
+                  are the pipeline runner's IR — an operator elsewhere in
+                  src/ hand-rolling StepDefs bypasses plan validation,
+                  calibration and the per-step reporting contract. Other
+                  code receives series via the engine Steps()/ChainSteps()
+                  factories and runs them through coproc.
   kernel-no-alloc MorselKernel bodies (`.run = [...]` lambdas in step
                   definitions) must not allocate: no new/malloc/
                   make_unique/make_shared and no growing container calls
@@ -204,6 +213,32 @@ def check_kernel_no_alloc(path, lines, errors):
                     f"through alloc/")
 
 
+STEPDEF_DIRS = ("src/join", "src/coproc", "src/plan")
+# Construction sites: a declaration (`StepDef x`, `std::vector<StepDef>`
+# with later emplace, `StepDef{...}`) — not mere references/parameters.
+STEPDEF_CONSTRUCT_RE = re.compile(
+    r"\bStepDef\s+\w+\s*[;{=(]|\bStepDef\s*\{|"
+    r"vector\s*<\s*(join::)?StepDef\s*>\s*\w")  # `> name`, not `>&` / `>)`
+STEPDEF_REF_OK_RE = re.compile(
+    r"\bStepDef\s*[&*]|const\s+(join::)?StepDef\b")
+
+
+def check_stepdef_outside_lowering(path, lines, errors):
+    r = rel(path)
+    if any(r.startswith(d + os.sep) or r == d for d in STEPDEF_DIRS):
+        return
+    for i, raw in enumerate(lines):
+        code = strip_strings(raw).partition("//")[0]
+        if not STEPDEF_CONSTRUCT_RE.search(code):
+            continue
+        if STEPDEF_REF_OK_RE.search(code) and "{" not in code:
+            continue
+        errors.append(
+            f"{rel(path)}:{i + 1}: StepDef constructed outside the lowering "
+            f"layers ({', '.join(STEPDEF_DIRS)}) — build series through the "
+            f"engine factories and run them via coproc: {raw.strip()}")
+
+
 def check_avx2_target(path, lines, errors):
     if rel(path) in AVX2_FILE_ALLOWLIST:
         return
@@ -261,6 +296,7 @@ def main():
         check_atomic_order(path, lines, errors)
         check_no_assert(path, lines, errors)
         check_kernel_no_alloc(path, lines, errors)
+        check_stepdef_outside_lowering(path, lines, errors)
         check_avx2_target(path, lines, errors)
     check_march_native(errors)
 
