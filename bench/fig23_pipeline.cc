@@ -7,20 +7,40 @@
 //   --plan=filter     select(build) -> hash join (predicate pushdown);
 //   --plan=groupby    hash join -> group-by SUM over the probe rids.
 //
-// All shared harness flags apply (--backend, --threads, --layout, ...);
-// --json adds one metric per operator (elapsed ns) next to the join record.
+// All shared harness flags apply (--backend, --threads, --layout,
+// --fuse=off|auto, ...); --json adds one metric per operator (elapsed ns)
+// next to the join record. The bench-local --fuse=both runs the plan in
+// both fusion modes (best of 3 each), prints a comparison table with the
+// end-to-end speedup, and records both best runs in the --json artifact
+// (joins[0] = off, joins[1] = auto, plus fuse_{off,auto}_best_ns and
+// fuse_speedup metrics). --assert-fused-speedup=<x> (implies --fuse=both)
+// exits 1 unless fused is >= x times faster, downgraded to log-only on
+// single-core hosts via PerfAssertsEnabled — the CI perf gate.
 
+#include <algorithm>
 #include <cinttypes>
+#include <cstdlib>
 #include <unordered_map>
 
 #include "bench_common.h"
 #include "data/generator.h"
 #include "plan/plan.h"
+#include "util/perf_asserts.h"
 
 namespace apujoin::bench {
 namespace {
 
 enum class PlanShape { kSnowflake, kFilter, kGroupBy };
+
+/// --fuse=both: run every plan twice (off, then auto) and compare.
+bool g_compare_fuse = false;
+
+/// --assert-fused-speedup=<x>: with --fuse=both, fail (exit 1) unless the
+/// fused run is at least x times faster end-to-end. Honors the
+/// PerfAssertsEnabled single-core downgrade: on a 1-core host (or with
+/// APUJOIN_PERF_ASSERTS=0) the check only asserts that fusion returned
+/// the right answer, logging the speedup instead of judging it.
+double g_assert_speedup = 0.0;
 
 const char* PlanShapeName(PlanShape s) {
   switch (s) {
@@ -83,6 +103,78 @@ void PrintOperators(const coproc::JoinReport& report) {
               report.groups.size());
 }
 
+/// Executes the plan and reports it. Single fusion mode (the harness
+/// --fuse value): the classic per-operator report, byte-identical to the
+/// pre-fusion bench when --fuse is not given to a single-join-free plan.
+/// --fuse=both: best of 3 runs per mode, a comparison table with the
+/// end-to-end speedup, both best runs in the --json artifact.
+void RunPlan(simcl::SimContext* ctx, const coproc::PlanSpec& plan,
+             uint64_t expected_matches) {
+  if (!g_compare_fuse) {
+    auto report = coproc::ExecutePlan(CachedBackend(ctx), plan);
+    APU_CHECK_OK(report.status());
+    APU_CHECK(report->matches == expected_matches);
+    g_json.AddJoin(*report);
+    PrintOperators(*report);
+    return;
+  }
+
+  constexpr int kRuns = 3;
+  const exec::FuseMode modes[2] = {exec::FuseMode::kOff,
+                                   exec::FuseMode::kAuto};
+  coproc::JoinReport best[2];
+  int fused_ops[2] = {0, 0};
+  for (int mi = 0; mi < 2; ++mi) {
+    coproc::PlanSpec run = plan;
+    run.exec.engine.fuse = modes[mi];
+    for (int r = 0; r < kRuns; ++r) {
+      auto report = coproc::ExecutePlan(CachedBackend(ctx), run);
+      APU_CHECK_OK(report.status());
+      APU_CHECK(report->matches == expected_matches);
+      if (r == 0 || report->elapsed_ns < best[mi].elapsed_ns) {
+        best[mi] = std::move(report).value();
+      }
+    }
+    for (const coproc::OperatorReport& op : best[mi].operators) {
+      fused_ops[mi] += op.fused ? 1 : 0;
+    }
+  }
+
+  TablePrinter table({"fuse", "best of 3 (s)", "matches", "fused ops"});
+  for (int mi = 0; mi < 2; ++mi) {
+    table.AddRow({exec::FuseModeName(modes[mi]), Secs(best[mi].elapsed_ns),
+                  TablePrinter::FmtCount(best[mi].matches),
+                  std::to_string(fused_ops[mi])});
+  }
+  table.Print();
+  const double speedup =
+      best[1].elapsed_ns > 0 ? best[0].elapsed_ns / best[1].elapsed_ns : 0.0;
+  std::printf("fusion speedup (off/auto): %.2fx\n\n", speedup);
+  if (g_assert_speedup > 0.0) {
+    if (!PerfAssertsEnabled()) {
+      std::printf("assert-fused-speedup: wall-clock check downgraded to "
+                  "log-only (want >= %.2fx, measured %.2fx)\n\n",
+                  g_assert_speedup, speedup);
+    } else if (speedup < g_assert_speedup) {
+      std::fprintf(stderr,
+                   "assert-fused-speedup FAILED: fused run is %.2fx faster "
+                   "than unfused, want >= %.2fx\n",
+                   speedup, g_assert_speedup);
+      std::exit(1);
+    } else {
+      std::printf("assert-fused-speedup: ok (%.2fx >= %.2fx)\n\n", speedup,
+                  g_assert_speedup);
+    }
+  }
+
+  g_json.AddJoin(best[0]);
+  g_json.AddJoin(best[1]);
+  g_json.AddMetric("fuse_off_best_ns", best[0].elapsed_ns);
+  g_json.AddMetric("fuse_auto_best_ns", best[1].elapsed_ns);
+  g_json.AddMetric("fuse_speedup", speedup);
+  PrintOperators(best[1]);
+}
+
 void RunSnowflake(simcl::SimContext* ctx) {
   const uint64_t dim = Scaled(4ull << 20);
   const uint64_t fact = Scaled(16ull << 20);
@@ -101,11 +193,7 @@ void RunSnowflake(simcl::SimContext* ctx) {
   // Unique dimension keys: every fact row survives the chain exactly once.
   plan.expected_matches = fact;
 
-  auto report = coproc::ExecutePlan(CachedBackend(ctx), plan);
-  APU_CHECK_OK(report.status());
-  APU_CHECK(report->matches == fact);
-  g_json.AddJoin(*report);
-  PrintOperators(*report);
+  RunPlan(ctx, plan, fact);
 }
 
 void RunFilter(simcl::SimContext* ctx) {
@@ -116,7 +204,14 @@ void RunFilter(simcl::SimContext* ctx) {
   plan::Predicate pred;
   pred.column = plan::SelectColumn::kKey;
   pred.op = plan::CompareOp::kGe;
-  pred.operand = w.build.keys[w.build.size() / 2];
+  // The true median key (~50% selectivity). The keys are shuffled, so
+  // indexing the middle position would pick a uniformly random key — and
+  // with it a uniformly random selectivity.
+  std::vector<int32_t> sorted_keys = w.build.keys;
+  std::nth_element(sorted_keys.begin(),
+                   sorted_keys.begin() + sorted_keys.size() / 2,
+                   sorted_keys.end());
+  pred.operand = sorted_keys[sorted_keys.size() / 2];
 
   // Reference match count for the filtered build side.
   std::unordered_map<int32_t, uint64_t> counts;
@@ -139,31 +234,30 @@ void RunFilter(simcl::SimContext* ctx) {
   ApplyBackend(&plan.exec);
   plan.expected_matches = expected;
 
-  auto report = coproc::ExecutePlan(CachedBackend(ctx), plan);
-  APU_CHECK_OK(report.status());
-  APU_CHECK(report->matches == expected);
-  g_json.AddJoin(*report);
-  PrintOperators(*report);
+  RunPlan(ctx, plan, expected);
 }
 
 void RunGroupBy(simcl::SimContext* ctx) {
-  const data::Workload w =
-      MakeWorkload(Scaled(16ull << 20), Scaled(16ull << 20));
+  // Star-schema aggregate: a small dimension joined to a large fact,
+  // summed per dimension key — the pipeline shape fusion targets. Every
+  // match streams into a cache-resident accumulator instead of being
+  // materialized as a <build rid, probe rid> pair and rescanned.
+  const uint64_t dim = Scaled(1ull << 20);
+  const uint64_t fact = Scaled(16ull << 20);
+  const data::Relation d = MakeDimension(dim, 17);
+  const data::Relation f = MakeFact(fact, dim, 42);
 
-  PrintSection("groupby: R ⋈ S -> group-by sum(probe rid)");
+  PrintSection("groupby: dim ⋈ fact -> group-by sum(fact rid)");
   coproc::PlanSpec plan;
-  const int b = plan.graph.AddScan(&w.build);
-  const int p = plan.graph.AddScan(&w.probe);
+  const int b = plan.graph.AddScan(&d);
+  const int p = plan.graph.AddScan(&f);
   const int j = plan.graph.AddHashJoin(b, p);
   plan.graph.AddGroupBy(j, plan::AggFn::kSum);
   ApplyBackend(&plan.exec);
-  plan.expected_matches = w.expected_matches;
+  // Unique dimension keys: every fact row matches exactly once.
+  plan.expected_matches = fact;
 
-  auto report = coproc::ExecutePlan(CachedBackend(ctx), plan);
-  APU_CHECK_OK(report.status());
-  APU_CHECK(report->matches == w.expected_matches);
-  g_json.AddJoin(*report);
-  PrintOperators(*report);
+  RunPlan(ctx, plan, fact);
 }
 
 }  // namespace
@@ -173,12 +267,24 @@ int main(int argc, char** argv) {
   using namespace apujoin;
   using namespace apujoin::bench;
 
-  // Extract the bench-specific --plan flag, hand everything else to the
-  // shared harness parser.
+  // Extract the bench-specific --plan flag (and the --fuse=both comparison
+  // mode, a superset of the shared --fuse=off|auto), hand everything else
+  // to the shared harness parser.
   PlanShape shape = PlanShape::kSnowflake;
   std::vector<char*> rest = {argv[0]};
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--plan=", 7) == 0) {
+    if (std::strcmp(argv[i], "--fuse=both") == 0) {
+      g_compare_fuse = true;
+    } else if (std::strncmp(argv[i], "--assert-fused-speedup=", 23) == 0) {
+      g_assert_speedup = std::atof(argv[i] + 23);
+      if (!(g_assert_speedup > 0.0)) {
+        std::fprintf(stderr,
+                     "invalid value in '%s' "
+                     "(want --assert-fused-speedup=<positive factor>)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--plan=", 7) == 0) {
       const char* v = argv[i] + 7;
       if (std::strcmp(v, "snowflake") == 0) {
         shape = PlanShape::kSnowflake;
@@ -197,12 +303,14 @@ int main(int argc, char** argv) {
       rest.push_back(argv[i]);
     }
   }
+  if (g_assert_speedup > 0.0) g_compare_fuse = true;
   InitBench(static_cast<int>(rest.size()), rest.data());
 
   PrintBanner("fig23 operator pipelines",
               "plan trees on the step-series machinery (beyond Section 5: "
               "selection, multi-way chains, group-by)");
-  std::printf("plan: %s\n\n", PlanShapeName(shape));
+  std::printf("plan: %s%s\n\n", PlanShapeName(shape),
+              g_compare_fuse ? " (fused vs unfused, best of 3)" : "");
 
   simcl::SimContext ctx = MakeContext();
   switch (shape) {

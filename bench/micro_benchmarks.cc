@@ -14,10 +14,12 @@
 #include "coproc/step_series.h"
 #include "exec/thread_pool_backend.h"
 #include "data/generator.h"
+#include "join/groupby_engine.h"
 #include "join/hash_table.h"
 #include "join/open_hash_table.h"
 #include "join/radix_partition.h"
 #include "join/reference_join.h"
+#include "join/result_writer.h"
 #include "simcl/cache_sim.h"
 #include "util/cpu_features.h"
 #include "util/murmur_hash.h"
@@ -130,12 +132,12 @@ struct ProbeBatch {
   std::vector<uint32_t> hash;
 };
 
-ProbeBatch MakeProbeBatch() {
+ProbeBatch MakeProbeBatch(uint32_t batch = kLayoutProbeBatch) {
   ProbeBatch b;
-  b.keys.resize(kLayoutProbeBatch);
-  b.hash.resize(kLayoutProbeBatch);
+  b.keys.resize(batch);
+  b.hash.resize(batch);
   Random rng(7);
-  for (uint32_t i = 0; i < kLayoutProbeBatch; ++i) {
+  for (uint32_t i = 0; i < batch; ++i) {
     // Build keys are the odd numbers below 2n; every second probe misses.
     b.keys[i] = static_cast<int32_t>(rng.Next() % (2 * kLayoutBuildKeys));
     b.hash[i] = MurmurHash2x4(static_cast<uint32_t>(b.keys[i]));
@@ -224,6 +226,104 @@ void BM_ProbeOpenAddressingNoPrefetch(benchmark::State& state) {
                       /*prefetch_dist=*/0);
 }
 BENCHMARK(BM_ProbeOpenAddressingNoPrefetch);
+
+// --------------------------------------------------------------------------
+// Fusion payoff: the same probe workload either streams every match into
+// the group-by accumulator (the fused p4g shape) or materializes the
+// <key, build rid, probe rid> tuples through the result writer and
+// aggregates them in a second g1-style rescan (the unfused p4 + g1 shape).
+// The delta is the writer traffic (atomic slot claims, three column
+// stores, the rescan reload) the plan-fusion pass eliminates; the batch is
+// sized so the pair buffer does not fit in cache (the regime of the
+// figure-scale workloads).
+// --------------------------------------------------------------------------
+
+constexpr uint32_t kFuseProbeBatch = 1 << 21;
+
+/// Fills a chained table with the odd keys below 2n, one rid per key (the
+/// BM_ProbeChained build, shared by the fusion pair).
+void FillFusionBuild(join::HashTable* table) {
+  for (uint32_t k = 0; k < kLayoutBuildKeys; ++k) {
+    uint32_t work = 0;
+    const int32_t key = static_cast<int32_t>(2 * k + 1);
+    const uint32_t b = table->BucketOf(MurmurHash2x4(2 * k + 1));
+    const int32_t node =
+        table->FindOrAddKey(b, key, simcl::DeviceId::kCpu, 0, &work);
+    table->InsertRid(node, static_cast<int32_t>(k), simcl::DeviceId::kCpu, 0);
+  }
+}
+
+void BM_ProbeAggregateFused(benchmark::State& state) {
+  const uint32_t n = kLayoutBuildKeys;
+  join::NodePools pools(n + n / 4, n + n / 4,
+                        alloc::AllocatorKind::kOptimized, 2048);
+  join::HashTable table(join::NextPow2(n), &pools);
+  FillFusionBuild(&table);
+  const ProbeBatch batch = MakeProbeBatch(kFuseProbeBatch);
+  join::GroupByEngine agg(plan::AggFn::kSum);
+  APU_CHECK_OK(agg.PrepareFused(n));
+  for (auto _ : state) {
+    uint64_t work = 0;
+    for (uint32_t i = 0; i < kFuseProbeBatch; ++i) {
+      uint32_t w = 0;
+      const int32_t node =
+          table.FindKey(table.BucketOf(batch.hash[i]), batch.keys[i], &w);
+      if (node == join::kNil) continue;
+      const int32_t key = batch.keys[i];
+      work += table.ForEachRid(node, [&agg, key, i](int32_t) {
+        agg.Accumulate(key, static_cast<int64_t>(i));
+      });
+    }
+    benchmark::DoNotOptimize(work);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kFuseProbeBatch));
+}
+BENCHMARK(BM_ProbeAggregateFused);
+
+void BM_ProbeMaterializeThenAggregate(benchmark::State& state) {
+  const uint32_t n = kLayoutBuildKeys;
+  join::NodePools pools(n + n / 4, n + n / 4,
+                        alloc::AllocatorKind::kOptimized, 2048);
+  join::HashTable table(join::NextPow2(n), &pools);
+  FillFusionBuild(&table);
+  const ProbeBatch batch = MakeProbeBatch(kFuseProbeBatch);
+  join::GroupByEngine agg(plan::AggFn::kSum);
+  APU_CHECK_OK(agg.PrepareFused(n));
+  // Every build key holds one rid, so the batch bounds the pair count.
+  join::ResultWriter writer(kFuseProbeBatch, alloc::AllocatorKind::kOptimized,
+                            2048);
+  writer.CaptureKeys();
+  for (auto _ : state) {
+    writer.Reset();
+    // p4: probe and materialize the result tuples through the writer.
+    for (uint32_t i = 0; i < kFuseProbeBatch; ++i) {
+      uint32_t w = 0;
+      const int32_t node =
+          table.FindKey(table.BucketOf(batch.hash[i]), batch.keys[i], &w);
+      if (node == join::kNil) continue;
+      const int32_t key = batch.keys[i];
+      table.ForEachRid(node, [&writer, key, i](int32_t brid) {
+        writer.Emit(key, brid, static_cast<int32_t>(i), simcl::DeviceId::kCpu,
+                    0);
+      });
+    }
+    // g1: rescan the writer's slots and fold them into the aggregate table.
+    uint64_t work = 0;
+    const uint64_t slots = writer.used_slots();
+    const int32_t* keys = writer.key_data();
+    const int32_t* brids = writer.build_rid_data();
+    const int32_t* prids = writer.probe_rid_data();
+    for (uint64_t j = 0; j < slots; ++j) {
+      if (brids[j] < 0) continue;  // unclaimed block remainder
+      work += agg.Accumulate(keys[j], prids[j]);
+    }
+    benchmark::DoNotOptimize(work);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kFuseProbeBatch));
+}
+BENCHMARK(BM_ProbeMaterializeThenAggregate);
 
 void BM_RadixPartitionPass(benchmark::State& state) {
   data::WorkloadSpec wspec;

@@ -109,6 +109,12 @@ struct OperatorReport {
   double elapsed_ns = 0.0;  ///< time attributed to this operator's series
   uint64_t input_rows = 0;
   uint64_t output_rows = 0;
+  /// True when plan fusion eliminated this operator's materialization
+  /// boundary: a Select whose survivors were never copied out, a HashJoin
+  /// whose matches streamed into the group-by accumulators, or the GroupBy
+  /// fed by such a join. elapsed_ns is then this operator's *attributed*
+  /// share of the fused series.
+  bool fused = false;
 };
 
 /// Result of one join execution.

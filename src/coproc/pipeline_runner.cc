@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -17,6 +18,7 @@
 #include "join/result_writer.h"
 #include "join/select_engine.h"
 #include "join/simple_hash_join.h"
+#include "plan/fusion.h"
 
 namespace apujoin::coproc {
 
@@ -276,18 +278,32 @@ alloc::AllocCounts NoAlloc() { return alloc::AllocCounts{}; }
 // entry to the shared Driver and its estimate to drv.estimated_ns.
 // ---------------------------------------------------------------------------
 
-/// The legacy single-join flow, verbatim: calibration, ratio resolution,
+/// The legacy single-join flow: calibration, ratio resolution,
 /// build/partition/probe series, discrete transfers, separate-table merge.
 /// `expected_matches` and `skew_fraction` play the roles the workload's
 /// fields played before plans existed.
+///
+/// Fusion hooks: `build_filter`/`probe_filter` (null = none) are fused
+/// Select selection vectors — SHJ kernels skip dead lanes positionally, PHJ
+/// pushes them into pass 0 of the radix partitioners. `fused_agg` (null =
+/// emit pairs) swaps the emitting probe step for the fused probe+aggregate
+/// step p4g, which streams matches into the group-by accumulators. With all
+/// three null the lowering is the PR 8 flow bit-for-bit.
 Status RunHashJoinOp(Driver& drv, const data::Relation& build,
                      const data::Relation& probe, join::ResultWriter& writer,
+                     const uint8_t* build_filter, const uint8_t* probe_filter,
+                     uint64_t build_survivors, join::GroupByEngine* fused_agg,
                      uint64_t expected_matches, double skew_fraction,
                      const std::string& op_path) {
   simcl::SimContext* ctx = drv.ctx;
   const JoinSpec& spec = drv.spec;
   const uint64_t nb = build.size();
   const uint64_t np = probe.size();
+  // Live build rows the engine will actually insert — the survivor count
+  // when a fused select filters the build side. Sizing hash tables, radix
+  // plans, and the cost model from it keeps the fused data structures
+  // identical to what the unfused plan builds from the materialized copy.
+  const uint64_t nb_live = build_filter != nullptr ? build_survivors : nb;
   const double elapsed0 = ctx->log().TotalNs();
   const uint64_t count0 = writer.count();
 
@@ -300,11 +316,14 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
 
   if (spec.algorithm == Algorithm::kSHJ) {
     join::ShjEngine engine(ctx, &build, &probe, spec.engine);
+    engine.set_build_cardinality(nb_live);
     APU_RETURN_IF_ERROR(engine.Prepare());
+    engine.set_build_filter(build_filter);
+    engine.set_probe_filter(probe_filter);
     // Chained bucket count, or total key slots under the open layout — the
     // calibration occupancy alpha divides distinct keys by this.
     stats.buckets = static_cast<double>(engine.CostModelBuckets());
-    stats.distinct_keys = static_cast<double>(nb);
+    stats.distinct_keys = static_cast<double>(nb_live);
 
     auto drain = [&engine, &writer]() {
       alloc::AllocCounts c = engine.pools().TakeCounts();
@@ -343,7 +362,9 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
     }
 
     // ---- probe ----
-    std::vector<StepDef> psteps = engine.ProbeSteps(&writer);
+    std::vector<StepDef> psteps = fused_agg != nullptr
+                                      ? engine.ProbeStepsFused(fused_agg)
+                                      : engine.ProbeSteps(&writer);
     const cost::StepCosts pcosts = drv.Calibrate(psteps, stats);
     auto pratios = ResolveRatios("probe", spec.scheme, pcosts, np, drv.comm,
                                  spec.probe_ratios);
@@ -366,11 +387,16 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
   } else {
     // ---- PHJ ----
     join::PhjEngine engine(ctx, &build, &probe, spec.engine);
+    engine.set_build_cardinality(nb_live);
     APU_RETURN_IF_ERROR(engine.Prepare());
+    // Fused selections run inside pass 0 of the partitioners; every later
+    // pass and the whole join phase see only the compacted survivors.
+    engine.set_build_filter(build_filter);
+    engine.set_probe_filter(probe_filter);
     const uint32_t parts = engine.num_partitions();
     stats.buckets = static_cast<double>(engine.CostModelBuckets());
     stats.distinct_keys =
-        static_cast<double>(nb) / static_cast<double>(parts);
+        static_cast<double>(nb_live) / static_cast<double>(parts);
 
     // ---- partition passes (R then S) ----
     for (int side = 0; side < 2; ++side) {
@@ -415,7 +441,9 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
                                  spec.build_ratios);
     if (!bratios.ok()) return bratios.status();
     drv.report.build_ratios = *bratios;
-    std::vector<StepDef> psteps = engine.ProbeSteps(&writer);
+    std::vector<StepDef> psteps = fused_agg != nullptr
+                                      ? engine.ProbeStepsFused(fused_agg)
+                                      : engine.ProbeSteps(&writer);
     const cost::StepCosts pcosts = drv.Calibrate(psteps, stats);
     auto pratios = ResolveRatios("probe", spec.scheme, pcosts, np, drv.comm,
                                  spec.probe_ratios);
@@ -491,7 +519,9 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
   op.kind = plan::NodeKindName(plan::NodeKind::kHashJoin);
   op.elapsed_ns = ctx->log().TotalNs() - elapsed0;
   op.input_rows = nb + np;
-  op.output_rows = writer.count() - count0;
+  op.output_rows = fused_agg != nullptr ? fused_agg->total_count()
+                                        : writer.count() - count0;
+  op.fused = fused_agg != nullptr;
   drv.report.operators.push_back(std::move(op));
   return Status::OK();
 }
@@ -530,6 +560,43 @@ StatusOr<const data::Relation*> RunSelectOp(Driver& drv,
   op.output_rows = eng.survivors();
   drv.report.operators.push_back(std::move(op));
   return &eng.output();
+}
+
+/// Fused selection (Select→HashJoin edge): runs the flag-only f1 series and
+/// returns the selection vector for the join kernels to consume
+/// positionally — no compaction pass, no filtered-relation copy.
+StatusOr<const uint8_t*> RunSelectOpFused(Driver& drv,
+                                          join::SelectEngine& eng,
+                                          const std::string& op_path) {
+  APU_RETURN_IF_ERROR(eng.PrepareFused());
+  std::vector<StepDef> steps = eng.FusedSteps();
+  const uint64_t n = steps.front().items;
+  double elapsed = 0.0;
+  if (n > 0) {
+    cost::WorkloadStats stats;
+    stats.build_tuples = n;
+    stats.probe_tuples = n;
+    const cost::StepCosts costs = drv.Calibrate(steps, stats);
+    auto ratios = ResolveRatios("select", drv.spec.scheme, costs, n,
+                                drv.comm, {});
+    if (!ratios.ok()) return ratios.status();
+    auto res = drv.RunPhase(op_path, Phase::kSelect, steps, costs, *ratios,
+                            NoAlloc, 0.0);
+    if (!res.ok()) return res.status();
+    drv.estimated_ns +=
+        cost::EstimateSeries(costs, n, *ratios, drv.comm).elapsed_ns;
+    elapsed = res->elapsed_ns;
+  }
+
+  OperatorReport op;
+  op.path = op_path;
+  op.kind = plan::NodeKindName(plan::NodeKind::kSelect);
+  op.elapsed_ns = elapsed;
+  op.input_rows = n;
+  op.output_rows = eng.survivors();
+  op.fused = true;
+  drv.report.operators.push_back(std::move(op));
+  return eng.flags();
 }
 
 /// Multi-way probe chain: one shared-table build per relation, then the
@@ -633,6 +700,7 @@ Status RunMultiwayOp(Driver& drv,
 Status RunGroupByOp(Driver& drv, const join::ResultWriter& writer,
                     plan::AggFn agg, const std::string& op_path) {
   join::GroupByEngine eng(&writer, agg);
+  eng.set_prefetch_dist(drv.spec.engine.prefetch_dist);
   APU_RETURN_IF_ERROR(eng.Prepare());
   std::vector<StepDef> steps = eng.Steps();
   const uint64_t n = steps.front().items;
@@ -722,6 +790,15 @@ StatusOr<JoinReport> ExecutePlan(exec::Backend* backend,
   const uint64_t cache_acc0 = ctx->cache() ? ctx->cache()->accesses() : 0;
   const uint64_t cache_miss0 = ctx->cache() ? ctx->cache()->misses() : 0;
 
+  // ---- fusion decision ----
+  // The structural pass marks fusible edges; the runner demotes what the
+  // execution spec rules out. Discrete co-processing keeps every boundary
+  // materialized: its phase transfers are sized from materialized
+  // intermediates, and the shared aggregate table a fused probe streams
+  // into does not exist across two memories.
+  const plan::FusionPlan fusion = plan::Fuse(
+      g, ctx->discrete() ? exec::FuseMode::kOff : spec.engine.fuse);
+
   // ---- resolve the join's inputs (scans and selections) ----
   std::vector<std::unique_ptr<join::SelectEngine>> select_engines;
   std::function<StatusOr<const data::Relation*>(int)> resolve =
@@ -732,41 +809,91 @@ StatusOr<JoinReport> ExecutePlan(exec::Backend* backend,
     // with one relation-producing child.
     auto in = resolve(n.children[0]);
     if (!in.ok()) return in.status();
-    select_engines.push_back(
-        std::make_unique<join::SelectEngine>(*in, n.predicate));
+    select_engines.push_back(std::make_unique<join::SelectEngine>(
+        *in, n.predicate, spec.engine.prefetch_dist));
     return RunSelectOp(drv, *select_engines.back(), NodePath(g, idx));
   };
   std::vector<const data::Relation*> inputs(join_node.children.size());
+  // Fused Select children: the join consumes the unfiltered input plus a
+  // positional selection vector instead of a filtered copy.
+  std::vector<const uint8_t*> filters(join_node.children.size(), nullptr);
+  std::vector<uint64_t> filter_survivors(join_node.children.size(), 0);
   for (size_t c = 0; c < join_node.children.size(); ++c) {
-    auto rel = resolve(join_node.children[c]);
+    const int child = join_node.children[c];
+    if (g.nodes[child].kind == plan::NodeKind::kSelect &&
+        fusion.fused[child] != 0) {
+      auto in = resolve(g.nodes[child].children[0]);
+      if (!in.ok()) return in.status();
+      select_engines.push_back(std::make_unique<join::SelectEngine>(
+          *in, g.nodes[child].predicate, spec.engine.prefetch_dist));
+      auto flags =
+          RunSelectOpFused(drv, *select_engines.back(), NodePath(g, child));
+      if (!flags.ok()) return flags.status();
+      inputs[c] = *in;
+      filters[c] = *flags;
+      filter_survivors[c] = select_engines.back()->survivors();
+      continue;
+    }
+    auto rel = resolve(child);
     if (!rel.ok()) return rel.status();
     inputs[c] = *rel;
   }
 
-  // ---- result buffer ----
-  uint64_t expected = plan.expected_matches;
-  if (expected == PlanSpec::kAutoMatches) expected = inputs.back()->size();
-  // Expected matches + slack for stranded block remainders.
-  uint64_t result_cap = spec.result_capacity;
-  if (result_cap == 0) {
-    const uint64_t block_elems =
-        std::max<uint64_t>(1, spec.engine.block_bytes / 8);
-    result_cap = expected + 2048 * block_elems + 4096;
-  }
-  join::ResultWriter writer(result_cap, spec.engine.allocator,
-                            spec.engine.block_bytes);
-  if (has_groupby) writer.CaptureKeys();
-  drv.writer = &writer;
-
   // A selection that filters every tuple out legitimately empties a join
   // input: the join result is empty, not an error. The engines keep
   // rejecting empty *base* relations (an empty scan is a caller bug), so
-  // the series is skipped rather than run on zero tuples.
+  // the series is skipped rather than run on zero tuples. A fused
+  // selection with zero survivors takes the same shortcut — the count was
+  // taken from the flag series instead of a copy.
   bool select_emptied = false;
   for (size_t c = 0; c < join_node.children.size(); ++c) {
     select_emptied |=
         inputs[c]->empty() &&
         g.nodes[join_node.children[c]].kind == plan::NodeKind::kSelect;
+    select_emptied |= filters[c] != nullptr && filter_survivors[c] == 0;
+  }
+
+  // ---- fused HashJoin→GroupBy? ----
+  bool groupby_fused =
+      has_groupby && fusion.fused[join_idx] != 0 && !select_emptied;
+  if (groupby_fused) {
+    // The aggregate table uses INT32_MIN as its empty-slot sentinel; a key
+    // carrying it could never claim a slot. Surviving keys are a subset of
+    // the build keys, so one build-side scan is a conservative guard.
+    for (const int32_t k : inputs[0]->keys) {
+      if (k == std::numeric_limits<int32_t>::min()) {
+        groupby_fused = false;
+        break;
+      }
+    }
+  }
+
+  // ---- result buffer ----
+  uint64_t expected = plan.expected_matches;
+  if (expected == PlanSpec::kAutoMatches) expected = inputs.back()->size();
+  // Expected matches + slack for stranded block remainders. A fused
+  // group-by never materializes pairs — its writer only backstops the
+  // allocator-drain plumbing, so the big buffer is skipped entirely.
+  uint64_t result_cap = spec.result_capacity;
+  if (result_cap == 0) {
+    const uint64_t block_elems =
+        std::max<uint64_t>(1, spec.engine.block_bytes / 8);
+    result_cap = groupby_fused ? 64 : expected + 2048 * block_elems + 4096;
+  }
+  join::ResultWriter writer(result_cap, spec.engine.allocator,
+                            spec.engine.block_bytes);
+  if (has_groupby && !groupby_fused) writer.CaptureKeys();
+  drv.writer = &writer;
+
+  std::unique_ptr<join::GroupByEngine> fused_agg;
+  if (groupby_fused) {
+    fused_agg = std::make_unique<join::GroupByEngine>(root.agg);
+    const uint64_t nb_eff =
+        filters[0] != nullptr ? filter_survivors[0] : inputs[0]->size();
+    const uint64_t np_eff =
+        filters[1] != nullptr ? filter_survivors[1] : inputs[1]->size();
+    // Distinct group keys are bounded by the smaller side's survivors.
+    APU_RETURN_IF_ERROR(fused_agg->PrepareFused(std::min(nb_eff, np_eff)));
   }
 
   // ---- the join ----
@@ -778,6 +905,8 @@ StatusOr<JoinReport> ExecutePlan(exec::Backend* backend,
     drv.report.operators.push_back(std::move(op));
   } else if (join_node.kind == plan::NodeKind::kHashJoin) {
     APU_RETURN_IF_ERROR(RunHashJoinOp(drv, *inputs[0], *inputs[1], writer,
+                                      filters[0], filters[1],
+                                      filter_survivors[0], fused_agg.get(),
                                       expected, plan.skew_fraction,
                                       NodePath(g, join_idx)));
   } else {
@@ -787,12 +916,44 @@ StatusOr<JoinReport> ExecutePlan(exec::Backend* backend,
   }
 
   // ---- the aggregate ----
-  if (has_groupby) {
+  if (has_groupby && fused_agg != nullptr) {
+    // The aggregation ran inside the probe series (p4g). Attribute the
+    // group-by's share of that fused step: what a standalone g1 pass over
+    // the same matches would have cost, capped by the fused step's own
+    // measured time. The join's operator entry gives that share up, so the
+    // per-operator times still sum to the plan total.
+    double p4g_ns = 0.0;
+    for (const StepReport& s : drv.report.steps) {
+      if (s.name == "p4g") p4g_ns += std::max(s.cpu_ns, s.gpu_ns);
+    }
+    const uint64_t matched = fused_agg->total_count();
+    const simcl::StepProfile gp =
+        join::GroupAggProfile(fused_agg->TableWorkingSetBytes());
+    const double g1_ns =
+        simcl::ComputeDeviceTime(ctx->device(DeviceId::kCpu), ctx->memory(),
+                                 gp, matched, matched,
+                                 static_cast<double>(matched))
+            .ModeledNs();
+    const double share = std::min(g1_ns, p4g_ns);
+    OperatorReport& jop = drv.report.operators.back();
+    jop.elapsed_ns = std::max(0.0, jop.elapsed_ns - share);
+    drv.report.groups = fused_agg->Materialize();
+
+    OperatorReport op;
+    op.path = NodePath(g, g.root);
+    op.kind = plan::NodeKindName(plan::NodeKind::kGroupBy);
+    op.elapsed_ns = share;
+    op.input_rows = matched;
+    op.output_rows = drv.report.groups.size();
+    op.fused = true;
+    drv.report.operators.push_back(std::move(op));
+  } else if (has_groupby) {
     APU_RETURN_IF_ERROR(RunGroupByOp(drv, writer, root.agg,
                                      NodePath(g, g.root)));
   }
 
-  drv.report.matches = writer.count();
+  drv.report.matches =
+      fused_agg != nullptr ? fused_agg->total_count() : writer.count();
   drv.report.dropped_matches = writer.dropped();
   drv.report.overflowed |= writer.dropped() > 0;
   drv.report.breakdown = ctx->log();

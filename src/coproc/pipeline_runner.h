@@ -18,6 +18,20 @@
 //   * GroupBy aggregates the join's result writer through the g1 series
 //     (join/groupby_engine) into JoinReport::groups.
 //
+// Fusion (--fuse=auto, the default): before lowering, plan::Fuse marks the
+// operator boundaries that may stream instead of materialize. A fused
+// Select runs flag-only (f1) and the join kernels consume its selection
+// vector positionally — no compacted copy; a fused HashJoin→GroupBy swaps
+// the emitting probe step for p4g, which streams every match straight into
+// the group-by accumulators — no rid-pair buffer, no g1 rescan. The runner
+// demotes fusion where the execution spec rules it out (discrete
+// co-processing; a build key colliding with the aggregate table's
+// INT32_MIN sentinel). Fused operators are flagged in
+// JoinReport::operators[i].fused, and the fused step's time is split
+// between the logical operators (the group-by gets the calibrated
+// standalone-g1 share, capped at the fused step's measured time). With
+// --fuse=off the lowering above runs verbatim, bit-for-bit.
+//
 // Every structural error is a real Status (InvalidArgument naming the node
 // path); nothing in this layer asserts on user input.
 

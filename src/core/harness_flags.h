@@ -26,6 +26,7 @@ struct HarnessFlags {
   exec::StreamMode stream = exec::StreamMode::kSerial;  ///< --stream
   exec::HashLayout layout = exec::HashLayout::kChained;  ///< --layout
   unsigned prefetch_dist = 16;             ///< --prefetch-dist (0 = off)
+  exec::FuseMode fuse = exec::FuseMode::kAuto;  ///< --fuse
   cost::TuneMode tune = cost::TuneMode::kOff;
   bool backend_set = false;                ///< --backend given explicitly
   bool threads_set = false;                ///< --threads given explicitly
@@ -33,6 +34,7 @@ struct HarnessFlags {
   bool stream_set = false;                 ///< --stream given explicitly
   bool layout_set = false;                 ///< --layout given explicitly
   bool prefetch_set = false;               ///< --prefetch-dist explicitly
+  bool fuse_set = false;                   ///< --fuse given explicitly
   bool tune_set = false;                   ///< --tune given explicitly
   std::string json_path;                   ///< --json; empty = no JSON output
 };
@@ -41,7 +43,8 @@ struct HarnessFlags {
 inline constexpr char kHarnessUsage[] =
     "[--backend=sim|threads] [--threads=N] [--morsel=N] "
     "[--stream=serial|pipelined] [--layout=chained|open] "
-    "[--prefetch-dist=N] [--tune=off|once|online] [--json=path]";
+    "[--prefetch-dist=N] [--fuse=off|auto] [--tune=off|once|online] "
+    "[--json=path]";
 
 /// Outcome of offering one argv entry to ParseHarnessArg.
 enum class HarnessArg {
@@ -107,6 +110,17 @@ inline HarnessArg ParseHarnessArg(const char* arg, HarnessFlags* flags) {
     case exec::FlagParse::kNotMatched:
       break;
   }
+  switch (exec::ParseFuseFlag(arg, &flags->fuse)) {
+    case exec::FlagParse::kOk:
+      flags->fuse_set = true;
+      return HarnessArg::kConsumed;
+    case exec::FlagParse::kInvalid:
+      std::fprintf(stderr, "invalid value in '%s' (want --fuse=off|auto)\n",
+                   arg);
+      return HarnessArg::kInvalid;
+    case exec::FlagParse::kNotMatched:
+      break;
+  }
   switch (exec::ParsePrefetchFlag(arg, &flags->prefetch_dist)) {
     case exec::FlagParse::kOk:
       flags->prefetch_set = true;
@@ -150,6 +164,7 @@ inline void ApplyHarnessFlags(const HarnessFlags& flags,
   engine->stream = flags.stream;
   engine->layout = flags.layout;
   engine->prefetch_dist = flags.prefetch_dist;
+  engine->fuse = flags.fuse;
   engine->tune = flags.tune;
 }
 

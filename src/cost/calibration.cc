@@ -45,7 +45,7 @@ StepObservation ObserveStep(const std::string& name, const WorkloadStats& ws,
   if (name == "b3" || name == "p3") {
     obs.avg_work = 1.0 + chain;
     obs.gpu_divergence = SampleDivergence(chain, 0.0, 0.0, seed);
-  } else if (name == "p4") {
+  } else if (name == "p4" || name == "p4g") {
     // Matches per probe tuple + the node visit itself.
     obs.avg_work = 1.0 + ws.match_rate;
     obs.gpu_divergence =

@@ -77,6 +77,24 @@ FlagParse ParseLayoutFlag(const char* arg, HashLayout* out) {
   return ParseHashLayout(arg + 9, out) ? FlagParse::kOk : FlagParse::kInvalid;
 }
 
+bool ParseFuseMode(const char* text, FuseMode* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "off") == 0) {
+    *out = FuseMode::kOff;
+    return true;
+  }
+  if (std::strcmp(text, "auto") == 0) {
+    *out = FuseMode::kAuto;
+    return true;
+  }
+  return false;
+}
+
+FlagParse ParseFuseFlag(const char* arg, FuseMode* out) {
+  if (std::strncmp(arg, "--fuse=", 7) != 0) return FlagParse::kNotMatched;
+  return ParseFuseMode(arg + 7, out) ? FlagParse::kOk : FlagParse::kInvalid;
+}
+
 FlagParse ParsePrefetchFlag(const char* arg, unsigned* dist) {
   if (std::strncmp(arg, "--prefetch-dist=", 16) != 0) {
     return FlagParse::kNotMatched;

@@ -87,6 +87,30 @@ bool ParseHashLayout(const char* text, HashLayout* out);
 /// Shared --layout=chained|open parsing for harness mains.
 FlagParse ParseLayoutFlag(const char* arg, HashLayout* out);
 
+/// Plan-fusion policy (--fuse): whether the pipeline runner may collapse
+/// adjacent plan operators into fused step series. Off preserves the
+/// materialize-everything lowering bit-for-bit (every operator runs its own
+/// series and copies its output); auto lets the fusion pass annotate
+/// Select→HashJoin (predicate pushed into the join kernels as a selection
+/// vector, no filtered-relation copy) and HashJoin→GroupBy (probe matches
+/// accumulate straight into the aggregate table, no rid-pair
+/// materialization) edges where no consumer needs the intermediate.
+enum class FuseMode {
+  kOff,   ///< materialize every operator boundary (PR 8 lowering)
+  kAuto,  ///< fuse eligible edges, fall back to materialization otherwise
+};
+
+inline const char* FuseModeName(FuseMode m) {
+  return m == FuseMode::kOff ? "off" : "auto";
+}
+
+/// Parses "off" / "auto" (the --fuse flag values). Returns false and leaves
+/// `*out` untouched on anything else.
+bool ParseFuseMode(const char* text, FuseMode* out);
+
+/// Shared --fuse=off|auto parsing for harness mains.
+FlagParse ParseFuseFlag(const char* arg, FuseMode* out);
+
 /// Upper bound for --prefetch-dist: lookahead beyond a morsel is pointless
 /// (the batch loops prefetch within their own morsel) and a huge distance
 /// only evicts what it fetched before the demand load arrives.

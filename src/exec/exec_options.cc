@@ -50,6 +50,15 @@ apujoin::Status ExecOptions::Validate() const {
           "ExecOptions::stream is not a known StreamMode (" +
           std::to_string(static_cast<int>(stream)) + ")");
   }
+  switch (fuse) {
+    case FuseMode::kOff:
+    case FuseMode::kAuto:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "ExecOptions::fuse is not a known FuseMode (" +
+          std::to_string(static_cast<int>(fuse)) + ")");
+  }
   switch (tune) {
     case cost::TuneMode::kOff:
     case cost::TuneMode::kOnce:

@@ -45,6 +45,11 @@ struct ExecOptions {
   /// Out-of-core streaming policy (--stream=serial|pipelined). In-core
   /// joins ignore the knob.
   StreamMode stream = StreamMode::kSerial;
+  /// Plan-fusion policy (--fuse=off|auto). Off preserves the
+  /// materialize-every-boundary lowering bit-for-bit; auto fuses
+  /// Select→HashJoin and HashJoin→GroupBy edges where no consumer needs
+  /// the intermediate copy. Single-operator plans are identical either way.
+  FuseMode fuse = FuseMode::kAuto;
   /// Measurement feedback into calibration (--tune=off|once|online).
   cost::TuneMode tune = cost::TuneMode::kOff;
 

@@ -4,16 +4,33 @@
 #include <limits>
 
 #include "join/hash_table.h"
-#include "util/murmur_hash.h"
 
 namespace apujoin::join {
 
 using simcl::DeviceId;
 
+namespace {
+
+int64_t AggInitValue(plan::AggFn agg) {
+  if (agg == plan::AggFn::kMin) return std::numeric_limits<int64_t>::max();
+  if (agg == plan::AggFn::kMax) return std::numeric_limits<int64_t>::min();
+  return 0;
+}
+
+}  // namespace
+
 GroupByEngine::GroupByEngine(const ResultWriter* results, plan::AggFn agg)
     : results_(results), agg_(agg) {}
 
+GroupByEngine::GroupByEngine(plan::AggFn agg)
+    : results_(nullptr), agg_(agg) {}
+
 apujoin::Status GroupByEngine::Prepare() {
+  if (results_ == nullptr) {
+    return apujoin::Status::Internal(
+        "GroupByEngine::Prepare called on a fused-mode engine; use "
+        "PrepareFused");
+  }
   if (!results_->captures_keys()) {
     return apujoin::Status::Internal(
         "group-by input writer did not capture keys; the plan lowering must "
@@ -27,9 +44,7 @@ apujoin::Status GroupByEngine::Prepare() {
   keys_ = std::vector<std::atomic<int32_t>>(cap);
   values_ = std::vector<std::atomic<int64_t>>(cap);
   counts_ = std::vector<std::atomic<uint64_t>>(cap);
-  int64_t init = 0;
-  if (agg_ == plan::AggFn::kMin) init = std::numeric_limits<int64_t>::max();
-  if (agg_ == plan::AggFn::kMax) init = std::numeric_limits<int64_t>::min();
+  const int64_t init = AggInitValue(agg_);
   for (uint32_t i = 0; i < cap; ++i) {
     // relaxed: single-threaded setup, before any kernel runs.
     keys_[i].store(kEmptyKey, std::memory_order_relaxed);
@@ -51,69 +66,47 @@ apujoin::Status GroupByEngine::Prepare() {
   return apujoin::Status::OK();
 }
 
+apujoin::Status GroupByEngine::PrepareFused(uint64_t max_distinct) {
+  const uint32_t cap = NextPow2(std::max<uint64_t>(16, max_distinct * 2));
+  mask_ = cap - 1;
+  keys_ = std::vector<std::atomic<int32_t>>(cap);
+  values_ = std::vector<std::atomic<int64_t>>(cap);
+  counts_ = std::vector<std::atomic<uint64_t>>(cap);
+  const int64_t init = AggInitValue(agg_);
+  for (uint32_t i = 0; i < cap; ++i) {
+    // relaxed: single-threaded setup, before any kernel runs.
+    keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+    values_[i].store(init, std::memory_order_relaxed);
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  return apujoin::Status::OK();
+}
+
 std::vector<StepDef> GroupByEngine::Steps() {
   const int32_t* brids = results_->build_rid_data();
   const int32_t* prids = results_->probe_rid_data();
   const int32_t* rkeys = results_->key_data();
-  const plan::AggFn agg = agg_;
+  const uint32_t dist = prefetch_dist_;
+  const uint64_t n = results_->used_slots();
 
   std::vector<StepDef> steps;
   StepDef g1;
   g1.name = "g1";
   g1.profile = GroupAggProfile(TableWorkingSetBytes());
-  g1.items = results_->used_slots();
-  g1.run = [this, brids, prids, rkeys, agg](const Morsel& m, DeviceId,
-                                            uint32_t* lw) -> uint64_t {
+  g1.items = n;
+  g1.run = [this, brids, prids, rkeys, dist, n](const Morsel& m, DeviceId,
+                                                uint32_t* lw) -> uint64_t {
     uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (dist != 0 && i + dist < n && brids[i + dist] >= 0) {
+        // Hash-derived slot line of the tuple `dist` ahead.
+        const uint32_t hb =
+            MurmurHash2x4(static_cast<uint32_t>(rkeys[i + dist])) & mask_;
+        __builtin_prefetch(&keys_[hb], 1, 3);
+      }
       uint32_t work = 1;
-      const int32_t brid = brids[i];
-      if (brid >= 0) {  // skip unclaimed block-remainder slots
-        const int32_t key = rkeys[i];
-        const int64_t val = prids[i];
-        uint32_t b = MurmurHash2x4(static_cast<uint32_t>(key)) & mask_;
-        for (;;) {
-          // relaxed: the slot's key IS the atomic value — a successful CAS
-          // publishes it; aggregate slots are read only after the span
-          // barrier, so no ordering beyond the RMW itself is needed.
-          int32_t cur = keys_[b].load(std::memory_order_relaxed);
-          if (cur == kEmptyKey) {
-            if (keys_[b].compare_exchange_strong(cur, key,
-                                                 std::memory_order_relaxed)) {
-              cur = key;
-            }
-            // CAS failure loads the racing claimant's key into `cur`.
-          }
-          if (cur == key) break;
-          b = (b + 1) & mask_;
-          ++work;
-        }
-        // relaxed: commutative statistics updates, read after the barrier.
-        counts_[b].fetch_add(1, std::memory_order_relaxed);
-        switch (agg) {
-          case plan::AggFn::kCount:
-            break;
-          case plan::AggFn::kSum:
-            // relaxed: commutative add, read after the barrier.
-            values_[b].fetch_add(val, std::memory_order_relaxed);
-            break;
-          case plan::AggFn::kMin: {
-            // relaxed: monotone CAS loop, read after the barrier.
-            int64_t cur = values_[b].load(std::memory_order_relaxed);
-            while (val < cur && !values_[b].compare_exchange_weak(
-                                    cur, val, std::memory_order_relaxed)) {
-            }
-            break;
-          }
-          case plan::AggFn::kMax: {
-            // relaxed: monotone CAS loop, read after the barrier.
-            int64_t cur = values_[b].load(std::memory_order_relaxed);
-            while (val > cur && !values_[b].compare_exchange_weak(
-                                    cur, val, std::memory_order_relaxed)) {
-            }
-            break;
-          }
-        }
+      if (brids[i] >= 0) {  // skip unclaimed block-remainder slots
+        work = Accumulate(rkeys[i], prids[i]);
       }
       total += RecordWork(lw, m, i, work);
     }
@@ -148,6 +141,15 @@ uint64_t GroupByEngine::num_groups() const {
   for (size_t i = 0; i < counts_.size(); ++i) {
     // relaxed: quiescent-table scan.
     n += counts_[i].load(std::memory_order_relaxed) != 0 ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t GroupByEngine::total_count() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    // relaxed: quiescent-table scan.
+    n += counts_[i].load(std::memory_order_relaxed);
   }
   return n;
 }

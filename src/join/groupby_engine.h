@@ -8,6 +8,11 @@
 // values are bit-identical no matter how morsels interleave — the sim and
 // thread-pool backends agree exactly, and Materialize() sorts by key to
 // erase the only remaining order freedom (slot placement under collisions).
+//
+// Fused mode (HashJoin→GroupBy edges): the engine is sized up front from a
+// distinct-key bound and the join's probe kernels call Accumulate() per
+// match instead of emitting <build rid, probe rid> pairs through a result
+// writer — the pair materialization and the g1 rescan both disappear.
 
 #ifndef APUJOIN_JOIN_GROUPBY_ENGINE_H_
 #define APUJOIN_JOIN_GROUPBY_ENGINE_H_
@@ -20,34 +25,102 @@
 #include "join/result_writer.h"
 #include "join/steps.h"
 #include "plan/plan.h"
+#include "util/murmur_hash.h"
 #include "util/status.h"
 
 namespace apujoin::join {
 
 /// Group-by kernels + aggregate table. One engine per GroupBy node; runs
-/// after the upstream join's writer has been filled.
+/// after the upstream join's writer has been filled (unfused), or inline
+/// inside the join's probe kernels (fused).
 class GroupByEngine {
  public:
   /// `results` must have captured keys (ResultWriter::CaptureKeys) and must
   /// outlive the engine.
   GroupByEngine(const ResultWriter* results, plan::AggFn agg);
 
+  /// Fused mode: no result writer exists — Accumulate() is fed straight
+  /// from the join's probe kernels. Size with PrepareFused().
+  explicit GroupByEngine(plan::AggFn agg);
+
   /// Sizes the aggregate table (load factor <= 1/2) and rejects inputs
   /// whose keys collide with the empty-slot sentinel.
   apujoin::Status Prepare();
 
+  /// Fused mode: sizes the aggregate table for at most `max_distinct`
+  /// distinct keys (load factor <= 1/2). The caller must guarantee no
+  /// accumulated key equals kEmptyKey — the pipeline runner scans the
+  /// build keys and demotes fusion when the sentinel appears.
+  apujoin::Status PrepareFused(uint64_t max_distinct);
+
   /// The aggregation step series (g1) over the writer's used slots.
   std::vector<StepDef> Steps();
+
+  /// Folds one result tuple into the aggregate table; safe to call
+  /// concurrently from any kernel. Returns the slot probes performed (the
+  /// caller's work units). `key` must not equal kEmptyKey.
+  uint32_t Accumulate(int32_t key, int64_t val) {
+    uint32_t work = 1;
+    uint32_t b = MurmurHash2x4(static_cast<uint32_t>(key)) & mask_;
+    for (;;) {
+      // relaxed: the slot's key IS the atomic value — a successful CAS
+      // publishes it; aggregate slots are read only after the span
+      // barrier, so no ordering beyond the RMW itself is needed.
+      int32_t cur = keys_[b].load(std::memory_order_relaxed);
+      if (cur == kEmptyKey) {
+        if (keys_[b].compare_exchange_strong(cur, key,
+                                             std::memory_order_relaxed)) {
+          cur = key;
+        }
+        // CAS failure loads the racing claimant's key into `cur`.
+      }
+      if (cur == key) break;
+      b = (b + 1) & mask_;
+      ++work;
+    }
+    // relaxed: commutative statistics updates, read after the barrier.
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    switch (agg_) {
+      case plan::AggFn::kCount:
+        break;
+      case plan::AggFn::kSum:
+        // relaxed: commutative add, read after the barrier.
+        values_[b].fetch_add(val, std::memory_order_relaxed);
+        break;
+      case plan::AggFn::kMin: {
+        // relaxed: monotone CAS loop, read after the barrier.
+        int64_t cur = values_[b].load(std::memory_order_relaxed);
+        while (val < cur && !values_[b].compare_exchange_weak(
+                                cur, val, std::memory_order_relaxed)) {
+        }
+        break;
+      }
+      case plan::AggFn::kMax: {
+        // relaxed: monotone CAS loop, read after the barrier.
+        int64_t cur = values_[b].load(std::memory_order_relaxed);
+        while (val > cur && !values_[b].compare_exchange_weak(
+                                cur, val, std::memory_order_relaxed)) {
+        }
+        break;
+      }
+    }
+    return work;
+  }
 
   /// Collects the groups, sorted by key. Call after the series ran.
   std::vector<GroupRow> Materialize() const;
 
   uint64_t num_groups() const;
+  /// Total tuples accumulated (= the join's match count in fused mode).
+  uint64_t total_count() const;
   double TableWorkingSetBytes() const {
     // key word + value + count per slot.
     return static_cast<double>(keys_.size()) * 20.0;
   }
   plan::AggFn agg() const { return agg_; }
+
+  /// Software-prefetch lookahead of the g1 scan loop (0 = off).
+  void set_prefetch_dist(uint32_t dist) { prefetch_dist_ = dist; }
 
   /// Key value reserved for empty slots; inputs containing it are rejected
   /// by Prepare().
@@ -57,6 +130,7 @@ class GroupByEngine {
   const ResultWriter* results_;
   plan::AggFn agg_;
   uint32_t mask_ = 0;
+  uint32_t prefetch_dist_ = 0;
   std::vector<std::atomic<int32_t>> keys_;
   std::vector<std::atomic<int64_t>> values_;
   std::vector<std::atomic<uint64_t>> counts_;

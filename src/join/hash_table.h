@@ -110,6 +110,13 @@ class HashTable {
   /// `*work` += nodes traversed (>= 1).
   int32_t FindKey(uint32_t bucket, int32_t key, uint32_t* work) const;
 
+  /// Prefetches the bucket's header line (the first hop of every header
+  /// visit and key-list walk) — issued by the batch kernels
+  /// `prefetch_dist` items ahead of the access.
+  void PrefetchHeader(uint32_t bucket) const {
+    __builtin_prefetch(&head_[bucket], 0, 1);
+  }
+
   /// Step p4: walk the rid list of `key_node`, calling `emit(build_rid)`
   /// for each match. Returns the number of matches.
   template <typename EmitFn>

@@ -62,6 +62,7 @@ std::vector<StepDef> MultiwayEngine::ChainSteps(ResultWriter* out) {
   uint8_t* s_alive = s_alive_.data();
   const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
   const double ws = TablesWorkingSetBytes();
+  const uint32_t dist = opts_.prefetch_dist;
 
   std::vector<StepDef> steps;
 
@@ -90,10 +91,13 @@ std::vector<StepDef> MultiwayEngine::ChainSteps(ResultWriter* out) {
     m2.profile = HeaderVisitProfile(header_bytes);
     m2.items = np;
     if (open) {
-      m2.run = [eng, s_hash, s_alive](const Morsel& m, DeviceId,
-                                      uint32_t* lw) -> uint64_t {
+      m2.run = [eng, dist, s_hash, s_alive](const Morsel& m, DeviceId,
+                                            uint32_t* lw) -> uint64_t {
         OpenHashTable* t = eng->open_table(0);
         for (uint64_t i = m.begin; i < m.end; ++i) {
+          if (dist != 0 && i + dist < m.end && s_alive[i + dist] != 0) {
+            t->PrefetchBucket(t->BucketOf(s_hash[i + dist]));
+          }
           if (s_alive[i] == 0) continue;
           // A home bucket with no published slots has 8 free slots, which
           // ends any linear probe — the key is definitively absent.
@@ -102,10 +106,13 @@ std::vector<StepDef> MultiwayEngine::ChainSteps(ResultWriter* out) {
         return ConstantWork(lw, m);
       };
     } else {
-      m2.run = [eng, s_hash, s_alive](const Morsel& m, DeviceId,
-                                      uint32_t* lw) -> uint64_t {
+      m2.run = [eng, dist, s_hash, s_alive](const Morsel& m, DeviceId,
+                                            uint32_t* lw) -> uint64_t {
         HashTable* t = eng->table(0);
         for (uint64_t i = m.begin; i < m.end; ++i) {
+          if (dist != 0 && i + dist < m.end && s_alive[i + dist] != 0) {
+            t->PrefetchHeader(t->BucketOf(s_hash[i + dist]));
+          }
           if (s_alive[i] == 0) continue;
           if (t->VisitHeader(t->BucketOf(s_hash[i])) == kNil) s_alive[i] = 0;
         }
@@ -123,11 +130,14 @@ std::vector<StepDef> MultiwayEngine::ChainSteps(ResultWriter* out) {
     m3.items = np;
     if (open) {
       const bool avx2 = eng->probe_uses_avx2();
-      m3.run = [eng, s_keys, s_hash, s_alive, keynode, avx2](
+      m3.run = [eng, dist, s_keys, s_hash, s_alive, keynode, avx2](
                    const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
         OpenHashTable* t = eng->open_table(0);
         uint64_t total = 0;
         for (uint64_t i = m.begin; i < m.end; ++i) {
+          if (dist != 0 && i + dist < m.end && s_alive[i + dist] != 0) {
+            t->PrefetchBucket(t->BucketOf(s_hash[i + dist]));
+          }
           uint32_t work = 1;
           if (s_alive[i] != 0) {
             work = 0;
@@ -140,11 +150,14 @@ std::vector<StepDef> MultiwayEngine::ChainSteps(ResultWriter* out) {
         return total;
       };
     } else {
-      m3.run = [eng, s_keys, s_hash, s_alive, keynode](
+      m3.run = [eng, dist, s_keys, s_hash, s_alive, keynode](
                    const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
         HashTable* t = eng->table(0);
         uint64_t total = 0;
         for (uint64_t i = m.begin; i < m.end; ++i) {
+          if (dist != 0 && i + dist < m.end && s_alive[i + dist] != 0) {
+            t->PrefetchHeader(t->BucketOf(s_hash[i + dist]));
+          }
           uint32_t work = 1;
           if (s_alive[i] != 0) {
             work = 0;

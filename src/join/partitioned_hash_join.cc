@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "join/groupby_engine.h"
 #include "util/cpu_features.h"
 #include "util/murmur_hash.h"
 
@@ -19,27 +20,32 @@ apujoin::Status PhjEngine::Prepare() {
   if (build_->empty() || probe_->empty()) {
     return apujoin::Status::InvalidArgument("empty relation");
   }
-  plan_ = RadixPlan::Make(build_->size(), probe_->size(),
-                          ctx_->memory().spec().l2_bytes, opts_);
+  const uint64_t nb = build_->size();
+  const uint64_t np = probe_->size();
+  // A fused-select filter compacts pass 0 down to its survivors: plan the
+  // radix layout (passes, partition count) and size the node pools from
+  // that count, exactly as an unfused plan would after materializing the
+  // filtered relation.
+  const uint64_t nb_live = build_card_ != 0 ? std::min(build_card_, nb) : nb;
+  plan_ = RadixPlan::Make(nb_live, np, ctx_->memory().spec().l2_bytes,
+                          opts_);
   part_r_ = std::make_unique<RadixPartitioner>(ctx_, build_, plan_, opts_);
   part_s_ = std::make_unique<RadixPartitioner>(ctx_, probe_, plan_, opts_);
   APU_RETURN_IF_ERROR(part_r_->Prepare());
   APU_RETURN_IF_ERROR(part_s_->Prepare());
 
-  const uint64_t nb = build_->size();
-  const uint64_t np = probe_->size();
   const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
   use_avx2_ = opts_.simd != SimdPolicy::kScalar && CpuSupportsAvx2();
   // Separate tables re-allocate every merged node (see ShjEngine::Prepare).
   // The open layout keeps keys inline in its bucket arrays; only the rid
   // arena carries data.
-  const uint64_t merge_headroom = opts_.shared_table ? 0 : nb;
+  const uint64_t merge_headroom = opts_.shared_table ? 0 : nb_live;
   const uint64_t key_cap =
       open ? 64
-           : nb + nb / 8 + merge_headroom +
-                 PoolSlack(nb, opts_.block_bytes, 12);
+           : nb_live + nb_live / 8 + merge_headroom +
+                 PoolSlack(nb_live, opts_.block_bytes, 12);
   const uint64_t rid_cap =
-      nb + merge_headroom + PoolSlack(nb, opts_.block_bytes, 8);
+      nb_live + merge_headroom + PoolSlack(nb_live, opts_.block_bytes, 8);
   pools_ = std::make_unique<NodePools>(key_cap, rid_cap, opts_.allocator,
                                        opts_.block_bytes);
 
@@ -111,7 +117,9 @@ apujoin::Status PhjEngine::PrepareJoinPhase() {
 }
 
 double PhjEngine::PartitionWorkingSetBytes() const {
-  const double nb = static_cast<double>(build_->size());
+  const double nb = static_cast<double>(
+      build_card_ != 0 ? std::min<uint64_t>(build_card_, build_->size())
+                       : build_->size());
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
     // Bucket arrays (72 B/bucket, ~1 bucket per 4 build keys) + rid nodes.
     const double total = nb * (72.0 / 4.0 + 8.0) +
@@ -125,8 +133,11 @@ double PhjEngine::PartitionWorkingSetBytes() const {
 
 uint64_t PhjEngine::CostModelBuckets() const {
   const uint32_t parts = std::max<uint32_t>(plan_.total_partitions, 1);
-  const uint32_t per_part = static_cast<uint32_t>(
-      std::max<uint64_t>(build_->size() / parts, 1));
+  const uint64_t nb_live =
+      build_card_ != 0 ? std::min<uint64_t>(build_card_, build_->size())
+                       : build_->size();
+  const uint32_t per_part =
+      static_cast<uint32_t>(std::max<uint64_t>(nb_live / parts, 1));
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
     return uint64_t{OpenBucketsFor(per_part)} * kOpenSlotsPerBucket;
   }
@@ -154,7 +165,9 @@ std::vector<StepDef> PhjEngine::BuildSteps() {
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
     return BuildStepsOpen();
   }
-  const uint64_t n = build_->size();
+  // The join phase runs over the partitioned survivors (= every build tuple
+  // unless a fused-select filter shrank pass 0).
+  const uint64_t n = part_r_->offsets().back();
   const data::Relation& rp = part_r_->output();
   const double ws = PartitionWorkingSetBytes();
   const uint32_t shift = plan_.partition_bits;
@@ -237,17 +250,31 @@ std::vector<StepDef> PhjEngine::BuildSteps() {
 }
 
 std::vector<StepDef> PhjEngine::ProbeSteps(ResultWriter* out) {
-  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
-    return ProbeStepsOpen(out);
-  }
-  const uint64_t n = probe_->size();
+  const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
+  std::vector<StepDef> steps = open ? ProbeStepsCommonOpen()
+                                    : ProbeStepsCommon();
+  steps.push_back(open ? MakeEmitStepOpen(out) : MakeEmitStep(out));
+  return steps;
+}
+
+std::vector<StepDef> PhjEngine::ProbeStepsFused(GroupByEngine* agg) {
+  const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
+  std::vector<StepDef> steps = open ? ProbeStepsCommonOpen()
+                                    : ProbeStepsCommon();
+  steps.push_back(open ? MakeFusedAggStepOpen(agg) : MakeFusedAggStep(agg));
+  return steps;
+}
+
+std::vector<StepDef> PhjEngine::ProbeStepsCommon() {
+  // Partitioned survivors (= every probe tuple unless a fused-select filter
+  // shrank pass 0).
+  const uint64_t n = part_s_->offsets().back();
   const data::Relation& sp = part_s_->output();
   const double ws = PartitionWorkingSetBytes();
   const uint32_t shift = plan_.partition_bits;
   std::vector<StepDef> steps;
 
   const int32_t* s_keys = sp.keys.data();
-  const int32_t* s_rids = sp.rids.data();
   uint32_t* s_hash = s_hash_.data();
   uint32_t* s_bucket = s_bucket_.data();
   int32_t* s_keynode = s_keynode_.data();
@@ -307,6 +334,17 @@ std::vector<StepDef> PhjEngine::ProbeSteps(ResultWriter* out) {
     return total;
   };
   steps.push_back(std::move(p3));
+  return steps;
+}
+
+StepDef PhjEngine::MakeEmitStep(ResultWriter* out) {
+  const uint64_t n = part_s_->offsets().back();
+  const double ws = PartitionWorkingSetBytes();
+  const data::Relation& sp = part_s_->output();
+  const int32_t* s_keys = sp.keys.data();
+  const int32_t* s_rids = sp.rids.data();
+  const int32_t* s_keynode = s_keynode_.data();
+  const uint32_t* part_of_s = part_of_s_.data();
 
   StepDef p4;
   p4.name = "p4";
@@ -337,12 +375,51 @@ std::vector<StepDef> PhjEngine::ProbeSteps(ResultWriter* out) {
     }
     return total;
   };
-  steps.push_back(std::move(p4));
-  return steps;
+  return p4;
+}
+
+StepDef PhjEngine::MakeFusedAggStep(GroupByEngine* agg) {
+  const uint64_t n = part_s_->offsets().back();
+  const double ws = PartitionWorkingSetBytes();
+  const data::Relation& sp = part_s_->output();
+  const int32_t* s_keys = sp.keys.data();
+  const int32_t* s_rids = sp.rids.data();
+  const int32_t* s_keynode = s_keynode_.data();
+  const uint32_t* part_of_s = part_of_s_.data();
+
+  StepDef p4g;
+  p4g.name = "p4g";
+  p4g.profile = FusedEmitAggProfile(ws, agg->TableWorkingSetBytes(),
+                                    opts_.locality_boost);
+  p4g.items = n;
+  p4g.run = [this, agg, s_rids, s_keys, s_keynode,
+             part_of_s](const Morsel& m, DeviceId,
+                        uint32_t* lw) -> uint64_t {
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      uint32_t work = 1;
+      if (s_keynode[j] != kNil) {
+        const int32_t srid = s_rids[j];
+        const int32_t skey = s_keys[j];
+        work += tables_[part_of_s[j]]->ForEachRid(
+            s_keynode[j], [agg, skey, srid](int32_t) {
+              // The match streams into the aggregate table; the <build rid,
+              // probe rid> pair is never materialized.
+              agg->Accumulate(skey, static_cast<int64_t>(srid));
+            });
+      }
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  return p4g;
 }
 
 void PhjEngine::BuildProbePermutation(uint64_t begin, uint64_t end) {
-  const uint64_t n = probe_->size();
+  // Permutation over the partitioned survivors the probe series runs on.
+  const uint64_t n = part_s_->offsets().back();
   if (perm_.size() != n) {
     perm_.resize(n);
     std::iota(perm_.begin(), perm_.end(), 0u);
@@ -361,7 +438,8 @@ void PhjEngine::BuildProbePermutation(uint64_t begin, uint64_t end) {
 }
 
 std::vector<StepDef> PhjEngine::BuildStepsOpen() {
-  const uint64_t n = build_->size();
+  // Partitioned survivors, as in the chained BuildSteps.
+  const uint64_t n = part_r_->offsets().back();
   const data::Relation& rp = part_r_->output();
   const double ws = PartitionWorkingSetBytes();
   const uint32_t shift = plan_.partition_bits;
@@ -444,8 +522,9 @@ std::vector<StepDef> PhjEngine::BuildStepsOpen() {
   return steps;
 }
 
-std::vector<StepDef> PhjEngine::ProbeStepsOpen(ResultWriter* out) {
-  const uint64_t n = probe_->size();
+std::vector<StepDef> PhjEngine::ProbeStepsCommonOpen() {
+  // Partitioned survivors, as in the chained ProbeStepsCommon.
+  const uint64_t n = part_s_->offsets().back();
   const data::Relation& sp = part_s_->output();
   const double ws = PartitionWorkingSetBytes();
   const uint32_t shift = plan_.partition_bits;
@@ -454,7 +533,6 @@ std::vector<StepDef> PhjEngine::ProbeStepsOpen(ResultWriter* out) {
   std::vector<StepDef> steps;
 
   const int32_t* s_keys = sp.keys.data();
-  const int32_t* s_rids = sp.rids.data();
   uint32_t* s_hash = s_hash_.data();
   uint32_t* s_bucket = s_bucket_.data();
   int32_t* s_keynode = s_keynode_.data();
@@ -517,6 +595,17 @@ std::vector<StepDef> PhjEngine::ProbeStepsOpen(ResultWriter* out) {
     return total;
   };
   steps.push_back(std::move(p3));
+  return steps;
+}
+
+StepDef PhjEngine::MakeEmitStepOpen(ResultWriter* out) {
+  const uint64_t n = part_s_->offsets().back();
+  const double ws = PartitionWorkingSetBytes();
+  const data::Relation& sp = part_s_->output();
+  const int32_t* s_keys = sp.keys.data();
+  const int32_t* s_rids = sp.rids.data();
+  const int32_t* s_keynode = s_keynode_.data();
+  const uint32_t* part_of_s = part_of_s_.data();
 
   StepDef p4;
   p4.name = "p4";
@@ -547,8 +636,46 @@ std::vector<StepDef> PhjEngine::ProbeStepsOpen(ResultWriter* out) {
     }
     return total;
   };
-  steps.push_back(std::move(p4));
-  return steps;
+  return p4;
+}
+
+StepDef PhjEngine::MakeFusedAggStepOpen(GroupByEngine* agg) {
+  const uint64_t n = part_s_->offsets().back();
+  const double ws = PartitionWorkingSetBytes();
+  const data::Relation& sp = part_s_->output();
+  const int32_t* s_keys = sp.keys.data();
+  const int32_t* s_rids = sp.rids.data();
+  const int32_t* s_keynode = s_keynode_.data();
+  const uint32_t* part_of_s = part_of_s_.data();
+
+  StepDef p4g;
+  p4g.name = "p4g";
+  p4g.profile = FusedEmitAggProfile(ws, agg->TableWorkingSetBytes(),
+                                    opts_.locality_boost);
+  p4g.items = n;
+  p4g.run = [this, agg, s_rids, s_keys, s_keynode,
+             part_of_s](const Morsel& m, DeviceId,
+                        uint32_t* lw) -> uint64_t {
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      uint32_t work = 1;
+      if (s_keynode[j] != kNil) {
+        const int32_t srid = s_rids[j];
+        const int32_t skey = s_keys[j];
+        work += open_tables_[part_of_s[j]]->ForEachRid(
+            s_keynode[j], [agg, skey, srid](int32_t) {
+              // The match streams into the aggregate table; the <build rid,
+              // probe rid> pair is never materialized.
+              agg->Accumulate(skey, static_cast<int64_t>(srid));
+            });
+      }
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  return p4g;
 }
 
 std::pair<uint64_t, uint64_t> PhjEngine::MergeSeparateTables() {

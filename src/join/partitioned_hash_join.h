@@ -29,6 +29,8 @@
 
 namespace apujoin::join {
 
+class GroupByEngine;
+
 /// PHJ engine: partitioners + per-partition tables + join-phase kernels.
 class PhjEngine {
  public:
@@ -42,12 +44,34 @@ class PhjEngine {
   RadixPartitioner* probe_partitioner() { return part_s_.get(); }
   const RadixPlan& radix_plan() const { return plan_; }
 
+  /// Fused Select→HashJoin edges: positional selection vectors over the
+  /// build (resp. probe) relation, pushed into pass 0 of the matching
+  /// radix partitioner. Dead tuples are never scattered, so later passes
+  /// and the whole join phase see only the survivors, compacted — the
+  /// join-phase step series shrink to offsets().back() items. Call after
+  /// Prepare() and before the partition passes run.
+  void set_build_filter(const uint8_t* flags) { part_r_->set_filter(flags); }
+  void set_probe_filter(const uint8_t* flags) { part_s_->set_filter(flags); }
+
+  /// Number of live build lanes under the build filter (the fused
+  /// select's survivor count). Prepare() derives the radix plan and node
+  /// pools from it, so a fused plan partitions with the same pass/
+  /// partition layout an unfused plan would pick for the materialized
+  /// filtered relation. 0 (the default) means unfiltered; set before
+  /// Prepare().
+  void set_build_cardinality(uint64_t n) { build_card_ = n; }
+
   /// Creates the per-partition hash tables. Must be called after both
   /// partitioners finished all passes.
   apujoin::Status PrepareJoinPhase();
 
   std::vector<StepDef> BuildSteps();
   std::vector<StepDef> ProbeSteps(ResultWriter* out);
+
+  /// Fused HashJoin→GroupBy edges: p1..p3 plus a fused probe+aggregate
+  /// step (p4g) that folds every match into `agg` instead of emitting
+  /// result pairs. `agg` must be PrepareFused()-sized and outlive the run.
+  std::vector<StepDef> ProbeStepsFused(GroupByEngine* agg);
 
   /// Separate-table mode: merge per-partition GPU tables into CPU tables.
   std::pair<uint64_t, uint64_t> MergeSeparateTables();
@@ -81,7 +105,13 @@ class PhjEngine {
   void BuildProbePermutation(uint64_t begin, uint64_t end);
 
   std::vector<StepDef> BuildStepsOpen();
-  std::vector<StepDef> ProbeStepsOpen(ResultWriter* out);
+  /// p1..p3 shared by the emitting and fused probe series (per layout).
+  std::vector<StepDef> ProbeStepsCommon();
+  std::vector<StepDef> ProbeStepsCommonOpen();
+  StepDef MakeEmitStep(ResultWriter* out);
+  StepDef MakeEmitStepOpen(ResultWriter* out);
+  StepDef MakeFusedAggStep(GroupByEngine* agg);
+  StepDef MakeFusedAggStepOpen(GroupByEngine* agg);
 
   /// Table the build kernel for item `item` on `dev` addresses: the item's
   /// partition table, or the GPU's private copy in separate mode.
@@ -93,6 +123,7 @@ class PhjEngine {
   const data::Relation* probe_;
   EngineOptions opts_;
   RadixPlan plan_;
+  uint64_t build_card_ = 0;  // live build lanes under the filter (0 = all)
 
   std::unique_ptr<RadixPartitioner> part_r_;
   std::unique_ptr<RadixPartitioner> part_s_;

@@ -61,6 +61,7 @@ apujoin::Status RadixPartitioner::Prepare() {
   pid_.assign(n, 0);
   dest_.assign(n, 0);
   offsets_.clear();
+  live_ = n;  // BeginPass(0) lowers it when a filter is set
   return apujoin::Status::OK();
 }
 
@@ -81,7 +82,10 @@ uint32_t RadixPartitioner::MaskForPass(int pass) const {
 }
 
 void RadixPartitioner::BeginPass(int pass) {
-  const uint64_t n = cur_->size();
+  // Pass 0 scans the whole input and applies the fused-select filter; later
+  // passes see only the compacted survivors of the previous scatter.
+  const uint64_t n = pass == 0 ? cur_->size() : live_;
+  const uint8_t* filter = pass == 0 ? filter_ : nullptr;
   const uint32_t mask = MaskForPass(pass);
   const uint32_t nparts = mask + 1;
 
@@ -93,6 +97,7 @@ void RadixPartitioner::BeginPass(int pass) {
   // being strided nparts apart.
   std::vector<uint32_t> counts(static_cast<size_t>(kWgSlots) * nparts, 0);
   for (uint64_t i = 0; i < n; ++i) {
+    if (filter != nullptr && filter[i] == 0) continue;
     const uint32_t p =
         MurmurHash2x4(static_cast<uint32_t>(cur_->keys[i])) & mask;
     counts[static_cast<size_t>(p) * kWgSlots + WgOf(i)]++;
@@ -116,6 +121,7 @@ void RadixPartitioner::BeginPass(int pass) {
   part_base[nparts] = running;
   claims_ = std::vector<std::atomic<uint32_t>>(
       static_cast<size_t>(kWgSlots) * nparts);
+  live_ = running;  // survivors (= n when unfiltered)
 
   if (pass + 1 == plan_.passes) {
     offsets_ = std::move(part_base);
@@ -123,7 +129,10 @@ void RadixPartitioner::BeginPass(int pass) {
 }
 
 std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
-  const uint64_t n = cur_->size();
+  // Pass 0 runs over the whole input (filtered lanes at zero work); later
+  // passes run over the compacted survivors only.
+  const uint64_t n = pass == 0 ? cur_->size() : live_;
+  const uint8_t* filter = pass == 0 ? filter_ : nullptr;
   const uint32_t mask = MaskForPass(pass);
   const uint32_t nparts = mask + 1;
   std::vector<StepDef> steps;
@@ -155,9 +164,10 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   n2.profile = PartitionHeaderProfile(static_cast<double>(nparts) * 8.0);
   n2.items = n;
   const uint32_t dist = opts_.prefetch_dist;
-  n2.run = [this, dist, pid, dest](const Morsel& m, DeviceId dev,
-                                   uint32_t* lw) -> uint64_t {
+  n2.run = [this, dist, filter, pid, dest](const Morsel& m, DeviceId dev,
+                                           uint32_t* lw) -> uint64_t {
     const int di = static_cast<int>(dev);
+    uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
       if (dist != 0 && i + dist < m.end) {
         // pid is fully populated by n1, so the upcoming cursor line is
@@ -166,6 +176,11 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
             &cursor_[static_cast<size_t>(pid[i + dist]) * kWgSlots +
                      WgOf(i + dist)],
             1, 1);
+      }
+      if (filter != nullptr && filter[i] == 0) {
+        // Fused-select dead lane: no slot is claimed for it.
+        total += RecordWork(lw, m, i, 0);
+        continue;
       }
       const size_t slot = static_cast<size_t>(pid[i]) * kWgSlots + WgOf(i);
       // relaxed: claimed offsets only need to be unique (RMW atomicity);
@@ -182,8 +197,9 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
         // relaxed (both arms): statistics counters.
         counts_.local_atomics[di].fetch_add(1, std::memory_order_relaxed);
       }
+      total += RecordWork(lw, m, i, 1);
     }
-    return ConstantWork(lw, m);
+    return total;
   };
   steps.push_back(std::move(n2));
 
@@ -192,8 +208,8 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   n3.profile = ScatterProfile(static_cast<double>(plan_.fanout_per_pass) *
                               ctx_->memory().spec().cache_line_bytes);
   n3.items = n;
-  n3.run = [in_keys, in_rids, out_keys, out_rids, pid,
-            dest](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+  n3.run = [in_keys, in_rids, out_keys, out_rids, pid, dest,
+            filter](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
     // Write-combining scatter: within a (work group, partition) sub-region
     // the n2 cursor hands out ascending destinations, so consecutive items
     // of one partition form runs of consecutive slots. Batch each run in a
@@ -216,7 +232,13 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
       }
       s.len = 0;
     };
+    uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (filter != nullptr && filter[i] == 0) {
+        // Fused-select dead lane: nothing was claimed, nothing scatters.
+        total += RecordWork(lw, m, i, 0);
+        continue;
+      }
       const uint32_t d = dest[i];
       WcSlot& s = wc[pid[i] & 127u];
       if (s.len == 0 || s.base + s.len != d || s.len == 8) {
@@ -226,9 +248,10 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
       s.keys[s.len] = in_keys[i];
       s.rids[s.len] = in_rids[i];
       ++s.len;
+      total += RecordWork(lw, m, i, 1);
     }
     for (WcSlot& s : wc) flush(s);
-    return ConstantWork(lw, m);
+    return total;
   };
   steps.push_back(std::move(n3));
   return steps;

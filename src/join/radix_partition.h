@@ -51,8 +51,20 @@ class RadixPartitioner {
 
   apujoin::Status Prepare();
 
+  /// Fused Select→HashJoin edges: a positional selection vector over the
+  /// input relation. Dead tuples are skipped by the pass-0 histogram and
+  /// kernels — they are never claimed, never scattered, and later passes
+  /// (and the join phase) see only the survivors, compacted. Null (the
+  /// default) partitions every tuple. Set before BeginPass(0).
+  void set_filter(const uint8_t* flags) { filter_ = flags; }
+
   int passes() const { return plan_.passes; }
   const RadixPlan& plan() const { return plan_; }
+
+  /// Tuples that survived the pass-0 filter (= input size when unfiltered);
+  /// the item count of every pass after the first, and the valid prefix of
+  /// output(). Valid after BeginPass(0).
+  uint64_t live() const { return live_; }
 
   /// Pass protocol: BeginPass(p) -> run PassSteps(p) via a scheme ->
   /// EndPass(p). Passes must run in order.
@@ -84,6 +96,8 @@ class RadixPartitioner {
   RadixPlan plan_;
   EngineOptions opts_;
   uint32_t chunk_elems_;
+  const uint8_t* filter_ = nullptr;  // fused-select vector (or null)
+  uint64_t live_ = 0;                // surviving tuples (see live())
 
   data::Relation buf_a_, buf_b_;
   data::Relation* cur_ = nullptr;  // input of the current pass

@@ -4,8 +4,9 @@ namespace apujoin::join {
 
 using simcl::DeviceId;
 
-SelectEngine::SelectEngine(const data::Relation* input, plan::Predicate pred)
-    : input_(input), pred_(pred) {}
+SelectEngine::SelectEngine(const data::Relation* input, plan::Predicate pred,
+                           uint32_t prefetch_dist)
+    : input_(input), pred_(pred), prefetch_dist_(prefetch_dist) {}
 
 apujoin::Status SelectEngine::Prepare() {
   const uint64_t n = input_->size();
@@ -18,14 +19,20 @@ apujoin::Status SelectEngine::Prepare() {
   return apujoin::Status::OK();
 }
 
+apujoin::Status SelectEngine::PrepareFused() {
+  flags_.assign(input_->size(), 0);
+  // relaxed: single-threaded setup, before any kernel runs.
+  cursor_.store(0, std::memory_order_relaxed);
+  return apujoin::Status::OK();
+}
+
 std::vector<StepDef> SelectEngine::Steps() {
   const uint64_t n = input_->size();
   const int32_t* in_keys = input_->keys.data();
   const int32_t* in_rids = input_->rids.data();
   uint8_t* flags = flags_.data();
-  int32_t* out_keys = out_.keys.data();
-  int32_t* out_rids = out_.rids.data();
   const plan::Predicate pred = pred_;
+  const uint32_t dist = prefetch_dist_;
 
   std::vector<StepDef> steps;
 
@@ -33,9 +40,13 @@ std::vector<StepDef> SelectEngine::Steps() {
   f1.name = "f1";
   f1.profile = SelectEvalProfile();
   f1.items = n;
-  f1.run = [pred, in_keys, in_rids, flags](const Morsel& m, DeviceId,
-                                           uint32_t* lw) -> uint64_t {
+  f1.run = [pred, in_keys, in_rids, flags, dist](const Morsel& m, DeviceId,
+                                                 uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (dist != 0 && i + dist < m.end) {
+        __builtin_prefetch(&in_keys[i + dist], 0, 3);
+        __builtin_prefetch(&in_rids[i + dist], 0, 3);
+      }
       flags[i] = plan::EvalPredicate(pred, in_keys[i], in_rids[i]) ? 1 : 0;
     }
     return ConstantWork(lw, m);
@@ -46,9 +57,15 @@ std::vector<StepDef> SelectEngine::Steps() {
   f2.name = "f2";
   f2.profile = SelectCompactProfile(static_cast<double>(n) * 8.0);
   f2.items = n;
-  f2.run = [this, in_keys, in_rids, flags, out_keys, out_rids](
+  f2.run = [this, in_keys, in_rids, flags, dist](
                const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    int32_t* out_keys = out_.keys.data();
+    int32_t* out_rids = out_.rids.data();
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (dist != 0 && i + dist < m.end) {
+        __builtin_prefetch(&flags[i + dist], 0, 3);
+        __builtin_prefetch(&in_keys[i + dist], 0, 3);
+      }
       if (flags[i] != 0) {
         // relaxed: the cursor only hands out unique slots; readers of the
         // output columns synchronise through the span barrier.
@@ -60,6 +77,42 @@ std::vector<StepDef> SelectEngine::Steps() {
     return ConstantWork(lw, m);
   };
   steps.push_back(std::move(f2));
+  return steps;
+}
+
+std::vector<StepDef> SelectEngine::FusedSteps() {
+  const uint64_t n = input_->size();
+  const int32_t* in_keys = input_->keys.data();
+  const int32_t* in_rids = input_->rids.data();
+  uint8_t* flags = flags_.data();
+  const plan::Predicate pred = pred_;
+  const uint32_t dist = prefetch_dist_;
+
+  std::vector<StepDef> steps;
+
+  StepDef f1;
+  f1.name = "f1";
+  f1.profile = SelectFlagProfile();
+  f1.items = n;
+  f1.run = [this, pred, in_keys, in_rids, flags, dist](
+               const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    uint64_t kept = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (dist != 0 && i + dist < m.end) {
+        __builtin_prefetch(&in_keys[i + dist], 0, 3);
+        __builtin_prefetch(&in_rids[i + dist], 0, 3);
+      }
+      const uint8_t pass =
+          plan::EvalPredicate(pred, in_keys[i], in_rids[i]) ? 1 : 0;
+      flags[i] = pass;
+      kept += pass;
+    }
+    // relaxed: one survivor-count add per morsel; readers synchronise
+    // through the span barrier.
+    cursor_.fetch_add(kept, std::memory_order_relaxed);
+    return ConstantWork(lw, m);
+  };
+  steps.push_back(std::move(f1));
   return steps;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "join/groupby_engine.h"
 #include "util/cpu_features.h"
 #include "util/murmur_hash.h"
 
@@ -22,8 +23,13 @@ apujoin::Status ShjEngine::Prepare() {
     return apujoin::Status::InvalidArgument("empty relation");
   }
   const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
+  // A fused-select filter inserts only its survivors: size the table (and
+  // the pools below) from that count, exactly as an unfused plan would
+  // after materializing the filtered relation.
+  const uint64_t nb_live =
+      build_card_ != 0 ? std::min(build_card_, nb) : nb;
   if (opts_.num_buckets == 0) {
-    opts_.num_buckets = open ? OpenBucketsFor(nb) : NextPow2(nb);
+    opts_.num_buckets = open ? OpenBucketsFor(nb_live) : NextPow2(nb_live);
   }
   use_avx2_ = opts_.simd != SimdPolicy::kScalar && CpuSupportsAvx2();
 
@@ -34,13 +40,13 @@ apujoin::Status ShjEngine::Prepare() {
   // nodes are never freed back into the pre-allocated array).
   // The open layout keeps keys inline in its bucket arrays, so its key
   // arena is vestigial — only the rid arena carries data.
-  const uint64_t merge_headroom = opts_.shared_table ? 0 : nb;
+  const uint64_t merge_headroom = opts_.shared_table ? 0 : nb_live;
   const uint64_t key_cap =
       open ? 64
-           : nb + nb / 8 + merge_headroom +
-                 PoolSlack(nb, opts_.block_bytes, 12);
+           : nb_live + nb_live / 8 + merge_headroom +
+                 PoolSlack(nb_live, opts_.block_bytes, 12);
   const uint64_t rid_cap =
-      nb + merge_headroom + PoolSlack(nb, opts_.block_bytes, 8);
+      nb_live + merge_headroom + PoolSlack(nb_live, opts_.block_bytes, 8);
   pools_ = std::make_unique<NodePools>(key_cap, rid_cap, opts_.allocator,
                                        opts_.block_bytes);
   tables_.clear();
@@ -79,7 +85,9 @@ apujoin::Status ShjEngine::Prepare() {
 }
 
 double ShjEngine::TableWorkingSetBytes() const {
-  const double nb = static_cast<double>(build_->size());
+  const double nb = static_cast<double>(
+      build_card_ != 0 ? std::min<uint64_t>(build_card_, build_->size())
+                       : build_->size());
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
     // Bucket arrays (72 B/bucket) + one rid node per build tuple.
     return static_cast<double>(opts_.num_buckets) * 72.0 + nb * 8.0;
@@ -104,13 +112,18 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
   uint32_t* r_bucket = r_bucket_.data();
   int32_t* r_keynode = r_keynode_.data();
 
+  const uint8_t* bf = build_filter_;
+
   StepDef b1;
   b1.name = "b1";
   b1.profile = HashStepProfile();
   b1.items = n;
-  b1.run = [r_keys, r_hash](const Morsel& m, DeviceId,
-                            uint32_t* lw) -> uint64_t {
+  b1.run = [bf, r_keys, r_hash](const Morsel& m, DeviceId,
+                                uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      // Fused-select dead lanes are never hashed (b3 checks the filter
+      // before reading the hash or bucket).
+      if (bf != nullptr && bf[i] == 0) continue;
       r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(r_keys[i]));
     }
     return ConstantWork(lw, m);
@@ -121,10 +134,11 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
   b2.name = "b2";
   b2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 8.0);
   b2.items = n;
-  b2.run = [this, r_hash, r_bucket](const Morsel& m, DeviceId dev,
-                                    uint32_t* lw) -> uint64_t {
+  b2.run = [this, bf, r_hash, r_bucket](const Morsel& m, DeviceId dev,
+                                        uint32_t* lw) -> uint64_t {
     HashTable* t = BuildTableFor(dev);
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (bf != nullptr && bf[i] == 0) continue;
       r_bucket[i] = t->BucketOf(r_hash[i]);
       t->VisitHeader(r_bucket[i]);
     }
@@ -136,15 +150,20 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
   b3.name = "b3";
   b3.profile = KeyInsertProfile(ws, opts_.locality_boost);
   b3.items = n;
-  b3.run = [this, r_keys, r_bucket, r_keynode](const Morsel& m, DeviceId dev,
-                                               uint32_t* lw) -> uint64_t {
+  b3.run = [this, bf, r_keys, r_bucket, r_keynode](
+               const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
     HashTable* t = BuildTableFor(dev);
     uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
       uint32_t work = 0;
-      r_keynode[i] =
-          t->FindOrAddKey(r_bucket[i], r_keys[i], dev, WorkgroupOf(i), &work);
-      if (r_keynode[i] == kNil) overflowed_ = true;
+      if (bf != nullptr && bf[i] == 0) {
+        // Fused-select dead lane: the key is never inserted.
+        r_keynode[i] = kNil;
+      } else {
+        r_keynode[i] = t->FindOrAddKey(r_bucket[i], r_keys[i], dev,
+                                       WorkgroupOf(i), &work);
+        if (r_keynode[i] == kNil) overflowed_ = true;
+      }
       total += RecordWork(lw, m, i, work);
     }
     return total;
@@ -174,26 +193,49 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
 
 std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
-    return ProbeStepsOpen(out);
+    std::vector<StepDef> steps = ProbeStepsCommonOpen();
+    steps.push_back(MakeEmitStepOpen(out));
+    return steps;
   }
+  std::vector<StepDef> steps = ProbeStepsCommon();
+  steps.push_back(MakeEmitStep(out));
+  return steps;
+}
+
+std::vector<StepDef> ShjEngine::ProbeStepsFused(GroupByEngine* agg) {
+  if (opts_.layout == exec::HashLayout::kOpenAddressing) {
+    std::vector<StepDef> steps = ProbeStepsCommonOpen();
+    steps.push_back(MakeFusedAggStepOpen(agg));
+    return steps;
+  }
+  std::vector<StepDef> steps = ProbeStepsCommon();
+  steps.push_back(MakeFusedAggStep(agg));
+  return steps;
+}
+
+std::vector<StepDef> ShjEngine::ProbeStepsCommon() {
   const uint64_t n = probe_->size();
   const double ws = TableWorkingSetBytes();
   std::vector<StepDef> steps;
 
   const int32_t* s_keys = probe_->keys.data();
-  const int32_t* s_rids = probe_->rids.data();
   uint32_t* s_hash = s_hash_.data();
   uint32_t* s_bucket = s_bucket_.data();
   int32_t* s_keynode = s_keynode_.data();
   int32_t* s_count = s_count_.data();
 
+  const uint8_t* pf = probe_filter_;
+
   StepDef p1;
   p1.name = "p1";
   p1.profile = HashStepProfile();
   p1.items = n;
-  p1.run = [s_keys, s_hash](const Morsel& m, DeviceId,
-                            uint32_t* lw) -> uint64_t {
+  p1.run = [pf, s_keys, s_hash](const Morsel& m, DeviceId,
+                                uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      // Fused-select dead lanes are never hashed (p3 checks the filter
+      // before reading the hash or bucket).
+      if (pf != nullptr && pf[i] == 0) continue;
       s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
     }
     return ConstantWork(lw, m);
@@ -204,10 +246,14 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
   p2.name = "p2";
   p2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 8.0);
   p2.items = n;
-  p2.run = [this, s_hash, s_bucket, s_count](const Morsel& m, DeviceId,
-                                             uint32_t* lw) -> uint64_t {
+  p2.run = [this, pf, s_hash, s_bucket, s_count](const Morsel& m, DeviceId,
+                                                 uint32_t* lw) -> uint64_t {
     HashTable* t = tables_[0].get();
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (pf != nullptr && pf[i] == 0) {
+        s_count[i] = 0;  // the grouping sort reads every lane's estimate
+        continue;
+      }
       s_bucket[i] = t->BucketOf(s_hash[i]);
       int32_t count = 0;
       t->VisitHeader(s_bucket[i], &count);
@@ -224,8 +270,8 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
   p3.name = "p3";
   p3.profile = KeySearchProfile(ws, opts_.locality_boost);
   p3.items = n;
-  p3.run = [this, s_keys, s_bucket, s_keynode](const Morsel& m, DeviceId,
-                                               uint32_t* lw) -> uint64_t {
+  p3.run = [this, pf, s_keys, s_bucket, s_keynode](const Morsel& m, DeviceId,
+                                                   uint32_t* lw) -> uint64_t {
     // The grouping permutation is built by p2's after-hook, i.e. after this
     // StepDef was created — resolve the view per morsel, not per step.
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
@@ -234,17 +280,30 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
     for (uint64_t i = m.begin; i < m.end; ++i) {
       const uint64_t j = perm != nullptr ? perm[i] : i;
       uint32_t work = 0;
-      s_keynode[j] = t->FindKey(s_bucket[j], s_keys[j], &work);
+      if (pf != nullptr && pf[j] == 0) {
+        // Fused-select dead lane: the lookup never runs.
+        s_keynode[j] = kNil;
+      } else {
+        s_keynode[j] = t->FindKey(s_bucket[j], s_keys[j], &work);
+      }
       total += RecordWork(lw, m, i, work);
     }
     return total;
   };
   steps.push_back(std::move(p3));
+  return steps;
+}
+
+StepDef ShjEngine::MakeEmitStep(ResultWriter* out) {
+  const double ws = TableWorkingSetBytes();
+  const int32_t* s_keys = probe_->keys.data();
+  const int32_t* s_rids = probe_->rids.data();
+  int32_t* s_keynode = s_keynode_.data();
 
   StepDef p4;
   p4.name = "p4";
   p4.profile = EmitProfile(ws, opts_.locality_boost);
-  p4.items = n;
+  p4.items = probe_->size();
   p4.run = [this, out, s_rids, s_keys, s_keynode](
                const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
@@ -270,8 +329,42 @@ std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
     }
     return total;
   };
-  steps.push_back(std::move(p4));
-  return steps;
+  return p4;
+}
+
+StepDef ShjEngine::MakeFusedAggStep(GroupByEngine* agg) {
+  const double ws = TableWorkingSetBytes();
+  const int32_t* s_keys = probe_->keys.data();
+  const int32_t* s_rids = probe_->rids.data();
+  int32_t* s_keynode = s_keynode_.data();
+
+  StepDef p4;
+  p4.name = "p4g";
+  p4.profile = FusedEmitAggProfile(ws, agg->TableWorkingSetBytes(),
+                                   opts_.locality_boost);
+  p4.items = probe_->size();
+  p4.run = [this, agg, s_rids, s_keys, s_keynode](
+               const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    HashTable* t = tables_[0].get();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      uint32_t work = 1;
+      if (s_keynode[j] != kNil) {
+        const int32_t srid = s_rids[j];
+        const int32_t skey = s_keys[j];
+        work += t->ForEachRid(s_keynode[j], [agg, skey, srid](int32_t) {
+          // The match streams into the aggregate table; the <build rid,
+          // probe rid> pair is never materialized.
+          agg->Accumulate(skey, static_cast<int64_t>(srid));
+        });
+      }
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  return p4;
 }
 
 void ShjEngine::BuildProbePermutation(uint64_t begin, uint64_t end) {
@@ -308,13 +401,18 @@ std::vector<StepDef> ShjEngine::BuildStepsOpen() {
   uint32_t* r_bucket = r_bucket_.data();
   int32_t* r_keynode = r_keynode_.data();  // holds global slot ids here
 
+  const uint8_t* bf = build_filter_;
+
   StepDef b1;
   b1.name = "b1";
   b1.profile = HashStepProfile();
   b1.items = n;
-  b1.run = [r_keys, r_hash](const Morsel& m, DeviceId,
-                            uint32_t* lw) -> uint64_t {
+  b1.run = [bf, r_keys, r_hash](const Morsel& m, DeviceId,
+                                uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      // Fused-select dead lanes are never hashed (b3 checks the filter
+      // before reading the hash or bucket).
+      if (bf != nullptr && bf[i] == 0) continue;
       r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(r_keys[i]));
     }
     return ConstantWork(lw, m);
@@ -325,10 +423,11 @@ std::vector<StepDef> ShjEngine::BuildStepsOpen() {
   b2.name = "b2";
   b2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 4.0);
   b2.items = n;
-  b2.run = [this, r_hash, r_bucket](const Morsel& m, DeviceId dev,
-                                    uint32_t* lw) -> uint64_t {
+  b2.run = [this, bf, r_hash, r_bucket](const Morsel& m, DeviceId dev,
+                                        uint32_t* lw) -> uint64_t {
     OpenHashTable* t = OpenBuildTableFor(dev);
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (bf != nullptr && bf[i] == 0) continue;
       r_bucket[i] = t->BucketOf(r_hash[i]);
       t->VisitHeader(r_bucket[i]);
     }
@@ -340,15 +439,20 @@ std::vector<StepDef> ShjEngine::BuildStepsOpen() {
   b3.name = "b3";
   b3.profile = OpenKeyInsertProfile(ws, opts_.locality_boost);
   b3.items = n;
-  b3.run = [this, dist, r_keys, r_bucket, r_keynode](
+  b3.run = [this, bf, dist, r_keys, r_bucket, r_keynode](
                const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
     OpenHashTable* t = OpenBuildTableFor(dev);
     uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
       if (dist != 0 && i + dist < m.end) t->PrefetchBucket(r_bucket[i + dist]);
       uint32_t work = 0;
-      r_keynode[i] = t->FindOrAddKey(r_bucket[i], r_keys[i], &work);
-      if (r_keynode[i] == kNil) overflowed_ = true;
+      if (bf != nullptr && bf[i] == 0) {
+        // Fused-select dead lane: the key is never inserted.
+        r_keynode[i] = kNil;
+      } else {
+        r_keynode[i] = t->FindOrAddKey(r_bucket[i], r_keys[i], &work);
+        if (r_keynode[i] == kNil) overflowed_ = true;
+      }
       total += RecordWork(lw, m, i, work);
     }
     return total;
@@ -376,7 +480,7 @@ std::vector<StepDef> ShjEngine::BuildStepsOpen() {
   return steps;
 }
 
-std::vector<StepDef> ShjEngine::ProbeStepsOpen(ResultWriter* out) {
+std::vector<StepDef> ShjEngine::ProbeStepsCommonOpen() {
   const uint64_t n = probe_->size();
   const double ws = TableWorkingSetBytes();
   const uint32_t dist = opts_.prefetch_dist;
@@ -384,19 +488,23 @@ std::vector<StepDef> ShjEngine::ProbeStepsOpen(ResultWriter* out) {
   std::vector<StepDef> steps;
 
   const int32_t* s_keys = probe_->keys.data();
-  const int32_t* s_rids = probe_->rids.data();
   uint32_t* s_hash = s_hash_.data();
   uint32_t* s_bucket = s_bucket_.data();
   int32_t* s_keynode = s_keynode_.data();
   int32_t* s_count = s_count_.data();
 
+  const uint8_t* pf = probe_filter_;
+
   StepDef p1;
   p1.name = "p1";
   p1.profile = HashStepProfile();
   p1.items = n;
-  p1.run = [s_keys, s_hash](const Morsel& m, DeviceId,
-                            uint32_t* lw) -> uint64_t {
+  p1.run = [pf, s_keys, s_hash](const Morsel& m, DeviceId,
+                                uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      // Fused-select dead lanes are never hashed (p3 checks the filter
+      // before reading the hash or bucket).
+      if (pf != nullptr && pf[i] == 0) continue;
       s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
     }
     return ConstantWork(lw, m);
@@ -407,10 +515,14 @@ std::vector<StepDef> ShjEngine::ProbeStepsOpen(ResultWriter* out) {
   p2.name = "p2";
   p2.profile = HeaderVisitProfile(static_cast<double>(opts_.num_buckets) * 4.0);
   p2.items = n;
-  p2.run = [this, s_hash, s_bucket, s_count](const Morsel& m, DeviceId,
-                                             uint32_t* lw) -> uint64_t {
+  p2.run = [this, pf, s_hash, s_bucket, s_count](const Morsel& m, DeviceId,
+                                                 uint32_t* lw) -> uint64_t {
     OpenHashTable* t = open_tables_[0].get();
     for (uint64_t i = m.begin; i < m.end; ++i) {
+      if (pf != nullptr && pf[i] == 0) {
+        s_count[i] = 0;  // the grouping sort reads every lane's estimate
+        continue;
+      }
       s_bucket[i] = t->BucketOf(s_hash[i]);
       int32_t count = 0;
       t->VisitHeader(s_bucket[i], &count);
@@ -427,7 +539,7 @@ std::vector<StepDef> ShjEngine::ProbeStepsOpen(ResultWriter* out) {
   p3.name = "p3";
   p3.profile = OpenKeySearchProfile(ws, opts_.locality_boost);
   p3.items = n;
-  p3.run = [this, dist, avx2, s_keys, s_bucket, s_keynode](
+  p3.run = [this, pf, dist, avx2, s_keys, s_bucket, s_keynode](
                const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
     OpenHashTable* t = open_tables_[0].get();
@@ -439,17 +551,30 @@ std::vector<StepDef> ShjEngine::ProbeStepsOpen(ResultWriter* out) {
                                                    : i + dist]);
       }
       uint32_t work = 0;
-      s_keynode[j] = t->FindKey(s_bucket[j], s_keys[j], &work, avx2);
+      if (pf != nullptr && pf[j] == 0) {
+        // Fused-select dead lane: the lookup never runs.
+        s_keynode[j] = kNil;
+      } else {
+        s_keynode[j] = t->FindKey(s_bucket[j], s_keys[j], &work, avx2);
+      }
       total += RecordWork(lw, m, i, work);
     }
     return total;
   };
   steps.push_back(std::move(p3));
+  return steps;
+}
+
+StepDef ShjEngine::MakeEmitStepOpen(ResultWriter* out) {
+  const double ws = TableWorkingSetBytes();
+  const int32_t* s_keys = probe_->keys.data();
+  const int32_t* s_rids = probe_->rids.data();
+  int32_t* s_keynode = s_keynode_.data();
 
   StepDef p4;
   p4.name = "p4";
   p4.profile = EmitProfile(ws, opts_.locality_boost);
-  p4.items = n;
+  p4.items = probe_->size();
   p4.run = [this, out, s_rids, s_keys, s_keynode](
                const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
@@ -475,8 +600,42 @@ std::vector<StepDef> ShjEngine::ProbeStepsOpen(ResultWriter* out) {
     }
     return total;
   };
-  steps.push_back(std::move(p4));
-  return steps;
+  return p4;
+}
+
+StepDef ShjEngine::MakeFusedAggStepOpen(GroupByEngine* agg) {
+  const double ws = TableWorkingSetBytes();
+  const int32_t* s_keys = probe_->keys.data();
+  const int32_t* s_rids = probe_->rids.data();
+  int32_t* s_keynode = s_keynode_.data();
+
+  StepDef p4;
+  p4.name = "p4g";
+  p4.profile = FusedEmitAggProfile(ws, agg->TableWorkingSetBytes(),
+                                   opts_.locality_boost);
+  p4.items = probe_->size();
+  p4.run = [this, agg, s_rids, s_keys, s_keynode](
+               const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+    const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
+    OpenHashTable* t = open_tables_[0].get();
+    uint64_t total = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      const uint64_t j = perm != nullptr ? perm[i] : i;
+      uint32_t work = 1;
+      if (s_keynode[j] != kNil) {
+        const int32_t srid = s_rids[j];
+        const int32_t skey = s_keys[j];
+        work += t->ForEachRid(s_keynode[j], [agg, skey, srid](int32_t) {
+          // The match streams into the aggregate table; the <build rid,
+          // probe rid> pair is never materialized.
+          agg->Accumulate(skey, static_cast<int64_t>(srid));
+        });
+      }
+      total += RecordWork(lw, m, i, work);
+    }
+    return total;
+  };
+  return p4;
 }
 
 std::pair<uint64_t, uint64_t> ShjEngine::MergeSeparateTables() {

@@ -24,6 +24,8 @@
 
 namespace apujoin::join {
 
+class GroupByEngine;
+
 /// SHJ build/probe kernels + state. One engine instance per join execution.
 class ShjEngine {
  public:
@@ -34,11 +36,33 @@ class ShjEngine {
   /// Allocates pools, tables and intermediate arrays.
   apujoin::Status Prepare();
 
+  /// Fused Select→HashJoin edges: a positional selection vector over the
+  /// build (resp. probe) relation — every kernel skips dead lanes (their
+  /// key is never hashed, looked up, or inserted) at zero work units.
+  /// Null (the default) disables filtering; set before the series are
+  /// built.
+  void set_build_filter(const uint8_t* flags) { build_filter_ = flags; }
+  void set_probe_filter(const uint8_t* flags) { probe_filter_ = flags; }
+
+  /// Number of live build lanes under `build_filter` (the fused select's
+  /// survivor count). Prepare() sizes the hash table and node pools from
+  /// it, so a fused plan gets the same table an unfused plan would build
+  /// from the materialized filtered relation — without the hint the table
+  /// is sized for the full relation and a selective filter leaves the
+  /// probe walking a sparse, cache-hostile bucket array. 0 (the default)
+  /// means unfiltered; set before Prepare().
+  void set_build_cardinality(uint64_t n) { build_card_ = n; }
+
   /// The build step series b1..b4 over |R| items.
   std::vector<StepDef> BuildSteps();
 
   /// The probe step series p1..p4 over |S| items, emitting into `out`.
   std::vector<StepDef> ProbeSteps(ResultWriter* out);
+
+  /// Fused HashJoin→GroupBy edges: p1..p3 plus a fused probe+aggregate
+  /// step (p4g) that folds every match into `agg` instead of emitting
+  /// result pairs. `agg` must be PrepareFused()-sized and outlive the run.
+  std::vector<StepDef> ProbeStepsFused(GroupByEngine* agg);
 
   /// Separate-table mode: merge the GPU table into the CPU table after the
   /// build (the paper's merge overhead). Returns {keys, rids} moved.
@@ -83,7 +107,13 @@ class ShjEngine {
   void BuildProbePermutation(uint64_t begin, uint64_t end);
 
   std::vector<StepDef> BuildStepsOpen();
-  std::vector<StepDef> ProbeStepsOpen(ResultWriter* out);
+  /// p1..p3 shared by the emitting and fused probe series (per layout).
+  std::vector<StepDef> ProbeStepsCommon();
+  std::vector<StepDef> ProbeStepsCommonOpen();
+  StepDef MakeEmitStep(ResultWriter* out);
+  StepDef MakeEmitStepOpen(ResultWriter* out);
+  StepDef MakeFusedAggStep(GroupByEngine* agg);
+  StepDef MakeFusedAggStepOpen(GroupByEngine* agg);
 
   /// Table a build kernel on `dev` inserts into: the shared table, or the
   /// device's private table in separate mode.
@@ -102,6 +132,9 @@ class ShjEngine {
   const data::Relation* build_;
   const data::Relation* probe_;
   EngineOptions opts_;
+  const uint8_t* build_filter_ = nullptr;  // fused-select vector (or null)
+  const uint8_t* probe_filter_ = nullptr;
+  uint64_t build_card_ = 0;  // live build lanes under the filter (0 = all)
 
   std::unique_ptr<NodePools> pools_;
   std::vector<std::unique_ptr<HashTable>> tables_;

@@ -116,6 +116,15 @@ StepProfile SelectCompactProfile(double output_bytes) {
   return p;
 }
 
+StepProfile SelectFlagProfile() {
+  StepProfile p;
+  // The same compare as f1 plus the flag store; the survivor count folds
+  // into one shared-cursor add per morsel, so no per-item atomics.
+  p.instr_per_unit = 6.0;
+  p.seq_bytes_per_item = 9.0;  // read key+rid (8B), write flag (1B)
+  return p;
+}
+
 StepProfile GroupAggProfile(double table_bytes) {
   StepProfile p;
   // Murmur over the group key + slot probe + aggregate atomic.
@@ -126,6 +135,23 @@ StepProfile GroupAggProfile(double table_bytes) {
   p.global_atomics_per_unit = 1.5;  // slot CAS (amortized) + value atomic
   p.atomic_addresses = table_bytes / 16.0;
   p.seq_bytes_per_item = 12.0;  // read key + value of the result tuple
+  return p;
+}
+
+StepProfile FusedEmitAggProfile(double table_bytes, double group_bytes,
+                                double locality_boost) {
+  StepProfile p;
+  // p4's rid-node chase plus g1's group hash + slot claim + value atomic.
+  // What fusion removes from the unfused pair of steps: p4's 8B/unit
+  // sequential result-pair store and g1's 12B/item re-read of that pair.
+  p.instr_per_unit = 30.0;
+  p.rand_accesses_per_unit = 1.0;
+  // The chase touches both the join table and the group table.
+  p.rand_working_set_bytes = table_bytes + group_bytes;
+  p.dependent_accesses = true;  // next rid node known only after the load
+  p.locality_boost = locality_boost;
+  p.global_atomics_per_unit = 1.5;  // slot CAS (amortized) + value atomic
+  p.atomic_addresses = group_bytes / 16.0;
   return p;
 }
 

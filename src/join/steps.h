@@ -159,9 +159,21 @@ simcl::StepProfile SelectEvalProfile();
 /// plus one scattered pair store per passing tuple).
 simcl::StepProfile SelectCompactProfile(double output_bytes);
 
+/// f1, fused: evaluate the predicate into the flag column only — the
+/// selection vector is the operator's whole output (no compaction pass, no
+/// output relation; the join kernels read the flags positionally).
+simcl::StepProfile SelectFlagProfile();
+
 /// g1: aggregate one result tuple into the open-addressing group table
 /// (hash + slot claim + value atomic).
 simcl::StepProfile GroupAggProfile(double table_bytes);
+
+/// p4g, fused probe+aggregate: visit matching build tuples and fold each
+/// match straight into the group table — the rid-node chase of p4 plus the
+/// slot claim and value atomic of g1, minus p4's sequential result-pair
+/// store and g1's re-read of the materialized pair.
+simcl::StepProfile FusedEmitAggProfile(double table_bytes, double group_bytes,
+                                       double locality_boost);
 
 /// n2: visit the partition header (cursor claim bookkeeping).
 simcl::StepProfile PartitionHeaderProfile(double header_bytes);

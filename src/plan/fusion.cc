@@ -1,0 +1,59 @@
+#include "plan/fusion.h"
+
+namespace apujoin::plan {
+
+FusionPlan Fuse(const Graph& graph, exec::FuseMode mode) {
+  FusionPlan out;
+  out.fused.assign(graph.nodes.size(), 0);
+  if (mode == exec::FuseMode::kOff) return out;
+
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const Node& node = graph.nodes[i];
+    switch (node.kind) {
+      case NodeKind::kHashJoin:
+        // Select children feed the join through a selection vector instead
+        // of a filtered copy.
+        for (int child : node.children) {
+          if (child >= 0 && static_cast<size_t>(child) < graph.nodes.size() &&
+              graph.nodes[child].kind == NodeKind::kSelect) {
+            out.fused[child] = 1;
+          }
+        }
+        break;
+      case NodeKind::kMultiwayJoin:
+        // The chain kernels walk k tables per lane with their own dead-lane
+        // bookkeeping; keep their inputs materialized.
+        for (int child : node.children) {
+          if (child >= 0 && static_cast<size_t>(child) < graph.nodes.size() &&
+              graph.nodes[child].kind == NodeKind::kSelect) {
+            out.notes.push_back(
+                "select[" + std::to_string(child) +
+                "]: under a multi-way chain, kept materialized");
+          }
+        }
+        break;
+      case NodeKind::kGroupBy: {
+        // A group-by over a two-table join is the root (Validate enforces
+        // the tree shape), so nothing else consumes the rid pairs — the
+        // probe can aggregate in place.
+        const int child = node.children.empty() ? -1 : node.children[0];
+        if (child >= 0 && static_cast<size_t>(child) < graph.nodes.size()) {
+          if (graph.nodes[child].kind == NodeKind::kHashJoin) {
+            out.fused[child] = 1;
+          } else if (graph.nodes[child].kind == NodeKind::kMultiwayJoin) {
+            out.notes.push_back(
+                "multiway[" + std::to_string(child) +
+                "]: chain output feeds group-by materialized");
+          }
+        }
+        break;
+      }
+      case NodeKind::kScan:
+      case NodeKind::kSelect:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace apujoin::plan

@@ -12,8 +12,8 @@
 // Either way every functional assertion — match counts, work proportions,
 // ratio convergence — still runs.
 
-#ifndef APUJOIN_TESTS_PERF_ASSERTS_H_
-#define APUJOIN_TESTS_PERF_ASSERTS_H_
+#ifndef APUJOIN_UTIL_PERF_ASSERTS_H_
+#define APUJOIN_UTIL_PERF_ASSERTS_H_
 
 #include <cstdio>
 #include <thread>
@@ -43,4 +43,4 @@ inline bool PerfAssertsEnabled() {
 
 }  // namespace apujoin
 
-#endif  // APUJOIN_TESTS_PERF_ASSERTS_H_
+#endif  // APUJOIN_UTIL_PERF_ASSERTS_H_

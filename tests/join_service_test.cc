@@ -11,7 +11,7 @@
 #include "coproc/pipeline_runner.h"
 #include "coproc/ratio_tuner.h"
 #include "exec/thread_pool_backend.h"
-#include "perf_asserts.h"
+#include "util/perf_asserts.h"
 #include "service/join_service.h"
 
 namespace apujoin::service {

@@ -21,7 +21,7 @@
 #include "join/reference_join.h"
 #include "join/result_writer.h"
 #include "join/simple_hash_join.h"
-#include "perf_asserts.h"
+#include "util/perf_asserts.h"
 #include "util/cpu_features.h"
 #include "util/murmur_hash.h"
 

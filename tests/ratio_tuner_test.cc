@@ -13,7 +13,7 @@
 #include "coproc/ratio_tuner.h"
 #include "core/coupled_joiner.h"
 #include "exec/thread_pool_backend.h"
-#include "perf_asserts.h"
+#include "util/perf_asserts.h"
 
 // TSan distorts wall-clock timing; skip the timing comparison under it.
 #if defined(__SANITIZE_THREAD__)
