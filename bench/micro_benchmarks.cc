@@ -14,6 +14,7 @@
 #include "coproc/step_series.h"
 #include "exec/thread_pool_backend.h"
 #include "data/generator.h"
+#include "data/key_schema.h"
 #include "join/groupby_engine.h"
 #include "join/hash_table.h"
 #include "join/open_hash_table.h"
@@ -226,6 +227,99 @@ void BM_ProbeOpenAddressingNoPrefetch(benchmark::State& state) {
                       /*prefetch_dist=*/0);
 }
 BENCHMARK(BM_ProbeOpenAddressingNoPrefetch);
+
+// Wide (two-word) probe variants — the canonical U64/composite/dict-string
+// path. Build lo words repeat every 64K keys so the hi-word compare carries
+// the match; every second probe misses, as in the narrow batches. The open
+// layout takes the scalar wide probe (the 8-lane AVX2 bucket compare is a
+// narrow-key specialization), so these also quantify what kAvx2 gives up
+// when the schema widens.
+
+struct WideProbeBatch {
+  std::vector<int32_t> lo, hi;
+  std::vector<uint32_t> hash;
+};
+
+WideProbeBatch MakeWideProbeBatch(uint32_t batch = kLayoutProbeBatch) {
+  WideProbeBatch b;
+  b.lo.resize(batch);
+  b.hi.resize(batch);
+  b.hash.resize(batch);
+  Random rng(7);
+  for (uint32_t i = 0; i < batch; ++i) {
+    const uint32_t v = rng.Next() % (2 * kLayoutBuildKeys);
+    b.lo[i] = static_cast<int32_t>(v & 0xffff);
+    b.hi[i] = static_cast<int32_t>(v);
+    b.hash[i] = MurmurHash2x8(data::PackKeyPair(b.lo[i], b.hi[i]));
+  }
+  return b;
+}
+
+void BM_ProbeChainedWide(benchmark::State& state) {
+  const uint32_t n = kLayoutBuildKeys;
+  join::NodePools pools(n + n / 4, n + n / 4,
+                        alloc::AllocatorKind::kOptimized, 2048,
+                        /*wide_keys=*/true);
+  join::HashTable table(join::NextPow2(n), &pools);
+  for (uint32_t k = 0; k < n; ++k) {
+    uint32_t work = 0;
+    const int32_t lo = static_cast<int32_t>(k & 0xffff);
+    const int32_t hi = static_cast<int32_t>(k);
+    const uint32_t b =
+        table.BucketOf(MurmurHash2x8(data::PackKeyPair(lo, hi)));
+    const int32_t node =
+        table.FindOrAddKeyWide(b, lo, hi, simcl::DeviceId::kCpu, 0, &work);
+    table.InsertRid(node, static_cast<int32_t>(k), simcl::DeviceId::kCpu, 0);
+  }
+  const WideProbeBatch batch = MakeWideProbeBatch();
+  for (auto _ : state) {
+    uint64_t found = 0;
+    for (uint32_t i = 0; i < kLayoutProbeBatch; ++i) {
+      uint32_t work = 0;
+      found += table.FindKeyWide(table.BucketOf(batch.hash[i]), batch.lo[i],
+                                 batch.hi[i], &work) != join::kNil;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kLayoutProbeBatch));
+}
+BENCHMARK(BM_ProbeChainedWide);
+
+void BM_ProbeOpenAddressingWide(benchmark::State& state) {
+  const uint32_t n = kLayoutBuildKeys;
+  join::NodePools pools(64, n + n / 4, alloc::AllocatorKind::kOptimized,
+                        2048);
+  join::OpenHashTable table(join::OpenBucketsFor(n), &pools,
+                            /*wide_keys=*/true);
+  for (uint32_t k = 0; k < n; ++k) {
+    uint32_t work = 0;
+    const int32_t lo = static_cast<int32_t>(k & 0xffff);
+    const int32_t hi = static_cast<int32_t>(k);
+    const int32_t slot = table.FindOrAddKeyWide(
+        table.BucketOf(MurmurHash2x8(data::PackKeyPair(lo, hi))), lo, hi,
+        &work);
+    table.InsertRid(slot, static_cast<int32_t>(k), simcl::DeviceId::kCpu, 0);
+  }
+  const WideProbeBatch batch = MakeWideProbeBatch();
+  std::vector<uint32_t> buckets(kLayoutProbeBatch);
+  for (uint32_t i = 0; i < kLayoutProbeBatch; ++i) {
+    buckets[i] = table.BucketOf(batch.hash[i]);
+  }
+  for (auto _ : state) {
+    uint64_t found = 0;
+    for (uint32_t i = 0; i < kLayoutProbeBatch; ++i) {
+      if (i + 16 < kLayoutProbeBatch) table.PrefetchBucket(buckets[i + 16]);
+      uint32_t work = 0;
+      found += table.FindKeyWide(buckets[i], batch.lo[i], batch.hi[i],
+                                 &work) != join::kNil;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kLayoutProbeBatch));
+}
+BENCHMARK(BM_ProbeOpenAddressingWide);
 
 // --------------------------------------------------------------------------
 // Fusion payoff: the same probe workload either streams every match into

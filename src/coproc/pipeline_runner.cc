@@ -12,6 +12,7 @@
 
 #include "cost/calibration.h"
 #include "cost/optimizer.h"
+#include "data/key_schema.h"
 #include "join/groupby_engine.h"
 #include "join/multiway_engine.h"
 #include "join/partitioned_hash_join.h"
@@ -102,6 +103,8 @@ struct Driver {
 
   Driver(exec::Backend* b, const JoinSpec& s)
       : backend(b), ctx(b->context()), spec(s) {
+    // U32 tuple width by default; the join runners override it from the
+    // operator's key schema (data::TupleBytes) before resolving ratios.
     comm.bytes_per_item = 8.0;
     comm.bandwidth_gbps = ctx->memory().spec().total_bandwidth_gbps;
   }
@@ -299,6 +302,12 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
   const JoinSpec& spec = drv.spec;
   const uint64_t nb = build.size();
   const uint64_t np = probe.size();
+  // Input tuples move at their schema's width (key + rid: 8 B for U32,
+  // 12 B for wide pairs); the comm spec the ratio optimizers see prices
+  // inter-device traffic the same way. Result pairs stay 8 B — they are
+  // (build rid, probe rid) regardless of key schema.
+  const double tuple_bytes = data::TupleBytes(build.key_schema);
+  drv.comm.bytes_per_item = tuple_bytes;
   // Live build rows the engine will actually insert — the survivor count
   // when a fused select filters the build side. Sizing hash tables, radix
   // plans, and the cost model from it keeps the fused data structures
@@ -338,7 +347,8 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
                                  spec.build_ratios);
     if (!bratios.ok()) return bratios.status();
     drv.report.build_ratios = *bratios;
-    const double btransfer = drv.PhaseInputTransfer(*bratios, nb, 8.0);
+    const double btransfer = drv.PhaseInputTransfer(*bratios, nb,
+                                                    tuple_bytes);
     auto bres = drv.RunPhase("build", Phase::kBuild, bsteps, bcosts,
                              *bratios, drain, btransfer);
     if (!bres.ok()) return bres.status();
@@ -370,7 +380,8 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
                                  spec.probe_ratios);
     if (!pratios.ok()) return pratios.status();
     drv.report.probe_ratios = *pratios;
-    const double ptransfer = drv.PhaseInputTransfer(*pratios, np, 8.0);
+    const double ptransfer = drv.PhaseInputTransfer(*pratios, np,
+                                                    tuple_bytes);
     auto pres = drv.RunPhase("probe", Phase::kProbe, psteps, pcosts,
                              *pratios, drain, ptransfer);
     if (!pres.ok()) return pres.status();
@@ -413,7 +424,8 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
         if (!nratios.ok()) return nratios.status();
         if (side == 0 && pass == 0) drv.report.partition_ratios = *nratios;
         const double ntransfer =
-            pass == 0 ? drv.PhaseInputTransfer(*nratios, n, 8.0) : 0.0;
+            pass == 0 ? drv.PhaseInputTransfer(*nratios, n, tuple_bytes)
+                      : 0.0;
         const std::string label = std::string("partition-") +
                                   (side == 0 ? "R" : "S") + "." +
                                   std::to_string(pass);
@@ -474,7 +486,8 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
     } else {
       // Separate tables (and BasicUnit) keep distinct build/probe phases
       // with an explicit merge in between.
-      const double btransfer = drv.PhaseInputTransfer(*bratios, nb, 8.0);
+      const double btransfer = drv.PhaseInputTransfer(*bratios, nb,
+                                                      tuple_bytes);
       drv.estimated_ns += btransfer;
       auto bres = drv.RunPhase("build", Phase::kBuild, bsteps, bcosts,
                                *bratios, drain, btransfer,
@@ -494,7 +507,8 @@ Status RunHashJoinOp(Driver& drv, const data::Relation& build,
         drv.estimated_ns += merge_ns;
       }
 
-      const double ptransfer = drv.PhaseInputTransfer(*pratios, np, 8.0);
+      const double ptransfer = drv.PhaseInputTransfer(*pratios, np,
+                                                      tuple_bytes);
       drv.estimated_ns += ptransfer;
       auto pres = drv.RunPhase("probe", Phase::kProbe, psteps, pcosts,
                                *pratios, drain, ptransfer,
@@ -610,6 +624,9 @@ Status RunMultiwayOp(Driver& drv,
   std::vector<const data::Relation*> builds(inputs.begin(), inputs.end() - 1);
   const data::Relation& probe = *inputs.back();
   const uint64_t np = probe.size();
+  // Wide chains move 12 B tuples; the comm spec prices them accordingly
+  // (coupled-only, so this only reaches the ratio optimizers' estimates).
+  drv.comm.bytes_per_item = data::TupleBytes(probe.key_schema);
   const double elapsed0 = ctx->log().TotalNs();
 
   join::MultiwayEngine engine(ctx, builds, &probe, spec.engine);

@@ -1,7 +1,11 @@
 #include "data/generator.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
+#include "util/murmur_hash.h"
 #include "util/random.h"
 
 namespace apujoin::data {
@@ -14,6 +18,29 @@ double SkewFraction(Distribution d) {
   }
   return 0.0;
 }
+
+namespace {
+
+// Wide (U64 / composite) build key for logical index i: the lo word cycles
+// through 1024 odd values so lo-word collisions are guaranteed past 1K
+// tuples and the hi-word compare does real work; the (lo, hi) pair is
+// unique because hi carries the remaining index bits.
+constexpr uint64_t kWideLoMask = 1023;
+
+int32_t WideLo(uint64_t i) {
+  return static_cast<int32_t>(2 * (i & kWideLoMask) + 1);
+}
+int32_t WideHi(uint64_t i) { return static_cast<int32_t>(i >> 10); }
+
+std::string DictKeyString(uint64_t i) {
+  return "item-" + std::to_string(2 * i + 1);
+}
+
+uint64_t HashString(const std::string& s) {
+  return apujoin::MurmurHash64A(s.data(), static_cast<int>(s.size()));
+}
+
+}  // namespace
 
 apujoin::StatusOr<Workload> GenerateWorkload(const WorkloadSpec& spec) {
   if (spec.build_tuples == 0 || spec.probe_tuples == 0) {
@@ -29,41 +56,150 @@ apujoin::StatusOr<Workload> GenerateWorkload(const WorkloadSpec& spec) {
 
   Workload w;
   w.spec = spec;
+  w.build.key_schema = spec.key_schema;
+  w.probe.key_schema = spec.key_schema;
   apujoin::Random rng(spec.seed);
 
-  // Build side: unique odd keys 1, 3, 5, ... shuffled (Fisher-Yates).
   const uint64_t nb = spec.build_tuples;
+  const uint64_t np = spec.probe_tuples;
+  const double hot_fraction = SkewFraction(spec.distribution);
+
+  if (spec.key_schema == KeySchema::kU32) {
+    // The paper's path — kept byte-identical (same RNG call sequence) so
+    // every U32 workload and its sim goldens are unchanged by the typed
+    // key refactor.
+    //
+    // Build side: unique odd keys 1, 3, 5, ... shuffled (Fisher-Yates).
+    w.build.keys.resize(nb);
+    w.build.rids.resize(nb);
+    for (uint64_t i = 0; i < nb; ++i) {
+      w.build.keys[i] = static_cast<int32_t>(2 * i + 1);
+      w.build.rids[i] = static_cast<int32_t>(i);
+    }
+    for (uint64_t i = nb - 1; i > 0; --i) {
+      const uint64_t j = rng.Uniform(i + 1);
+      std::swap(w.build.keys[i], w.build.keys[j]);
+    }
+
+    // Probe side. Hot key = some existing build key; hot tuples always
+    // match.
+    const int32_t hot_key = w.build.keys[0];
+    w.probe.keys.resize(np);
+    w.probe.rids.resize(np);
+    uint64_t matches = 0;
+    for (uint64_t i = 0; i < np; ++i) {
+      w.probe.rids[i] = static_cast<int32_t>(i);
+      int32_t key;
+      if (hot_fraction > 0.0 && rng.NextDouble() < hot_fraction) {
+        key = hot_key;
+        ++matches;
+      } else if (rng.NextDouble() < spec.selectivity) {
+        key = static_cast<int32_t>(2 * rng.Uniform(nb) + 1);  // matching (odd)
+        ++matches;
+      } else {
+        key = static_cast<int32_t>(2 * rng.Uniform(1ull << 30));  // no match
+      }
+      w.probe.keys[i] = key;
+    }
+    w.expected_matches = matches;
+    return w;
+  }
+
+  if (spec.key_schema == KeySchema::kDictString) {
+    // Build side: nb unique strings; the key column holds dictionary codes
+    // shuffled exactly like the U32 odd keys. dict index == logical build
+    // index, so a uniform draw over [0, nb) picks a uniform build string.
+    w.build.dict.strings.resize(nb);
+    w.build.dict.hashes.resize(nb);
+    w.build.keys.resize(nb);
+    w.build.rids.resize(nb);
+    for (uint64_t i = 0; i < nb; ++i) {
+      w.build.dict.strings[i] = DictKeyString(i);
+      w.build.dict.hashes[i] = HashString(w.build.dict.strings[i]);
+      w.build.keys[i] = static_cast<int32_t>(i);
+      w.build.rids[i] = static_cast<int32_t>(i);
+    }
+    for (uint64_t i = nb - 1; i > 0; --i) {
+      const uint64_t j = rng.Uniform(i + 1);
+      std::swap(w.build.keys[i], w.build.keys[j]);
+    }
+
+    // Probe side: its own dictionary, interned in first-use order — which
+    // differs from the build dictionary's order, so the engines' probe-side
+    // code translation is genuinely exercised.
+    std::unordered_map<std::string, int32_t> intern;
+    const auto code_of = [&](std::string s) {
+      const auto it = intern.find(s);
+      if (it != intern.end()) return it->second;
+      const int32_t code = static_cast<int32_t>(w.probe.dict.strings.size());
+      w.probe.dict.hashes.push_back(HashString(s));
+      w.probe.dict.strings.push_back(s);
+      intern.emplace(std::move(s), code);
+      return code;
+    };
+    const int32_t hot_code = w.build.keys[0];
+    w.probe.keys.resize(np);
+    w.probe.rids.resize(np);
+    uint64_t matches = 0;
+    for (uint64_t i = 0; i < np; ++i) {
+      w.probe.rids[i] = static_cast<int32_t>(i);
+      int32_t code;
+      if (hot_fraction > 0.0 && rng.NextDouble() < hot_fraction) {
+        code = code_of(w.build.dict.strings[hot_code]);
+        ++matches;
+      } else if (rng.NextDouble() < spec.selectivity) {
+        code = code_of(w.build.dict.strings[rng.Uniform(nb)]);
+        ++matches;
+      } else {
+        // Unique string absent from the build dictionary: never matches.
+        code = code_of("miss-" + std::to_string(i));
+      }
+      w.probe.keys[i] = code;
+    }
+    w.expected_matches = matches;
+    return w;
+  }
+
+  // U64 / composite: unique (lo, hi) pairs shuffled together.
   w.build.keys.resize(nb);
+  w.build.key_hi.resize(nb);
   w.build.rids.resize(nb);
   for (uint64_t i = 0; i < nb; ++i) {
-    w.build.keys[i] = static_cast<int32_t>(2 * i + 1);
+    w.build.keys[i] = WideLo(i);
+    w.build.key_hi[i] = WideHi(i);
     w.build.rids[i] = static_cast<int32_t>(i);
   }
   for (uint64_t i = nb - 1; i > 0; --i) {
     const uint64_t j = rng.Uniform(i + 1);
     std::swap(w.build.keys[i], w.build.keys[j]);
+    std::swap(w.build.key_hi[i], w.build.key_hi[j]);
   }
 
-  // Probe side. Hot key = some existing build key; hot tuples always match.
-  const double hot_fraction = SkewFraction(spec.distribution);
-  const int32_t hot_key = w.build.keys[0];
-  const uint64_t np = spec.probe_tuples;
+  const int32_t hot_lo = w.build.keys[0];
+  const int32_t hot_hi = w.build.key_hi[0];
   w.probe.keys.resize(np);
+  w.probe.key_hi.resize(np);
   w.probe.rids.resize(np);
   uint64_t matches = 0;
   for (uint64_t i = 0; i < np; ++i) {
     w.probe.rids[i] = static_cast<int32_t>(i);
-    int32_t key;
+    int32_t lo;
+    int32_t hi;
     if (hot_fraction > 0.0 && rng.NextDouble() < hot_fraction) {
-      key = hot_key;
+      lo = hot_lo;
+      hi = hot_hi;
       ++matches;
     } else if (rng.NextDouble() < spec.selectivity) {
-      key = static_cast<int32_t>(2 * rng.Uniform(nb) + 1);  // matching (odd)
+      const uint64_t j = rng.Uniform(nb);  // matching: some build pair
+      lo = WideLo(j);
+      hi = WideHi(j);
       ++matches;
     } else {
-      key = static_cast<int32_t>(2 * rng.Uniform(1ull << 30));  // even: no match
+      lo = static_cast<int32_t>(2 * rng.Uniform(1ull << 30));  // even: miss
+      hi = WideHi(i);
     }
-    w.probe.keys[i] = key;
+    w.probe.keys[i] = lo;
+    w.probe.key_hi[i] = hi;
   }
   w.expected_matches = matches;
   return w;

@@ -50,6 +50,12 @@ struct WorkloadSpec {
   /// Fraction of probe tuples that match some build tuple, in [0,1].
   double selectivity = 1.0;
   uint64_t seed = 42;
+  /// Key type of both relations. kU32 reproduces the paper's data sets
+  /// with a byte-identical RNG sequence; the wide schemas generate unique
+  /// build keys whose canonical lo words collide past 1024 tuples (so the
+  /// hi-word compare is exercised), and kDictString gives each relation
+  /// its own dictionary so probe-side code translation is exercised too.
+  KeySchema key_schema = KeySchema::kU32;
 };
 
 /// A generated build/probe relation pair.

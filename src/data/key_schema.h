@@ -1,0 +1,107 @@
+// Typed join-key ABI.
+//
+// The paper (Section 5.1) fixes both relations to four-byte (rid, key)
+// integer columns. The KeySchema abstraction generalizes that contract
+// without forking the kernel code per type: every schema canonicalizes to at
+// most two int32 key words per tuple — a primary word `lo` and, for wide
+// schemas, a secondary word `hi` — and the engines instantiate each kernel
+// body once per width (narrow U32 / wide) at StepDef-construction scope, so
+// inner loops never branch on the schema.
+//
+//   schema      | lo word                    | hi word          | key bytes
+//   ------------+----------------------------+------------------+----------
+//   U32         | the key                    | (absent)         | 4
+//   U64         | low 32 bits                | high 32 bits     | 8
+//   Composite   | first column (k1)          | second column    | 8
+//   DictString  | low32(Murmur64(string))    | build dict code  | 8
+//
+// DictString columns store per-relation dictionary codes at rest; the
+// engines canonicalize at Prepare time: the probe side translates its codes
+// into the *build* relation's code space (via the strings' 64-bit hashes,
+// exact string compare on collision), so probes compare 64-bit hashes first
+// (the lo word) and dictionary codes second (the hi word). An untranslatable
+// probe string gets hi = -1, which can never equal a build code (>= 0).
+
+#ifndef APUJOIN_DATA_KEY_SCHEMA_H_
+#define APUJOIN_DATA_KEY_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apujoin::data {
+
+/// Join-key type of a relation's key column.
+enum class KeySchema : uint8_t {
+  kU32 = 0,        // the paper's path: one int32 key word
+  kU64 = 1,        // 64-bit key split into (low, high) int32 words
+  kComposite = 2,  // two-column composite key {u32, u32}
+  kDictString = 3  // dictionary-encoded string column
+};
+
+inline const char* KeySchemaName(KeySchema s) {
+  switch (s) {
+    case KeySchema::kU32:
+      return "u32";
+    case KeySchema::kU64:
+      return "u64";
+    case KeySchema::kComposite:
+      return "composite";
+    case KeySchema::kDictString:
+      return "dict-string";
+  }
+  return "unknown";
+}
+
+/// True for every schema whose canonical form needs the second key word.
+inline constexpr bool KeyIsWide(KeySchema s) { return s != KeySchema::kU32; }
+
+/// Canonical bytes per key (the lo word, plus the hi word when wide).
+inline constexpr double KeyBytes(KeySchema s) {
+  return KeyIsWide(s) ? 8.0 : 4.0;
+}
+
+/// Canonical bytes per (key, rid) tuple — the unit the transfer and
+/// sequential-bandwidth cost models price.
+inline constexpr double TupleBytes(KeySchema s) { return KeyBytes(s) + 4.0; }
+
+/// Borrowed view of a relation's canonical key columns. `hi` is null for
+/// narrow (U32) schemas and points at the secondary key-word column
+/// otherwise. The view does not own the columns; the engine that built the
+/// canonical form keeps them alive for the duration of the plan.
+struct KeyView {
+  KeySchema schema = KeySchema::kU32;
+  const int32_t* lo = nullptr;
+  const int32_t* hi = nullptr;
+
+  bool wide() const { return KeyIsWide(schema); }
+};
+
+/// Packs a canonical (lo, hi) pair into the 64-bit word fed to the wide
+/// hash (MurmurHash2x8).
+inline uint64_t PackKeyPair(int32_t lo, int32_t hi) {
+  return static_cast<uint64_t>(static_cast<uint32_t>(lo)) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(hi)) << 32);
+}
+
+/// Per-relation string dictionary for KeySchema::kDictString. The key
+/// column stores codes (indices into `strings`); `hashes[c]` caches
+/// Murmur64 of `strings[c]` so canonicalization and probe-side translation
+/// never re-hash at join time.
+struct StringDict {
+  std::vector<std::string> strings;
+  std::vector<uint64_t> hashes;  // parallel to strings
+
+  uint64_t size() const { return strings.size(); }
+  bool empty() const { return strings.empty(); }
+
+  uint64_t bytes() const {
+    uint64_t b = 0;
+    for (const std::string& s : strings) b += s.size();
+    return b + strings.size() * sizeof(uint64_t);
+  }
+};
+
+}  // namespace apujoin::data
+
+#endif  // APUJOIN_DATA_KEY_SCHEMA_H_

@@ -1,8 +1,12 @@
 // Column-oriented relation storage.
 //
-// Following the paper (Section 5.1): both join relations consist of two
-// four-byte integer attributes, record ID and key — either base relations in
-// a column store, or <key, rid> extracts from wider row-store relations.
+// Following the paper (Section 5.1): both join relations consist of a
+// four-byte record ID column plus a typed key column — either base relations
+// in a column store, or <key, rid> extracts from wider row-store relations.
+// The key column is one of the KeySchema types: the paper's int32 keys
+// (`keys` only), 64-bit or composite keys (`keys` + `key_hi` canonical
+// words), or a dictionary-encoded string column (`keys` holds codes into the
+// per-relation `dict`).
 
 #ifndef APUJOIN_DATA_RELATION_H_
 #define APUJOIN_DATA_RELATION_H_
@@ -10,30 +14,53 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/key_schema.h"
+
 namespace apujoin::data {
 
-/// A two-column (rid, key) relation stored column-wise.
+/// A (key, rid) relation stored column-wise with a typed key column.
 struct Relation {
-  std::vector<int32_t> keys;
+  std::vector<int32_t> keys;    // U32 key / lo word / dict code
   std::vector<int32_t> rids;
+  std::vector<int32_t> key_hi;  // secondary key word (U64 high, composite k2)
+  KeySchema key_schema = KeySchema::kU32;
+  StringDict dict;              // kDictString only
 
   uint64_t size() const { return keys.size(); }
   bool empty() const { return keys.empty(); }
 
-  /// Bytes occupied by the tuple data (both columns).
-  uint64_t bytes() const { return size() * sizeof(int32_t) * 2; }
+  /// Bytes occupied by the tuple data, computed from the key schema: the
+  /// rid column plus 4 bytes per key word, plus the dictionary (strings and
+  /// their cached 64-bit hashes) for dictionary-encoded columns.
+  uint64_t bytes() const {
+    uint64_t b = size() * sizeof(int32_t) * 2;  // rids + primary key word
+    if (key_schema == KeySchema::kU64 || key_schema == KeySchema::kComposite) {
+      b += size() * sizeof(int32_t);  // secondary key word
+    }
+    if (key_schema == KeySchema::kDictString) b += dict.bytes();
+    return b;
+  }
 
   void Reserve(uint64_t n) {
     keys.reserve(n);
     rids.reserve(n);
+    if (KeyIsWide(key_schema) && key_schema != KeySchema::kDictString) {
+      key_hi.reserve(n);
+    }
   }
   void Append(int32_t key, int32_t rid) {
     keys.push_back(key);
     rids.push_back(rid);
   }
+  void Append(int32_t key_lo, int32_t hi, int32_t rid) {
+    keys.push_back(key_lo);
+    key_hi.push_back(hi);
+    rids.push_back(rid);
+  }
   void Clear() {
     keys.clear();
     rids.clear();
+    key_hi.clear();
   }
 };
 

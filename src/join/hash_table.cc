@@ -29,13 +29,15 @@ std::unique_ptr<alloc::Allocator> MakeAllocator(alloc::Arena* arena,
 }  // namespace
 
 NodePools::NodePools(uint64_t key_capacity, uint64_t rid_capacity,
-                     alloc::AllocatorKind kind, uint32_t block_bytes)
+                     alloc::AllocatorKind kind, uint32_t block_bytes,
+                     bool wide_keys)
     : key_value(key_capacity),
+      key_value_hi(wide_keys ? key_capacity : 0),
       key_next(key_capacity),
       rid_head(key_capacity),
       rid_value(rid_capacity),
       rid_next(rid_capacity),
-      key_arena_(key_capacity, /*elem_bytes=*/12),
+      key_arena_(key_capacity, /*elem_bytes=*/wide_keys ? 16u : 12u),
       rid_arena_(rid_capacity, /*elem_bytes=*/8) {
   key_alloc_ = MakeAllocator(&key_arena_, kind, block_bytes);
   rid_alloc_ = MakeAllocator(&rid_arena_, kind, block_bytes);
@@ -127,6 +129,51 @@ int32_t HashTable::FindOrAddKey(uint32_t bucket, int32_t key,
   }
 }
 
+int32_t HashTable::FindOrAddKeyWide(uint32_t bucket, int32_t key_lo,
+                                    int32_t key_hi, simcl::DeviceId dev,
+                                    uint32_t workgroup, uint32_t* work) {
+  Touch(&head_[bucket]);  // the list head load below
+  uint32_t traversed = 1;
+  while (true) {
+    int32_t node = head_[bucket].load(std::memory_order_acquire);
+    const int32_t first = node;
+    while (node != kNil) {
+      Touch(&pools_->key_value[node]);
+      // lo first (the 64-bit-hash word for dict-strings), hi second (the
+      // dictionary code) — the hash-first/compare-second probe contract.
+      if (pools_->key_value[node] == key_lo &&
+          pools_->key_value_hi[node] == key_hi) {
+        *work += traversed;
+        return node;
+      }
+      ++traversed;
+      node = pools_->key_next[node].load(std::memory_order_acquire);
+    }
+    // Not found: allocate a node and push it at the head.
+    const int32_t ni = pools_->AllocKey(dev, workgroup);
+    if (ni == kNil) {
+      *work += traversed;
+      return kNil;
+    }
+    pools_->key_value[ni] = key_lo;
+    pools_->key_value_hi[ni] = key_hi;
+    // relaxed: both stores happen-before the publishing CAS below, whose
+    // release side makes them visible to acquire-readers of the head.
+    pools_->rid_head[ni].store(kNil, std::memory_order_relaxed);
+    pools_->key_next[ni].store(first, std::memory_order_relaxed);
+    Touch(&pools_->key_value[ni]);
+    int32_t expected = first;
+    // acq_rel: same publication contract as the narrow FindOrAddKey.
+    if (head_[bucket].compare_exchange_strong(expected, ni,
+                                              std::memory_order_acq_rel)) {
+      keys_inserted_.fetch_add(1, std::memory_order_relaxed);
+      *work += traversed;
+      return ni;
+    }
+    // Lost the race: re-scan; the allocated node leaks into the arena.
+  }
+}
+
 bool HashTable::InsertRid(int32_t key_node, int32_t rid, simcl::DeviceId dev,
                           uint32_t workgroup) {
   const int32_t ni = pools_->AllocRid(dev, workgroup);
@@ -157,6 +204,27 @@ int32_t HashTable::FindKey(uint32_t bucket, int32_t key,
   while (node != kNil) {
     Touch(&pools_->key_value[node]);
     if (pools_->key_value[node] == key) break;
+    ++traversed;
+    // acquire: same chain-publication pairing as the head load.
+    node = pools_->key_next[node].load(std::memory_order_acquire);
+  }
+  *work += traversed;
+  return node;
+}
+
+int32_t HashTable::FindKeyWide(uint32_t bucket, int32_t key_lo, int32_t key_hi,
+                               uint32_t* work) const {
+  Touch(&head_[bucket]);  // the list head load below
+  uint32_t traversed = 1;
+  // acquire (head and next): pairs with the inserter's acq_rel CAS so
+  // every node reached through the chain is fully initialised.
+  int32_t node = head_[bucket].load(std::memory_order_acquire);
+  while (node != kNil) {
+    Touch(&pools_->key_value[node]);
+    if (pools_->key_value[node] == key_lo &&
+        pools_->key_value_hi[node] == key_hi) {
+      break;
+    }
     ++traversed;
     // acquire: same chain-publication pairing as the head load.
     node = pools_->key_next[node].load(std::memory_order_acquire);
@@ -205,7 +273,9 @@ std::pair<uint64_t, uint64_t> HashTable::MergeFrom(const HashTable& other,
 
 double HashTable::WorkingSetBytes() const {
   const double headers = static_cast<double>(num_buckets_) * 8.0;
-  const double keys = static_cast<double>(keys_inserted()) * 12.0;
+  // Wide pools carry the secondary key word: 16 B per key node vs 12.
+  const double key_node_bytes = pools_->wide_keys() ? 16.0 : 12.0;
+  const double keys = static_cast<double>(keys_inserted()) * key_node_bytes;
   const double rids = static_cast<double>(rids_inserted()) * 8.0;
   return headers + keys + rids;
 }

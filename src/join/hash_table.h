@@ -42,8 +42,12 @@ inline constexpr int32_t kNil = -1;
 /// partition).
 class NodePools {
  public:
+  /// `wide_keys` sizes the secondary key-word arena (`key_value_hi`) for
+  /// two-word canonical keys (U64 / composite / dict-string); narrow pools
+  /// do not allocate it.
   NodePools(uint64_t key_capacity, uint64_t rid_capacity,
-            alloc::AllocatorKind kind, uint32_t block_bytes);
+            alloc::AllocatorKind kind, uint32_t block_bytes,
+            bool wide_keys = false);
 
   /// Allocates one key node; kNil when exhausted.
   int32_t AllocKey(simcl::DeviceId dev, uint32_t workgroup);
@@ -57,10 +61,12 @@ class NodePools {
   uint64_t rid_capacity() const { return rid_arena_.capacity(); }
   uint64_t keys_used() const { return key_arena_.used(); }
   uint64_t rids_used() const { return rid_arena_.used(); }
+  bool wide_keys() const { return !key_value_hi.empty(); }
 
   // Flat node storage (public: the HashTable is the only intended user,
   // and kernels index these arrays directly like OpenCL global memory).
   std::vector<int32_t> key_value;
+  std::vector<int32_t> key_value_hi;  // secondary key word; empty if narrow
   std::vector<std::atomic<int32_t>> key_next;
   std::vector<std::atomic<int32_t>> rid_head;  // per key node
   std::vector<int32_t> rid_value;
@@ -95,6 +101,14 @@ class HashTable {
   int32_t FindOrAddKey(uint32_t bucket, int32_t key, simcl::DeviceId dev,
                        uint32_t workgroup, uint32_t* work);
 
+  /// Wide-key b3: like FindOrAddKey but matching both canonical key words.
+  /// Comparison order mirrors the probe contract: lo first (the hash word
+  /// for dict-strings), hi second (the dictionary code). Requires pools
+  /// constructed with wide_keys = true.
+  int32_t FindOrAddKeyWide(uint32_t bucket, int32_t key_lo, int32_t key_hi,
+                           simcl::DeviceId dev, uint32_t workgroup,
+                           uint32_t* work);
+
   /// Step b4: insert `rid` into the key node's rid list. Returns false if
   /// the rid arena is exhausted.
   bool InsertRid(int32_t key_node, int32_t rid, simcl::DeviceId dev,
@@ -109,6 +123,10 @@ class HashTable {
   /// Step p3: find key without inserting. Returns key node or kNil;
   /// `*work` += nodes traversed (>= 1).
   int32_t FindKey(uint32_t bucket, int32_t key, uint32_t* work) const;
+
+  /// Wide-key p3: find a two-word canonical key without inserting.
+  int32_t FindKeyWide(uint32_t bucket, int32_t key_lo, int32_t key_hi,
+                      uint32_t* work) const;
 
   /// Prefetches the bucket's header line (the first hop of every header
   /// visit and key-list walk) — issued by the batch kernels

@@ -23,6 +23,26 @@ apujoin::Status MultiwayEngine::Prepare() {
         "multiway chain takes 2..4 build tables, got " +
         std::to_string(builds_.size()));
   }
+  if (probe_->key_schema == data::KeySchema::kDictString) {
+    // The chain shares one hash column across all tables, but dict-string
+    // canonical keys are per-(build, probe) relation pairs — each table
+    // would need its own translated probe column and hash. Plan validation
+    // rejects the combination up front; this guards direct engine use.
+    return apujoin::Status::InvalidArgument(
+        "multiway chain does not support dict-string keys (per-table "
+        "dictionaries are incompatible with the shared probe hash)");
+  }
+  for (const data::Relation* b : builds_) {
+    if (b->key_schema != probe_->key_schema) {
+      return apujoin::Status::InvalidArgument(
+          "multiway build and probe key schemas differ");
+    }
+  }
+  wide_ = data::KeyIsWide(probe_->key_schema);
+  if (wide_ && probe_->key_hi.size() != probe_->size()) {
+    return apujoin::Status::InvalidArgument(
+        "wide key schema requires a key_hi column of matching length");
+  }
   engines_.clear();
   for (const data::Relation* b : builds_) {
     // Per-table bucket sizing: leave num_buckets auto so each table is
@@ -57,27 +77,42 @@ bool MultiwayEngine::overflowed() const {
 std::vector<StepDef> MultiwayEngine::ChainSteps(ResultWriter* out) {
   const uint64_t np = probe_->size();
   const int32_t* s_keys = probe_->keys.data();
+  const int32_t* s_hi = probe_->key_hi.data();
   const int32_t* s_rids = probe_->rids.data();
   uint32_t* s_hash = s_hash_.data();
   uint8_t* s_alive = s_alive_.data();
   const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
+  const bool wide = wide_;
   const double ws = TablesWorkingSetBytes();
   const uint32_t dist = opts_.prefetch_dist;
 
   std::vector<StepDef> steps;
 
+  // Key-width dispatch at construction scope (like the single-join
+  // engines): each kernel body below is one branch-free variant.
   StepDef m1;
   m1.name = "m1";
-  m1.profile = HashStepProfile();
+  m1.profile = HashStepProfile(data::KeyBytes(probe_->key_schema));
   m1.items = np;
-  m1.run = [s_keys, s_hash, s_alive](const Morsel& m, DeviceId,
-                                     uint32_t* lw) -> uint64_t {
-    for (uint64_t i = m.begin; i < m.end; ++i) {
-      s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
-      s_alive[i] = 1;
-    }
-    return ConstantWork(lw, m);
-  };
+  if (wide) {
+    m1.run = [s_keys, s_hi, s_hash, s_alive](const Morsel& m, DeviceId,
+                                             uint32_t* lw) -> uint64_t {
+      for (uint64_t i = m.begin; i < m.end; ++i) {
+        s_hash[i] = MurmurHash2x8(data::PackKeyPair(s_keys[i], s_hi[i]));
+        s_alive[i] = 1;
+      }
+      return ConstantWork(lw, m);
+    };
+  } else {
+    m1.run = [s_keys, s_hash, s_alive](const Morsel& m, DeviceId,
+                                       uint32_t* lw) -> uint64_t {
+      for (uint64_t i = m.begin; i < m.end; ++i) {
+        s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
+        s_alive[i] = 1;
+      }
+      return ConstantWork(lw, m);
+    };
+  }
   steps.push_back(std::move(m1));
 
   for (int k = 0; k < num_tables(); ++k) {
@@ -128,7 +163,27 @@ std::vector<StepDef> MultiwayEngine::ChainSteps(ResultWriter* out) {
                       : KeySearchProfile(eng->TableWorkingSetBytes(),
                                          opts_.locality_boost);
     m3.items = np;
-    if (open) {
+    if (open && wide) {
+      m3.run = [eng, dist, s_keys, s_hi, s_hash, s_alive, keynode](
+                   const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+        OpenHashTable* t = eng->open_table(0);
+        uint64_t total = 0;
+        for (uint64_t i = m.begin; i < m.end; ++i) {
+          if (dist != 0 && i + dist < m.end && s_alive[i + dist] != 0) {
+            t->PrefetchBucket(t->BucketOf(s_hash[i + dist]));
+          }
+          uint32_t work = 1;
+          if (s_alive[i] != 0) {
+            work = 0;
+            keynode[i] = t->FindKeyWide(t->BucketOf(s_hash[i]), s_keys[i],
+                                        s_hi[i], &work);
+            if (keynode[i] == kNil) s_alive[i] = 0;
+          }
+          total += RecordWork(lw, m, i, work);
+        }
+        return total;
+      };
+    } else if (open) {
       const bool avx2 = eng->probe_uses_avx2();
       m3.run = [eng, dist, s_keys, s_hash, s_alive, keynode, avx2](
                    const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
@@ -143,6 +198,26 @@ std::vector<StepDef> MultiwayEngine::ChainSteps(ResultWriter* out) {
             work = 0;
             keynode[i] =
                 t->FindKey(t->BucketOf(s_hash[i]), s_keys[i], &work, avx2);
+            if (keynode[i] == kNil) s_alive[i] = 0;
+          }
+          total += RecordWork(lw, m, i, work);
+        }
+        return total;
+      };
+    } else if (wide) {
+      m3.run = [eng, dist, s_keys, s_hi, s_hash, s_alive, keynode](
+                   const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+        HashTable* t = eng->table(0);
+        uint64_t total = 0;
+        for (uint64_t i = m.begin; i < m.end; ++i) {
+          if (dist != 0 && i + dist < m.end && s_alive[i + dist] != 0) {
+            t->PrefetchHeader(t->BucketOf(s_hash[i + dist]));
+          }
+          uint32_t work = 1;
+          if (s_alive[i] != 0) {
+            work = 0;
+            keynode[i] = t->FindKeyWide(t->BucketOf(s_hash[i]), s_keys[i],
+                                        s_hi[i], &work);
             if (keynode[i] == kNil) s_alive[i] = 0;
           }
           total += RecordWork(lw, m, i, work);

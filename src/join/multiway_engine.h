@@ -61,6 +61,7 @@ class MultiwayEngine {
   std::vector<const data::Relation*> builds_;
   const data::Relation* probe_;
   EngineOptions opts_;
+  bool wide_ = false;  // KeyIsWide(probe schema), resolved in Prepare()
 
   std::vector<std::unique_ptr<ShjEngine>> engines_;
   // Chain state: one shared hash column, one key-node column per table,

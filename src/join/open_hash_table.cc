@@ -44,10 +44,12 @@ uint32_t OpenBucketsFor(uint64_t build_tuples) {
   return buckets;
 }
 
-OpenHashTable::OpenHashTable(uint32_t num_buckets, NodePools* pools)
+OpenHashTable::OpenHashTable(uint32_t num_buckets, NodePools* pools,
+                             bool wide_keys)
     : num_buckets_(ValidateOpenBuckets(num_buckets)),
       pools_(pools),
       keys_(size_t{num_buckets} * kOpenSlotsPerBucket),
+      keys_hi_(wide_keys ? size_t{num_buckets} * kOpenSlotsPerBucket : 0),
       rid_head_(size_t{num_buckets} * kOpenSlotsPerBucket),
       state_(num_buckets),
       count_(num_buckets) {
@@ -119,6 +121,60 @@ int32_t OpenHashTable::FindOrAddKey(uint32_t home_bucket, int32_t key,
   return kNil;  // every bucket full
 }
 
+int32_t OpenHashTable::FindOrAddKeyWide(uint32_t home_bucket, int32_t key_lo,
+                                        int32_t key_hi, uint32_t* work) {
+  uint32_t probed = 0;
+  uint32_t b = home_bucket;
+  for (uint32_t step = 0; step < num_buckets_; ++step) {
+    ++probed;
+    const size_t base = size_t{b} * kOpenSlotsPerBucket;
+    Touch(&keys_[base]);
+    // Lock-free fast path: scan the published prefix. lo compares first
+    // (the hash word), hi second (the dictionary code).
+    uint32_t cnt = state_[b].load(std::memory_order_acquire) & kCountMask;
+    for (uint32_t s = 0; s < cnt; ++s) {
+      if (keys_[base + s] == key_lo && keys_hi_[base + s] == key_hi) {
+        *work += probed;
+        return static_cast<int32_t>(base + s);
+      }
+    }
+    if (cnt < kOpenSlotsPerBucket) {
+      // Free slots may exist: take the bucket lock, re-scan what was
+      // published while we waited, then claim the next slot.
+      uint32_t st = state_[b].load(std::memory_order_relaxed);
+      do {
+        st &= ~kLockBit;
+      } while (!state_[b].compare_exchange_weak(st, st | kLockBit,
+                                                std::memory_order_acquire,
+                                                std::memory_order_relaxed));
+      const uint32_t locked_cnt = st & kCountMask;
+      for (uint32_t s = cnt; s < locked_cnt; ++s) {
+        if (keys_[base + s] == key_lo && keys_hi_[base + s] == key_hi) {
+          state_[b].store(st, std::memory_order_release);  // unlock
+          *work += probed;
+          return static_cast<int32_t>(base + s);
+        }
+      }
+      if (locked_cnt < kOpenSlotsPerBucket) {
+        keys_[base + locked_cnt] = key_lo;
+        keys_hi_[base + locked_cnt] = key_hi;
+        // Unlock and publish the new slot in one release store; both key
+        // word writes above are ordered before it.
+        state_[b].store(locked_cnt + 1, std::memory_order_release);
+        keys_inserted_.fetch_add(1, std::memory_order_relaxed);
+        *work += probed;
+        return static_cast<int32_t>(base + locked_cnt);
+      }
+      // Filled up while we raced for the lock; release and displace.
+      state_[b].store(st, std::memory_order_release);
+      cnt = locked_cnt;
+    }
+    b = (b + 1) & (num_buckets_ - 1);
+  }
+  *work += probed;
+  return kNil;  // every bucket full
+}
+
 bool OpenHashTable::InsertRid(int32_t slot, int32_t rid, simcl::DeviceId dev,
                               uint32_t workgroup) {
   const int32_t ni = pools_->AllocRid(dev, workgroup);
@@ -153,6 +209,30 @@ int32_t OpenHashTable::FindKeyScalar(uint32_t home_bucket, int32_t key,
         state_[b].load(std::memory_order_acquire) & kCountMask;
     for (uint32_t s = 0; s < cnt; ++s) {
       if (keys_[base + s] == key) {
+        *work += probed;
+        return static_cast<int32_t>(base + s);
+      }
+    }
+    if (cnt < kOpenSlotsPerBucket) break;  // key would have landed here
+    b = (b + 1) & (num_buckets_ - 1);
+  }
+  *work += probed;
+  return kNil;
+}
+
+int32_t OpenHashTable::FindKeyWide(uint32_t home_bucket, int32_t key_lo,
+                                   int32_t key_hi, uint32_t* work) const {
+  uint32_t probed = 0;
+  uint32_t b = home_bucket;
+  for (uint32_t step = 0; step < num_buckets_; ++step) {
+    ++probed;
+    const size_t base = size_t{b} * kOpenSlotsPerBucket;
+    Touch(&keys_[base]);
+    // acquire: pairs with the inserter's release-store of the count so
+    // the first `cnt` slots of both key-word arrays are visible.
+    const uint32_t cnt = state_[b].load(std::memory_order_acquire) & kCountMask;
+    for (uint32_t s = 0; s < cnt; ++s) {
+      if (keys_[base + s] == key_lo && keys_hi_[base + s] == key_hi) {
         *work += probed;
         return static_cast<int32_t>(base + s);
       }
@@ -252,8 +332,10 @@ std::pair<uint64_t, uint64_t> OpenHashTable::MergeFrom(
 
 double OpenHashTable::WorkingSetBytes() const {
   // Bucket arrays are materialised up front: 8 keys (32 B) + 8 rid heads
-  // (32 B) + state + count per bucket; rid nodes accrue per insert.
-  const double buckets = static_cast<double>(num_buckets_) * 72.0;
+  // (32 B) + state + count per bucket; wide tables add the 8-slot
+  // secondary key-word line (32 B); rid nodes accrue per insert.
+  const double per_bucket = keys_hi_.size() != 0 ? 104.0 : 72.0;
+  const double buckets = static_cast<double>(num_buckets_) * per_bucket;
   const double rids = static_cast<double>(rids_inserted()) * 8.0;
   return buckets + rids;
 }

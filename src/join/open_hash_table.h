@@ -60,7 +60,10 @@ class OpenHashTable {
  public:
   /// `num_buckets` must be a nonzero power of two, at most 2^27 (so global
   /// slot ids fit an int32); throws std::invalid_argument otherwise.
-  OpenHashTable(uint32_t num_buckets, NodePools* pools);
+  /// `wide_keys` adds a parallel secondary key-word array for two-word
+  /// canonical keys (U64 / composite / dict-string).
+  OpenHashTable(uint32_t num_buckets, NodePools* pools,
+                bool wide_keys = false);
 
   uint32_t num_buckets() const { return num_buckets_; }
   /// Total key slots — the open layout's analogue of the chained bucket
@@ -79,6 +82,12 @@ class OpenHashTable {
   /// `*work` is incremented by the number of buckets probed (>= 1).
   int32_t FindOrAddKey(uint32_t home_bucket, int32_t key, uint32_t* work);
 
+  /// Wide-key b3: like FindOrAddKey but matching both canonical key words
+  /// (lo first — the 64-bit-hash word for dict-strings — then hi, the
+  /// dictionary code). Requires construction with wide_keys = true.
+  int32_t FindOrAddKeyWide(uint32_t home_bucket, int32_t key_lo,
+                           int32_t key_hi, uint32_t* work);
+
   /// Step b4: insert `rid` into the slot's rid list. Returns false if the
   /// rid arena is exhausted.
   bool InsertRid(int32_t slot, int32_t rid, simcl::DeviceId dev,
@@ -95,6 +104,12 @@ class OpenHashTable {
   /// both paths return identical results.
   int32_t FindKey(uint32_t home_bucket, int32_t key, uint32_t* work,
                   bool use_avx2) const;
+
+  /// Wide-key p3: find a two-word canonical key without inserting. Scalar
+  /// only — the 8-lane AVX2 bucket compare covers one 32-bit word, so the
+  /// engines fall back to this path per-schema instead of per-item.
+  int32_t FindKeyWide(uint32_t home_bucket, int32_t key_lo, int32_t key_hi,
+                      uint32_t* work) const;
 
   /// Step p4: walk the rid list of `slot`, calling `emit(build_rid)` for
   /// each match. Returns the number of matches.
@@ -156,6 +171,7 @@ class OpenHashTable {
   uint32_t num_buckets_;
   NodePools* pools_;
   alloc::AlignedArray<int32_t> keys_;                  // 8 per bucket
+  alloc::AlignedArray<int32_t> keys_hi_;               // wide only, else 0
   alloc::AlignedArray<std::atomic<int32_t>> rid_head_;  // 1 per slot
   alloc::AlignedArray<std::atomic<uint32_t>> state_;    // 1 per bucket
   alloc::AlignedArray<std::atomic<int32_t>> count_;     // tuples per bucket

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "join/groupby_engine.h"
 #include "util/cpu_features.h"
@@ -16,10 +17,101 @@ PhjEngine::PhjEngine(simcl::SimContext* ctx, const data::Relation* build,
                      const data::Relation* probe, EngineOptions opts)
     : ctx_(ctx), build_(build), probe_(probe), opts_(opts) {}
 
+apujoin::Status PhjEngine::ResolveKeyViews() {
+  const data::KeySchema schema = build_->key_schema;
+  if (probe_->key_schema != schema) {
+    return apujoin::Status::InvalidArgument(
+        "build and probe key schemas differ");
+  }
+  wide_ = data::KeyIsWide(schema);
+  part_in_r_ = build_;
+  part_in_s_ = probe_;
+  if (!wide_) return apujoin::Status::OK();
+  if (!opts_.shared_table) {
+    return apujoin::Status::InvalidArgument(
+        "wide key schemas require shared_table (the separate-table merge "
+        "path is U32-only)");
+  }
+
+  if (schema == data::KeySchema::kU64 ||
+      schema == data::KeySchema::kComposite) {
+    if (build_->key_hi.size() != build_->size() ||
+        probe_->key_hi.size() != probe_->size()) {
+      return apujoin::Status::InvalidArgument(
+          "wide key schema requires a key_hi column of matching length");
+    }
+    return apujoin::Status::OK();
+  }
+
+  // DictString: canonicalize both relations into engine-owned copies with
+  // lo = low32(Murmur64(string)) and hi = build-side dictionary code (probe
+  // codes translated once per dictionary entry — hash-first lookup, exact
+  // string compare second). The partitioners and the join-phase kernels
+  // then see plain two-word keys and never touch strings.
+  const data::StringDict& bd = build_->dict;
+  const data::StringDict& pd = probe_->dict;
+  if (bd.strings.size() != bd.hashes.size() ||
+      pd.strings.size() != pd.hashes.size()) {
+    return apujoin::Status::InvalidArgument(
+        "dict-string relation with out-of-sync dictionary hashes");
+  }
+  std::unordered_multimap<uint64_t, int32_t> by_hash;
+  by_hash.reserve(bd.strings.size());
+  for (size_t c = 0; c < bd.strings.size(); ++c) {
+    by_hash.emplace(bd.hashes[c], static_cast<int32_t>(c));
+  }
+  std::vector<int32_t> xlat(pd.strings.size(), kNil);
+  for (size_t c = 0; c < pd.strings.size(); ++c) {
+    const auto range = by_hash.equal_range(pd.hashes[c]);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (bd.strings[static_cast<size_t>(it->second)] == pd.strings[c]) {
+        xlat[c] = it->second;
+        break;
+      }
+    }
+  }
+  const uint64_t nb = build_->size();
+  const uint64_t np = probe_->size();
+  r_canon_.key_schema = schema;
+  r_canon_.keys.resize(nb);
+  r_canon_.key_hi.resize(nb);
+  r_canon_.rids = build_->rids;
+  for (uint64_t i = 0; i < nb; ++i) {
+    const int32_t code = build_->keys[i];
+    if (code < 0 || static_cast<size_t>(code) >= bd.strings.size()) {
+      return apujoin::Status::InvalidArgument(
+          "dict-string build code out of dictionary range");
+    }
+    r_canon_.keys[i] = static_cast<int32_t>(
+        static_cast<uint32_t>(bd.hashes[static_cast<size_t>(code)]));
+    r_canon_.key_hi[i] = code;
+  }
+  s_canon_.key_schema = schema;
+  s_canon_.keys.resize(np);
+  s_canon_.key_hi.resize(np);
+  s_canon_.rids = probe_->rids;
+  for (uint64_t i = 0; i < np; ++i) {
+    const int32_t code = probe_->keys[i];
+    if (code < 0 || static_cast<size_t>(code) >= pd.strings.size()) {
+      return apujoin::Status::InvalidArgument(
+          "dict-string probe code out of dictionary range");
+    }
+    s_canon_.keys[i] = static_cast<int32_t>(
+        static_cast<uint32_t>(pd.hashes[static_cast<size_t>(code)]));
+    // Untranslatable probe strings keep hi = kNil (-1), which never equals
+    // a build code (>= 0): the probe cannot produce a false match.
+    s_canon_.key_hi[i] = xlat[static_cast<size_t>(code)];
+  }
+  part_in_r_ = &r_canon_;
+  part_in_s_ = &s_canon_;
+  return apujoin::Status::OK();
+}
+
 apujoin::Status PhjEngine::Prepare() {
   if (build_->empty() || probe_->empty()) {
     return apujoin::Status::InvalidArgument("empty relation");
   }
+  APU_RETURN_IF_ERROR(ResolveKeyViews());
   const uint64_t nb = build_->size();
   const uint64_t np = probe_->size();
   // A fused-select filter compacts pass 0 down to its survivors: plan the
@@ -29,13 +121,16 @@ apujoin::Status PhjEngine::Prepare() {
   const uint64_t nb_live = build_card_ != 0 ? std::min(build_card_, nb) : nb;
   plan_ = RadixPlan::Make(nb_live, np, ctx_->memory().spec().l2_bytes,
                           opts_);
-  part_r_ = std::make_unique<RadixPartitioner>(ctx_, build_, plan_, opts_);
-  part_s_ = std::make_unique<RadixPartitioner>(ctx_, probe_, plan_, opts_);
+  part_r_ =
+      std::make_unique<RadixPartitioner>(ctx_, part_in_r_, plan_, opts_);
+  part_s_ =
+      std::make_unique<RadixPartitioner>(ctx_, part_in_s_, plan_, opts_);
   APU_RETURN_IF_ERROR(part_r_->Prepare());
   APU_RETURN_IF_ERROR(part_s_->Prepare());
 
   const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
-  use_avx2_ = opts_.simd != SimdPolicy::kScalar && CpuSupportsAvx2();
+  use_avx2_ =
+      opts_.simd != SimdPolicy::kScalar && CpuSupportsAvx2() && !wide_;
   // Separate tables re-allocate every merged node (see ShjEngine::Prepare).
   // The open layout keeps keys inline in its bucket arrays; only the rid
   // arena carries data.
@@ -43,11 +138,11 @@ apujoin::Status PhjEngine::Prepare() {
   const uint64_t key_cap =
       open ? 64
            : nb_live + nb_live / 8 + merge_headroom +
-                 PoolSlack(nb_live, opts_.block_bytes, 12);
+                 PoolSlack(nb_live, opts_.block_bytes, wide_ ? 16 : 12);
   const uint64_t rid_cap =
       nb_live + merge_headroom + PoolSlack(nb_live, opts_.block_bytes, 8);
   pools_ = std::make_unique<NodePools>(key_cap, rid_cap, opts_.allocator,
-                                       opts_.block_bytes);
+                                       opts_.block_bytes, wide_);
 
   r_hash_.resize(nb);
   r_bucket_.resize(nb);
@@ -80,13 +175,13 @@ apujoin::Status PhjEngine::PrepareJoinPhase() {
     if (open) {
       const uint32_t buckets = OpenBucketsFor(std::max<uint32_t>(count, 1));
       open_tables_.push_back(
-          std::make_unique<OpenHashTable>(buckets, pools_.get()));
+          std::make_unique<OpenHashTable>(buckets, pools_.get(), wide_));
       if (ctx_->cache() != nullptr) {
         open_tables_.back()->set_cache(ctx_->cache());
       }
       if (!opts_.shared_table) {
         open_tables_gpu_.push_back(
-            std::make_unique<OpenHashTable>(buckets, pools_.get()));
+            std::make_unique<OpenHashTable>(buckets, pools_.get(), wide_));
         if (ctx_->cache() != nullptr) {
           open_tables_gpu_.back()->set_cache(ctx_->cache());
         }
@@ -121,12 +216,17 @@ double PhjEngine::PartitionWorkingSetBytes() const {
       build_card_ != 0 ? std::min<uint64_t>(build_card_, build_->size())
                        : build_->size());
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
-    // Bucket arrays (72 B/bucket, ~1 bucket per 4 build keys) + rid nodes.
-    const double total = nb * (72.0 / 4.0 + 8.0) +
-                         static_cast<double>(plan_.total_partitions) * 72.0;
+    // Bucket arrays (72 B/bucket narrow, 104 B with the wide-key lane;
+    // ~1 bucket per 4 build keys) + rid nodes.
+    const double per_bucket = wide_ ? 104.0 : 72.0;
+    const double total =
+        nb * (per_bucket / 4.0 + 8.0) +
+        static_cast<double>(plan_.total_partitions) * per_bucket;
     return total / static_cast<double>(plan_.total_partitions);
   }
-  const double total = nb * (8.0 + 12.0 + 8.0) +
+  // Bucket header + key node (12 B narrow, 16 B wide) + rid node per tuple.
+  const double key_node = wide_ ? 16.0 : 12.0;
+  const double total = nb * (8.0 + key_node + 8.0) +
                        static_cast<double>(plan_.total_partitions) * 64.0;
   return total / static_cast<double>(plan_.total_partitions);
 }
@@ -163,8 +263,13 @@ OpenHashTable* PhjEngine::OpenTableFor(uint64_t item,
 
 std::vector<StepDef> PhjEngine::BuildSteps() {
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
-    return BuildStepsOpen();
+    return wide_ ? BuildStepsOpenT<true>() : BuildStepsOpenT<false>();
   }
+  return wide_ ? BuildStepsT<true>() : BuildStepsT<false>();
+}
+
+template <bool kWide>
+std::vector<StepDef> PhjEngine::BuildStepsT() {
   // The join phase runs over the partitioned survivors (= every build tuple
   // unless a fused-select filter shrank pass 0).
   const uint64_t n = part_r_->offsets().back();
@@ -175,7 +280,10 @@ std::vector<StepDef> PhjEngine::BuildSteps() {
 
   // Column views over the partitioned build side, captured once per step
   // (the partitioner's output buffer is stable once partitioning is done).
-  const int32_t* r_keys = rp.keys.data();
+  KeyView rk;
+  rk.schema = rp.key_schema;
+  rk.lo = rp.keys.data();
+  rk.hi = rp.key_hi.data();
   const int32_t* r_rids = rp.rids.data();
   uint32_t* r_hash = r_hash_.data();
   uint32_t* r_bucket = r_bucket_.data();
@@ -183,12 +291,16 @@ std::vector<StepDef> PhjEngine::BuildSteps() {
 
   StepDef b1;
   b1.name = "b1";
-  b1.profile = HashStepProfile();
+  b1.profile = HashStepProfile(data::KeyBytes(rk.schema));
   b1.items = n;
-  b1.run = [r_keys, r_hash](const Morsel& m, DeviceId,
-                            uint32_t* lw) -> uint64_t {
+  b1.run = [rk, r_hash](const Morsel& m, DeviceId,
+                        uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
-      r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(r_keys[i]));
+      if constexpr (kWide) {
+        r_hash[i] = MurmurHash2x8(data::PackKeyPair(rk.lo[i], rk.hi[i]));
+      } else {
+        r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(rk.lo[i]));
+      }
     }
     return ConstantWork(lw, m);
   };
@@ -213,14 +325,19 @@ std::vector<StepDef> PhjEngine::BuildSteps() {
   b3.name = "b3";
   b3.profile = KeyInsertProfile(ws, opts_.locality_boost);
   b3.items = n;
-  b3.run = [this, r_keys, r_bucket, r_keynode](const Morsel& m, DeviceId dev,
-                                               uint32_t* lw) -> uint64_t {
+  b3.run = [this, rk, r_bucket, r_keynode](const Morsel& m, DeviceId dev,
+                                           uint32_t* lw) -> uint64_t {
     uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
       HashTable* t = TableFor(i, dev);
       uint32_t work = 0;
-      r_keynode[i] =
-          t->FindOrAddKey(r_bucket[i], r_keys[i], dev, WorkgroupOf(i), &work);
+      if constexpr (kWide) {
+        r_keynode[i] = t->FindOrAddKeyWide(r_bucket[i], rk.lo[i], rk.hi[i],
+                                           dev, WorkgroupOf(i), &work);
+      } else {
+        r_keynode[i] = t->FindOrAddKey(r_bucket[i], rk.lo[i], dev,
+                                       WorkgroupOf(i), &work);
+      }
       if (r_keynode[i] == kNil) overflowed_ = true;
       total += RecordWork(lw, m, i, work);
     }
@@ -266,6 +383,11 @@ std::vector<StepDef> PhjEngine::ProbeStepsFused(GroupByEngine* agg) {
 }
 
 std::vector<StepDef> PhjEngine::ProbeStepsCommon() {
+  return wide_ ? ProbeStepsCommonT<true>() : ProbeStepsCommonT<false>();
+}
+
+template <bool kWide>
+std::vector<StepDef> PhjEngine::ProbeStepsCommonT() {
   // Partitioned survivors (= every probe tuple unless a fused-select filter
   // shrank pass 0).
   const uint64_t n = part_s_->offsets().back();
@@ -274,7 +396,10 @@ std::vector<StepDef> PhjEngine::ProbeStepsCommon() {
   const uint32_t shift = plan_.partition_bits;
   std::vector<StepDef> steps;
 
-  const int32_t* s_keys = sp.keys.data();
+  KeyView sk;
+  sk.schema = sp.key_schema;
+  sk.lo = sp.keys.data();
+  sk.hi = sp.key_hi.data();
   uint32_t* s_hash = s_hash_.data();
   uint32_t* s_bucket = s_bucket_.data();
   int32_t* s_keynode = s_keynode_.data();
@@ -283,12 +408,16 @@ std::vector<StepDef> PhjEngine::ProbeStepsCommon() {
 
   StepDef p1;
   p1.name = "p1";
-  p1.profile = HashStepProfile();
+  p1.profile = HashStepProfile(data::KeyBytes(sk.schema));
   p1.items = n;
-  p1.run = [s_keys, s_hash](const Morsel& m, DeviceId,
-                            uint32_t* lw) -> uint64_t {
+  p1.run = [sk, s_hash](const Morsel& m, DeviceId,
+                        uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
-      s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
+      if constexpr (kWide) {
+        s_hash[i] = MurmurHash2x8(data::PackKeyPair(sk.lo[i], sk.hi[i]));
+      } else {
+        s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(sk.lo[i]));
+      }
     }
     return ConstantWork(lw, m);
   };
@@ -318,7 +447,7 @@ std::vector<StepDef> PhjEngine::ProbeStepsCommon() {
   p3.name = "p3";
   p3.profile = KeySearchProfile(ws, opts_.locality_boost);
   p3.items = n;
-  p3.run = [this, s_keys, s_bucket, s_keynode,
+  p3.run = [this, sk, s_bucket, s_keynode,
             part_of_s](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
     // Resolved per morsel: p2's after-hook builds the permutation after
     // this StepDef was created.
@@ -327,8 +456,13 @@ std::vector<StepDef> PhjEngine::ProbeStepsCommon() {
     for (uint64_t i = m.begin; i < m.end; ++i) {
       const uint64_t j = perm != nullptr ? perm[i] : i;
       uint32_t work = 0;
-      s_keynode[j] =
-          tables_[part_of_s[j]]->FindKey(s_bucket[j], s_keys[j], &work);
+      if constexpr (kWide) {
+        s_keynode[j] = tables_[part_of_s[j]]->FindKeyWide(
+            s_bucket[j], sk.lo[j], sk.hi[j], &work);
+      } else {
+        s_keynode[j] =
+            tables_[part_of_s[j]]->FindKey(s_bucket[j], sk.lo[j], &work);
+      }
       total += RecordWork(lw, m, i, work);
     }
     return total;
@@ -437,8 +571,9 @@ void PhjEngine::BuildProbePermutation(uint64_t begin, uint64_t end) {
                       ctx_->device(DeviceId::kGpu), bytes));
 }
 
-std::vector<StepDef> PhjEngine::BuildStepsOpen() {
-  // Partitioned survivors, as in the chained BuildSteps.
+template <bool kWide>
+std::vector<StepDef> PhjEngine::BuildStepsOpenT() {
+  // Partitioned survivors, as in the chained BuildStepsT.
   const uint64_t n = part_r_->offsets().back();
   const data::Relation& rp = part_r_->output();
   const double ws = PartitionWorkingSetBytes();
@@ -446,7 +581,10 @@ std::vector<StepDef> PhjEngine::BuildStepsOpen() {
   const uint32_t dist = opts_.prefetch_dist;
   std::vector<StepDef> steps;
 
-  const int32_t* r_keys = rp.keys.data();
+  KeyView rk;
+  rk.schema = rp.key_schema;
+  rk.lo = rp.keys.data();
+  rk.hi = rp.key_hi.data();
   const int32_t* r_rids = rp.rids.data();
   uint32_t* r_hash = r_hash_.data();
   uint32_t* r_bucket = r_bucket_.data();
@@ -454,12 +592,16 @@ std::vector<StepDef> PhjEngine::BuildStepsOpen() {
 
   StepDef b1;
   b1.name = "b1";
-  b1.profile = HashStepProfile();
+  b1.profile = HashStepProfile(data::KeyBytes(rk.schema));
   b1.items = n;
-  b1.run = [r_keys, r_hash](const Morsel& m, DeviceId,
-                            uint32_t* lw) -> uint64_t {
+  b1.run = [rk, r_hash](const Morsel& m, DeviceId,
+                        uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
-      r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(r_keys[i]));
+      if constexpr (kWide) {
+        r_hash[i] = MurmurHash2x8(data::PackKeyPair(rk.lo[i], rk.hi[i]));
+      } else {
+        r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(rk.lo[i]));
+      }
     }
     return ConstantWork(lw, m);
   };
@@ -484,7 +626,7 @@ std::vector<StepDef> PhjEngine::BuildStepsOpen() {
   b3.name = "b3";
   b3.profile = OpenKeyInsertProfile(ws, opts_.locality_boost);
   b3.items = n;
-  b3.run = [this, dist, r_keys, r_bucket, r_keynode](
+  b3.run = [this, dist, rk, r_bucket, r_keynode](
                const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
     uint64_t total = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
@@ -493,7 +635,12 @@ std::vector<StepDef> PhjEngine::BuildStepsOpen() {
         OpenTableFor(i + dist, dev)->PrefetchBucket(r_bucket[i + dist]);
       }
       uint32_t work = 0;
-      r_keynode[i] = t->FindOrAddKey(r_bucket[i], r_keys[i], &work);
+      if constexpr (kWide) {
+        r_keynode[i] =
+            t->FindOrAddKeyWide(r_bucket[i], rk.lo[i], rk.hi[i], &work);
+      } else {
+        r_keynode[i] = t->FindOrAddKey(r_bucket[i], rk.lo[i], &work);
+      }
       if (r_keynode[i] == kNil) overflowed_ = true;
       total += RecordWork(lw, m, i, work);
     }
@@ -523,7 +670,13 @@ std::vector<StepDef> PhjEngine::BuildStepsOpen() {
 }
 
 std::vector<StepDef> PhjEngine::ProbeStepsCommonOpen() {
-  // Partitioned survivors, as in the chained ProbeStepsCommon.
+  return wide_ ? ProbeStepsCommonOpenT<true>()
+               : ProbeStepsCommonOpenT<false>();
+}
+
+template <bool kWide>
+std::vector<StepDef> PhjEngine::ProbeStepsCommonOpenT() {
+  // Partitioned survivors, as in the chained ProbeStepsCommonT.
   const uint64_t n = part_s_->offsets().back();
   const data::Relation& sp = part_s_->output();
   const double ws = PartitionWorkingSetBytes();
@@ -532,7 +685,10 @@ std::vector<StepDef> PhjEngine::ProbeStepsCommonOpen() {
   const bool avx2 = use_avx2_;
   std::vector<StepDef> steps;
 
-  const int32_t* s_keys = sp.keys.data();
+  KeyView sk;
+  sk.schema = sp.key_schema;
+  sk.lo = sp.keys.data();
+  sk.hi = sp.key_hi.data();
   uint32_t* s_hash = s_hash_.data();
   uint32_t* s_bucket = s_bucket_.data();
   int32_t* s_keynode = s_keynode_.data();
@@ -541,12 +697,16 @@ std::vector<StepDef> PhjEngine::ProbeStepsCommonOpen() {
 
   StepDef p1;
   p1.name = "p1";
-  p1.profile = HashStepProfile();
+  p1.profile = HashStepProfile(data::KeyBytes(sk.schema));
   p1.items = n;
-  p1.run = [s_keys, s_hash](const Morsel& m, DeviceId,
-                            uint32_t* lw) -> uint64_t {
+  p1.run = [sk, s_hash](const Morsel& m, DeviceId,
+                        uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
-      s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
+      if constexpr (kWide) {
+        s_hash[i] = MurmurHash2x8(data::PackKeyPair(sk.lo[i], sk.hi[i]));
+      } else {
+        s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(sk.lo[i]));
+      }
     }
     return ConstantWork(lw, m);
   };
@@ -576,7 +736,7 @@ std::vector<StepDef> PhjEngine::ProbeStepsCommonOpen() {
   p3.name = "p3";
   p3.profile = OpenKeySearchProfile(ws, opts_.locality_boost);
   p3.items = n;
-  p3.run = [this, dist, avx2, s_keys, s_bucket, s_keynode,
+  p3.run = [this, dist, avx2, sk, s_bucket, s_keynode,
             part_of_s](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
     uint64_t total = 0;
@@ -587,9 +747,17 @@ std::vector<StepDef> PhjEngine::ProbeStepsCommonOpen() {
         open_tables_[part_of_s[jn]]->PrefetchBucket(s_bucket[jn]);
       }
       uint32_t work = 0;
-      s_keynode[j] = open_tables_[part_of_s[j]]->FindKey(s_bucket[j],
-                                                         s_keys[j], &work,
-                                                         avx2);
+      if constexpr (kWide) {
+        // The AVX2 bucket compare is a one-word match; wide keys take the
+        // scalar two-word path (avx2 is resolved false for wide schemas).
+        static_cast<void>(avx2);
+        s_keynode[j] = open_tables_[part_of_s[j]]->FindKeyWide(
+            s_bucket[j], sk.lo[j], sk.hi[j], &work);
+      } else {
+        s_keynode[j] = open_tables_[part_of_s[j]]->FindKey(s_bucket[j],
+                                                           sk.lo[j], &work,
+                                                           avx2);
+      }
       total += RecordWork(lw, m, i, work);
     }
     return total;

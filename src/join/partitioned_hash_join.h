@@ -101,11 +101,30 @@ class PhjEngine {
 
   const std::vector<uint32_t>& probe_permutation() const { return perm_; }
 
+  /// Key schema shared by both relations (validated in Prepare()).
+  data::KeySchema key_schema() const { return build_->key_schema; }
+
  private:
   void BuildProbePermutation(uint64_t begin, uint64_t end);
 
-  std::vector<StepDef> BuildStepsOpen();
-  /// p1..p3 shared by the emitting and fused probe series (per layout).
+  /// Canonicalizes dict-string key columns into engine-owned canonical
+  /// relations (lo = low32(Murmur64(string)), hi = build-side dictionary
+  /// code; probe codes translated) and picks the partitioner inputs.
+  apujoin::Status ResolveKeyViews();
+
+  // Kernel factories, templated on key width: the schema dispatch happens
+  // here — at StepDef-construction scope — so each kernel body is one
+  // branch-free instantiation (narrow U32, or wide two-word canonical).
+  template <bool kWide>
+  std::vector<StepDef> BuildStepsT();
+  template <bool kWide>
+  std::vector<StepDef> BuildStepsOpenT();
+  template <bool kWide>
+  std::vector<StepDef> ProbeStepsCommonT();
+  template <bool kWide>
+  std::vector<StepDef> ProbeStepsCommonOpenT();
+  /// p1..p3 shared by the emitting and fused probe series (per layout);
+  /// width dispatchers over the templated factories above.
   std::vector<StepDef> ProbeStepsCommon();
   std::vector<StepDef> ProbeStepsCommonOpen();
   StepDef MakeEmitStep(ResultWriter* out);
@@ -125,6 +144,12 @@ class PhjEngine {
   RadixPlan plan_;
   uint64_t build_card_ = 0;  // live build lanes under the filter (0 = all)
 
+  // Partitioner inputs: the relations themselves, or — for dict-string
+  // keys — the engine-owned canonical copies below.
+  const data::Relation* part_in_r_ = nullptr;
+  const data::Relation* part_in_s_ = nullptr;
+  data::Relation r_canon_, s_canon_;
+
   std::unique_ptr<RadixPartitioner> part_r_;
   std::unique_ptr<RadixPartitioner> part_s_;
   std::unique_ptr<NodePools> pools_;
@@ -133,6 +158,7 @@ class PhjEngine {
   std::vector<std::unique_ptr<OpenHashTable>> open_tables_;
   std::vector<std::unique_ptr<OpenHashTable>> open_tables_gpu_;
   bool use_avx2_ = false;  // resolved from opts_.simd in Prepare()
+  bool wide_ = false;      // KeyIsWide(key_schema()), resolved in Prepare()
   std::atomic<bool> overflowed_{false};  // kernels may set it concurrently
 
   std::vector<uint32_t> part_of_r_, part_of_s_;  // tuple -> partition

@@ -53,9 +53,18 @@ RadixPartitioner::RadixPartitioner(simcl::SimContext* ctx,
 apujoin::Status RadixPartitioner::Prepare() {
   const uint64_t n = input_->size();
   if (n == 0) return apujoin::Status::InvalidArgument("empty input");
+  if (data::KeyIsWide(input_->key_schema) && input_->key_hi.size() != n) {
+    return apujoin::Status::InvalidArgument(
+        "wide key schema requires a key_hi column (dict-string inputs must "
+        "be canonicalized by the engine before partitioning)");
+  }
   buf_a_ = *input_;  // working copy: pass 0 reads the original order
+  buf_b_.key_schema = input_->key_schema;
   buf_b_.keys.assign(n, 0);
   buf_b_.rids.assign(n, 0);
+  if (data::KeyIsWide(input_->key_schema)) {
+    buf_b_.key_hi.assign(n, 0);
+  }
   cur_ = &buf_a_;
   nxt_ = &buf_b_;
   pid_.assign(n, 0);
@@ -96,10 +105,16 @@ void RadixPartitioner::BeginPass(int pass) {
   // partition's 64 work-group counters share a few cache lines instead of
   // being strided nparts apart.
   std::vector<uint32_t> counts(static_cast<size_t>(kWgSlots) * nparts, 0);
+  const bool wide = data::KeyIsWide(input_->key_schema);
   for (uint64_t i = 0; i < n; ++i) {
     if (filter != nullptr && filter[i] == 0) continue;
+    // Host-side bookkeeping, so the width branch here is harmless; the n1
+    // kernel computes the same pid with one branch-free body per width.
     const uint32_t p =
-        MurmurHash2x4(static_cast<uint32_t>(cur_->keys[i])) & mask;
+        (wide ? MurmurHash2x8(data::PackKeyPair(cur_->keys[i],
+                                                cur_->key_hi[i]))
+              : MurmurHash2x4(static_cast<uint32_t>(cur_->keys[i]))) &
+        mask;
     counts[static_cast<size_t>(p) * kWgSlots + WgOf(i)]++;
   }
   // Partition-major prefix sum: partition regions are contiguous, each
@@ -138,25 +153,41 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   std::vector<StepDef> steps;
 
   // Column views of this pass, captured once per step. cur_/nxt_ swap only
-  // in EndPass, after the pass's steps have all executed.
+  // in EndPass, after the pass's steps have all executed. Key-width
+  // dispatch happens here, at construction scope: each kernel body below
+  // is one branch-free variant per width.
+  const bool wide = data::KeyIsWide(input_->key_schema);
   const int32_t* in_keys = cur_->keys.data();
+  const int32_t* in_hi = wide ? cur_->key_hi.data() : nullptr;
   const int32_t* in_rids = cur_->rids.data();
   int32_t* out_keys = nxt_->keys.data();
+  int32_t* out_hi = wide ? nxt_->key_hi.data() : nullptr;
   int32_t* out_rids = nxt_->rids.data();
   uint32_t* pid = pid_.data();
   uint32_t* dest = dest_.data();
 
   StepDef n1;
   n1.name = "n1";
-  n1.profile = HashStepProfile();
+  n1.profile = HashStepProfile(data::KeyBytes(input_->key_schema));
   n1.items = n;
-  n1.run = [in_keys, pid, mask](const Morsel& m, DeviceId,
-                                uint32_t* lw) -> uint64_t {
-    for (uint64_t i = m.begin; i < m.end; ++i) {
-      pid[i] = MurmurHash2x4(static_cast<uint32_t>(in_keys[i])) & mask;
-    }
-    return ConstantWork(lw, m);
-  };
+  if (wide) {
+    n1.run = [in_keys, in_hi, pid, mask](const Morsel& m, DeviceId,
+                                         uint32_t* lw) -> uint64_t {
+      for (uint64_t i = m.begin; i < m.end; ++i) {
+        pid[i] =
+            MurmurHash2x8(data::PackKeyPair(in_keys[i], in_hi[i])) & mask;
+      }
+      return ConstantWork(lw, m);
+    };
+  } else {
+    n1.run = [in_keys, pid, mask](const Morsel& m, DeviceId,
+                                  uint32_t* lw) -> uint64_t {
+      for (uint64_t i = m.begin; i < m.end; ++i) {
+        pid[i] = MurmurHash2x4(static_cast<uint32_t>(in_keys[i])) & mask;
+      }
+      return ConstantWork(lw, m);
+    };
+  }
   steps.push_back(std::move(n1));
 
   StepDef n2;
@@ -206,8 +237,54 @@ std::vector<StepDef> RadixPartitioner::PassSteps(int pass) {
   StepDef n3;
   n3.name = "n3";
   n3.profile = ScatterProfile(static_cast<double>(plan_.fanout_per_pass) *
-                              ctx_->memory().spec().cache_line_bytes);
+                                  ctx_->memory().spec().cache_line_bytes,
+                              data::TupleBytes(input_->key_schema));
   n3.items = n;
+  if (wide) {
+    n3.run = [in_keys, in_hi, in_rids, out_keys, out_hi, out_rids, pid, dest,
+              filter](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+      // Wide variant of the write-combining scatter below: the hi key word
+      // rides along in its own slot lane.
+      struct WcSlot {
+        uint32_t base = 0;
+        uint32_t len = 0;
+        int32_t keys[8];
+        int32_t his[8];
+        int32_t rids[8];
+      };
+      WcSlot wc[128];
+      const auto flush = [out_keys, out_hi, out_rids](WcSlot& s) {
+        for (uint32_t k = 0; k < s.len; ++k) {
+          out_keys[s.base + k] = s.keys[k];
+          out_hi[s.base + k] = s.his[k];
+          out_rids[s.base + k] = s.rids[k];
+        }
+        s.len = 0;
+      };
+      uint64_t total = 0;
+      for (uint64_t i = m.begin; i < m.end; ++i) {
+        if (filter != nullptr && filter[i] == 0) {
+          total += RecordWork(lw, m, i, 0);
+          continue;
+        }
+        const uint32_t d = dest[i];
+        WcSlot& s = wc[pid[i] & 127u];
+        if (s.len == 0 || s.base + s.len != d || s.len == 8) {
+          flush(s);
+          s.base = d;
+        }
+        s.keys[s.len] = in_keys[i];
+        s.his[s.len] = in_hi[i];
+        s.rids[s.len] = in_rids[i];
+        ++s.len;
+        total += RecordWork(lw, m, i, 1);
+      }
+      for (WcSlot& s : wc) flush(s);
+      return total;
+    };
+    steps.push_back(std::move(n3));
+    return steps;
+  }
   n3.run = [in_keys, in_rids, out_keys, out_rids, pid, dest,
             filter](const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
     // Write-combining scatter: within a (work group, partition) sub-region

@@ -1,28 +1,78 @@
 #include "join/reference_join.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 
 #include "join/steps.h"
 
 namespace apujoin::join {
 
+namespace {
+
+// Canonical per-tuple u64 keys the equality oracles run on. U32 keys map
+// to their zero-extended word, wide pairs pack into one word, and
+// dict-string tuples translate into the *build* code space by exact string
+// compare — probe strings absent from the build dictionary get unique
+// high-bit sentinels that match nothing (build codes are < 2^31).
+std::vector<uint64_t> CanonicalKeys(const data::Relation& rel,
+                                    const data::Relation& build) {
+  const uint64_t n = rel.size();
+  std::vector<uint64_t> out(n);
+  switch (rel.key_schema) {
+    case data::KeySchema::kU32:
+      for (uint64_t i = 0; i < n; ++i) {
+        out[i] = static_cast<uint32_t>(rel.keys[i]);
+      }
+      break;
+    case data::KeySchema::kU64:
+    case data::KeySchema::kComposite:
+      for (uint64_t i = 0; i < n; ++i) {
+        out[i] = data::PackKeyPair(rel.keys[i], rel.key_hi[i]);
+      }
+      break;
+    case data::KeySchema::kDictString: {
+      if (&rel == &build) {
+        for (uint64_t i = 0; i < n; ++i) {
+          out[i] = static_cast<uint32_t>(rel.keys[i]);
+        }
+        break;
+      }
+      std::unordered_map<std::string, uint64_t> build_code;
+      build_code.reserve(build.dict.strings.size());
+      for (size_t c = 0; c < build.dict.strings.size(); ++c) {
+        build_code.emplace(build.dict.strings[c], c);
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        const auto code = static_cast<size_t>(rel.keys[i]);
+        const auto it = build_code.find(rel.dict.strings[code]);
+        out[i] = it != build_code.end() ? it->second : (1ull << 63) | i;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 uint64_t ReferenceMatchCount(const data::Relation& build,
                              const data::Relation& probe) {
-  std::unordered_map<int32_t, uint32_t> freq;
+  const std::vector<uint64_t> bkeys = CanonicalKeys(build, build);
+  const std::vector<uint64_t> pkeys = CanonicalKeys(probe, build);
+  std::unordered_map<uint64_t, uint32_t> freq;
   freq.reserve(build.size() * 2);
-  for (int32_t k : build.keys) freq[k]++;
+  for (uint64_t k : bkeys) freq[k]++;
   // Probe in morsel-sized batches — the blocked-loop shape of the engine
   // kernels' batch ABI. Purely structural: per-batch counts just sum, so
   // the oracle stays trivially auditable.
   uint64_t matches = 0;
-  const int32_t* keys = probe.keys.data();
   constexpr uint64_t kMorselItems = 4096;
   for (uint64_t base = 0; base < probe.size(); base += kMorselItems) {
     const Morsel m{base, std::min<uint64_t>(probe.size(), base + kMorselItems)};
     uint64_t batch = 0;
     for (uint64_t i = m.begin; i < m.end; ++i) {
-      auto it = freq.find(keys[i]);
+      auto it = freq.find(pkeys[i]);
       if (it != freq.end()) batch += it->second;
     }
     matches += batch;
@@ -32,14 +82,16 @@ uint64_t ReferenceMatchCount(const data::Relation& build,
 
 std::vector<std::pair<int32_t, int32_t>> ReferenceJoinPairs(
     const data::Relation& build, const data::Relation& probe) {
-  std::unordered_multimap<int32_t, int32_t> ht;
+  const std::vector<uint64_t> bkeys = CanonicalKeys(build, build);
+  const std::vector<uint64_t> pkeys = CanonicalKeys(probe, build);
+  std::unordered_multimap<uint64_t, int32_t> ht;
   ht.reserve(build.size() * 2);
   for (uint64_t i = 0; i < build.size(); ++i) {
-    ht.emplace(build.keys[i], build.rids[i]);
+    ht.emplace(bkeys[i], build.rids[i]);
   }
   std::vector<std::pair<int32_t, int32_t>> out;
   for (uint64_t i = 0; i < probe.size(); ++i) {
-    auto [lo, hi] = ht.equal_range(probe.keys[i]);
+    auto [lo, hi] = ht.equal_range(pkeys[i]);
     for (auto it = lo; it != hi; ++it) {
       out.emplace_back(it->second, probe.rids[i]);
     }

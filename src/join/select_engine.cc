@@ -10,10 +10,26 @@ SelectEngine::SelectEngine(const data::Relation* input, plan::Predicate pred,
 
 apujoin::Status SelectEngine::Prepare() {
   const uint64_t n = input_->size();
+  if (data::KeyIsWide(input_->key_schema) &&
+      input_->key_schema != data::KeySchema::kDictString &&
+      input_->key_hi.size() != n) {
+    return apujoin::Status::InvalidArgument(
+        "wide key schema requires a key_hi column of matching length");
+  }
   flags_.assign(n, 0);
   // Worst case every tuple passes; Finish() shrinks to the real count.
+  // The output inherits the input's key schema: wide schemas get the hi
+  // lane, dict-string outputs share the input's dictionary (codes are
+  // positions into it and survive the compaction unchanged).
+  out_.key_schema = input_->key_schema;
   out_.keys.assign(n, 0);
   out_.rids.assign(n, 0);
+  if (!input_->key_hi.empty()) {
+    out_.key_hi.assign(n, 0);
+  } else {
+    out_.key_hi.clear();
+  }
+  out_.dict = input_->dict;
   // relaxed: single-threaded setup, before any kernel runs.
   cursor_.store(0, std::memory_order_relaxed);
   return apujoin::Status::OK();
@@ -29,7 +45,13 @@ apujoin::Status SelectEngine::PrepareFused() {
 std::vector<StepDef> SelectEngine::Steps() {
   const uint64_t n = input_->size();
   const int32_t* in_keys = input_->keys.data();
+  // Wide (two-word) inputs carry a hi lane through the compaction; the
+  // predicate itself evaluates the primary word + rid for every schema
+  // (dict-string inputs scan codes, so their tuples stay 8 B).
+  const bool wide_cols = !input_->key_hi.empty();
+  const int32_t* in_hi = input_->key_hi.data();
   const int32_t* in_rids = input_->rids.data();
+  const double tuple_bytes = wide_cols ? 12.0 : 8.0;
   uint8_t* flags = flags_.data();
   const plan::Predicate pred = pred_;
   const uint32_t dist = prefetch_dist_;
@@ -38,7 +60,7 @@ std::vector<StepDef> SelectEngine::Steps() {
 
   StepDef f1;
   f1.name = "f1";
-  f1.profile = SelectEvalProfile();
+  f1.profile = SelectEvalProfile(tuple_bytes);
   f1.items = n;
   f1.run = [pred, in_keys, in_rids, flags, dist](const Morsel& m, DeviceId,
                                                  uint32_t* lw) -> uint64_t {
@@ -55,8 +77,36 @@ std::vector<StepDef> SelectEngine::Steps() {
 
   StepDef f2;
   f2.name = "f2";
-  f2.profile = SelectCompactProfile(static_cast<double>(n) * 8.0);
+  f2.profile =
+      SelectCompactProfile(static_cast<double>(n) * tuple_bytes, tuple_bytes);
   f2.items = n;
+  // Width dispatch at construction scope: one branch-free body per width.
+  if (wide_cols) {
+    f2.run = [this, in_keys, in_hi, in_rids, flags, dist](
+                 const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
+      int32_t* out_keys = out_.keys.data();
+      int32_t* out_hi = out_.key_hi.data();
+      int32_t* out_rids = out_.rids.data();
+      for (uint64_t i = m.begin; i < m.end; ++i) {
+        if (dist != 0 && i + dist < m.end) {
+          __builtin_prefetch(&flags[i + dist], 0, 3);
+          __builtin_prefetch(&in_keys[i + dist], 0, 3);
+        }
+        if (flags[i] != 0) {
+          // relaxed: the cursor only hands out unique slots; readers of
+          // the output columns synchronise through the span barrier.
+          const uint64_t idx =
+              cursor_.fetch_add(1, std::memory_order_relaxed);
+          out_keys[idx] = in_keys[i];
+          out_hi[idx] = in_hi[i];
+          out_rids[idx] = in_rids[i];
+        }
+      }
+      return ConstantWork(lw, m);
+    };
+    steps.push_back(std::move(f2));
+    return steps;
+  }
   f2.run = [this, in_keys, in_rids, flags, dist](
                const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
     int32_t* out_keys = out_.keys.data();
@@ -92,7 +142,8 @@ std::vector<StepDef> SelectEngine::FusedSteps() {
 
   StepDef f1;
   f1.name = "f1";
-  f1.profile = SelectFlagProfile();
+  f1.profile =
+      SelectFlagProfile(input_->key_hi.empty() ? 8.0 : 12.0);
   f1.items = n;
   f1.run = [this, pred, in_keys, in_rids, flags, dist](
                const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
@@ -120,6 +171,7 @@ void SelectEngine::Finish() {
   // relaxed: the series has completed; no claims are in flight.
   const uint64_t kept = cursor_.load(std::memory_order_relaxed);
   out_.keys.resize(kept);
+  if (!out_.key_hi.empty()) out_.key_hi.resize(kept);
   out_.rids.resize(kept);
   flags_.clear();
   flags_.shrink_to_fit();

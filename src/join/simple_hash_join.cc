@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "join/groupby_engine.h"
 #include "util/cpu_features.h"
@@ -16,11 +17,101 @@ ShjEngine::ShjEngine(simcl::SimContext* ctx, const data::Relation* build,
                      const data::Relation* probe, EngineOptions opts)
     : ctx_(ctx), build_(build), probe_(probe), opts_(opts) {}
 
+apujoin::Status ShjEngine::ResolveKeyViews() {
+  const data::KeySchema schema = build_->key_schema;
+  if (probe_->key_schema != schema) {
+    return apujoin::Status::InvalidArgument(
+        "build and probe key schemas differ");
+  }
+  wide_ = data::KeyIsWide(schema);
+  r_view_ = KeyView{schema, build_->keys.data(), nullptr};
+  s_view_ = KeyView{schema, probe_->keys.data(), nullptr};
+  if (!wide_) return apujoin::Status::OK();
+
+  if (schema == data::KeySchema::kU64 ||
+      schema == data::KeySchema::kComposite) {
+    if (build_->key_hi.size() != build_->size() ||
+        probe_->key_hi.size() != probe_->size()) {
+      return apujoin::Status::InvalidArgument(
+          "wide key schema requires a key_hi column of matching length");
+    }
+    r_view_.hi = build_->key_hi.data();
+    s_view_.hi = probe_->key_hi.data();
+    return apujoin::Status::OK();
+  }
+
+  // DictString: canonicalize to (lo = low32(Murmur64(string)), hi =
+  // build-side dictionary code). The probe side translates its codes into
+  // the build code space once, per dictionary entry — hash-first lookup,
+  // exact string compare second — so the join kernels never touch strings.
+  const data::StringDict& bd = build_->dict;
+  const data::StringDict& pd = probe_->dict;
+  if (bd.strings.size() != bd.hashes.size() ||
+      pd.strings.size() != pd.hashes.size()) {
+    return apujoin::Status::InvalidArgument(
+        "dict-string relation with out-of-sync dictionary hashes");
+  }
+  std::unordered_multimap<uint64_t, int32_t> by_hash;
+  by_hash.reserve(bd.strings.size());
+  for (size_t c = 0; c < bd.strings.size(); ++c) {
+    by_hash.emplace(bd.hashes[c], static_cast<int32_t>(c));
+  }
+  std::vector<int32_t> xlat(pd.strings.size(), kNil);
+  for (size_t c = 0; c < pd.strings.size(); ++c) {
+    const auto range = by_hash.equal_range(pd.hashes[c]);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (bd.strings[static_cast<size_t>(it->second)] == pd.strings[c]) {
+        xlat[c] = it->second;
+        break;
+      }
+    }
+  }
+  const uint64_t nb = build_->size();
+  const uint64_t np = probe_->size();
+  r_canon_lo_.resize(nb);
+  r_canon_hi_.resize(nb);
+  for (uint64_t i = 0; i < nb; ++i) {
+    const int32_t code = build_->keys[i];
+    if (code < 0 || static_cast<size_t>(code) >= bd.strings.size()) {
+      return apujoin::Status::InvalidArgument(
+          "dict-string build code out of dictionary range");
+    }
+    r_canon_lo_[i] = static_cast<int32_t>(
+        static_cast<uint32_t>(bd.hashes[static_cast<size_t>(code)]));
+    r_canon_hi_[i] = code;
+  }
+  s_canon_lo_.resize(np);
+  s_canon_hi_.resize(np);
+  for (uint64_t i = 0; i < np; ++i) {
+    const int32_t code = probe_->keys[i];
+    if (code < 0 || static_cast<size_t>(code) >= pd.strings.size()) {
+      return apujoin::Status::InvalidArgument(
+          "dict-string probe code out of dictionary range");
+    }
+    s_canon_lo_[i] = static_cast<int32_t>(
+        static_cast<uint32_t>(pd.hashes[static_cast<size_t>(code)]));
+    // Untranslatable probe strings keep hi = kNil (-1), which never equals
+    // a build code (>= 0): the probe cannot produce a false match.
+    s_canon_hi_[i] = xlat[static_cast<size_t>(code)];
+  }
+  r_view_.lo = r_canon_lo_.data();
+  r_view_.hi = r_canon_hi_.data();
+  s_view_.lo = s_canon_lo_.data();
+  s_view_.hi = s_canon_hi_.data();
+  return apujoin::Status::OK();
+}
+
 apujoin::Status ShjEngine::Prepare() {
   const uint64_t nb = build_->size();
   const uint64_t np = probe_->size();
   if (nb == 0 || np == 0) {
     return apujoin::Status::InvalidArgument("empty relation");
+  }
+  if (apujoin::Status st = ResolveKeyViews(); !st.ok()) return st;
+  if (wide_ && !opts_.shared_table) {
+    return apujoin::Status::InvalidArgument(
+        "wide key schemas require shared_table (the separate-table merge "
+        "path is U32-only)");
   }
   const bool open = opts_.layout == exec::HashLayout::kOpenAddressing;
   // A fused-select filter inserts only its survivors: size the table (and
@@ -31,7 +122,10 @@ apujoin::Status ShjEngine::Prepare() {
   if (opts_.num_buckets == 0) {
     opts_.num_buckets = open ? OpenBucketsFor(nb_live) : NextPow2(nb_live);
   }
-  use_avx2_ = opts_.simd != SimdPolicy::kScalar && CpuSupportsAvx2();
+  // The AVX2 bucket compare covers one 32-bit word per slot, so wide
+  // schemas fall back to the scalar two-word probe (per-schema, decided
+  // here — never per item inside a kernel).
+  use_avx2_ = opts_.simd != SimdPolicy::kScalar && CpuSupportsAvx2() && !wide_;
 
   // Key nodes: one per distinct build key, plus slack for lost CAS races
   // and stranded allocator blocks. Rid nodes: one per build tuple + slack.
@@ -44,19 +138,19 @@ apujoin::Status ShjEngine::Prepare() {
   const uint64_t key_cap =
       open ? 64
            : nb_live + nb_live / 8 + merge_headroom +
-                 PoolSlack(nb_live, opts_.block_bytes, 12);
+                 PoolSlack(nb_live, opts_.block_bytes, wide_ ? 16 : 12);
   const uint64_t rid_cap =
       nb_live + merge_headroom + PoolSlack(nb_live, opts_.block_bytes, 8);
   pools_ = std::make_unique<NodePools>(key_cap, rid_cap, opts_.allocator,
-                                       opts_.block_bytes);
+                                       opts_.block_bytes, wide_);
   tables_.clear();
   open_tables_.clear();
   if (open) {
-    open_tables_.push_back(
-        std::make_unique<OpenHashTable>(opts_.num_buckets, pools_.get()));
+    open_tables_.push_back(std::make_unique<OpenHashTable>(
+        opts_.num_buckets, pools_.get(), wide_));
     if (!opts_.shared_table) {
-      open_tables_.push_back(
-          std::make_unique<OpenHashTable>(opts_.num_buckets, pools_.get()));
+      open_tables_.push_back(std::make_unique<OpenHashTable>(
+          opts_.num_buckets, pools_.get(), wide_));
     }
     if (ctx_->cache() != nullptr) {
       for (auto& t : open_tables_) t->set_cache(ctx_->cache());
@@ -89,16 +183,25 @@ double ShjEngine::TableWorkingSetBytes() const {
       build_card_ != 0 ? std::min<uint64_t>(build_card_, build_->size())
                        : build_->size());
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
-    // Bucket arrays (72 B/bucket) + one rid node per build tuple.
-    return static_cast<double>(opts_.num_buckets) * 72.0 + nb * 8.0;
+    // Bucket arrays (72 B/bucket; +32 B for the wide secondary key-word
+    // line) + one rid node per build tuple.
+    return static_cast<double>(opts_.num_buckets) * (wide_ ? 104.0 : 72.0) +
+           nb * 8.0;
   }
-  return static_cast<double>(opts_.num_buckets) * 8.0 + nb * 12.0 + nb * 8.0;
+  // Headers + key nodes (12 B, or 16 B with the secondary word) + rid nodes.
+  return static_cast<double>(opts_.num_buckets) * 8.0 +
+         nb * (wide_ ? 16.0 : 12.0) + nb * 8.0;
 }
 
 std::vector<StepDef> ShjEngine::BuildSteps() {
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
-    return BuildStepsOpen();
+    return wide_ ? BuildStepsOpenT<true>() : BuildStepsOpenT<false>();
   }
+  return wide_ ? BuildStepsT<true>() : BuildStepsT<false>();
+}
+
+template <bool kWide>
+std::vector<StepDef> ShjEngine::BuildStepsT() {
   const uint64_t n = build_->size();
   const double ws = TableWorkingSetBytes();
   std::vector<StepDef> steps;
@@ -106,7 +209,7 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
   // Column views captured once per step: the per-morsel calls below run
   // tight loops over these raw pointers with no per-item dispatch. The
   // backing vectors were sized in Prepare() and are stable from here on.
-  const int32_t* r_keys = build_->keys.data();
+  const KeyView rk = r_view_;
   const int32_t* r_rids = build_->rids.data();
   uint32_t* r_hash = r_hash_.data();
   uint32_t* r_bucket = r_bucket_.data();
@@ -116,15 +219,19 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
 
   StepDef b1;
   b1.name = "b1";
-  b1.profile = HashStepProfile();
+  b1.profile = HashStepProfile(data::KeyBytes(rk.schema));
   b1.items = n;
-  b1.run = [bf, r_keys, r_hash](const Morsel& m, DeviceId,
-                                uint32_t* lw) -> uint64_t {
+  b1.run = [bf, rk, r_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
       // Fused-select dead lanes are never hashed (b3 checks the filter
       // before reading the hash or bucket).
       if (bf != nullptr && bf[i] == 0) continue;
-      r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(r_keys[i]));
+      if constexpr (kWide) {
+        r_hash[i] = MurmurHash2x8(data::PackKeyPair(rk.lo[i], rk.hi[i]));
+      } else {
+        r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(rk.lo[i]));
+      }
     }
     return ConstantWork(lw, m);
   };
@@ -150,7 +257,7 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
   b3.name = "b3";
   b3.profile = KeyInsertProfile(ws, opts_.locality_boost);
   b3.items = n;
-  b3.run = [this, bf, r_keys, r_bucket, r_keynode](
+  b3.run = [this, bf, rk, r_bucket, r_keynode](
                const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
     HashTable* t = BuildTableFor(dev);
     uint64_t total = 0;
@@ -160,8 +267,13 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
         // Fused-select dead lane: the key is never inserted.
         r_keynode[i] = kNil;
       } else {
-        r_keynode[i] = t->FindOrAddKey(r_bucket[i], r_keys[i], dev,
-                                       WorkgroupOf(i), &work);
+        if constexpr (kWide) {
+          r_keynode[i] = t->FindOrAddKeyWide(r_bucket[i], rk.lo[i], rk.hi[i],
+                                             dev, WorkgroupOf(i), &work);
+        } else {
+          r_keynode[i] = t->FindOrAddKey(r_bucket[i], rk.lo[i], dev,
+                                         WorkgroupOf(i), &work);
+        }
         if (r_keynode[i] == kNil) overflowed_ = true;
       }
       total += RecordWork(lw, m, i, work);
@@ -193,32 +305,37 @@ std::vector<StepDef> ShjEngine::BuildSteps() {
 
 std::vector<StepDef> ShjEngine::ProbeSteps(ResultWriter* out) {
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
-    std::vector<StepDef> steps = ProbeStepsCommonOpen();
+    std::vector<StepDef> steps =
+        wide_ ? ProbeStepsCommonOpenT<true>() : ProbeStepsCommonOpenT<false>();
     steps.push_back(MakeEmitStepOpen(out));
     return steps;
   }
-  std::vector<StepDef> steps = ProbeStepsCommon();
+  std::vector<StepDef> steps =
+      wide_ ? ProbeStepsCommonT<true>() : ProbeStepsCommonT<false>();
   steps.push_back(MakeEmitStep(out));
   return steps;
 }
 
 std::vector<StepDef> ShjEngine::ProbeStepsFused(GroupByEngine* agg) {
   if (opts_.layout == exec::HashLayout::kOpenAddressing) {
-    std::vector<StepDef> steps = ProbeStepsCommonOpen();
+    std::vector<StepDef> steps =
+        wide_ ? ProbeStepsCommonOpenT<true>() : ProbeStepsCommonOpenT<false>();
     steps.push_back(MakeFusedAggStepOpen(agg));
     return steps;
   }
-  std::vector<StepDef> steps = ProbeStepsCommon();
+  std::vector<StepDef> steps =
+      wide_ ? ProbeStepsCommonT<true>() : ProbeStepsCommonT<false>();
   steps.push_back(MakeFusedAggStep(agg));
   return steps;
 }
 
-std::vector<StepDef> ShjEngine::ProbeStepsCommon() {
+template <bool kWide>
+std::vector<StepDef> ShjEngine::ProbeStepsCommonT() {
   const uint64_t n = probe_->size();
   const double ws = TableWorkingSetBytes();
   std::vector<StepDef> steps;
 
-  const int32_t* s_keys = probe_->keys.data();
+  const KeyView sk = s_view_;
   uint32_t* s_hash = s_hash_.data();
   uint32_t* s_bucket = s_bucket_.data();
   int32_t* s_keynode = s_keynode_.data();
@@ -228,15 +345,19 @@ std::vector<StepDef> ShjEngine::ProbeStepsCommon() {
 
   StepDef p1;
   p1.name = "p1";
-  p1.profile = HashStepProfile();
+  p1.profile = HashStepProfile(data::KeyBytes(sk.schema));
   p1.items = n;
-  p1.run = [pf, s_keys, s_hash](const Morsel& m, DeviceId,
-                                uint32_t* lw) -> uint64_t {
+  p1.run = [pf, sk, s_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
       // Fused-select dead lanes are never hashed (p3 checks the filter
       // before reading the hash or bucket).
       if (pf != nullptr && pf[i] == 0) continue;
-      s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
+      if constexpr (kWide) {
+        s_hash[i] = MurmurHash2x8(data::PackKeyPair(sk.lo[i], sk.hi[i]));
+      } else {
+        s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(sk.lo[i]));
+      }
     }
     return ConstantWork(lw, m);
   };
@@ -270,8 +391,8 @@ std::vector<StepDef> ShjEngine::ProbeStepsCommon() {
   p3.name = "p3";
   p3.profile = KeySearchProfile(ws, opts_.locality_boost);
   p3.items = n;
-  p3.run = [this, pf, s_keys, s_bucket, s_keynode](const Morsel& m, DeviceId,
-                                                   uint32_t* lw) -> uint64_t {
+  p3.run = [this, pf, sk, s_bucket, s_keynode](const Morsel& m, DeviceId,
+                                               uint32_t* lw) -> uint64_t {
     // The grouping permutation is built by p2's after-hook, i.e. after this
     // StepDef was created — resolve the view per morsel, not per step.
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
@@ -284,7 +405,12 @@ std::vector<StepDef> ShjEngine::ProbeStepsCommon() {
         // Fused-select dead lane: the lookup never runs.
         s_keynode[j] = kNil;
       } else {
-        s_keynode[j] = t->FindKey(s_bucket[j], s_keys[j], &work);
+        if constexpr (kWide) {
+          s_keynode[j] = t->FindKeyWide(s_bucket[j], sk.lo[j], sk.hi[j],
+                                        &work);
+        } else {
+          s_keynode[j] = t->FindKey(s_bucket[j], sk.lo[j], &work);
+        }
       }
       total += RecordWork(lw, m, i, work);
     }
@@ -389,13 +515,14 @@ void ShjEngine::BuildProbePermutation(uint64_t begin, uint64_t end) {
                       ctx_->device(DeviceId::kGpu), bytes));
 }
 
-std::vector<StepDef> ShjEngine::BuildStepsOpen() {
+template <bool kWide>
+std::vector<StepDef> ShjEngine::BuildStepsOpenT() {
   const uint64_t n = build_->size();
   const double ws = TableWorkingSetBytes();
   const uint32_t dist = opts_.prefetch_dist;
   std::vector<StepDef> steps;
 
-  const int32_t* r_keys = build_->keys.data();
+  const KeyView rk = r_view_;
   const int32_t* r_rids = build_->rids.data();
   uint32_t* r_hash = r_hash_.data();
   uint32_t* r_bucket = r_bucket_.data();
@@ -405,15 +532,19 @@ std::vector<StepDef> ShjEngine::BuildStepsOpen() {
 
   StepDef b1;
   b1.name = "b1";
-  b1.profile = HashStepProfile();
+  b1.profile = HashStepProfile(data::KeyBytes(rk.schema));
   b1.items = n;
-  b1.run = [bf, r_keys, r_hash](const Morsel& m, DeviceId,
-                                uint32_t* lw) -> uint64_t {
+  b1.run = [bf, rk, r_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
       // Fused-select dead lanes are never hashed (b3 checks the filter
       // before reading the hash or bucket).
       if (bf != nullptr && bf[i] == 0) continue;
-      r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(r_keys[i]));
+      if constexpr (kWide) {
+        r_hash[i] = MurmurHash2x8(data::PackKeyPair(rk.lo[i], rk.hi[i]));
+      } else {
+        r_hash[i] = MurmurHash2x4(static_cast<uint32_t>(rk.lo[i]));
+      }
     }
     return ConstantWork(lw, m);
   };
@@ -439,7 +570,7 @@ std::vector<StepDef> ShjEngine::BuildStepsOpen() {
   b3.name = "b3";
   b3.profile = OpenKeyInsertProfile(ws, opts_.locality_boost);
   b3.items = n;
-  b3.run = [this, bf, dist, r_keys, r_bucket, r_keynode](
+  b3.run = [this, bf, dist, rk, r_bucket, r_keynode](
                const Morsel& m, DeviceId dev, uint32_t* lw) -> uint64_t {
     OpenHashTable* t = OpenBuildTableFor(dev);
     uint64_t total = 0;
@@ -450,7 +581,12 @@ std::vector<StepDef> ShjEngine::BuildStepsOpen() {
         // Fused-select dead lane: the key is never inserted.
         r_keynode[i] = kNil;
       } else {
-        r_keynode[i] = t->FindOrAddKey(r_bucket[i], r_keys[i], &work);
+        if constexpr (kWide) {
+          r_keynode[i] =
+              t->FindOrAddKeyWide(r_bucket[i], rk.lo[i], rk.hi[i], &work);
+        } else {
+          r_keynode[i] = t->FindOrAddKey(r_bucket[i], rk.lo[i], &work);
+        }
         if (r_keynode[i] == kNil) overflowed_ = true;
       }
       total += RecordWork(lw, m, i, work);
@@ -480,14 +616,15 @@ std::vector<StepDef> ShjEngine::BuildStepsOpen() {
   return steps;
 }
 
-std::vector<StepDef> ShjEngine::ProbeStepsCommonOpen() {
+template <bool kWide>
+std::vector<StepDef> ShjEngine::ProbeStepsCommonOpenT() {
   const uint64_t n = probe_->size();
   const double ws = TableWorkingSetBytes();
   const uint32_t dist = opts_.prefetch_dist;
   const bool avx2 = use_avx2_;
   std::vector<StepDef> steps;
 
-  const int32_t* s_keys = probe_->keys.data();
+  const KeyView sk = s_view_;
   uint32_t* s_hash = s_hash_.data();
   uint32_t* s_bucket = s_bucket_.data();
   int32_t* s_keynode = s_keynode_.data();
@@ -497,15 +634,19 @@ std::vector<StepDef> ShjEngine::ProbeStepsCommonOpen() {
 
   StepDef p1;
   p1.name = "p1";
-  p1.profile = HashStepProfile();
+  p1.profile = HashStepProfile(data::KeyBytes(sk.schema));
   p1.items = n;
-  p1.run = [pf, s_keys, s_hash](const Morsel& m, DeviceId,
-                                uint32_t* lw) -> uint64_t {
+  p1.run = [pf, sk, s_hash](const Morsel& m, DeviceId,
+                            uint32_t* lw) -> uint64_t {
     for (uint64_t i = m.begin; i < m.end; ++i) {
       // Fused-select dead lanes are never hashed (p3 checks the filter
       // before reading the hash or bucket).
       if (pf != nullptr && pf[i] == 0) continue;
-      s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(s_keys[i]));
+      if constexpr (kWide) {
+        s_hash[i] = MurmurHash2x8(data::PackKeyPair(sk.lo[i], sk.hi[i]));
+      } else {
+        s_hash[i] = MurmurHash2x4(static_cast<uint32_t>(sk.lo[i]));
+      }
     }
     return ConstantWork(lw, m);
   };
@@ -539,7 +680,7 @@ std::vector<StepDef> ShjEngine::ProbeStepsCommonOpen() {
   p3.name = "p3";
   p3.profile = OpenKeySearchProfile(ws, opts_.locality_boost);
   p3.items = n;
-  p3.run = [this, pf, dist, avx2, s_keys, s_bucket, s_keynode](
+  p3.run = [this, pf, dist, avx2, sk, s_bucket, s_keynode](
                const Morsel& m, DeviceId, uint32_t* lw) -> uint64_t {
     const uint32_t* perm = perm_.empty() ? nullptr : perm_.data();
     OpenHashTable* t = open_tables_[0].get();
@@ -555,7 +696,15 @@ std::vector<StepDef> ShjEngine::ProbeStepsCommonOpen() {
         // Fused-select dead lane: the lookup never runs.
         s_keynode[j] = kNil;
       } else {
-        s_keynode[j] = t->FindKey(s_bucket[j], s_keys[j], &work, avx2);
+        if constexpr (kWide) {
+          // Wide keys probe the scalar two-word path; the AVX2 one-word
+          // compare was ruled out per-schema in Prepare().
+          static_cast<void>(avx2);
+          s_keynode[j] = t->FindKeyWide(s_bucket[j], sk.lo[j], sk.hi[j],
+                                        &work);
+        } else {
+          s_keynode[j] = t->FindKey(s_bucket[j], sk.lo[j], &work, avx2);
+        }
       }
       total += RecordWork(lw, m, i, work);
     }

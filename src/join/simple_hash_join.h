@@ -103,13 +103,28 @@ class ShjEngine {
   /// identity); exposed for tests.
   const std::vector<uint32_t>& probe_permutation() const { return perm_; }
 
+  /// Key schema shared by both relations (validated in Prepare()).
+  data::KeySchema key_schema() const { return build_->key_schema; }
+
  private:
   void BuildProbePermutation(uint64_t begin, uint64_t end);
 
-  std::vector<StepDef> BuildStepsOpen();
+  /// Canonicalizes dict-string key columns into engine-owned (lo, hi)
+  /// word arrays and resolves the kernel key views for every schema.
+  apujoin::Status ResolveKeyViews();
+
+  // Kernel factories, templated on key width: the schema dispatch happens
+  // here — at StepDef-construction scope — so each kernel body is one
+  // branch-free instantiation (narrow U32, or wide two-word canonical).
+  template <bool kWide>
+  std::vector<StepDef> BuildStepsT();
+  template <bool kWide>
+  std::vector<StepDef> BuildStepsOpenT();
   /// p1..p3 shared by the emitting and fused probe series (per layout).
-  std::vector<StepDef> ProbeStepsCommon();
-  std::vector<StepDef> ProbeStepsCommonOpen();
+  template <bool kWide>
+  std::vector<StepDef> ProbeStepsCommonT();
+  template <bool kWide>
+  std::vector<StepDef> ProbeStepsCommonOpenT();
   StepDef MakeEmitStep(ResultWriter* out);
   StepDef MakeEmitStepOpen(ResultWriter* out);
   StepDef MakeFusedAggStep(GroupByEngine* agg);
@@ -140,7 +155,16 @@ class ShjEngine {
   std::vector<std::unique_ptr<HashTable>> tables_;
   std::vector<std::unique_ptr<OpenHashTable>> open_tables_;
   bool use_avx2_ = false;  // resolved from opts_.simd in Prepare()
+  bool wide_ = false;      // KeyIsWide(key_schema()), resolved in Prepare()
   std::atomic<bool> overflowed_{false};  // kernels may set it concurrently
+
+  // Canonical key views the kernels capture: U32/U64/composite views point
+  // straight at the relation columns; dict-string views point at the
+  // canonical arrays below (lo = low32(Murmur64(string)), hi = build-side
+  // dictionary code, probe codes translated at Prepare()).
+  KeyView r_view_, s_view_;
+  std::vector<int32_t> r_canon_lo_, r_canon_hi_;
+  std::vector<int32_t> s_canon_lo_, s_canon_hi_;
 
   // Per-tuple intermediate state (the "pipeline registers" between steps).
   std::vector<uint32_t> r_hash_, s_hash_;

@@ -6,12 +6,13 @@ namespace apujoin::join {
 
 using simcl::StepProfile;
 
-StepProfile HashStepProfile() {
+StepProfile HashStepProfile(double key_bytes) {
   StepProfile p;
   // Murmur (~14 ALU ops) + key load + hash/bucket store; heavily
   // compute-bound, which is why the GPU wins it by >15x (Figure 4).
   p.instr_per_unit = 46.0;
-  p.seq_bytes_per_item = 12.0;  // read key (4B), write hash+bucket (8B)
+  // Read the key words, write hash+bucket (8B).
+  p.seq_bytes_per_item = key_bytes + 8.0;
   return p;
 }
 
@@ -93,16 +94,16 @@ StepProfile OpenKeySearchProfile(double table_bytes, double locality_boost) {
   return p;
 }
 
-StepProfile SelectEvalProfile() {
+StepProfile SelectEvalProfile(double tuple_bytes) {
   StepProfile p;
   // Compare + flag store over a sequential column scan; bandwidth-bound
   // like n1, far cheaper than the hash steps.
   p.instr_per_unit = 6.0;
-  p.seq_bytes_per_item = 9.0;  // read key+rid (8B), write flag (1B)
+  p.seq_bytes_per_item = tuple_bytes + 1.0;  // read tuple, write flag (1B)
   return p;
 }
 
-StepProfile SelectCompactProfile(double output_bytes) {
+StepProfile SelectCompactProfile(double output_bytes, double tuple_bytes) {
   StepProfile p;
   p.instr_per_unit = 10.0;
   // One scattered pair store per *passing* tuple (work unit), cursor
@@ -112,16 +113,16 @@ StepProfile SelectCompactProfile(double output_bytes) {
   p.dependent_accesses = false;
   p.global_atomics_per_unit = 1.0;  // output-cursor fetch_add
   p.atomic_addresses = 1.0;         // single shared cursor word
-  p.seq_bytes_per_item = 9.0;       // re-read key+rid + flag
+  p.seq_bytes_per_item = tuple_bytes + 1.0;  // re-read tuple + flag
   return p;
 }
 
-StepProfile SelectFlagProfile() {
+StepProfile SelectFlagProfile(double tuple_bytes) {
   StepProfile p;
   // The same compare as f1 plus the flag store; the survivor count folds
   // into one shared-cursor add per morsel, so no per-item atomics.
   p.instr_per_unit = 6.0;
-  p.seq_bytes_per_item = 9.0;  // read key+rid (8B), write flag (1B)
+  p.seq_bytes_per_item = tuple_bytes + 1.0;  // read tuple, write flag (1B)
   return p;
 }
 
@@ -164,7 +165,7 @@ StepProfile PartitionHeaderProfile(double header_bytes) {
   return p;
 }
 
-StepProfile ScatterProfile(double open_region_bytes) {
+StepProfile ScatterProfile(double open_region_bytes, double pair_bytes) {
   StepProfile p;
   p.instr_per_unit = 12.0;
   // Scattered store: random within the set of open partition regions
@@ -172,7 +173,7 @@ StepProfile ScatterProfile(double open_region_bytes) {
   p.rand_accesses_per_unit = 1.0;
   p.rand_working_set_bytes = open_region_bytes;
   p.dependent_accesses = false;
-  p.seq_bytes_per_item = 8.0;  // the <key, rid> pair itself
+  p.seq_bytes_per_item = pair_bytes;  // the <key, rid> tuple itself
   return p;
 }
 

@@ -23,9 +23,18 @@
 #include <string>
 #include <vector>
 
+#include "data/key_schema.h"
 #include "simcl/executor.h"
 
 namespace apujoin::join {
+
+/// Typed key-column view captured by the engine kernels. Narrow (U32)
+/// views carry only the primary word; wide views add the secondary word.
+/// Engines dispatch on `KeyView::schema` when they *construct* StepDefs —
+/// one templated kernel instantiation per key width — never inside the
+/// per-item loops.
+using data::KeySchema;
+using data::KeyView;
 
 /// One contiguous item sub-range [begin, end) of a step's item space — the
 /// unit of kernel dispatch and of work distribution.
@@ -123,7 +132,8 @@ inline uint32_t WorkgroupOf(uint64_t item) {
 // ---------------------------------------------------------------------------
 
 /// b1 / p1 / n1: hash-value computation (MurmurHash over the key column).
-simcl::StepProfile HashStepProfile();
+/// `key_bytes` prices the key-word read (4 for U32, 8 for wide schemas).
+simcl::StepProfile HashStepProfile(double key_bytes = 4.0);
 
 /// b2 / p2: visit the hash bucket header (one random header load).
 simcl::StepProfile HeaderVisitProfile(double header_bytes);
@@ -153,16 +163,18 @@ simcl::StepProfile OpenKeySearchProfile(double table_bytes,
                                         double locality_boost);
 
 /// f1: evaluate a selection predicate per tuple (sequential column scan).
-simcl::StepProfile SelectEvalProfile();
+/// `tuple_bytes` prices the key+rid read (8 for U32, 12 for wide schemas).
+simcl::StepProfile SelectEvalProfile(double tuple_bytes = 8.0);
 
 /// f2: compact passing tuples into the output relation (atomic cursor claim
 /// plus one scattered pair store per passing tuple).
-simcl::StepProfile SelectCompactProfile(double output_bytes);
+simcl::StepProfile SelectCompactProfile(double output_bytes,
+                                        double tuple_bytes = 8.0);
 
 /// f1, fused: evaluate the predicate into the flag column only — the
 /// selection vector is the operator's whole output (no compaction pass, no
 /// output relation; the join kernels read the flags positionally).
-simcl::StepProfile SelectFlagProfile();
+simcl::StepProfile SelectFlagProfile(double tuple_bytes = 8.0);
 
 /// g1: aggregate one result tuple into the open-addressing group table
 /// (hash + slot claim + value atomic).
@@ -178,8 +190,10 @@ simcl::StepProfile FusedEmitAggProfile(double table_bytes, double group_bytes,
 /// n2: visit the partition header (cursor claim bookkeeping).
 simcl::StepProfile PartitionHeaderProfile(double header_bytes);
 
-/// n3: scatter the <key, rid> pair into its partition.
-simcl::StepProfile ScatterProfile(double open_region_bytes);
+/// n3: scatter the <key, rid> pair into its partition. `pair_bytes` prices
+/// the tuple store (8 for U32, 12 for wide schemas).
+simcl::StepProfile ScatterProfile(double open_region_bytes,
+                                  double pair_bytes = 8.0);
 
 }  // namespace apujoin::join
 

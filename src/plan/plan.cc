@@ -27,10 +27,24 @@ const char* AggFnName(AggFn fn) {
   return "?";
 }
 
+namespace {
+
+/// Schema a new inner node inherits from child `idx` (kU32 when the index
+/// is out of range — Validate() reports the bad index itself).
+data::KeySchema InheritedSchema(const Graph& g, int idx) {
+  if (idx < 0 || idx >= static_cast<int>(g.nodes.size())) {
+    return data::KeySchema::kU32;
+  }
+  return g.nodes[idx].key_schema;
+}
+
+}  // namespace
+
 int Graph::AddScan(const data::Relation* relation) {
   Node n;
   n.kind = NodeKind::kScan;
   n.relation = relation;
+  if (relation != nullptr) n.key_schema = relation->key_schema;
   nodes.push_back(std::move(n));
   root = static_cast<int>(nodes.size()) - 1;
   return root;
@@ -41,6 +55,7 @@ int Graph::AddSelect(int input, Predicate predicate) {
   n.kind = NodeKind::kSelect;
   n.children.push_back(input);
   n.predicate = predicate;
+  n.key_schema = InheritedSchema(*this, input);
   nodes.push_back(std::move(n));
   root = static_cast<int>(nodes.size()) - 1;
   return root;
@@ -50,6 +65,7 @@ int Graph::AddHashJoin(int build, int probe) {
   Node n;
   n.kind = NodeKind::kHashJoin;
   n.children = {build, probe};
+  n.key_schema = InheritedSchema(*this, build);
   nodes.push_back(std::move(n));
   root = static_cast<int>(nodes.size()) - 1;
   return root;
@@ -59,6 +75,9 @@ int Graph::AddMultiwayJoin(std::vector<int> builds, int probe) {
   Node n;
   n.kind = NodeKind::kMultiwayJoin;
   n.children = std::move(builds);
+  if (!n.children.empty()) {
+    n.key_schema = InheritedSchema(*this, n.children.front());
+  }
   n.children.push_back(probe);
   nodes.push_back(std::move(n));
   root = static_cast<int>(nodes.size()) - 1;
@@ -70,6 +89,7 @@ int Graph::AddGroupBy(int input, AggFn agg) {
   n.kind = NodeKind::kGroupBy;
   n.children.push_back(input);
   n.agg = agg;
+  n.key_schema = InheritedSchema(*this, input);
   nodes.push_back(std::move(n));
   root = static_cast<int>(nodes.size()) - 1;
   return root;
@@ -186,6 +206,12 @@ Status CheckNode(const Graph& g, int idx, const std::string& path,
       if (n.relation == nullptr) {
         return Status::InvalidArgument(here + ": scan has no relation");
       }
+      if (n.relation->key_schema != n.key_schema) {
+        return Status::InvalidArgument(
+            here + ": scan declares key schema " +
+            data::KeySchemaName(n.key_schema) + " but its relation is " +
+            data::KeySchemaName(n.relation->key_schema));
+      }
       break;
     case NodeKind::kSelect:
       if (n.children.size() != 1) {
@@ -215,6 +241,12 @@ Status CheckNode(const Graph& g, int idx, const std::string& path,
                    "(3..5 children), got " +
             std::to_string(n.children.size()));
       }
+      if (n.key_schema == data::KeySchema::kDictString) {
+        return Status::InvalidArgument(
+            here + ": multiway join does not support dict-string keys "
+                   "(per-table dictionaries are incompatible with the "
+                   "shared probe hash)");
+      }
       break;
     case NodeKind::kGroupBy:
       if (n.children.size() != 1) {
@@ -227,6 +259,11 @@ Status CheckNode(const Graph& g, int idx, const std::string& path,
             here + ": unknown aggregate function (" +
             std::to_string(static_cast<int>(n.agg)) + ")");
       }
+      if (data::KeyIsWide(n.key_schema)) {
+        return Status::InvalidArgument(
+            here + ": group-by aggregates int32 join keys; wide key schema " +
+            data::KeySchemaName(n.key_schema) + " is not supported");
+      }
       break;
   }
   for (size_t c = 0; c < n.children.size(); ++c) {
@@ -234,6 +271,15 @@ Status CheckNode(const Graph& g, int idx, const std::string& path,
     const int child = n.children[c];
     APU_RETURN_IF_ERROR(CheckNode(g, child, child_path, state, depth + 1));
     const Node& cn = g.nodes[child];
+    // Every edge must agree on the key schema: a node joins/filters/
+    // aggregates exactly the schema its children produce.
+    if (cn.key_schema != n.key_schema) {
+      return Status::InvalidArgument(
+          child_path + ": key schema mismatch — " + NodeKindName(n.kind) +
+          " declares " + data::KeySchemaName(n.key_schema) + " but child " +
+          NodeKindName(cn.kind) + " produces " +
+          data::KeySchemaName(cn.key_schema));
+    }
     // Shape constraints on the child, reported at the child's role path.
     switch (n.kind) {
       case NodeKind::kSelect:

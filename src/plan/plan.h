@@ -70,6 +70,12 @@ struct Node {
   Predicate predicate;
   /// kGroupBy: the aggregate function.
   AggFn agg = AggFn::kCount;
+  /// Key schema of the relation this node produces/consumes. The Add*
+  /// helpers set it (scans copy their relation's schema, inner nodes
+  /// inherit from their children); Validate() enforces it — a schema
+  /// mismatch across any plan edge is a structural error, as are wide
+  /// group-by keys and dict-string multiway chains.
+  data::KeySchema key_schema = data::KeySchema::kU32;
 };
 
 /// A plan tree: nodes plus the root index. Build with the Add* helpers

@@ -44,4 +44,56 @@ uint32_t MurmurHash2(const void* key, int len, uint32_t seed) {
   return h;
 }
 
+uint64_t MurmurHash64A(const void* key, int len, uint64_t seed) {
+  constexpr uint64_t kM = 0xc6a4a7935bd1e995ull;
+  constexpr int kR = 47;
+
+  uint64_t h = seed ^ (static_cast<uint64_t>(len) * kM);
+  const unsigned char* data = static_cast<const unsigned char*>(key);
+
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, data, sizeof(k));
+    k *= kM;
+    k ^= k >> kR;
+    k *= kM;
+    h ^= k;
+    h *= kM;
+    data += 8;
+    len -= 8;
+  }
+
+  switch (len) {
+    case 7:
+      h ^= static_cast<uint64_t>(data[6]) << 48;
+      [[fallthrough]];
+    case 6:
+      h ^= static_cast<uint64_t>(data[5]) << 40;
+      [[fallthrough]];
+    case 5:
+      h ^= static_cast<uint64_t>(data[4]) << 32;
+      [[fallthrough]];
+    case 4:
+      h ^= static_cast<uint64_t>(data[3]) << 24;
+      [[fallthrough]];
+    case 3:
+      h ^= static_cast<uint64_t>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h ^= static_cast<uint64_t>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h ^= data[0];
+      h *= kM;
+      break;
+    default:
+      break;
+  }
+
+  h ^= h >> kR;
+  h *= kM;
+  h ^= h >> kR;
+  return h;
+}
+
 }  // namespace apujoin

@@ -31,6 +31,36 @@ inline uint32_t MurmurHash2x4(uint32_t key, uint32_t seed = 0x9747b28cu) {
   return h;
 }
 
+/// Specialized 8-byte-key MurmurHash2 (wide join keys: U64, composite, and
+/// dictionary-string canonical pairs). Equivalent to MurmurHash2(&key, 8,
+/// seed) on a little-endian host but fully inlined.
+inline uint32_t MurmurHash2x8(uint64_t key, uint32_t seed = 0x9747b28cu) {
+  constexpr uint32_t kM = 0x5bd1e995u;
+  constexpr int kR = 24;
+  uint32_t h = seed ^ 8u;
+  uint32_t k = static_cast<uint32_t>(key);
+  k *= kM;
+  k ^= k >> kR;
+  k *= kM;
+  h *= kM;
+  h ^= k;
+  k = static_cast<uint32_t>(key >> 32);
+  k *= kM;
+  k ^= k >> kR;
+  k *= kM;
+  h *= kM;
+  h ^= k;
+  h ^= h >> 13;
+  h *= kM;
+  h ^= h >> 15;
+  return h;
+}
+
+/// MurmurHash64A over an arbitrary byte buffer — the 64-bit variant used to
+/// fingerprint dictionary strings (probes compare the 64-bit hash first,
+/// dictionary codes second).
+uint64_t MurmurHash64A(const void* key, int len, uint64_t seed = 0x9747b28cu);
+
 /// Approximate instruction count of MurmurHash2x4 — used by the step cost
 /// profiles to charge hash computation to the device model.
 constexpr double kMurmurInstructions = 14.0;

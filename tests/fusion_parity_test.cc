@@ -26,6 +26,7 @@
 #include "data/generator.h"
 #include "exec/backend_kind.h"
 #include "join/partitioned_hash_join.h"
+#include "join/reference_join.h"
 #include "join/select_engine.h"
 #include "join/simple_hash_join.h"
 #include "plan/plan.h"
@@ -264,6 +265,77 @@ INSTANTIATE_TEST_SUITE_P(
              "_" + exec::HashLayoutName(std::get<1>(info.param)) + "_" +
              (std::get<2>(info.param) == Algorithm::kSHJ ? "shj" : "phj");
     });
+
+// ---------------------------------------------------------------------------
+// Wide schemas: fusion must stay semantically invisible on typed keys too.
+// Select→join is the fusible shape wide keys can reach (group-by fusion is
+// U32-only by construction: the plan validator rejects wide group-bys).
+// ---------------------------------------------------------------------------
+
+TEST(FusionParityWideTest, WideSelectJoinFusedAgreesWithUnfused) {
+  for (data::KeySchema schema :
+       {data::KeySchema::kU64, data::KeySchema::kDictString}) {
+    SCOPED_TRACE(data::KeySchemaName(schema));
+    data::WorkloadSpec wspec;
+    wspec.build_tuples = 1 << 12;
+    wspec.probe_tuples = 1 << 14;
+    wspec.selectivity = 0.5;
+    wspec.key_schema = schema;
+    auto w = data::GenerateWorkload(wspec);
+    ASSERT_TRUE(w.ok());
+    const plan::Predicate pred = MedianRidPredicate(w->build);
+
+    // Oracle: materialize the filtered build side and count its matches.
+    data::Relation filtered;
+    filtered.key_schema = w->build.key_schema;
+    filtered.dict = w->build.dict;
+    for (uint64_t i = 0; i < w->build.size(); ++i) {
+      if (!plan::EvalPredicate(pred, w->build.keys[i], w->build.rids[i])) {
+        continue;
+      }
+      if (w->build.key_hi.empty()) {
+        filtered.Append(w->build.keys[i], w->build.rids[i]);
+      } else {
+        filtered.Append(w->build.keys[i], w->build.key_hi[i],
+                        w->build.rids[i]);
+      }
+    }
+    const uint64_t oracle = join::ReferenceMatchCount(filtered, w->probe);
+
+    for (BackendKind backend :
+         {BackendKind::kSim, BackendKind::kThreadPool}) {
+      for (HashLayout layout :
+           {HashLayout::kChained, HashLayout::kOpenAddressing}) {
+        for (Algorithm algo : {Algorithm::kSHJ, Algorithm::kPHJ}) {
+          SCOPED_TRACE(std::string(exec::BackendKindName(backend)) + "/" +
+                       exec::HashLayoutName(layout) + "/" +
+                       (algo == Algorithm::kSHJ ? "shj" : "phj"));
+          PlanSpec plan;
+          const int b = plan.graph.AddScan(&w->build);
+          const int sel = plan.graph.AddSelect(b, pred);
+          const int p = plan.graph.AddScan(&w->probe);
+          plan.graph.AddHashJoin(sel, p);
+          plan.expected_matches = oracle;
+
+          plan.exec = MakeSpec(backend, layout, algo, 0, FuseMode::kOff);
+          const JoinReport off = MustRun(plan);
+          plan.exec.engine.fuse = FuseMode::kAuto;
+          const JoinReport fused = MustRun(plan);
+
+          EXPECT_EQ(off.matches, oracle);
+          EXPECT_EQ(fused.matches, oracle);
+          EXPECT_FALSE(fused.overflowed);
+          ASSERT_EQ(fused.operators.size(), off.operators.size());
+          for (size_t i = 0; i < fused.operators.size(); ++i) {
+            EXPECT_EQ(fused.operators[i].output_rows,
+                      off.operators[i].output_rows)
+                << fused.operators[i].path;
+          }
+        }
+      }
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Rid-pair multiset: a fused selection feeding a join-rooted plan must

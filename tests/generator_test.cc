@@ -5,6 +5,7 @@
 
 #include "data/generator.h"
 #include "join/reference_join.h"
+#include "util/murmur_hash.h"
 
 namespace apujoin::data {
 namespace {
@@ -121,6 +122,102 @@ TEST(GeneratorTest, NonMatchingKeysAreEven) {
   ASSERT_TRUE(w.ok());
   EXPECT_EQ(w->expected_matches, 0u);
   for (int32_t k : w->probe.keys) EXPECT_EQ(k % 2, 0);
+}
+
+TEST(GeneratorTest, RelationBytesFollowsKeySchema) {
+  // Satellite check for Relation::bytes(): per schema, bytes() must count
+  // the rid column, every key word actually stored, and the dictionary.
+  const uint64_t n = 1000;
+  for (KeySchema schema :
+       {KeySchema::kU32, KeySchema::kU64, KeySchema::kComposite,
+        KeySchema::kDictString}) {
+    WorkloadSpec spec;
+    spec.build_tuples = n;
+    spec.probe_tuples = n;
+    spec.key_schema = schema;
+    auto w = GenerateWorkload(spec);
+    ASSERT_TRUE(w.ok()) << KeySchemaName(schema);
+    const Relation& r = w->build;
+    uint64_t want = n * 8;  // rids + primary key word
+    if (schema == KeySchema::kU64 || schema == KeySchema::kComposite) {
+      want += n * 4;  // secondary key word
+    }
+    if (schema == KeySchema::kDictString) {
+      want += r.dict.bytes();
+      EXPECT_GT(r.dict.bytes(), 0u);
+    }
+    EXPECT_EQ(r.bytes(), want) << KeySchemaName(schema);
+  }
+}
+
+TEST(GeneratorTest, WideBuildKeysUniqueWithColliderLoWords) {
+  // U64/Composite build keys are unique as 64-bit values, but their lo
+  // words deliberately repeat past 1024 tuples so equality cannot be
+  // decided without the hi-word compare.
+  for (KeySchema schema : {KeySchema::kU64, KeySchema::kComposite}) {
+    WorkloadSpec spec;
+    spec.build_tuples = 4096;
+    spec.probe_tuples = 64;
+    spec.key_schema = schema;
+    auto w = GenerateWorkload(spec);
+    ASSERT_TRUE(w.ok()) << KeySchemaName(schema);
+    ASSERT_EQ(w->build.key_hi.size(), w->build.size());
+    std::unordered_set<uint64_t> full;
+    std::unordered_set<int32_t> lo;
+    for (uint64_t i = 0; i < w->build.size(); ++i) {
+      EXPECT_TRUE(full.insert(PackKeyPair(w->build.keys[i],
+                                          w->build.key_hi[i]))
+                      .second);
+      lo.insert(w->build.keys[i]);
+    }
+    EXPECT_LT(lo.size(), w->build.size()) << "lo words never collide — the "
+                                             "hi-word compare is untested";
+  }
+}
+
+TEST(GeneratorTest, DictStringRelationsCarryTheirOwnDictionaries) {
+  WorkloadSpec spec;
+  spec.build_tuples = 2048;
+  spec.probe_tuples = 8192;
+  spec.selectivity = 0.5;
+  spec.key_schema = KeySchema::kDictString;
+  auto w = GenerateWorkload(spec);
+  ASSERT_TRUE(w.ok());
+  for (const Relation* r : {&w->build, &w->probe}) {
+    ASSERT_FALSE(r->dict.empty());
+    ASSERT_EQ(r->dict.hashes.size(), r->dict.strings.size());
+    for (int32_t code : r->keys) {
+      ASSERT_GE(code, 0);
+      ASSERT_LT(static_cast<uint64_t>(code), r->dict.size());
+    }
+    for (size_t c = 0; c < r->dict.strings.size(); ++c) {
+      EXPECT_EQ(r->dict.hashes[c],
+                MurmurHash64A(r->dict.strings[c].data(),
+                              static_cast<int>(r->dict.strings[c].size())));
+    }
+  }
+  // The two dictionaries are independent: probe codes mean nothing in the
+  // build code space until the engine translates them.
+  EXPECT_NE(w->build.dict.strings, w->probe.dict.strings);
+}
+
+TEST(GeneratorTest, ExpectedMatchesIsExactForEverySchema) {
+  for (KeySchema schema :
+       {KeySchema::kU32, KeySchema::kU64, KeySchema::kComposite,
+        KeySchema::kDictString}) {
+    for (double sel : {0.0, 0.5, 1.0}) {
+      WorkloadSpec spec;
+      spec.build_tuples = 1024;
+      spec.probe_tuples = 4096;
+      spec.selectivity = sel;
+      spec.key_schema = schema;
+      auto w = GenerateWorkload(spec);
+      ASSERT_TRUE(w.ok()) << KeySchemaName(schema);
+      EXPECT_EQ(w->expected_matches,
+                join::ReferenceMatchCount(w->build, w->probe))
+          << KeySchemaName(schema) << " selectivity " << sel;
+    }
+  }
 }
 
 TEST(ReferenceJoinTest, PairsMatchCount) {

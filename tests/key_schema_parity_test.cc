@@ -1,0 +1,192 @@
+// Key-schema parity: (1) the U32 path is BIT-IDENTICAL to the lowering that
+// predates the typed-key abstraction — eight representative plans (single
+// joins across algorithm x layout, fused select->join->group-by, multiway
+// chains) are pinned to hexfloat-exact virtual-time fingerprints recorded
+// before KeySchema existed, so any per-schema dispatch leaking into the
+// narrow kernels (an extra instruction, a changed profile constant, a
+// different RNG draw) fails loudly; and (2) every wide schema (U64,
+// Composite, DictString) reproduces the reference oracle's exact match
+// count across both algorithms and both hash-table layouts.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coproc/pipeline_runner.h"
+#include "data/generator.h"
+#include "exec/backend_kind.h"
+#include "join/reference_join.h"
+#include "plan/plan.h"
+#include "simcl/context.h"
+#include "util/status.h"
+
+namespace apujoin::coproc {
+namespace {
+
+using exec::HashLayout;
+
+data::Workload MustWorkload(uint64_t seed,
+                            data::KeySchema schema = data::KeySchema::kU32,
+                            double selectivity = 1.0) {
+  data::WorkloadSpec spec;
+  spec.build_tuples = 1 << 12;
+  spec.probe_tuples = 1 << 14;
+  spec.selectivity = selectivity;
+  spec.seed = seed;
+  spec.key_schema = schema;
+  auto w = data::GenerateWorkload(spec);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  return std::move(w).value();
+}
+
+JoinSpec MakeSpec(Algorithm algo, HashLayout layout) {
+  JoinSpec spec;
+  spec.algorithm = algo;
+  spec.scheme = Scheme::kPipelined;
+  spec.engine.layout = layout;
+  return spec;
+}
+
+JoinReport MustRun(const PlanSpec& plan) {
+  simcl::SimContext ctx;
+  auto report = ExecutePlan(&ctx, plan);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+// ---------------------------------------------------------------------------
+// U32 bit-identity pins
+// ---------------------------------------------------------------------------
+
+struct Pin {
+  const char* name;
+  const char* elapsed_hex;    // report.elapsed_ns as %a
+  const char* estimated_hex;  // report.estimated_ns as %a
+  uint64_t matches;
+};
+
+// Recorded from the pre-KeySchema lowering (PR 9) at these exact
+// workloads/specs. Hexfloats round-trip exactly through strtod, so the
+// comparison below is equality of the doubles' bit patterns.
+constexpr Pin kPins[] = {
+    {"join/shj/chained", "0x1.5945ee43d5148p+18", "0x1.42b31b512442p+18",
+     16384ull},
+    {"join/shj/open", "0x1.03b8b1bc06086p+18", "0x1.df07454d19f1ep+17",
+     16384ull},
+    {"join/phj/chained", "0x1.b5227a9f85fcep+18", "0x1.84cb8d440d8b8p+18",
+     16384ull},
+    {"join/phj/open", "0x1.5f953e17b6f0cp+18", "0x1.319c149976428p+18",
+     16384ull},
+    {"select-join-groupby/shj", "0x1.8447eb1add453p+18",
+     "0x1.b6d0e3a22e452p+18", 8206ull},
+    {"select-join-groupby/phj", "0x1.ba4afe3186824p+18",
+     "0x1.f8e95595178eap+18", 8206ull},
+    {"multiway/chained", "0x1.025a3f5bef9f2p+19", "0x1.15eccbde86ef7p+18",
+     16384ull},
+    {"multiway/open", "0x1.00902d7ba8e78p+18", "0x1.974d055928c6bp+17",
+     16384ull},
+};
+
+const Pin& FindPin(const std::string& name) {
+  for (const Pin& p : kPins) {
+    if (name == p.name) return p;
+  }
+  ADD_FAILURE() << "no pin named " << name;
+  static Pin none{"", "0x0p+0", "0x0p+0", 0};
+  return none;
+}
+
+void ExpectPinned(const std::string& name, const JoinReport& report) {
+  const Pin& pin = FindPin(name);
+  EXPECT_EQ(report.elapsed_ns, std::strtod(pin.elapsed_hex, nullptr))
+      << name << ": elapsed_ns drifted from the pre-KeySchema lowering";
+  EXPECT_EQ(report.estimated_ns, std::strtod(pin.estimated_hex, nullptr))
+      << name << ": estimated_ns drifted from the pre-KeySchema lowering";
+  EXPECT_EQ(report.matches, pin.matches) << name;
+}
+
+TEST(KeySchemaParityTest, U32SingleJoinsBitIdentical) {
+  const data::Workload w = MustWorkload(42);
+  for (Algorithm algo : {Algorithm::kSHJ, Algorithm::kPHJ}) {
+    for (HashLayout layout :
+         {HashLayout::kChained, HashLayout::kOpenAddressing}) {
+      const std::string name =
+          std::string("join/") + (algo == Algorithm::kSHJ ? "shj" : "phj") +
+          "/" + (layout == HashLayout::kChained ? "chained" : "open");
+      ExpectPinned(name,
+                   MustRun(MakeSingleJoinPlan(w, MakeSpec(algo, layout))));
+    }
+  }
+}
+
+TEST(KeySchemaParityTest, U32SelectJoinGroupByBitIdentical) {
+  const data::Workload w = MustWorkload(42);
+  plan::Predicate pred;
+  pred.column = plan::SelectColumn::kRid;
+  pred.op = plan::CompareOp::kLt;
+  pred.operand = static_cast<int32_t>(w.build.size() / 2);
+  for (Algorithm algo : {Algorithm::kSHJ, Algorithm::kPHJ}) {
+    PlanSpec plan;
+    const int b = plan.graph.AddScan(&w.build);
+    const int sel = plan.graph.AddSelect(b, pred);
+    const int p = plan.graph.AddScan(&w.probe);
+    const int j = plan.graph.AddHashJoin(sel, p);
+    plan.graph.AddGroupBy(j, plan::AggFn::kSum);
+    plan.exec = MakeSpec(algo, HashLayout::kChained);
+    plan.expected_matches = w.expected_matches;
+    ExpectPinned(std::string("select-join-groupby/") +
+                     (algo == Algorithm::kSHJ ? "shj" : "phj"),
+                 MustRun(plan));
+  }
+}
+
+TEST(KeySchemaParityTest, U32MultiwayBitIdentical) {
+  const data::Workload w = MustWorkload(42);
+  const data::Workload w2 = MustWorkload(7);
+  for (HashLayout layout :
+       {HashLayout::kChained, HashLayout::kOpenAddressing}) {
+    PlanSpec plan;
+    const int b1 = plan.graph.AddScan(&w.build);
+    const int b2 = plan.graph.AddScan(&w2.build);
+    const int p = plan.graph.AddScan(&w.probe);
+    plan.graph.AddMultiwayJoin({b1, b2}, p);
+    plan.exec = MakeSpec(Algorithm::kSHJ, layout);
+    plan.expected_matches = w.expected_matches;
+    ExpectPinned(std::string("multiway/") +
+                     (layout == HashLayout::kChained ? "chained" : "open"),
+                 MustRun(plan));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wide schemas match the oracle everywhere the engines accept them
+// ---------------------------------------------------------------------------
+
+TEST(KeySchemaParityTest, WideSchemasMatchOracle) {
+  for (data::KeySchema schema :
+       {data::KeySchema::kU64, data::KeySchema::kComposite,
+        data::KeySchema::kDictString}) {
+    // 50% selectivity: misses exercise the dead-lane path through the
+    // two-word compares (and the untranslatable-string path for dicts).
+    const data::Workload w = MustWorkload(42, schema, 0.5);
+    const uint64_t oracle = join::ReferenceMatchCount(w.build, w.probe);
+    EXPECT_EQ(oracle, w.expected_matches) << data::KeySchemaName(schema);
+    for (Algorithm algo : {Algorithm::kSHJ, Algorithm::kPHJ}) {
+      for (HashLayout layout :
+           {HashLayout::kChained, HashLayout::kOpenAddressing}) {
+        const JoinReport report =
+            MustRun(MakeSingleJoinPlan(w, MakeSpec(algo, layout)));
+        EXPECT_EQ(report.matches, oracle)
+            << data::KeySchemaName(schema) << "/"
+            << (algo == Algorithm::kSHJ ? "shj" : "phj") << "/"
+            << exec::HashLayoutName(layout);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apujoin::coproc

@@ -182,6 +182,80 @@ TEST(LayoutParity, EmittedRidPairsIdentical) {
   EXPECT_EQ(pairs[0], pairs[1]);
 }
 
+// Wide-schema parity: every layout/SIMD combination must agree with the
+// oracle on typed keys too — including open+AVX2, where the engine silently
+// falls back to the scalar two-word compare (the 4-byte SIMD probe cannot
+// see the hi word).
+TEST(LayoutParity, WideSchemasMatchCountsAgreeAcrossLayoutsAndSimd) {
+  for (data::KeySchema schema :
+       {data::KeySchema::kU64, data::KeySchema::kDictString}) {
+    SCOPED_TRACE(data::KeySchemaName(schema));
+    data::WorkloadSpec spec;
+    spec.build_tuples = 1 << 12;
+    spec.probe_tuples = 1 << 14;
+    spec.selectivity = 0.5;
+    spec.key_schema = schema;
+    auto gen = data::GenerateWorkload(spec);
+    ASSERT_TRUE(gen.ok());
+    const data::Workload w = std::move(gen).value();
+    const uint64_t reference = join::ReferenceMatchCount(w.build, w.probe);
+    for (Algorithm algo : {Algorithm::kSHJ, Algorithm::kPHJ}) {
+      SCOPED_TRACE(AlgorithmName(algo));
+      EXPECT_EQ(RunJoin(w, HashLayout::kChained, SimdPolicy::kAuto,
+                        BackendKind::kThreadPool, 0, algo),
+                reference);
+      EXPECT_EQ(RunJoin(w, HashLayout::kOpenAddressing, SimdPolicy::kScalar,
+                        BackendKind::kThreadPool, 0, algo),
+                reference);
+      EXPECT_EQ(RunJoin(w, HashLayout::kOpenAddressing, SimdPolicy::kAvx2,
+                        BackendKind::kThreadPool, 0, algo),
+                reference);
+    }
+  }
+}
+
+// Engine-level rid parity on wide schemas: both layouts must emit exactly
+// the oracle's <build rid, probe rid> pair multiset.
+TEST(LayoutParity, WideEmittedRidPairsIdentical) {
+  for (data::KeySchema schema :
+       {data::KeySchema::kU64, data::KeySchema::kDictString}) {
+    SCOPED_TRACE(data::KeySchemaName(schema));
+    data::WorkloadSpec spec;
+    spec.build_tuples = 1 << 10;
+    spec.probe_tuples = 1 << 12;
+    spec.selectivity = 0.5;
+    spec.key_schema = schema;
+    auto gen = data::GenerateWorkload(spec);
+    ASSERT_TRUE(gen.ok());
+    const data::Workload w = std::move(gen).value();
+    const auto reference = join::ReferenceJoinPairs(w.build, w.probe);
+    for (HashLayout layout :
+         {HashLayout::kChained, HashLayout::kOpenAddressing}) {
+      SCOPED_TRACE(HashLayoutName(layout));
+      simcl::SimContext ctx;
+      join::EngineOptions opts;
+      opts.layout = layout;
+      join::ShjEngine engine(&ctx, &w.build, &w.probe, opts);
+      ASSERT_TRUE(engine.Prepare().ok());
+      // Half the lanes of every workgroup miss (selectivity 0.5), so each
+      // strands roughly half an allocator block — size the writer by probe
+      // cardinality, not by the match count.
+      join::ResultWriter out(w.probe.size() + 1024,
+                             alloc::AllocatorKind::kOptimized, 2048);
+      for (auto& step : engine.BuildSteps()) {
+        step.run(join::Morsel{0, step.items}, simcl::DeviceId::kCpu, nullptr);
+      }
+      for (auto& step : engine.ProbeSteps(&out)) {
+        step.run(join::Morsel{0, step.items}, simcl::DeviceId::kCpu, nullptr);
+      }
+      ASSERT_FALSE(engine.overflowed());
+      auto pairs = out.CollectPairs();
+      std::sort(pairs.begin(), pairs.end());
+      EXPECT_EQ(pairs, reference);
+    }
+  }
+}
+
 // The CI throughput gate: the open layout's SIMD probe must not be slower
 // than the chained layout's pointer-chasing probe on an out-of-cache
 // build side. Guarded: wall-clock is only meaningful on idle multi-core

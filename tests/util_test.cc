@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <set>
 
 #include "util/env.h"
@@ -105,6 +106,40 @@ TEST(MurmurTest, HandlesTailLengths) {
   // Just exercise all tail branches; values must be stable across calls.
   for (int len = 0; len <= 7; ++len) {
     EXPECT_EQ(MurmurHash2(buf, len, 1), MurmurHash2(buf, len, 1));
+  }
+}
+
+TEST(MurmurTest, EightByteMatchesGeneric) {
+  // MurmurHash2x8 must agree with the byte-buffer hash of the packed pair
+  // on a little-endian host (low word at the low address).
+  for (uint64_t k : {0ull, 1ull, 0xdeadbeefcafef00dull,
+                     0x00000001ffffffffull, 987654321012345ull}) {
+    EXPECT_EQ(MurmurHash2x8(k, 0x9747b28cu),
+              MurmurHash2(&k, 8, 0x9747b28cu));
+  }
+}
+
+TEST(MurmurTest, Murmur64ReferenceVectors) {
+  // Independently computed from Appleby's MurmurHash64A definition
+  // (m = 0xc6a4a7935bd1e995, r = 47) — pins the exact algorithm, since
+  // dictionary-string lo words persist these hashes' low halves.
+  const struct {
+    const char* text;
+    uint64_t seed;
+    uint64_t hash;
+  } kVectors[] = {
+      {"", 0x9747b28cull, 0x8397626cd6895052ull},
+      {"a", 0x9747b28cull, 0xe96b6245652273aeull},
+      {"item-12345", 0x9747b28cull, 0x9c4e2cb626a30f1bull},
+      {"abcdefgh", 0x9747b28cull, 0x617b517726694ebaull},
+      {"The quick brown fox", 0ull, 0xf3231866c315bc69ull},
+      {"apujoin", 1234567ull, 0x1a2401260c907cccull},
+  };
+  for (const auto& v : kVectors) {
+    EXPECT_EQ(MurmurHash64A(v.text, static_cast<int>(strlen(v.text)),
+                            v.seed),
+              v.hash)
+        << "\"" << v.text << "\"";
   }
 }
 

@@ -44,6 +44,17 @@ Rules (over src/ unless stated otherwise):
                   scalability bug (heap lock under the morsel loop) and a
                   modelling bug (unpriced work). Writers go through
                   pre-sized buffers and the alloc/ subsystem instead.
+  kernel-no-schema-branch
+                  MorselKernel bodies must not branch on the key schema at
+                  runtime: no `if`/`switch` whose condition names KeySchema
+                  / key_schema / kU32 / kU64 / kComposite / kDictString /
+                  KeyIsWide. Schema dispatch happens once, at StepDef
+                  construction scope (templated kernel bodies, one
+                  instantiation per schema); a per-item schema branch
+                  re-introduces exactly the mispredicted inner-loop
+                  dispatch the typed-key refactor removed. Compile-time
+                  `if constexpr` (e.g. on a kWide template parameter) is
+                  allowed — it leaves no branch in the instantiation.
 
 The linter is line-oriented and deliberately heuristic — it joins
 continuation lines to find the argument list of a call that spills over,
@@ -193,6 +204,43 @@ def body_span(lines, i):
 
 KERNEL_LAMBDA_RE = re.compile(r"\.run\s*=\s*\[")
 
+# Tokens that identify a key-schema condition. `kWide` is deliberately NOT
+# listed: it is the bool template parameter the construction-scope dispatch
+# hands to `if constexpr`, and the constexpr form is filtered out anyway.
+SCHEMA_TOKENS = re.compile(
+    r"\bKeySchema\b|\bkey_schema\b|\bKeyIsWide\s*\(|"
+    r"\bkU32\b|\bkU64\b|\bkComposite\b|\bkDictString\b")
+BRANCH_RE = re.compile(r"\b(if|switch)\s*\(")
+IF_CONSTEXPR_RE = re.compile(r"\bif\s+constexpr\b")
+
+
+def check_kernel_no_schema_branch(path, lines, errors):
+    for i, raw in enumerate(lines):
+        if not KERNEL_LAMBDA_RE.search(strip_strings(raw)):
+            continue
+        span = body_span(lines, i)
+        if span is None:
+            continue
+        for j in range(span[0], span[1] + 1):
+            code = strip_strings(lines[j]).partition("//")[0]
+            if IF_CONSTEXPR_RE.search(code):
+                continue  # compile-time dispatch leaves no runtime branch
+            if not BRANCH_RE.search(code):
+                continue
+            # Join the condition across continuation lines before testing
+            # for schema tokens (conditions that spill over).
+            cond = strip_strings(join_call(lines, j)).partition("//")[0]
+            if IF_CONSTEXPR_RE.search(cond):
+                continue
+            if SCHEMA_TOKENS.search(cond):
+                errors.append(
+                    f"{rel(path)}:{j + 1}: runtime branch on the key schema "
+                    f"inside a MorselKernel body (`.run = [...]` lambda "
+                    f"opened at line {i + 1}) — dispatch on KeySchema at "
+                    f"StepDef construction scope (one instantiation per "
+                    f"schema, `if constexpr` on a template flag), never "
+                    f"per item: {lines[j].strip()}")
+
 
 def check_kernel_no_alloc(path, lines, errors):
     for i, raw in enumerate(lines):
@@ -296,6 +344,7 @@ def main():
         check_atomic_order(path, lines, errors)
         check_no_assert(path, lines, errors)
         check_kernel_no_alloc(path, lines, errors)
+        check_kernel_no_schema_branch(path, lines, errors)
         check_stepdef_outside_lowering(path, lines, errors)
         check_avx2_target(path, lines, errors)
     check_march_native(errors)
